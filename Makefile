@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./... -count=1
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/nvm/ -count=1
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper figure/table plus the extensions (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/hdnhbench -all -records 50000 -ops 100000 -mode emulate
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/hotcache
+	$(GO) run ./examples/durability
+	$(GO) run ./examples/concurrent
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,95 @@
+package hdnh_test
+
+import (
+	"testing"
+
+	"hdnh"
+)
+
+func TestPublicFacadeRoundTrip(t *testing.T) {
+	dev, err := hdnh.NewDevice(hdnh.DeviceConfig(1 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := hdnh.Create(dev, hdnh.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer table.Close()
+	s := table.NewSession()
+	if err := s.Insert(hdnh.Key("facade"), hdnh.Value("works")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get(hdnh.Key("facade")); !ok || v.String() != "works" {
+		t.Fatalf("Get = (%q, %v)", v.String(), ok)
+	}
+	if table.Count() != 1 {
+		t.Fatalf("Count = %d", table.Count())
+	}
+}
+
+func TestPublicFacadeReopen(t *testing.T) {
+	cfg := hdnh.StrictDeviceConfig(1 << 20)
+	dev, err := hdnh.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := hdnh.Create(dev, hdnh.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := table.NewSession()
+	if err := s.Insert(hdnh.Key("persist"), hdnh.Value("me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dev2, err := hdnh.DeviceFromImage(cfg, dev.PersistedImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := hdnh.Open(dev2, hdnh.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if v, ok := re.NewSession().Get(hdnh.Key("persist")); !ok || v.String() != "me" {
+		t.Fatal("record lost across reopen through the facade")
+	}
+	if !re.LastRecovery().CleanShutdown {
+		t.Fatal("clean shutdown flag lost")
+	}
+}
+
+func TestOpenOrCreate(t *testing.T) {
+	dev, err := hdnh.NewDevice(hdnh.DeviceConfig(1 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := hdnh.OpenOrCreate(dev, hdnh.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.NewSession().Insert(hdnh.Key("x"), hdnh.Value("1")); err != nil {
+		t.Fatal(err)
+	}
+	t1.Close()
+	t2, err := hdnh.OpenOrCreate(dev, hdnh.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t2.Close()
+	if _, ok := t2.NewSession().Get(hdnh.Key("x")); !ok {
+		t.Fatal("OpenOrCreate did not reopen the existing table")
+	}
+}
+
+func TestKeyValuePanicOnOversize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized Key did not panic")
+		}
+	}()
+	hdnh.Key("this key is way longer than sixteen bytes")
+}

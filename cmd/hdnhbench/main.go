@@ -1,0 +1,134 @@
+// Command hdnhbench regenerates the HDNH paper's evaluation figures and
+// tables on the emulated NVM device.
+//
+// Usage:
+//
+//	hdnhbench -fig 13                 # one figure
+//	hdnhbench -fig 14 -records 200000 -ops 400000 -mode emulate
+//	hdnhbench -table 1
+//	hdnhbench -all                    # everything, paper order
+//
+// Output is the text-table format recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"hdnh/internal/harness"
+	"hdnh/internal/nvm"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "figure to regenerate: 11a, 11b, 12, 13, 14, 15")
+		table   = flag.String("table", "", "table to regenerate: 1")
+		all     = flag.Bool("all", false, "run every figure and table")
+		records = flag.Int64("records", 100_000, "preloaded record count")
+		ops     = flag.Int64("ops", 200_000, "operations per measurement")
+		threads = flag.Int("threads", 16, "maximum threads for concurrency sweeps")
+		mode    = flag.String("mode", "emulate", "device mode: model | emulate")
+		seed    = flag.Uint64("seed", 42, "workload seed")
+		csvDir  = flag.String("csv", "", "also write each experiment as <dir>/<id>.csv")
+	)
+	flag.Parse()
+
+	sc := harness.Scale{
+		Records: *records,
+		Ops:     *ops,
+		Threads: *threads,
+		Seed:    *seed,
+	}
+	switch *mode {
+	case "model":
+		sc.Mode = nvm.ModeModel
+	case "emulate":
+		sc.Mode = nvm.ModeEmulate
+	default:
+		fmt.Fprintf(os.Stderr, "hdnhbench: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	type job struct {
+		name string
+		run  func() error
+	}
+	emit := func(exp *harness.Experiment) error {
+		if *csvDir != "" {
+			path := fmt.Sprintf("%s/%s.csv", *csvDir, exp.ID)
+			if err := os.WriteFile(path, []byte(exp.CSV()), 0o644); err != nil {
+				return fmt.Errorf("writing %s: %w", path, err)
+			}
+		}
+		return exp.Render(os.Stdout)
+	}
+	single := func(f func(harness.Scale) (*harness.Experiment, error)) func() error {
+		return func() error {
+			exp, err := f(sc)
+			if err != nil {
+				return err
+			}
+			return emit(exp)
+		}
+	}
+	jobs := map[string]job{
+		"fig11a": {"Figure 11(a)", single(harness.Fig11a)},
+		"fig11b": {"Figure 11(b)", single(harness.Fig11b)},
+		"fig12":  {"Figure 12", single(harness.Fig12)},
+		"fig13":  {"Figure 13", single(harness.Fig13)},
+		"fig14": {"Figure 14", func() error {
+			exps, err := harness.Fig14(sc)
+			if err != nil {
+				return err
+			}
+			for _, e := range exps {
+				if err := emit(e); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		"fig15":      {"Figure 15", single(harness.Fig15)},
+		"table1":     {"Table 1", single(harness.Table1)},
+		"ablation":   {"Ablation (extension)", single(harness.Ablation)},
+		"loadfactor": {"Load factor (extension)", single(harness.LoadFactorExperiment)},
+		"hybrid":     {"Hybrid related-work comparison (extension)", single(harness.HybridExperiment)},
+	}
+	order := []string{"fig11a", "fig11b", "fig12", "fig13", "fig14", "fig15", "table1", "ablation", "loadfactor", "hybrid"}
+
+	var selected []string
+	switch {
+	case *all:
+		selected = order
+	case *fig != "":
+		name := strings.ToLower(*fig)
+		if name != "ablation" && name != "loadfactor" && name != "hybrid" {
+			name = "fig" + name
+		}
+		selected = []string{name}
+	case *table != "":
+		selected = []string{"table" + *table}
+	default:
+		fmt.Fprintln(os.Stderr, "hdnhbench: pass -fig, -table, or -all (see -h)")
+		os.Exit(2)
+	}
+
+	for _, name := range selected {
+		j, ok := jobs[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hdnhbench: unknown experiment %q (have: %s)\n", name, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		fmt.Printf("# %s — records=%d ops=%d threads<=%d mode=%s GOMAXPROCS=%d\n",
+			j.name, sc.Records, sc.Ops, sc.Threads, sc.Mode, gomaxprocs())
+		if err := j.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "hdnhbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func gomaxprocs() int { return runtime.GOMAXPROCS(0) }

@@ -1,0 +1,137 @@
+// Command hdnhycsb runs a configurable YCSB-style workload against any
+// registered scheme and reports throughput, NVM traffic and (optionally)
+// the latency distribution — the free-form counterpart to hdnhbench's fixed
+// paper experiments.
+//
+//	hdnhycsb -scheme HDNH -records 100000 -ops 500000 -threads 8 \
+//	         -read 0.5 -update 0.5 -dist scrambled -theta 0.99 -latency
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hdnh/internal/harness"
+	"hdnh/internal/nvm"
+	"hdnh/internal/scheme"
+	"hdnh/internal/ycsb"
+)
+
+func main() {
+	var (
+		schemeName = flag.String("scheme", "HDNH", "scheme: "+fmt.Sprint(scheme.Names()))
+		records    = flag.Int64("records", 100_000, "preloaded records")
+		ops        = flag.Int64("ops", 200_000, "operations")
+		threads    = flag.Int("threads", 1, "worker goroutines")
+		read       = flag.Float64("read", 1, "proportion of positive reads")
+		readNeg    = flag.Float64("readneg", 0, "proportion of negative reads")
+		update     = flag.Float64("update", 0, "proportion of updates")
+		insert     = flag.Float64("insert", 0, "proportion of inserts")
+		del        = flag.Float64("delete", 0, "proportion of deletes")
+		dist       = flag.String("dist", "uniform", "distribution: uniform | zipfian | scrambled | latest")
+		theta      = flag.Float64("theta", 0.99, "zipfian skew")
+		seed       = flag.Uint64("seed", 42, "workload seed")
+		mode       = flag.String("mode", "emulate", "device mode: model | emulate")
+		latency    = flag.Bool("latency", false, "record and print the latency distribution")
+		wear       = flag.Bool("wear", false, "track and print the NVM write (wear) distribution")
+	)
+	flag.Parse()
+
+	var d ycsb.Distribution
+	switch *dist {
+	case "uniform":
+		d = ycsb.Uniform
+	case "zipfian":
+		d = ycsb.Zipfian
+	case "scrambled":
+		d = ycsb.ScrambledZipfian
+	case "latest":
+		d = ycsb.Latest
+	default:
+		fatal("unknown distribution %q", *dist)
+	}
+	devMode := nvm.ModeEmulate
+	if *mode == "model" {
+		devMode = nvm.ModeModel
+	} else if *mode != "emulate" {
+		fatal("unknown mode %q", *mode)
+	}
+
+	var dev *nvm.Device
+	if *wear {
+		// Build the device here so the wear counters are reachable after
+		// the run; mirror the harness's auto-sizing.
+		words := (*records + *ops + 1024) * 4 * 24
+		if words < 1<<20 {
+			words = 1 << 20
+		}
+		if r := words % nvm.BlockWords; r != 0 {
+			words += nvm.BlockWords - r
+		}
+		cfg := nvm.EmulateConfig(words)
+		if devMode == nvm.ModeModel {
+			cfg = nvm.DefaultConfig(words)
+		}
+		cfg.TrackWear = true
+		var err error
+		dev, err = nvm.New(cfg)
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	runOpts := harness.Options{
+		Scheme:        *schemeName,
+		Records:       *records,
+		Ops:           *ops,
+		Threads:       *threads,
+		Mix:           ycsb.Mix{Read: *read, ReadNegative: *readNeg, Update: *update, Insert: *insert, Delete: *del},
+		Dist:          d,
+		Theta:         *theta,
+		Seed:          *seed,
+		DeviceMode:    devMode,
+		RecordLatency: *latency,
+	}
+	var st scheme.Store
+	if dev != nil {
+		var err error
+		st, err = scheme.Open(*schemeName, dev, *records+*ops)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer st.Close()
+		runOpts.Store = st
+	}
+	res, err := harness.Run(runOpts)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	fmt.Printf("scheme      %s\n", res.Scheme)
+	fmt.Printf("preload     %d records in %v\n", res.Records, res.PreloadElapsed.Round(time.Millisecond))
+	fmt.Printf("ops         %d across %d threads in %v\n", res.Ops, res.Threads, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput  %.4f Mops/s\n", res.ThroughputMops)
+	fmt.Printf("misses      %d (expected ErrNotFound/ErrExists)\n", res.Misses)
+	fmt.Printf("failures    %d\n", res.Failures)
+	fmt.Printf("nvm         %s\n", res.NVM)
+	if res.Latency != nil {
+		fmt.Printf("latency     %s\n", res.Latency)
+		fmt.Printf("\n%s", res.Latency.Table(30))
+	}
+	if dev != nil {
+		fmt.Printf("%s\n", dev.WearStats())
+		for _, hb := range dev.HottestBlocks(5) {
+			fmt.Printf("  hot block %8d: %d line writes\n", hb.Block, hb.Writes)
+		}
+	}
+	if res.Failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hdnhycsb: "+format+"\n", args...)
+	os.Exit(1)
+}

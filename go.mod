@@ -1,0 +1,3 @@
+module hdnh
+
+go 1.22

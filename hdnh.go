@@ -1,0 +1,99 @@
+// Package hdnh is the public facade of the HDNH reproduction: a
+// read-efficient, write-optimized hash table for hybrid DRAM-NVM memory
+// (Zhu et al., ICPP '21), together with the emulated persistent-memory
+// device it runs on.
+//
+// Quick start:
+//
+//	dev, err := hdnh.NewDevice(hdnh.DeviceConfig(1 << 22))
+//	table, err := hdnh.Create(dev, hdnh.DefaultOptions())
+//	defer table.Close()
+//	s := table.NewSession() // one per goroutine
+//	err = s.Insert(hdnh.Key("user1"), hdnh.Value("v1"))
+//	v, ok := s.Get(hdnh.Key("user1"))
+//
+// The heavy lifting lives in the internal packages:
+//
+//   - internal/core — the HDNH scheme (non-volatile table, OCF, hot table,
+//     RAFL, synchronous writes, optimistic concurrency, resize, recovery)
+//   - internal/nvm — the Optane-behaviour device emulation
+//   - internal/{levelhash,cceh,pathhash} — the paper's baselines
+//   - internal/harness — regenerates every figure and table of the paper
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results.
+package hdnh
+
+import (
+	"hdnh/internal/core"
+	"hdnh/internal/kv"
+	"hdnh/internal/nvm"
+)
+
+// Re-exported core types. Table is safe for concurrent use via per-goroutine
+// Sessions.
+type (
+	// Table is an HDNH hash table.
+	Table = core.Table
+	// Session is a per-goroutine handle on a Table.
+	Session = core.Session
+	// Options configures a Table.
+	Options = core.Options
+	// Replacer selects the hot-table replacement strategy.
+	Replacer = core.Replacer
+	// RecoveryStats describes what Open rebuilt.
+	RecoveryStats = core.RecoveryStats
+	// Device is the emulated NVM device.
+	Device = nvm.Device
+	// DeviceOptions configures the emulated device.
+	DeviceOptions = nvm.Config
+)
+
+// Replacement strategies.
+const (
+	RAFL = core.ReplacerRAFL
+	LRU  = core.ReplacerLRU
+)
+
+// DefaultOptions returns the paper's tuned HDNH configuration (16KB
+// segments, 4-slot hot buckets, RAFL, synchronous writes).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DeviceConfig returns a fast accounting-only device configuration with the
+// given capacity in 8-byte words.
+func DeviceConfig(words int64) DeviceOptions { return nvm.DefaultConfig(words) }
+
+// EmulatedDeviceConfig returns a device configuration with the calibrated
+// Optane latency/bandwidth profile enabled.
+func EmulatedDeviceConfig(words int64) DeviceOptions { return nvm.EmulateConfig(words) }
+
+// StrictDeviceConfig returns a device configuration that tracks cache-line
+// persistence for crash-consistency testing.
+func StrictDeviceConfig(words int64) DeviceOptions { return nvm.StrictConfig(words) }
+
+// NewDevice creates an emulated NVM device.
+func NewDevice(cfg DeviceOptions) (*Device, error) { return nvm.New(cfg) }
+
+// DeviceFromImage boots a device from a previously persisted image (a crash
+// snapshot or a SaveImage file), as a machine reboot would.
+func DeviceFromImage(cfg DeviceOptions, image []uint64) (*Device, error) {
+	return nvm.FromImage(cfg, image)
+}
+
+// Create formats a fresh table on the device.
+func Create(dev *Device, opts Options) (*Table, error) { return core.Create(dev, opts) }
+
+// Open recovers the table stored on the device (replays interrupted
+// resizes, rebuilds the OCF and hot table).
+func Open(dev *Device, opts Options) (*Table, error) { return core.Open(dev, opts) }
+
+// OpenOrCreate opens an existing table or creates a fresh one.
+func OpenOrCreate(dev *Device, opts Options) (*Table, error) { return core.OpenOrCreate(dev, opts) }
+
+// Key builds a fixed-size key from a string of at most 16 bytes; longer
+// input panics (use kv.MakeKey for the error-returning form).
+func Key(s string) kv.Key { return kv.MustKey([]byte(s)) }
+
+// Value builds a fixed-size value from a string of at most 15 bytes; longer
+// input panics (use kv.MakeValue for the error-returning form).
+func Value(s string) kv.Value { return kv.MustValue([]byte(s)) }

@@ -1,0 +1,293 @@
+// Package bigkv lifts HDNH's fixed 15-byte values to arbitrary-size values
+// by key-value separation (the WiscKey idea the paper cites as [19]): the
+// HDNH table remains the index, and large values live in an append-only
+// crash-safe value log (internal/vlog).
+//
+// Encoding inside the 15-byte HDNH slot value:
+//
+//	tag 0x01: inline — byte 1 is the length, bytes 2..14 the value (≤ 13 B)
+//	tag 0x02: pointer — bytes 1..8 are the log address (little endian)
+//
+// Crash ordering: the value is appended (and committed) to the log before
+// the index is updated, so a crash can only leak an unreferenced log
+// record, never leave a dangling index entry. Overwritten and deleted
+// values linger in the log until Compact rolls the live records into a
+// fresh log and atomically switches the durable root.
+package bigkv
+
+import (
+	"errors"
+	"fmt"
+
+	"hdnh/internal/core"
+	"hdnh/internal/kv"
+	"hdnh/internal/nvm"
+	"hdnh/internal/scheme"
+	"hdnh/internal/vlog"
+)
+
+const (
+	tagInline  = 0x01
+	tagPointer = 0x02
+	maxInline  = kv.ValueSize - 2
+
+	logRootSlot = 5
+)
+
+// Options configures a Store.
+type Options struct {
+	// Table configures the underlying HDNH index.
+	Table core.Options
+	// LogWords is the value log capacity in 8-byte words.
+	LogWords int64
+}
+
+// DefaultOptions sizes the log at 1M words (8 MB of values).
+func DefaultOptions() Options {
+	return Options{Table: core.DefaultOptions(), LogWords: 1 << 20}
+}
+
+// Store is an HDNH-indexed key-value store with arbitrary-size values.
+type Store struct {
+	table *core.Table
+	log   *vlog.Log
+	dev   *nvm.Device
+}
+
+// Create formats a fresh store on the device.
+func Create(dev *nvm.Device, opts Options) (*Store, error) {
+	if opts.LogWords <= 0 {
+		return nil, fmt.Errorf("bigkv: log capacity %d", opts.LogWords)
+	}
+	table, err := core.Create(dev, opts.Table)
+	if err != nil {
+		return nil, err
+	}
+	h := dev.NewHandle()
+	log, err := vlog.Create(dev, h, opts.LogWords)
+	if err != nil {
+		return nil, err
+	}
+	dev.SetRoot(h, logRootSlot, uint64(log.Base()))
+	return &Store{table: table, log: log, dev: dev}, nil
+}
+
+// Open recovers the store: the HDNH table replays its own recovery and the
+// log rescans its committed tail.
+func Open(dev *nvm.Device, opts Options) (*Store, error) {
+	table, err := core.Open(dev, opts.Table)
+	if err != nil {
+		return nil, err
+	}
+	base := int64(dev.Root(logRootSlot))
+	if base == 0 {
+		return nil, errors.New("bigkv: device has no value log")
+	}
+	h := dev.NewHandle()
+	log, err := vlog.Open(dev, h, base)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{table: table, log: log, dev: dev}, nil
+}
+
+// Table exposes the underlying index (stats, invariants).
+func (st *Store) Table() *core.Table { return st.table }
+
+// Log exposes the underlying value log.
+func (st *Store) Log() *vlog.Log { return st.log }
+
+// Count returns the number of live keys.
+func (st *Store) Count() int64 { return st.table.Count() }
+
+// Close shuts the store down cleanly.
+func (st *Store) Close() error {
+	h := st.dev.NewHandle()
+	st.log.Sync(h)
+	return st.table.Close()
+}
+
+// Session is the per-goroutine handle.
+type Session struct {
+	st *Store
+	ts *core.Session
+	h  *nvm.Handle
+}
+
+// NewSession returns a session.
+func (st *Store) NewSession() *Session {
+	return &Session{st: st, ts: st.table.NewSession(), h: st.dev.NewHandle()}
+}
+
+// NVMStats returns the session's NVM traffic (index + log).
+func (s *Session) NVMStats() nvm.Stats {
+	stats := s.ts.NVMStats()
+	stats.Add(s.h.Stats())
+	return stats
+}
+
+// encode packs v into a slot value, appending to the log when needed.
+func (s *Session) encode(v []byte) (kv.Value, error) {
+	var out kv.Value
+	if len(v) <= maxInline {
+		out[0] = tagInline
+		out[1] = byte(len(v))
+		copy(out[2:], v)
+		return out, nil
+	}
+	addr, err := s.st.log.Append(s.h, v)
+	if err != nil {
+		return out, err
+	}
+	out[0] = tagPointer
+	for i := 0; i < 8; i++ {
+		out[1+i] = byte(uint64(addr) >> (8 * i))
+	}
+	return out, nil
+}
+
+// decode resolves a slot value back to bytes.
+func (s *Session) decode(sv kv.Value) ([]byte, error) {
+	switch sv[0] {
+	case tagInline:
+		n := int(sv[1])
+		if n > maxInline {
+			return nil, fmt.Errorf("bigkv: corrupt inline length %d", n)
+		}
+		out := make([]byte, n)
+		copy(out, sv[2:2+n])
+		return out, nil
+	case tagPointer:
+		var addr uint64
+		for i := 0; i < 8; i++ {
+			addr |= uint64(sv[1+i]) << (8 * i)
+		}
+		return s.st.log.Read(s.h, int64(addr))
+	default:
+		return nil, fmt.Errorf("bigkv: unknown value tag %#x", sv[0])
+	}
+}
+
+// Put inserts or replaces the value for key (≤ 16 bytes).
+func (s *Session) Put(key, value []byte) error {
+	k, err := kv.MakeKey(key)
+	if err != nil {
+		return err
+	}
+	if len(value) == 0 {
+		return errors.New("bigkv: empty value")
+	}
+	sv, err := s.encode(value) // log commit happens before the index write
+	if err != nil {
+		return err
+	}
+	if err := s.ts.Update(k, sv); err == nil {
+		return nil
+	} else if !errors.Is(err, scheme.ErrNotFound) {
+		return err
+	}
+	err = s.ts.Insert(k, sv)
+	if errors.Is(err, scheme.ErrExists) {
+		// Raced an insert of the same key from this session's perspective
+		// (upsert semantics): fall back to update.
+		return s.ts.Update(k, sv)
+	}
+	return err
+}
+
+// Get returns the value for key.
+func (s *Session) Get(key []byte) ([]byte, bool, error) {
+	k, err := kv.MakeKey(key)
+	if err != nil {
+		return nil, false, err
+	}
+	sv, ok := s.ts.Get(k)
+	if !ok {
+		return nil, false, nil
+	}
+	v, err := s.decode(sv)
+	if err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// Delete removes key. The log record, if any, is leaked until compaction.
+func (s *Session) Delete(key []byte) error {
+	k, err := kv.MakeKey(key)
+	if err != nil {
+		return err
+	}
+	return s.ts.Delete(k)
+}
+
+// Compact reclaims value-log space abandoned by overwrites and deletes: it
+// allocates a fresh log, copies every *referenced* record into it (walking
+// the index), rewrites the index entries to the new addresses, and switches
+// the durable log root. The old log region is retired (bump allocator, so
+// its words are not reused — compaction trades device address space for a
+// small, fast log, exactly like a WiscKey log rollover).
+//
+// Compact requires the store to be quiesced: no concurrent sessions may be
+// operating. It returns the number of records copied.
+func (st *Store) Compact(newLogWords int64) (int64, error) {
+	if newLogWords <= 0 {
+		newLogWords = st.log.Capacity()
+	}
+	h := st.dev.NewHandle()
+	newLog, err := vlog.Create(st.dev, h, newLogWords)
+	if err != nil {
+		return 0, err
+	}
+
+	// Walk the index; rewrite pointer entries into the new log.
+	s := st.NewSession()
+	type rewrite struct {
+		k  kv.Key
+		sv kv.Value
+	}
+	var rewrites []rewrite
+	var copied int64
+	var walkErr error
+	s.ts.Scan(func(k kv.Key, sv kv.Value) bool {
+		if sv[0] != tagPointer {
+			return true
+		}
+		var addr uint64
+		for i := 0; i < 8; i++ {
+			addr |= uint64(sv[1+i]) << (8 * i)
+		}
+		val, err := st.log.Read(h, int64(addr))
+		if err != nil {
+			walkErr = fmt.Errorf("bigkv: compacting key %q: %w", k.String(), err)
+			return false
+		}
+		newAddr, err := newLog.Append(h, val)
+		if err != nil {
+			walkErr = fmt.Errorf("bigkv: compacting key %q: %w", k.String(), err)
+			return false
+		}
+		var nsv kv.Value
+		nsv[0] = tagPointer
+		for i := 0; i < 8; i++ {
+			nsv[1+i] = byte(uint64(newAddr) >> (8 * i))
+		}
+		copied++
+		rewrites = append(rewrites, rewrite{k: k, sv: nsv})
+		return true
+	})
+	if walkErr != nil {
+		return copied, walkErr
+	}
+	for _, rw := range rewrites {
+		if err := s.ts.Update(rw.k, rw.sv); err != nil {
+			return copied, fmt.Errorf("bigkv: rewriting index for %q: %w", rw.k.String(), err)
+		}
+	}
+	// Commit the switch. A crash before this persist leaves the old log
+	// root with the old (still valid) addresses; after it, the new ones.
+	newLog.Sync(h)
+	st.dev.SetRoot(h, logRootSlot, uint64(newLog.Base()))
+	st.log = newLog
+	return copied, nil
+}

@@ -1,0 +1,310 @@
+package bigkv
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"hdnh/internal/nvm"
+)
+
+func storeFixture(t *testing.T) *Store {
+	t.Helper()
+	dev, err := nvm.New(nvm.DefaultConfig(1 << 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Create(dev, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func TestPutGetInlineAndPointer(t *testing.T) {
+	st := storeFixture(t)
+	s := st.NewSession()
+	cases := map[string][]byte{
+		"tiny":   []byte("x"),
+		"inline": []byte("thirteen-byte"),                  // exactly maxInline
+		"medium": []byte("this value will not fit inline"), // pointer path
+		"big":    bytes.Repeat([]byte("payload-"), 512),    // 4KB
+	}
+	for k, v := range cases {
+		if err := s.Put([]byte(k), v); err != nil {
+			t.Fatalf("put %q: %v", k, err)
+		}
+	}
+	for k, want := range cases {
+		got, ok, err := s.Get([]byte(k))
+		if err != nil || !ok {
+			t.Fatalf("get %q: (%v, %v)", k, ok, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("key %q: %d bytes, want %d", k, len(got), len(want))
+		}
+	}
+	if _, ok, _ := s.Get([]byte("absent")); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	st := storeFixture(t)
+	s := st.NewSession()
+	if err := s.Put([]byte("k"), []byte("small")); err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte("B"), 300)
+	if err := s.Put([]byte("k"), big); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get([]byte("k"))
+	if err != nil || !ok || !bytes.Equal(got, big) {
+		t.Fatal("overwrite small→big failed")
+	}
+	if err := s.Put([]byte("k"), []byte("tiny-again")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = s.Get([]byte("k"))
+	if string(got) != "tiny-again" {
+		t.Fatal("overwrite big→small failed")
+	}
+	if st.Count() != 1 {
+		t.Fatalf("Count = %d", st.Count())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	st := storeFixture(t)
+	s := st.NewSession()
+	if err := s.Put([]byte("k"), bytes.Repeat([]byte("v"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get([]byte("k")); ok {
+		t.Fatal("deleted key present")
+	}
+	if err := s.Delete([]byte("k")); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestErrorsOnBadInput(t *testing.T) {
+	st := storeFixture(t)
+	s := st.NewSession()
+	if err := s.Put(bytes.Repeat([]byte("k"), 20), []byte("v")); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+	if err := s.Put([]byte("k"), nil); err == nil {
+		t.Fatal("empty value accepted")
+	}
+	if _, _, err := s.Get(bytes.Repeat([]byte("k"), 20)); err == nil {
+		t.Fatal("oversized key accepted on get")
+	}
+}
+
+func TestManyMixedSizes(t *testing.T) {
+	st := storeFixture(t)
+	s := st.NewSession()
+	const n = 3000
+	valFor := func(i int) []byte {
+		if i%3 == 0 {
+			return []byte(fmt.Sprintf("s%d", i))
+		}
+		return bytes.Repeat([]byte{byte(i)}, 20+i%200)
+	}
+	for i := 0; i < n; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("key-%05d", i)), valFor(i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		got, ok, err := s.Get([]byte(fmt.Sprintf("key-%05d", i)))
+		if err != nil || !ok || !bytes.Equal(got, valFor(i)) {
+			t.Fatalf("key %d wrong", i)
+		}
+	}
+	if st.Count() != n {
+		t.Fatalf("Count = %d", st.Count())
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	cfg := nvm.StrictConfig(1 << 22)
+	cfg.EvictProb = 0.4
+	dev, err := nvm.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Table.SyncWrites = false
+	st, err := Create(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.NewSession()
+	const n = 500
+	big := func(i int) []byte { return bytes.Repeat([]byte{byte(i), byte(i >> 8)}, 40) }
+	for i := 0; i < n; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("bk-%04d", i)), big(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Power failure without Close: the log head was never synced, so Open's
+	// forward scan does the recovery.
+	if err := dev.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dev, opts)
+	if err != nil {
+		t.Fatalf("Open after crash: %v", err)
+	}
+	defer st2.Close()
+	s2 := st2.NewSession()
+	for i := 0; i < n; i++ {
+		got, ok, err := s2.Get([]byte(fmt.Sprintf("bk-%04d", i)))
+		if err != nil {
+			t.Fatalf("get %d after crash: %v", i, err)
+		}
+		if !ok {
+			t.Fatalf("committed key %d lost", i)
+		}
+		if !bytes.Equal(got, big(i)) {
+			t.Fatalf("key %d corrupt after crash", i)
+		}
+	}
+	// And the store must keep working.
+	if err := s2.Put([]byte("post"), bytes.Repeat([]byte("p"), 64)); err != nil {
+		t.Fatalf("put after recovery: %v", err)
+	}
+}
+
+func TestCrashMidPutNeverDangles(t *testing.T) {
+	// Sweep crash points through puts of large values: recovery must never
+	// leave an index entry whose log record is unreadable.
+	for f := int64(5); f < 120; f += 9 {
+		f := f
+		t.Run(fmt.Sprintf("flush%d", f), func(t *testing.T) {
+			cfg := nvm.StrictConfig(1 << 22)
+			cfg.EvictProb = 0.3
+			cfg.Seed = uint64(f) * 31
+			dev, err := nvm.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := DefaultOptions()
+			opts.Table.SyncWrites = false
+			st, err := Create(dev, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dev.SetCrashAfterFlushes(f); err != nil {
+				t.Fatal(err)
+			}
+			s := st.NewSession()
+			for i := 0; i < 40; i++ {
+				if err := s.Put([]byte(fmt.Sprintf("d-%03d", i)), bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			img := dev.CrashImage()
+			if img == nil {
+				return
+			}
+			dev2, err := nvm.FromImage(cfg, img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st2, err := Open(dev2, opts)
+			if err != nil {
+				t.Fatalf("open after crash: %v", err)
+			}
+			defer st2.Close()
+			s2 := st2.NewSession()
+			for i := 0; i < 40; i++ {
+				got, ok, err := s2.Get([]byte(fmt.Sprintf("d-%03d", i)))
+				if err != nil {
+					t.Fatalf("dangling index entry for key %d: %v", i, err)
+				}
+				if ok && !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 100)) {
+					t.Fatalf("key %d corrupt", i)
+				}
+			}
+		})
+	}
+}
+
+func TestCompact(t *testing.T) {
+	dev, err := nvm.New(nvm.DefaultConfig(1 << 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.LogWords = 1 << 18
+	st, err := Create(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.NewSession()
+	const n = 200
+	big := func(i, gen int) []byte {
+		return bytes.Repeat([]byte{byte(i), byte(gen)}, 50)
+	}
+	// Several overwrite generations bloat the log with dead records.
+	for gen := 0; gen < 5; gen++ {
+		for i := 0; i < n; i++ {
+			if err := s.Put([]byte(fmt.Sprintf("c-%04d", i)), big(i, gen)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Delete some keys entirely.
+	for i := 0; i < n; i += 4 {
+		if err := s.Delete([]byte(fmt.Sprintf("c-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	usedBefore := st.Log().UsedWords()
+
+	copied, err := st.Compact(0)
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if wantLive := int64(n - n/4); copied != wantLive {
+		t.Fatalf("copied %d records, want %d", copied, wantLive)
+	}
+	if st.Log().UsedWords() >= usedBefore {
+		t.Fatalf("compaction did not shrink the log: %d -> %d", usedBefore, st.Log().UsedWords())
+	}
+	// Every live key still reads its newest value through the new log.
+	s2 := st.NewSession()
+	for i := 0; i < n; i++ {
+		got, ok, err := s2.Get([]byte(fmt.Sprintf("c-%04d", i)))
+		if i%4 == 0 {
+			if ok {
+				t.Fatalf("deleted key %d resurrected by compaction", i)
+			}
+			continue
+		}
+		if err != nil || !ok || !bytes.Equal(got, big(i, 4)) {
+			t.Fatalf("key %d wrong after compaction: ok=%v err=%v", i, ok, err)
+		}
+	}
+	// Reopen: the switched root must be durable.
+	st.Close()
+	st2, err := Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	s3 := st2.NewSession()
+	for i := 1; i < n; i += 2 {
+		if _, ok, err := s3.Get([]byte(fmt.Sprintf("c-%04d", i))); err != nil || !ok {
+			t.Fatalf("key %d lost after compaction + reopen: %v", i, err)
+		}
+	}
+}

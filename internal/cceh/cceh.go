@@ -1,0 +1,599 @@
+// Package cceh implements the CCEH baseline: Cacheline-Conscious Extendible
+// Hashing (Nam et al., FAST '19) as the HDNH paper configures it — 16KB
+// segments, 64-byte buckets, linear probing across 4 buckets, lazy deletion,
+// dynamic growth through segment splits and directory doubling.
+//
+// The directory and segments live in NVM; there is no DRAM metadata, so
+// every probe is NVM read traffic. Concurrency control is the coarse
+// segment-grained reader-writer lock the HDNH paper criticises: every
+// operation — including reads — performs a lock-word transition that is
+// charged as an NVM write, and writers serialise whole 16KB segments.
+package cceh
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hdnh/internal/hashfn"
+	"hdnh/internal/kv"
+	"hdnh/internal/nvm"
+	"hdnh/internal/scheme"
+)
+
+// Geometry per the paper's comparison setup: 16KB segments of 64-byte
+// buckets (two 32-byte slots each), linear probing over 4 buckets.
+const (
+	slotWords          = kv.SlotWords
+	slotsPerBucket     = 2
+	bucketWords        = slotsPerBucket * slotWords // 64 bytes
+	segmentHeaderWords = nvm.BlockWords             // local depth + padding
+	bucketsPerSegment  = 256                        // 256 * 64B = 16KB of data
+	segmentWords       = segmentHeaderWords + bucketsPerSegment*bucketWords
+	linearProbe        = 4
+	maxGlobalDepth     = 28
+)
+
+// Persistent layout (root slot 2):
+//
+//	meta word 0  magic
+//	meta word 1  state: globalDepth | generation (atomic switch)
+//	meta word 2  directory pointer (word offset of the live directory)
+//
+// A directory is an array of 2^globalDepth segment base offsets. A segment
+// starts with a header block whose word 0 is the local depth.
+const (
+	rootSlot  = 2
+	metaWords = nvm.BlockWords
+	metaMagic = uint64(0x4343454853454748) // "CCEHSEGH"
+	magicWord = 0
+	stateWord = 1
+	dirWord   = 2
+)
+
+type rwSpin struct{ v atomic.Int32 }
+
+func (l *rwSpin) rlock() {
+	for {
+		v := l.v.Load()
+		if v >= 0 && l.v.CompareAndSwap(v, v+1) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+func (l *rwSpin) runlock() { l.v.Add(-1) }
+func (l *rwSpin) lock() {
+	for !l.v.CompareAndSwap(0, -1) {
+		runtime.Gosched()
+	}
+}
+func (l *rwSpin) unlock() { l.v.Store(0) }
+
+// segment is the DRAM mirror of one NVM segment: base offset, cached local
+// depth, and the coarse segment lock.
+type segment struct {
+	base       int64
+	localDepth uint8
+	lock       rwSpin
+}
+
+// Table is a CCEH instance.
+type Table struct {
+	dev     *nvm.Device
+	metaOff int64
+	dramDir bool
+
+	dirMu       sync.RWMutex
+	dir         []*segment // DRAM mirror of the NVM directory
+	globalDepth uint8
+
+	count atomic.Int64
+}
+
+// Options configures creation.
+type Options struct {
+	// InitGlobalDepth is the starting directory depth (2^depth segments).
+	InitGlobalDepth uint8
+	// DRAMDirectory serves directory lookups from the DRAM mirror without
+	// charging NVM reads — the HMEH-style "flat-structured directory in
+	// DRAM" the HDNH paper describes in §2.3 (registered as CCEH-DRAMDIR).
+	// The NVM directory is still maintained for recovery.
+	DRAMDirectory bool
+}
+
+// New creates or opens a CCEH table on the device.
+func New(dev *nvm.Device, opts Options) (*Table, error) {
+	t := &Table{dev: dev, dramDir: opts.DRAMDirectory}
+	h := dev.NewHandle()
+	if root := dev.Root(rootSlot); root != 0 {
+		t.metaOff = int64(root)
+		if dev.Load(t.metaOff+magicWord) != metaMagic {
+			return nil, errors.New("cceh: metadata magic mismatch")
+		}
+		if err := t.loadDirectory(h); err != nil {
+			return nil, err
+		}
+		t.count.Store(t.scanCount(h))
+		return t, nil
+	}
+	if opts.InitGlobalDepth > maxGlobalDepth {
+		return nil, fmt.Errorf("cceh: global depth %d too large", opts.InitGlobalDepth)
+	}
+	metaOff, err := dev.Alloc(h, metaWords, nvm.BlockWords)
+	if err != nil {
+		return nil, err
+	}
+	t.metaOff = metaOff
+	t.globalDepth = opts.InitGlobalDepth
+	n := int64(1) << t.globalDepth
+	dirOff, err := dev.Alloc(h, n, nvm.BlockWords)
+	if err != nil {
+		return nil, err
+	}
+	t.dir = make([]*segment, n)
+	for i := int64(0); i < n; i++ {
+		segBase, err := t.allocSegment(h, t.globalDepth)
+		if err != nil {
+			return nil, err
+		}
+		h.Store(dirOff+i, uint64(segBase))
+		t.dir[i] = &segment{base: segBase, localDepth: t.globalDepth}
+	}
+	h.WriteAccess(dirOff, n)
+	h.Flush(dirOff, n)
+	h.Fence()
+	h.StorePersist(metaOff+dirWord, uint64(dirOff))
+	t.setState(h, uint64(t.globalDepth)|1<<16)
+	h.StorePersist(metaOff+magicWord, metaMagic)
+	dev.SetRoot(h, rootSlot, uint64(metaOff))
+	return t, nil
+}
+
+func (t *Table) allocSegment(h *nvm.Handle, depth uint8) (int64, error) {
+	base, err := t.dev.Alloc(h, segmentWords, nvm.BlockWords)
+	if err != nil {
+		return 0, fmt.Errorf("%w: cceh segment: %v", scheme.ErrFull, err)
+	}
+	h.StorePersist(base, uint64(depth))
+	return base, nil
+}
+
+func (t *Table) setState(h *nvm.Handle, s uint64) { h.StorePersist(t.metaOff+stateWord, s) }
+
+func (t *Table) loadDirectory(h *nvm.Handle) error {
+	st := t.dev.Load(t.metaOff + stateWord)
+	t.globalDepth = uint8(st)
+	if t.globalDepth > maxGlobalDepth {
+		return fmt.Errorf("cceh: corrupt global depth %d", t.globalDepth)
+	}
+	dirOff := int64(t.dev.Load(t.metaOff + dirWord))
+	n := int64(1) << t.globalDepth
+	h.ReadAccess(dirOff, n)
+	t.dir = make([]*segment, n)
+	byBase := map[int64]*segment{}
+	for i := int64(0); i < n; i++ {
+		base := int64(t.dev.Load(dirOff + i))
+		seg, ok := byBase[base]
+		if !ok {
+			h.ReadAccess(base, 1)
+			seg = &segment{base: base, localDepth: uint8(t.dev.Load(base))}
+			byBase[base] = seg
+		}
+		t.dir[i] = seg
+	}
+	return nil
+}
+
+// segmentFor returns the segment owning hash h1 under the current directory.
+// The directory entry read is charged as NVM traffic (CCEH's directory
+// lives in NVM).
+func (t *Table) segmentFor(h *nvm.Handle, h1 uint64) (*segment, int64) {
+	idx := int64(0)
+	if t.globalDepth > 0 {
+		idx = int64(h1 >> (64 - t.globalDepth))
+	}
+	if !t.dramDir {
+		dirOff := int64(t.dev.Load(t.metaOff + dirWord))
+		h.ReadAccess(dirOff+idx, 1)
+	}
+	return t.dir[idx], idx
+}
+
+// bucketIndex maps a hash to its home bucket inside a segment.
+func bucketIndex(h1 uint64) int64 { return int64(h1 & 0xffffffff % bucketsPerSegment) }
+
+func slotOff(segBase, bucket int64, slot int) int64 {
+	return segBase + segmentHeaderWords + bucket*bucketWords + int64(slot)*slotWords
+}
+
+// lockCharge models the NVM write of a lock-word transition (the paper:
+// CCEH read locks generate NVM writes).
+func lockCharge(h *nvm.Handle, off int64) {
+	h.WriteAccess(off, 1)
+	h.Flush(off, 1)
+}
+
+// Count returns live records.
+func (t *Table) Count() int64 { return t.count.Load() }
+
+// Capacity returns total slots under the current directory (distinct
+// segments only).
+func (t *Table) Capacity() int64 {
+	t.dirMu.RLock()
+	defer t.dirMu.RUnlock()
+	seen := map[*segment]bool{}
+	for _, s := range t.dir {
+		seen[s] = true
+	}
+	return int64(len(seen)) * bucketsPerSegment * slotsPerBucket
+}
+
+// LoadFactor returns occupancy.
+func (t *Table) LoadFactor() float64 {
+	c := t.Capacity()
+	if c == 0 {
+		return 0
+	}
+	return float64(t.Count()) / float64(c)
+}
+
+func (t *Table) scanCount(h *nvm.Handle) int64 {
+	seen := map[*segment]bool{}
+	var n int64
+	for _, seg := range t.dir {
+		if seen[seg] {
+			continue
+		}
+		seen[seg] = true
+		for b := int64(0); b < bucketsPerSegment; b++ {
+			h.ReadAccess(slotOff(seg.base, b, 0), bucketWords)
+			for s := 0; s < slotsPerBucket; s++ {
+				if kv.ValidOf(h.Load(slotOff(seg.base, b, s) + 3)) {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Session is the per-goroutine handle.
+type Session struct {
+	t *Table
+	h *nvm.Handle
+}
+
+// NewSession returns a session.
+func (t *Table) NewSession() *Session { return &Session{t: t, h: t.dev.NewHandle()} }
+
+// NVMStats returns session traffic.
+func (s *Session) NVMStats() nvm.Stats { return s.h.Stats() }
+
+// probe visits the home bucket and its linear-probe successors, calling fn
+// for each slot until it returns true.
+func probe(h *nvm.Handle, segBase int64, home int64, fn func(b int64, s int, off int64, w3 uint64) bool) {
+	for p := int64(0); p < linearProbe; p++ {
+		b := (home + p) % bucketsPerSegment
+		h.ReadAccess(slotOff(segBase, b, 0), bucketWords)
+		for sl := 0; sl < slotsPerBucket; sl++ {
+			off := slotOff(segBase, b, sl)
+			if fn(b, sl, off, h.Load(off+3)) {
+				return
+			}
+		}
+	}
+}
+
+// Get searches under the segment's read lock (charged as NVM writes).
+func (s *Session) Get(k kv.Key) (kv.Value, bool) {
+	h1 := hashfn.Hash1(k[:])
+	kw0, kw1 := k.Pack()
+	s.t.dirMu.RLock()
+	seg, _ := s.t.segmentFor(s.h, h1)
+	seg.lock.rlock()
+	lockCharge(s.h, seg.base)
+	var out kv.Value
+	found := false
+	probe(s.h, seg.base, bucketIndex(h1), func(b int64, sl int, off int64, w3 uint64) bool {
+		if kv.ValidOf(w3) && s.h.Load(off) == kw0 && s.h.Load(off+1) == kw1 {
+			out, _ = kv.UnpackValue(s.h.Load(off+2), w3)
+			found = true
+			return true
+		}
+		return false
+	})
+	seg.lock.runlock()
+	lockCharge(s.h, seg.base)
+	s.t.dirMu.RUnlock()
+	return out, found
+}
+
+// Insert adds a record, splitting the segment (and possibly doubling the
+// directory) when the probe window is full.
+func (s *Session) Insert(k kv.Key, v kv.Value) error {
+	h1 := hashfn.Hash1(k[:])
+	kw0, kw1 := k.Pack()
+	for attempt := 0; attempt < 64; attempt++ {
+		s.t.dirMu.RLock()
+		seg, _ := s.t.segmentFor(s.h, h1)
+		seg.lock.lock()
+		lockCharge(s.h, seg.base)
+		// Re-check the directory under the segment lock: a concurrent
+		// split may have moved our hash range.
+		cur, _ := s.t.segmentFor(s.h, h1)
+		if cur != seg {
+			seg.lock.unlock()
+			lockCharge(s.h, seg.base)
+			s.t.dirMu.RUnlock()
+			continue
+		}
+		var emptyOff int64 = -1
+		dup := false
+		probe(s.h, seg.base, bucketIndex(h1), func(b int64, sl int, off int64, w3 uint64) bool {
+			if kv.ValidOf(w3) {
+				if s.h.Load(off) == kw0 && s.h.Load(off+1) == kw1 {
+					dup = true
+					return true
+				}
+				return false
+			}
+			if emptyOff < 0 {
+				emptyOff = off
+			}
+			return false
+		})
+		if dup {
+			seg.lock.unlock()
+			lockCharge(s.h, seg.base)
+			s.t.dirMu.RUnlock()
+			return scheme.ErrExists
+		}
+		if emptyOff >= 0 {
+			writeSlotCommit(s.h, emptyOff, k, v)
+			seg.lock.unlock()
+			lockCharge(s.h, seg.base)
+			s.t.count.Add(1)
+			s.t.dirMu.RUnlock()
+			return nil
+		}
+		seg.lock.unlock()
+		lockCharge(s.h, seg.base)
+		s.t.dirMu.RUnlock()
+		if err := s.t.split(s.h, h1); err != nil {
+			return err
+		}
+	}
+	return scheme.ErrFull
+}
+
+func writeSlotCommit(h *nvm.Handle, off int64, k kv.Key, v kv.Value) {
+	var w [slotWords]uint64
+	kv.PackRecord(w[:], k, v, kv.MetaValid)
+	h.Store(off, w[0])
+	h.Store(off+1, w[1])
+	h.Store(off+2, w[2])
+	h.WriteAccess(off, 3)
+	h.Flush(off, 3)
+	h.Fence()
+	h.StorePersist(off+3, w[3])
+}
+
+// Update rewrites in place under the segment write lock. As with the other
+// in-place baselines, a multi-word value rewrite is not crash-atomic (see
+// the note on levelhash.Update); CCEH's published design shares this
+// property for values wider than 8 bytes.
+func (s *Session) Update(k kv.Key, v kv.Value) error {
+	h1 := hashfn.Hash1(k[:])
+	kw0, kw1 := k.Pack()
+	s.t.dirMu.RLock()
+	defer s.t.dirMu.RUnlock()
+	seg, _ := s.t.segmentFor(s.h, h1)
+	seg.lock.lock()
+	lockCharge(s.h, seg.base)
+	defer func() {
+		seg.lock.unlock()
+		lockCharge(s.h, seg.base)
+	}()
+	done := false
+	probe(s.h, seg.base, bucketIndex(h1), func(b int64, sl int, off int64, w3 uint64) bool {
+		if kv.ValidOf(w3) && s.h.Load(off) == kw0 && s.h.Load(off+1) == kw1 {
+			writeSlotCommit(s.h, off, k, v)
+			done = true
+			return true
+		}
+		return false
+	})
+	if !done {
+		return scheme.ErrNotFound
+	}
+	return nil
+}
+
+// Delete is lazy: the valid bit is cleared, space is reclaimed by later
+// inserts.
+func (s *Session) Delete(k kv.Key) error {
+	h1 := hashfn.Hash1(k[:])
+	kw0, kw1 := k.Pack()
+	s.t.dirMu.RLock()
+	defer s.t.dirMu.RUnlock()
+	seg, _ := s.t.segmentFor(s.h, h1)
+	seg.lock.lock()
+	lockCharge(s.h, seg.base)
+	defer func() {
+		seg.lock.unlock()
+		lockCharge(s.h, seg.base)
+	}()
+	done := false
+	probe(s.h, seg.base, bucketIndex(h1), func(b int64, sl int, off int64, w3 uint64) bool {
+		if kv.ValidOf(w3) && s.h.Load(off) == kw0 && s.h.Load(off+1) == kw1 {
+			s.h.StorePersist(off+3, kv.WithMeta(w3, 0))
+			done = true
+			return true
+		}
+		return false
+	})
+	if !done {
+		return scheme.ErrNotFound
+	}
+	s.t.count.Add(-1)
+	return nil
+}
+
+// split divides the segment owning h1 into two segments with local depth+1,
+// doubling the directory first when the segment is already at global depth.
+func (t *Table) split(h *nvm.Handle, h1 uint64) error {
+	t.dirMu.Lock()
+	defer t.dirMu.Unlock()
+
+	idx := int64(0)
+	if t.globalDepth > 0 {
+		idx = int64(h1 >> (64 - t.globalDepth))
+	}
+	old := t.dir[idx]
+
+	if old.localDepth == t.globalDepth {
+		if err := t.doubleDirectory(h); err != nil {
+			return err
+		}
+		idx = int64(h1 >> (64 - t.globalDepth))
+		old = t.dir[idx]
+	}
+
+	newDepth := old.localDepth + 1
+	leftBase, err := t.allocSegment(h, newDepth)
+	if err != nil {
+		return err
+	}
+	rightBase, err := t.allocSegment(h, newDepth)
+	if err != nil {
+		return err
+	}
+
+	// Redistribute by the newDepth-th MSB of each record's hash.
+	for b := int64(0); b < bucketsPerSegment; b++ {
+		h.ReadAccess(slotOff(old.base, b, 0), bucketWords)
+		for sl := 0; sl < slotsPerBucket; sl++ {
+			off := slotOff(old.base, b, sl)
+			w3 := h.Load(off + 3)
+			if !kv.ValidOf(w3) {
+				continue
+			}
+			k := kv.UnpackKey(h.Load(off), h.Load(off+1))
+			v, _ := kv.UnpackValue(h.Load(off+2), w3)
+			kh := hashfn.Hash1(k[:])
+			dst := leftBase
+			if kh>>(64-newDepth)&1 == 1 {
+				dst = rightBase
+			}
+			if !placeLinear(h, dst, kh, k, v) {
+				return fmt.Errorf("%w: cceh split redistribution overflow", scheme.ErrFull)
+			}
+		}
+	}
+
+	// Update every directory entry that pointed at the old segment. The
+	// entries form a contiguous aligned run of length 2^(gd - oldDepth).
+	dirOff := int64(t.dev.Load(t.metaOff + dirWord))
+	run := int64(1) << (t.globalDepth - old.localDepth)
+	start := idx &^ (run - 1)
+	left := &segment{base: leftBase, localDepth: newDepth}
+	right := &segment{base: rightBase, localDepth: newDepth}
+	for i := int64(0); i < run; i++ {
+		seg := left
+		if i >= run/2 {
+			seg = right
+		}
+		t.dir[start+i] = seg
+		h.Store(dirOff+start+i, uint64(seg.base))
+	}
+	h.WriteAccess(dirOff+start, run)
+	h.Flush(dirOff+start, run)
+	h.Fence()
+	return nil
+}
+
+func placeLinear(h *nvm.Handle, segBase int64, kh uint64, k kv.Key, v kv.Value) bool {
+	home := bucketIndex(kh)
+	placed := false
+	probe(h, segBase, home, func(b int64, sl int, off int64, w3 uint64) bool {
+		if kv.ValidOf(w3) {
+			return false
+		}
+		writeSlotCommit(h, off, k, v)
+		placed = true
+		return true
+	})
+	return placed
+}
+
+// doubleDirectory allocates a directory twice the size, duplicates every
+// entry, persists it, and switches the live pointer atomically.
+func (t *Table) doubleDirectory(h *nvm.Handle) error {
+	if t.globalDepth+1 > maxGlobalDepth {
+		return fmt.Errorf("%w: directory at max depth", scheme.ErrFull)
+	}
+	oldN := int64(1) << t.globalDepth
+	newN := oldN * 2
+	newOff, err := t.dev.Alloc(h, newN, nvm.BlockWords)
+	if err != nil {
+		return fmt.Errorf("%w: cceh directory doubling: %v", scheme.ErrFull, err)
+	}
+	newDir := make([]*segment, newN)
+	for i := int64(0); i < oldN; i++ {
+		newDir[2*i] = t.dir[i]
+		newDir[2*i+1] = t.dir[i]
+		h.Store(newOff+2*i, uint64(t.dir[i].base))
+		h.Store(newOff+2*i+1, uint64(t.dir[i].base))
+	}
+	h.WriteAccess(newOff, newN)
+	h.Flush(newOff, newN)
+	h.Fence()
+	h.StorePersist(t.metaOff+dirWord, uint64(newOff))
+	t.globalDepth++
+	t.setState(h, uint64(t.globalDepth)|(t.dev.Load(t.metaOff+stateWord)>>16+1)<<16)
+	t.dir = newDir
+	return nil
+}
+
+// Close is a no-op.
+func (t *Table) Close() error { return nil }
+
+func init() {
+	factory := func(dramDir bool) scheme.Factory {
+		return func(dev *nvm.Device, capacityHint int64) (scheme.Store, error) {
+			depth := uint8(1)
+			if capacityHint > 0 {
+				perSeg := int64(bucketsPerSegment * slotsPerBucket)
+				// Linear probing saturates well below 100%; size for ~50%.
+				for (int64(1)<<depth)*perSeg/2 < capacityHint && depth < maxGlobalDepth {
+					depth++
+				}
+			}
+			t, err := New(dev, Options{InitGlobalDepth: depth, DRAMDirectory: dramDir})
+			if err != nil {
+				return nil, err
+			}
+			return &store{t}, nil
+		}
+	}
+	scheme.Register("CCEH", factory(false))
+	// The HMEH-like variant: identical layout, directory reads served from
+	// DRAM (paper §2.3's point about HMEH's lower search latency).
+	scheme.Register("CCEH-DRAMDIR", factory(true))
+}
+
+type store struct{ t *Table }
+
+var _ scheme.Store = (*store)(nil)
+
+func (s *store) Name() string               { return "CCEH" }
+func (s *store) NewSession() scheme.Session { return s.t.NewSession() }
+func (s *store) Count() int64               { return s.t.Count() }
+func (s *store) Capacity() int64            { return s.t.Capacity() }
+func (s *store) LoadFactor() float64        { return s.t.LoadFactor() }
+func (s *store) Close() error               { return s.t.Close() }
+
+var _ scheme.Session = (*Session)(nil)

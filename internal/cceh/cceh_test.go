@@ -1,0 +1,110 @@
+package cceh_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hdnh/internal/cceh"
+	"hdnh/internal/kv"
+	"hdnh/internal/nvm"
+	"hdnh/internal/schemetest"
+)
+
+func TestConformance(t *testing.T) {
+	schemetest.Run(t, "CCEH", schemetest.Config{DeviceWords: 1 << 24})
+}
+
+func TestSplitAndDirectoryDoubling(t *testing.T) {
+	dev, err := nvm.New(nvm.DefaultConfig(1 << 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := cceh.New(dev, cceh.Options{InitGlobalDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.NewSession()
+	const n = 6000 // well past two segments' worth
+	for i := 0; i < n; i++ {
+		k := kv.MustKey([]byte(fmt.Sprintf("cceh-%06d", i)))
+		if err := s.Insert(k, kv.MustValue([]byte(fmt.Sprintf("v%d", i)))); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if tbl.Count() != n {
+		t.Fatalf("Count = %d", tbl.Count())
+	}
+	if tbl.Capacity() <= 1024 {
+		t.Fatalf("Capacity = %d; no splits happened", tbl.Capacity())
+	}
+	for i := 0; i < n; i++ {
+		k := kv.MustKey([]byte(fmt.Sprintf("cceh-%06d", i)))
+		v, ok := s.Get(k)
+		if !ok || v.String() != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %d wrong after splits: (%q, %v)", i, v.String(), ok)
+		}
+	}
+}
+
+func TestReadLocksChargeNVMWrites(t *testing.T) {
+	dev, err := nvm.New(nvm.DefaultConfig(1 << 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := cceh.New(dev, cceh.Options{InitGlobalDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.NewSession()
+	k := kv.MustKey([]byte("cceh-lock"))
+	if err := s.Insert(k, kv.MustValue([]byte("v"))); err != nil {
+		t.Fatal(err)
+	}
+	before := s.NVMStats()
+	for i := 0; i < 100; i++ {
+		s.Get(k)
+	}
+	delta := s.NVMStats().Sub(before)
+	if delta.WriteAccesses == 0 {
+		t.Fatal("CCEH reads generated no lock-word NVM writes")
+	}
+}
+
+func TestReopenKeepsData(t *testing.T) {
+	cfg := nvm.StrictConfig(1 << 23)
+	dev, err := nvm.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := cceh.New(dev, cceh.Options{InitGlobalDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.NewSession()
+	const n = 3000 // forces splits before the reopen
+	for i := 0; i < n; i++ {
+		k := kv.MustKey([]byte(fmt.Sprintf("cceh-re-%06d", i)))
+		if err := s.Insert(k, kv.MustValue([]byte{byte(i), byte(i >> 8)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev2, err := nvm.FromImage(cfg, dev.PersistedImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl2, err := cceh.New(dev2, cceh.Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if tbl2.Count() != n {
+		t.Fatalf("Count after reopen = %d", tbl2.Count())
+	}
+	s2 := tbl2.NewSession()
+	for i := 0; i < n; i++ {
+		k := kv.MustKey([]byte(fmt.Sprintf("cceh-re-%06d", i)))
+		v, ok := s2.Get(k)
+		if !ok || v[0] != byte(i) || v[1] != byte(i>>8) {
+			t.Fatalf("key %d wrong after reopen", i)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"hdnh/internal/kv"
+	"hdnh/internal/nvm"
+	"hdnh/internal/scheme"
+)
+
+// The scheme registry entries the benchmark harness sweeps. "HDNH" is the
+// paper's tuned configuration; the suffixed variants isolate one design
+// choice each for the sensitivity and ablation experiments.
+func init() {
+	register := func(name string, mutate func(*Options)) {
+		scheme.Register(name, func(dev *nvm.Device, capacityHint int64) (scheme.Store, error) {
+			opts := DefaultOptions()
+			opts.InitBottomSegments = sizeBottomSegments(capacityHint, opts.SegmentBuckets)
+			if mutate != nil {
+				mutate(&opts)
+			}
+			t, err := OpenOrCreate(dev, opts)
+			if err != nil {
+				return nil, err
+			}
+			return &storeAdapter{t: t}, nil
+		})
+	}
+	register("HDNH", nil)
+	register("HDNH-LRU", func(o *Options) { o.Replacer = ReplacerLRU })
+	register("HDNH-NOHOT", func(o *Options) { o.HotSlotsPerBucket = 0 })
+	register("HDNH-INLINE", func(o *Options) { o.SyncWrites = false })
+	register("HDNH-DISPLACE", func(o *Options) { o.DisplaceOnInsert = true })
+}
+
+// sizeBottomSegments picks M so a capacityHint-record load lands around 60%
+// load factor without resizing: total slots = (2M + M) * m * SlotsPerBucket.
+func sizeBottomSegments(hint int64, m int) int {
+	if hint <= 0 {
+		return 1
+	}
+	slotsWanted := hint * 10 / 6
+	perSegment := int64(m) * SlotsPerBucket
+	segs := (slotsWanted + 3*perSegment - 1) / (3 * perSegment)
+	if segs < 1 {
+		segs = 1
+	}
+	return int(segs)
+}
+
+// NewStore wraps an existing Table in the scheme interface; the sensitivity
+// experiments use it to sweep HDNH-specific options the registry fixes.
+func NewStore(t *Table) scheme.Store { return &storeAdapter{t: t} }
+
+// storeAdapter exposes a Table through the scheme interface.
+type storeAdapter struct{ t *Table }
+
+var _ scheme.Store = (*storeAdapter)(nil)
+
+func (a *storeAdapter) Name() string               { return "HDNH" }
+func (a *storeAdapter) NewSession() scheme.Session { return &sessionAdapter{s: a.t.NewSession()} }
+func (a *storeAdapter) Count() int64               { return a.t.Count() }
+func (a *storeAdapter) Capacity() int64            { return a.t.Capacity() }
+func (a *storeAdapter) LoadFactor() float64        { return a.t.LoadFactor() }
+func (a *storeAdapter) Close() error               { return a.t.Close() }
+
+// Table returns the underlying HDNH table (for experiments that inspect
+// HDNH-specific state like hot-table occupancy).
+func (a *storeAdapter) Table() *Table { return a.t }
+
+type sessionAdapter struct{ s *Session }
+
+var _ scheme.Session = (*sessionAdapter)(nil)
+
+func (sa *sessionAdapter) Insert(k kv.Key, v kv.Value) error { return sa.s.Insert(k, v) }
+func (sa *sessionAdapter) Get(k kv.Key) (kv.Value, bool)     { return sa.s.Get(k) }
+func (sa *sessionAdapter) Update(k kv.Key, v kv.Value) error { return sa.s.Update(k, v) }
+func (sa *sessionAdapter) Delete(k kv.Key) error             { return sa.s.Delete(k) }
+func (sa *sessionAdapter) NVMStats() nvm.Stats               { return sa.s.NVMStats() }

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"hdnh/internal/nvm"
+)
+
+// Micro-benchmarks for the operation paths on a model-mode device (pure
+// code cost, no emulated NVM delays). The paper-level workload benchmarks
+// live at the repository root; these isolate HDNH internals for profiling.
+
+func benchTable(b *testing.B, mutate func(*Options)) *Table {
+	b.Helper()
+	dev, err := nvm.New(nvm.DefaultConfig(1 << 24))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.InitBottomSegments = 64 // ~98k slots: no resizes mid-benchmark
+	if mutate != nil {
+		mutate(&opts)
+	}
+	tbl, err := Create(dev, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { tbl.Close() })
+	return tbl
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tbl := benchTable(b, nil)
+	s := tbl.NewSession()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Insert(key(i), value(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetHot(b *testing.B) {
+	tbl := benchTable(b, nil)
+	s := tbl.NewSession()
+	if err := s.Insert(key(1), value(1)); err != nil {
+		b.Fatal(err)
+	}
+	s.Get(key(1)) // warm the cache entry
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Get(key(1)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkGetNVT(b *testing.B) {
+	// Hot table disabled: every Get walks OCF + NVT.
+	tbl := benchTable(b, func(o *Options) { o.HotSlotsPerBucket = 0 })
+	s := tbl.NewSession()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if err := s.Insert(key(i), value(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Get(key(i % n)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkGetNegative(b *testing.B) {
+	tbl := benchTable(b, func(o *Options) { o.HotSlotsPerBucket = 0 })
+	s := tbl.NewSession()
+	for i := 0; i < 10000; i++ {
+		if err := s.Insert(key(i), value(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Get(key(1000000 + i)); ok {
+			b.Fatal("phantom")
+		}
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	tbl := benchTable(b, nil)
+	s := tbl.NewSession()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if err := s.Insert(key(i), value(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Update(key(i%n), value(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeleteInsertCycle(b *testing.B) {
+	tbl := benchTable(b, nil)
+	s := tbl.NewSession()
+	if err := s.Insert(key(1), value(1)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Delete(key(1)); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Insert(key(1), value(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHotTablePut(b *testing.B) {
+	ht, r := hotFixture(ReplacerRAFL, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k, h1, fp := hk(i % 64)
+		ht.put(k, value(i), h1, fp, r)
+	}
+}
+
+func BenchmarkHotTableGet(b *testing.B) {
+	ht, r := hotFixture(ReplacerRAFL, 4)
+	k, h1, fp := hk(1)
+	ht.put(k, value(1), h1, fp, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ht.get(k, h1, fp); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkRecovery(b *testing.B) {
+	for _, n := range []int{10_000, 50_000} {
+		b.Run(fmt.Sprintf("records=%d", n), func(b *testing.B) {
+			dev, err := nvm.New(nvm.DefaultConfig(1 << 24))
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := DefaultOptions()
+			opts.InitBottomSegments = 64
+			tbl, err := Create(dev, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := tbl.NewSession()
+			for i := 0; i < n; i++ {
+				if err := s.Insert(key(i), value(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			tbl.StopBackground()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				re, err := Open(dev, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				re.StopBackground()
+				b.StartTimer()
+			}
+		})
+	}
+}

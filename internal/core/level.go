@@ -1,0 +1,149 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"hdnh/internal/hashfn"
+)
+
+// level is the in-DRAM view of one NVT level: the NVM base address plus the
+// level's OCF — one control word per slot.
+type level struct {
+	base     int64 // NVM word offset of the first bucket
+	segments int64
+	m        int64    // buckets per segment
+	ocf      []uint32 // one control word per slot, indexed bucket*8+slot
+}
+
+func newLevel(base, segments, m int64) *level {
+	return &level{
+		base:     base,
+		segments: segments,
+		m:        m,
+		ocf:      make([]uint32, segments*m*SlotsPerBucket),
+	}
+}
+
+func (l *level) buckets() int64 { return l.segments * l.m }
+func (l *level) slots() int64   { return l.buckets() * SlotsPerBucket }
+
+// bucketWord returns the NVM word offset of global bucket b.
+func (l *level) bucketWord(b int64) int64 { return l.base + b*BucketWords }
+
+// slotWord returns the NVM word offset of slot s in global bucket b.
+func (l *level) slotWord(b int64, s int) int64 {
+	return l.base + b*BucketWords + int64(s)*slotWords
+}
+
+// words returns the NVM footprint of the level.
+func (l *level) words() int64 { return l.buckets() * BucketWords }
+
+// OCF control word layout (the paper's 2-byte OCF entry: bitmap bit, opmap
+// bit, 6-bit version, 1-byte fingerprint — widened to an atomic uint32):
+//
+//	bit 0      valid (the paper's bitmap bit)
+//	bit 1      op: slot locked by a writer (the paper's opmap bit)
+//	bits 2..7  version, 6 bits, bumped on every writer unlock
+//	bits 8..15 fingerprint
+const (
+	ocfValid    = uint32(1) << 0
+	ocfOp       = uint32(1) << 1
+	ocfVerShift = 2
+	ocfVerMask  = uint32(0x3f) << ocfVerShift
+	ocfFPShift  = 8
+	ocfFPMask   = uint32(0xff) << ocfFPShift
+)
+
+func ocfWord(valid bool, fp uint8, ver uint32) uint32 {
+	w := ver<<ocfVerShift&ocfVerMask | uint32(fp)<<ocfFPShift
+	if valid {
+		w |= ocfValid
+	}
+	return w
+}
+
+func ocfVer(w uint32) uint32    { return (w & ocfVerMask) >> ocfVerShift }
+func ocfFP(w uint32) uint8      { return uint8(w >> ocfFPShift) }
+func ocfIsValid(w uint32) bool  { return w&ocfValid != 0 }
+func ocfIsLocked(w uint32) bool { return w&ocfOp != 0 }
+
+// ocfLoad atomically reads the control word for slot s of bucket b.
+func (l *level) ocfLoad(b int64, s int) uint32 {
+	return atomic.LoadUint32(&l.ocf[b*SlotsPerBucket+int64(s)])
+}
+
+// ocfTryLock attempts to CAS the observed control word old (which must be
+// unlocked) to its locked form. All NVT slot writes happen with the lock
+// held, which is what makes the lock-free reader's version check sound.
+func (l *level) ocfTryLock(b int64, s int, old uint32) bool {
+	return atomic.CompareAndSwapUint32(&l.ocf[b*SlotsPerBucket+int64(s)], old, old|ocfOp)
+}
+
+// ocfRelease publishes the slot's new state: op cleared, version bumped.
+// A plain store is safe because only the lock holder may write the word
+// while op is set (readers only ever CAS hot bits in the hot table, not
+// here).
+func (l *level) ocfRelease(b int64, s int, valid bool, fp uint8, prevVer uint32) {
+	atomic.StoreUint32(&l.ocf[b*SlotsPerBucket+int64(s)], ocfWord(valid, fp, prevVer+1))
+}
+
+// ocfSet writes a control word directly; recovery-only (single-writer).
+func (l *level) ocfSet(b int64, s int, w uint32) {
+	atomic.StoreUint32(&l.ocf[b*SlotsPerBucket+int64(s)], w)
+}
+
+// candidates computes the paper's candidate buckets in this level: the two
+// hash functions pick two candidate segments, and two bucket choices inside
+// each segment (the "2-cuckoo" strategy) give four candidate buckets per
+// level. Returned indexes are global bucket numbers and deduplicated in a
+// deterministic way so probing never visits a bucket twice.
+func (l *level) candidates(h1, h2 uint64) [4]int64 {
+	seg1 := int64(h1 % uint64(l.segments))
+	seg2 := int64(h2 % uint64(l.segments))
+	m := uint64(l.m)
+	segs := [4]int64{seg1, seg1, seg2, seg2}
+	bs := [4]int64{
+		int64(h1 >> 32 % m),
+		int64(h1 >> 48 % m),
+		int64(h2 >> 32 % m),
+		int64(h2 >> 48 % m),
+	}
+	var c [4]int64
+	for i := 0; i < 4; i++ {
+		c[i] = segs[i]*l.m + bs[i]
+		// Distinctify by linear probing within the segment. Whenever the
+		// geometry allows four distinct buckets (m >= 4, or m >= 2 across
+		// two segments) this terminates with no duplicates; degenerate
+		// geometries keep (harmless, merely redundant) duplicates.
+		for tries := int64(0); tries < l.m; tries++ {
+			dup := false
+			for j := 0; j < i; j++ {
+				if c[j] == c[i] {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				break
+			}
+			bs[i] = (bs[i] + 1) % l.m
+			c[i] = segs[i]*l.m + bs[i]
+		}
+	}
+	return c
+}
+
+// hotCandidate returns the single hot-table candidate bucket for this
+// level's geometry (the paper uses one hash for the hot table to keep miss
+// cost low); it is the first NVT candidate so hot entries and NVT entries
+// agree on placement.
+func (l *level) hotCandidate(h1 uint64) int64 {
+	seg := int64(h1 % uint64(l.segments))
+	return seg*l.m + int64(h1>>32%uint64(l.m))
+}
+
+// hashKV returns both hashes plus the fingerprint for key bytes.
+func hashKV(key []byte) (h1, h2 uint64, fp uint8) {
+	h1, h2 = hashfn.Pair(key)
+	return h1, h2, hashfn.Fingerprint(h1)
+}

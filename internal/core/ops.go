@@ -1,0 +1,431 @@
+package core
+
+import (
+	"runtime"
+
+	"hdnh/internal/kv"
+	"hdnh/internal/nvm"
+	"hdnh/internal/scheme"
+)
+
+// slotRef identifies one NVT slot.
+type slotRef struct {
+	lvl *level
+	b   int64
+	s   int
+}
+
+func (r slotRef) wordOff() int64 { return r.lvl.slotWord(r.b, r.s) }
+
+// waitUnlocked waits until the slot's op bit clears, returning the fresh
+// control word — the paper's "the read thread will wait until the slot is
+// free". Writers hold slot locks only for a few stores, but on small
+// GOMAXPROCS the holder needs the CPU, so yield on every miss.
+func waitUnlocked(lvl *level, b int64, s int) uint32 {
+	for {
+		c := lvl.ocfLoad(b, s)
+		if !ocfIsLocked(c) {
+			return c
+		}
+		runtime.Gosched()
+	}
+}
+
+// hit describes a successful NVT probe.
+type hit struct {
+	ref  slotRef
+	ctrl uint32 // OCF word at read time (for cache-fill validation)
+	val  kv.Value
+	w3   uint64
+}
+
+// lookup is the paper's time-efficient read path below the hot table: walk
+// the candidate buckets' OCF words in DRAM, and only on a fingerprint match
+// touch NVM to compare the full key. Lock-free: a version re-check detects
+// concurrent writers.
+//
+// Movement hazard: an out-of-place update (or displacement) publishes the
+// record's new slot before retiring the old one, but the new slot may sit
+// in a bucket this scan already passed. Whenever a pass both misses AND
+// observed a matching-fingerprint slot transition under a writer lock, the
+// scan restarts — the record may have moved behind us. Caller holds the
+// resize lock shared.
+func (t *Table) lookup(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8) (hit, bool) {
+	kw0, kw1 := k.Pack()
+	for pass := 0; pass < 1024; pass++ {
+		moveSnapshot := t.moveShard(h1).Load()
+		mayHaveMoved := false
+		for _, lvl := range [2]*level{t.top, t.bottom} {
+			for _, b := range lvl.candidates(h1, h2) {
+				for s := 0; s < SlotsPerBucket; s++ {
+				retrySlot:
+					c := lvl.ocfLoad(b, s)
+					if ocfFP(c) != fp {
+						continue // covers empty slots: their fingerprint is 0
+					}
+					if ocfIsLocked(c) {
+						c = waitUnlocked(lvl, b, s)
+						if ocfFP(c) != fp || !ocfIsValid(c) {
+							mayHaveMoved = true
+							continue
+						}
+					}
+					if !ocfIsValid(c) {
+						continue
+					}
+					off := lvl.slotWord(b, s)
+					h.ReadAccess(off, slotWords)
+					w0 := h.Load(off)
+					w1 := h.Load(off + 1)
+					w2 := h.Load(off + 2)
+					w3 := h.Load(off + 3)
+					c2 := lvl.ocfLoad(b, s)
+					if c2 != c {
+						goto retrySlot // concurrent writer touched the slot
+					}
+					if w0 != kw0 || w1 != kw1 || !kv.ValidOf(w3) {
+						continue
+					}
+					v, _ := kv.UnpackValue(w2, w3)
+					return hit{ref: slotRef{lvl, b, s}, ctrl: c, val: v, w3: w3}, true
+				}
+			}
+		}
+		if !mayHaveMoved && t.moveShard(h1).Load() == moveSnapshot {
+			return hit{}, false
+		}
+	}
+	return hit{}, false
+}
+
+// findAndLock locates the key and acquires its slot's OCF lock, the entry
+// point for update and delete. On success the caller owns the slot and the
+// observed state is current (the lock CAS covers the whole control word).
+func (t *Table) findAndLock(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8) (hit, bool) {
+	kw0, kw1 := k.Pack()
+	for attempt := 0; attempt < 1024; attempt++ {
+		moveSnapshot := t.moveShard(h1).Load()
+		found := false
+		for _, lvl := range [2]*level{t.top, t.bottom} {
+			for _, b := range lvl.candidates(h1, h2) {
+				for s := 0; s < SlotsPerBucket; s++ {
+					c := lvl.ocfLoad(b, s)
+					if ocfFP(c) != fp {
+						continue
+					}
+					if ocfIsLocked(c) {
+						c = waitUnlocked(lvl, b, s)
+						if ocfFP(c) != fp || !ocfIsValid(c) {
+							// The record may have moved behind this scan
+							// (same hazard as lookup): rescan from the top.
+							found = true
+							continue
+						}
+					}
+					if !ocfIsValid(c) {
+						continue
+					}
+					off := lvl.slotWord(b, s)
+					h.ReadAccess(off, slotWords)
+					w0 := h.Load(off)
+					w1 := h.Load(off + 1)
+					w2 := h.Load(off + 2)
+					w3 := h.Load(off + 3)
+					if lvl.ocfLoad(b, s) != c {
+						found = true // state changed; rescan
+						continue
+					}
+					if w0 != kw0 || w1 != kw1 || !kv.ValidOf(w3) {
+						continue
+					}
+					if !lvl.ocfTryLock(b, s, c) {
+						found = true // racing writer; rescan
+						continue
+					}
+					v, _ := kv.UnpackValue(w2, w3)
+					return hit{ref: slotRef{lvl, b, s}, ctrl: c, val: v, w3: w3}, true
+				}
+			}
+		}
+		if !found && t.moveShard(h1).Load() == moveSnapshot {
+			return hit{}, false
+		}
+		runtime.Gosched()
+	}
+	return hit{}, false
+}
+
+// lockEmptySlot claims a free slot among the key's eight candidate buckets.
+// prefer, when non-nil, is scanned first (updates prefer the old record's
+// bucket so a crash leaves the duplicate bucket-local). Returns the locked
+// slot and the pre-lock control word.
+func (t *Table) lockEmptySlot(h1, h2 uint64, prefer *slotRef) (slotRef, uint32, bool) {
+	if prefer != nil {
+		if ref, c, ok := lockEmptyIn(prefer.lvl, prefer.b); ok {
+			return ref, c, true
+		}
+	}
+	for _, lvl := range [2]*level{t.top, t.bottom} {
+		for _, b := range lvl.candidates(h1, h2) {
+			if prefer != nil && lvl == prefer.lvl && b == prefer.b {
+				continue
+			}
+			if ref, c, ok := lockEmptyIn(lvl, b); ok {
+				return ref, c, true
+			}
+		}
+	}
+	return slotRef{}, 0, false
+}
+
+func lockEmptyIn(lvl *level, b int64) (slotRef, uint32, bool) {
+	for s := 0; s < SlotsPerBucket; s++ {
+		c := lvl.ocfLoad(b, s)
+		if ocfIsValid(c) || ocfIsLocked(c) {
+			continue
+		}
+		if lvl.ocfTryLock(b, s, c) {
+			return slotRef{lvl, b, s}, c, true
+		}
+	}
+	return slotRef{}, 0, false
+}
+
+// writeSlotCommit persists a record into the locked slot with the paper's
+// crash-atomic ordering: key and first value word are written and flushed,
+// then the final word — value tail, valid bit and stamp — is committed with
+// one atomic 8-byte persist.
+func (t *Table) writeSlotCommit(h *nvm.Handle, ref slotRef, k kv.Key, v kv.Value, stamp uint8) {
+	off := ref.wordOff()
+	var w [slotWords]uint64
+	kv.PackRecord(w[:], k, v, packMeta(true, stamp))
+	h.Store(off, w[0])
+	h.Store(off+1, w[1])
+	h.Store(off+2, w[2])
+	h.WriteAccess(off, 3)
+	h.Flush(off, 3)
+	h.Fence()
+	h.StorePersist(off+3, w[3])
+}
+
+// clearSlotCommit durably clears the valid bit of a committed slot.
+func (t *Table) clearSlotCommit(h *nvm.Handle, ref slotRef, w3 uint64) {
+	cleared := kv.WithMeta(w3, packMeta(false, metaStamp(kv.MetaOf(w3))))
+	h.StorePersist(ref.wordOff()+3, cleared)
+}
+
+// readSlot loads a full slot with read accounting.
+func readSlot(h *nvm.Handle, ref slotRef) (k kv.Key, v kv.Value, meta uint8) {
+	off := ref.wordOff()
+	h.ReadAccess(off, slotWords)
+	w0 := h.Load(off)
+	w1 := h.Load(off + 1)
+	w2 := h.Load(off + 2)
+	w3 := h.Load(off + 3)
+	k = kv.UnpackKey(w0, w1)
+	v, meta = kv.UnpackValue(w2, w3)
+	return k, v, meta
+}
+
+// displaceOne relocates one record out of the key's candidate buckets to
+// the record's own alternate bucket, PFHT-style (a single move, never a
+// cascade). Returns true if a slot was freed. Caller holds the resize lock
+// shared; the optional insert extension and the resize drain both use it.
+func (t *Table) displaceOne(h *nvm.Handle, h1, h2 uint64) bool {
+	for _, lvl := range [2]*level{t.top, t.bottom} {
+		for _, b := range lvl.candidates(h1, h2) {
+			for s := 0; s < SlotsPerBucket; s++ {
+				c := lvl.ocfLoad(b, s)
+				if !ocfIsValid(c) || ocfIsLocked(c) {
+					continue
+				}
+				if !lvl.ocfTryLock(b, s, c) {
+					continue
+				}
+				victim := slotRef{lvl, b, s}
+				vk, vv, meta := readSlot(h, victim)
+				if meta&metaValid == 0 {
+					lvl.ocfRelease(b, s, false, 0, ocfVer(c))
+					continue
+				}
+				vh1, vh2, vfp := hashKV(vk[:])
+				dst, dc, ok := t.lockEmptySlotExcluding(vh1, vh2, victim)
+				if !ok {
+					lvl.ocfRelease(b, s, true, ocfFP(c), ocfVer(c))
+					continue
+				}
+				stamp := metaStamp(meta) + 1
+				t.writeSlotCommit(h, dst, vk, vv, stamp)
+				// Same publish-before-retire ordering as Update, so readers
+				// racing the displacement never miss the moved record.
+				dst.lvl.ocfRelease(dst.b, dst.s, true, vfp, ocfVer(dc))
+				t.moveShard(vh1).Add(1)
+				t.clearSlotCommit(h, victim, packW3(vv, meta))
+				lvl.ocfRelease(b, s, false, 0, ocfVer(c))
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func packW3(v kv.Value, meta uint8) uint64 {
+	_, w3 := v.Pack(meta)
+	return w3
+}
+
+// lockEmptySlotExcluding is lockEmptySlot skipping one position (the
+// displacement victim's own slot, which is locked by the caller).
+func (t *Table) lockEmptySlotExcluding(h1, h2 uint64, excl slotRef) (slotRef, uint32, bool) {
+	for _, lvl := range [2]*level{t.top, t.bottom} {
+		for _, b := range lvl.candidates(h1, h2) {
+			for s := 0; s < SlotsPerBucket; s++ {
+				if lvl == excl.lvl && b == excl.b && s == excl.s {
+					continue
+				}
+				c := lvl.ocfLoad(b, s)
+				if ocfIsValid(c) || ocfIsLocked(c) {
+					continue
+				}
+				if lvl.ocfTryLock(b, s, c) {
+					return slotRef{lvl, b, s}, c, true
+				}
+			}
+		}
+	}
+	return slotRef{}, 0, false
+}
+
+// --- Session operations -------------------------------------------------
+
+// Insert adds a new record (foreground thread of paper Figure 9). The hot
+// table write is dispatched to a background writer before the NVM work so
+// the two overlap; Insert returns only after both halves complete.
+func (s *Session) Insert(k kv.Key, v kv.Value) error {
+	h1, h2, fp := hashKV(k[:])
+	for attempt := 0; attempt <= s.t.opts.MaxExpansions; attempt++ {
+		s.t.resizeMu.RLock()
+		if _, found := s.t.lookup(s.h, k, h1, h2, fp); found {
+			s.t.resizeMu.RUnlock()
+			return scheme.ErrExists
+		}
+		ref, c, ok := s.t.lockEmptySlot(h1, h2, nil)
+		if !ok && s.t.opts.DisplaceOnInsert && s.t.displaceOne(s.h, h1, h2) {
+			ref, c, ok = s.t.lockEmptySlot(h1, h2, nil)
+		}
+		if !ok {
+			gen := s.t.state().generation
+			s.t.resizeMu.RUnlock()
+			if err := s.t.expand(gen); err != nil {
+				return err
+			}
+			continue
+		}
+		owed := s.beginHotWrite(hotOpPut, k, v, h1, fp)
+		s.t.writeSlotCommit(s.h, ref, k, v, 1)
+		ref.lvl.ocfRelease(ref.b, ref.s, true, fp, ocfVer(c))
+		s.t.count.Add(1)
+		s.waitHotWrite(owed)
+		s.t.resizeMu.RUnlock()
+		return nil
+	}
+	return scheme.ErrFull
+}
+
+// Get is the paper's time-efficient read (Figure 8): hot table first, then
+// OCF fingerprints, and NVM only on a fingerprint hit. A record found in
+// the NVT is re-cached (validated against the observed OCF word) so hot
+// items that were evicted re-enter the hot table.
+func (s *Session) Get(k kv.Key) (kv.Value, bool) {
+	h1, h2, fp := hashKV(k[:])
+	if s.t.hot != nil {
+		if v, ok := s.t.hot.get(k, h1, fp); ok {
+			return v, true
+		}
+	}
+	s.t.resizeMu.RLock()
+	ht, found := s.t.lookup(s.h, k, h1, h2, fp)
+	if found {
+		s.fillHot(k, ht.val, h1, fp, ht.ref.lvl, ht.ref.b, ht.ref.s, ht.ctrl)
+	}
+	s.t.resizeMu.RUnlock()
+	return ht.val, found
+}
+
+// Update replaces the value out-of-place (paper Figure 10): the old slot is
+// locked, the new record committed into a free slot — preferring the old
+// record's own bucket — and only then is the old slot invalidated. A crash
+// between the two commits leaves a stamped duplicate that recovery resolves
+// toward the newer record.
+func (s *Session) Update(k kv.Key, v kv.Value) error {
+	h1, h2, fp := hashKV(k[:])
+	transientRetries := 0
+	for attempt := 0; attempt <= s.t.opts.MaxExpansions; attempt++ {
+		s.t.resizeMu.RLock()
+		old, ok := s.t.findAndLock(s.h, k, h1, h2, fp)
+		if !ok {
+			s.t.resizeMu.RUnlock()
+			return scheme.ErrNotFound
+		}
+		ref, c, okEmpty := s.t.lockEmptySlot(h1, h2, &old.ref)
+		if !okEmpty {
+			// Put the old slot back.
+			old.ref.lvl.ocfRelease(old.ref.b, old.ref.s, true, fp, ocfVer(old.ctrl))
+			gen := s.t.state().generation
+			lf := float64(s.t.count.Load()) / float64(s.t.top.slots()+s.t.bottom.slots())
+			s.t.resizeMu.RUnlock()
+			// A full candidate set at moderate load is usually transient —
+			// concurrent updaters of nearby (skewed) keys each hold one
+			// extra slot mid-move. Retry before paying for an expansion,
+			// which would stall every thread for a full rehash.
+			if lf < 0.85 && transientRetries < 8 {
+				transientRetries++
+				attempt--
+				runtime.Gosched()
+				continue
+			}
+			if err := s.t.expand(gen); err != nil {
+				return err
+			}
+			continue
+		}
+		stamp := metaStamp(kv.MetaOf(old.w3)) + 1
+		s.t.writeSlotCommit(s.h, ref, k, v, stamp)
+		// Publish the new slot in the OCF *before* retiring the old one:
+		// a reader that already passed the new slot's bucket waits on the
+		// old slot's lock, and must still find the key somewhere when that
+		// lock releases. (A crash in between leaves both copies committed;
+		// recovery keeps the newer stamp.)
+		ref.lvl.ocfRelease(ref.b, ref.s, true, fp, ocfVer(c))
+		// Signal the move while both copies are visible: a reader that
+		// misses re-checks this counter and rescans (see Table.moves).
+		s.t.moveShard(h1).Add(1)
+		s.t.clearSlotCommit(s.h, old.ref, old.w3)
+		old.ref.lvl.ocfRelease(old.ref.b, old.ref.s, false, 0, ocfVer(old.ctrl))
+		// Mirror into the cache after the commit so stale fills lose.
+		owed := s.beginHotWrite(hotOpPut, k, v, h1, fp)
+		s.waitHotWrite(owed)
+		s.t.resizeMu.RUnlock()
+		return nil
+	}
+	return scheme.ErrFull
+}
+
+// Delete invalidates the record with a single atomic persist of its final
+// word, then removes any cache entry.
+func (s *Session) Delete(k kv.Key) error {
+	h1, h2, fp := hashKV(k[:])
+	s.t.resizeMu.RLock()
+	old, ok := s.t.findAndLock(s.h, k, h1, h2, fp)
+	if !ok {
+		s.t.resizeMu.RUnlock()
+		return scheme.ErrNotFound
+	}
+	s.t.clearSlotCommit(s.h, old.ref, old.w3)
+	old.ref.lvl.ocfRelease(old.ref.b, old.ref.s, false, 0, ocfVer(old.ctrl))
+	s.t.count.Add(-1)
+	owed := s.beginHotWrite(hotOpDel, k, kv.Value{}, h1, fp)
+	s.waitHotWrite(owed)
+	s.t.resizeMu.RUnlock()
+	return nil
+}

@@ -1,0 +1,135 @@
+// Package core implements HDNH, the paper's hybrid DRAM-NVM hashing scheme.
+//
+// Data placement follows the paper exactly:
+//
+//   - The non-volatile table (NVT) lives in NVM: a two-level structure of
+//     segments of 256-byte, 8-slot buckets holding the key-value records.
+//   - The Optimistic Compression Filter (OCF) lives in DRAM: one control
+//     word per NVT slot carrying a 1-byte fingerprint plus the valid bit,
+//     per-slot lock bit (the paper's opmap) and version counter used for
+//     fine-grained optimistic concurrency.
+//   - The hot table lives in DRAM: a smaller mirror of the NVT caching
+//     frequently searched records, managed by the RAFL replacement strategy
+//     (or LRU, for the paper's HDNH(LRU) comparison).
+//
+// Writes go to the NVT with crash-atomic slot commits and are mirrored into
+// the hot table by background writer goroutines (the paper's synchronous
+// write mechanism). Reads try the hot table, then the OCF, and touch NVM
+// only on a fingerprint hit.
+package core
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Replacer selects the hot-table replacement strategy.
+type Replacer int
+
+const (
+	// ReplacerRAFL is the paper's strategy: evict a cold slot if present,
+	// otherwise a random slot, then clear the bucket's hot bits.
+	ReplacerRAFL Replacer = iota
+	// ReplacerLRU approximates Rewo's LRU cache for the paper's HDNH(LRU)
+	// comparison: per-bucket recency timestamps updated under a bucket lock
+	// on every hit, reproducing LRU's bookkeeping overhead.
+	ReplacerLRU
+)
+
+// String returns the replacer name.
+func (r Replacer) String() string {
+	switch r {
+	case ReplacerRAFL:
+		return "RAFL"
+	case ReplacerLRU:
+		return "LRU"
+	default:
+		return fmt.Sprintf("Replacer(%d)", int(r))
+	}
+}
+
+// Options configures a Table. The zero value is not valid; start from
+// DefaultOptions.
+type Options struct {
+	// SegmentBuckets is the paper's m: buckets per segment. The default 64
+	// gives 16KB segments, the optimum the paper finds in Figure 11a.
+	SegmentBuckets int
+	// InitBottomSegments is the paper's M: the bottom level starts with M
+	// segments and the top level with 2M.
+	InitBottomSegments int
+
+	// HotSlotsPerBucket sizes hot-table buckets; the paper settles on 4
+	// (Figure 11b). 0 disables the hot table entirely.
+	HotSlotsPerBucket int
+	// Replacer selects RAFL (default) or LRU replacement.
+	Replacer Replacer
+
+	// SyncWrites enables the paper's synchronous write mechanism: hot-table
+	// updates run on background writer goroutines overlapping the foreground
+	// NVM write. When false, hot-table updates run inline (ablation mode).
+	SyncWrites bool
+	// BackgroundWriters is the size of the background writer pool.
+	BackgroundWriters int
+
+	// DisplaceOnInsert allows one cuckoo displacement before resorting to a
+	// resize when all candidate buckets are full (a PFHT-style extension;
+	// off by default, matching the paper's criticism of eviction cost).
+	DisplaceOnInsert bool
+
+	// MaxExpansions caps how many times a single operation may trigger a
+	// table expansion before giving up with ErrFull.
+	MaxExpansions int
+
+	// RecoveryWorkers is the number of goroutines used to rebuild the OCF
+	// and hot table after a restart (the paper's multi-threaded recovery).
+	RecoveryWorkers int
+
+	// Seed makes replacement decisions and any sampling deterministic.
+	Seed uint64
+}
+
+// DefaultOptions returns the paper's tuned configuration. The synchronous
+// write mechanism assumes spare cores for the background writers (the
+// paper's foreground/background split); on a single-CPU host the channel
+// handoff would cost two context switches per write, so the default enables
+// it only when GOMAXPROCS > 1. Set SyncWrites explicitly to override.
+func DefaultOptions() Options {
+	return Options{
+		SegmentBuckets:     64, // 16KB segments
+		InitBottomSegments: 1,
+		HotSlotsPerBucket:  4,
+		Replacer:           ReplacerRAFL,
+		SyncWrites:         runtime.GOMAXPROCS(0) > 1,
+		BackgroundWriters:  2,
+		DisplaceOnInsert:   false,
+		MaxExpansions:      24,
+		RecoveryWorkers:    4,
+		Seed:               1,
+	}
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	if o.SegmentBuckets <= 0 {
+		return fmt.Errorf("core: SegmentBuckets %d must be positive", o.SegmentBuckets)
+	}
+	if o.InitBottomSegments <= 0 {
+		return fmt.Errorf("core: InitBottomSegments %d must be positive", o.InitBottomSegments)
+	}
+	if o.HotSlotsPerBucket < 0 || o.HotSlotsPerBucket > 32 {
+		return fmt.Errorf("core: HotSlotsPerBucket %d outside [0,32]", o.HotSlotsPerBucket)
+	}
+	if o.Replacer != ReplacerRAFL && o.Replacer != ReplacerLRU {
+		return fmt.Errorf("core: unknown replacer %d", int(o.Replacer))
+	}
+	if o.SyncWrites && o.BackgroundWriters <= 0 {
+		return fmt.Errorf("core: SyncWrites requires BackgroundWriters > 0")
+	}
+	if o.MaxExpansions <= 0 {
+		return fmt.Errorf("core: MaxExpansions %d must be positive", o.MaxExpansions)
+	}
+	if o.RecoveryWorkers <= 0 {
+		return fmt.Errorf("core: RecoveryWorkers %d must be positive", o.RecoveryWorkers)
+	}
+	return nil
+}

@@ -1,0 +1,465 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"hdnh/internal/kv"
+	"hdnh/internal/nvm"
+	"hdnh/internal/rng"
+	"hdnh/internal/scheme"
+)
+
+func newStrictDev(t *testing.T, words int64, evictProb float64) *nvm.Device {
+	t.Helper()
+	cfg := nvm.StrictConfig(words)
+	cfg.EvictProb = evictProb
+	d, err := nvm.New(cfg)
+	if err != nil {
+		t.Fatalf("nvm.New: %v", err)
+	}
+	return d
+}
+
+func TestReopenAfterCleanShutdown(t *testing.T) {
+	dev := newStrictDev(t, 1<<21, 0)
+	opts := DefaultOptions()
+	tbl, err := Create(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.NewSession()
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if err := s.Insert(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reboot: only the persisted image survives.
+	dev2, err := nvm.FromImage(dev.Config(), dev.PersistedImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl2, err := Open(dev2, opts)
+	if err != nil {
+		t.Fatalf("Open after clean shutdown: %v", err)
+	}
+	defer tbl2.Close()
+	rs := tbl2.LastRecovery()
+	if !rs.CleanShutdown {
+		t.Error("recovery did not see the clean-shutdown flag")
+	}
+	if rs.Items != n {
+		t.Errorf("recovered %d items, want %d", rs.Items, n)
+	}
+	if rs.OCFRebuild <= 0 || rs.Total <= 0 {
+		t.Errorf("recovery stats not populated: %+v", rs)
+	}
+	if tbl2.Count() != n {
+		t.Fatalf("Count = %d after reopen", tbl2.Count())
+	}
+	s2 := tbl2.NewSession()
+	for i := 0; i < n; i++ {
+		if v, ok := s2.Get(key(i)); !ok || v != value(i) {
+			t.Fatalf("key %d wrong after reopen", i)
+		}
+	}
+	if _, ok := s2.Get(key(n + 5)); ok {
+		t.Fatal("phantom key after reopen")
+	}
+	// Hot table must have been rebuilt.
+	if tbl2.HotEntries() == 0 {
+		t.Fatal("hot table empty after recovery")
+	}
+	// The table must remain writable.
+	if err := s2.Insert(key(n), value(n)); err != nil {
+		t.Fatalf("insert after recovery: %v", err)
+	}
+}
+
+func TestCrashWithoutCloseLosesNothingCommitted(t *testing.T) {
+	dev := newStrictDev(t, 1<<21, 0.5)
+	opts := DefaultOptions()
+	tbl, err := Create(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.NewSession()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := s.Insert(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Power failure: no Close, dirty cache lines partially evicted.
+	if err := dev.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	tbl2, err := Open(dev, opts)
+	if err != nil {
+		t.Fatalf("Open after crash: %v", err)
+	}
+	defer tbl2.Close()
+	if tbl2.LastRecovery().CleanShutdown {
+		t.Error("crash recovery claims clean shutdown")
+	}
+	if tbl2.Count() != n {
+		t.Fatalf("recovered %d of %d committed inserts", tbl2.Count(), n)
+	}
+	s2 := tbl2.NewSession()
+	for i := 0; i < n; i++ {
+		if v, ok := s2.Get(key(i)); !ok || v != value(i) {
+			t.Fatalf("committed key %d lost or wrong after crash", i)
+		}
+	}
+}
+
+// crashPointHarness drives ops against a strict device armed to snapshot at
+// flush f, then recovers from the snapshot and checks invariants.
+func crashPointHarness(t *testing.T, f int64, run func(s *Session, tbl *Table), check func(t *testing.T, s *Session, tbl *Table)) {
+	t.Helper()
+	cfg := nvm.StrictConfig(1 << 21)
+	cfg.EvictProb = 0.3
+	cfg.Seed = uint64(f)*2654435761 + 1
+	dev, err := nvm.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.SyncWrites = false // deterministic flush ordering for crash points
+	tbl, err := Create(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.NewSession()
+	if err := dev.SetCrashAfterFlushes(f); err != nil {
+		t.Fatal(err)
+	}
+	run(s, tbl)
+	img := dev.CrashImage()
+	if img == nil {
+		return // the run finished before reaching this flush count
+	}
+	dev2, err := nvm.FromImage(cfg, img)
+	if err != nil {
+		t.Fatalf("crash image does not boot: %v", err)
+	}
+	tbl2, err := Open(dev2, opts)
+	if err != nil {
+		t.Fatalf("recovery from crash at flush %d failed: %v", f, err)
+	}
+	defer tbl2.Close()
+	check(t, tbl2.NewSession(), tbl2)
+}
+
+func TestCrashAtEveryPointDuringInserts(t *testing.T) {
+	// Sweep crash points through a run of inserts. Invariant: recovery
+	// yields a consistent table where every present key has its correct
+	// value (prefix inserts: a crash may lose only the most recent,
+	// unacknowledged insert).
+	const n = 60
+	for f := int64(1); f < 200; f += 3 {
+		f := f
+		t.Run(fmt.Sprintf("flush%d", f), func(t *testing.T) {
+			crashPointHarness(t,
+				f,
+				func(s *Session, tbl *Table) {
+					for i := 0; i < n; i++ {
+						if err := s.Insert(key(i), value(i)); err != nil {
+							t.Fatal(err)
+						}
+					}
+				},
+				func(t *testing.T, s *Session, tbl *Table) {
+					// Committed prefix property: keys acked before the crash
+					// point must exist. We don't know exactly how many were
+					// acked, but presence must be a prefix-closed set except
+					// possibly one in-flight insert.
+					present := make([]bool, n)
+					for i := 0; i < n; i++ {
+						v, ok := s.Get(key(i))
+						if ok && v != value(i) {
+							t.Fatalf("key %d has wrong value %q after crash", i, v.String())
+						}
+						present[i] = ok
+					}
+					firstMissing := n
+					for i, p := range present {
+						if !p {
+							firstMissing = i
+							break
+						}
+					}
+					for i := firstMissing + 1; i < n; i++ {
+						if present[i] {
+							t.Fatalf("non-prefix survival: key %d missing but key %d present", firstMissing, i)
+						}
+					}
+					if int64(firstMissing) != tbl.Count() {
+						t.Fatalf("Count %d disagrees with surviving prefix %d", tbl.Count(), firstMissing)
+					}
+				})
+		})
+	}
+}
+
+func TestCrashAtEveryPointDuringUpdates(t *testing.T) {
+	// Preload, then crash mid-update-stream. Invariant: every key is
+	// present exactly once with either its old or new value.
+	const n = 40
+	for f := int64(1); f < 140; f += 3 {
+		f := f
+		t.Run(fmt.Sprintf("flush%d", f), func(t *testing.T) {
+			var preloadFlushes int64
+			crashPointHarness(t,
+				1<<40, // effectively never during preload; re-armed below
+				func(s *Session, tbl *Table) {
+					for i := 0; i < n; i++ {
+						if err := s.Insert(key(i), value(i)); err != nil {
+							t.Fatal(err)
+						}
+					}
+					preloadFlushes = tbl.Device().TotalFlushes()
+					_ = preloadFlushes
+					if err := tbl.Device().SetCrashAfterFlushes(f); err != nil {
+						t.Fatal(err)
+					}
+					for i := 0; i < n; i++ {
+						if err := s.Update(key(i), value(1000+i)); err != nil {
+							t.Fatal(err)
+						}
+					}
+				},
+				func(t *testing.T, s *Session, tbl *Table) {
+					if errs := tbl.CheckInvariants(); len(errs) != 0 {
+						t.Fatalf("invariants violated after crashed update recovery: %v", errs[0])
+					}
+					if tbl.Count() != n {
+						t.Fatalf("Count = %d after crashed updates, want %d (duplicate not resolved?)", tbl.Count(), n)
+					}
+					for i := 0; i < n; i++ {
+						v, ok := s.Get(key(i))
+						if !ok {
+							t.Fatalf("key %d lost in crashed update", i)
+						}
+						if v != value(i) && v != value(1000+i) {
+							t.Fatalf("key %d has impossible value %q", i, v.String())
+						}
+					}
+				})
+		})
+	}
+}
+
+func TestCrashAtEveryPointDuringResize(t *testing.T) {
+	// Fill until just before the first expansion, then crash at points
+	// throughout the resize. Invariant: no committed key is lost.
+	for f := int64(1); f < 260; f += 5 {
+		f := f
+		t.Run(fmt.Sprintf("flush%d", f), func(t *testing.T) {
+			cfg := nvm.StrictConfig(1 << 21)
+			cfg.EvictProb = 0.3
+			cfg.Seed = uint64(f) ^ 0xabcdef
+			dev, err := nvm.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := DefaultOptions()
+			opts.SyncWrites = false
+			opts.SegmentBuckets = 8 // tiny segments: quick resizes
+			tbl, err := Create(dev, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := tbl.NewSession()
+			// Load until the first expansion completes at least once.
+			loaded := 0
+			gen0 := tbl.Generation()
+			for tbl.Generation() == gen0 && loaded < 100000 {
+				if loaded == 80 { // arm mid-load so crash lands around resize
+					if err := dev.SetCrashAfterFlushes(f); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := s.Insert(key(loaded), value(loaded)); err != nil {
+					t.Fatal(err)
+				}
+				loaded++
+			}
+			img := dev.CrashImage()
+			if img == nil {
+				t.Skip("resize completed before the armed crash point")
+			}
+			dev2, err := nvm.FromImage(cfg, img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl2, err := Open(dev2, opts)
+			if err != nil {
+				t.Fatalf("recovery from mid-resize crash: %v", err)
+			}
+			defer tbl2.Close()
+			s2 := tbl2.NewSession()
+			// Same prefix-closure invariant as the insert sweep.
+			firstMissing := -1
+			for i := 0; i < loaded; i++ {
+				v, ok := s2.Get(key(i))
+				if ok && v != value(i) {
+					t.Fatalf("key %d corrupt after mid-resize crash", i)
+				}
+				if !ok && firstMissing < 0 {
+					firstMissing = i
+				}
+				if ok && firstMissing >= 0 {
+					t.Fatalf("non-prefix survival across resize crash: %d missing, %d present", firstMissing, i)
+				}
+			}
+			// And the table must still work.
+			if err := s2.Insert(key(200000), value(1)); err != nil {
+				t.Fatalf("insert after mid-resize recovery: %v", err)
+			}
+		})
+	}
+}
+
+func TestRecoveryAfterDeletes(t *testing.T) {
+	dev := newStrictDev(t, 1<<21, 0)
+	opts := DefaultOptions()
+	tbl, err := Create(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.NewSession()
+	for i := 0; i < 1000; i++ {
+		if err := s.Insert(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1000; i += 2 {
+		if err := s.Delete(key(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dev.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	tbl2, err := Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl2.Close()
+	if tbl2.Count() != 500 {
+		t.Fatalf("Count = %d, want 500", tbl2.Count())
+	}
+	s2 := tbl2.NewSession()
+	for i := 0; i < 1000; i++ {
+		v, ok := s2.Get(key(i))
+		if i%2 == 0 && ok {
+			t.Fatalf("deleted key %d resurrected by crash", i)
+		}
+		if i%2 == 1 && (!ok || v != value(i)) {
+			t.Fatalf("surviving key %d wrong", i)
+		}
+	}
+}
+
+func TestRecoveryPreservesUpdatesAcrossResizes(t *testing.T) {
+	dev := newStrictDev(t, 1<<22, 0)
+	opts := DefaultOptions()
+	opts.SegmentBuckets = 8
+	tbl, err := Create(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.NewSession()
+	r := rng.New(99)
+	live := map[int]kv.Value{}
+	for i := 0; i < 4000; i++ {
+		switch r.Intn(10) {
+		case 0, 1, 2, 3, 4, 5:
+			k := i
+			if err := s.Insert(key(k), value(k)); err != nil && !errors.Is(err, scheme.ErrExists) {
+				t.Fatal(err)
+			} else if err == nil {
+				live[k] = value(k)
+			}
+		case 6, 7:
+			if len(live) > 0 {
+				for k := range live {
+					nv := value(k + 500000)
+					if err := s.Update(key(k), nv); err != nil {
+						t.Fatal(err)
+					}
+					live[k] = nv
+					break
+				}
+			}
+		default:
+			if len(live) > 0 {
+				for k := range live {
+					if err := s.Delete(key(k)); err != nil {
+						t.Fatal(err)
+					}
+					delete(live, k)
+					break
+				}
+			}
+		}
+	}
+	if err := dev.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	tbl2, err := Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl2.Close()
+	if got, want := tbl2.Count(), int64(len(live)); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+	s2 := tbl2.NewSession()
+	for k, want := range live {
+		v, ok := s2.Get(key(k))
+		if !ok || v != want {
+			t.Fatalf("key %d = (%q, %v), want %q", k, v.String(), ok, want.String())
+		}
+	}
+}
+
+func TestRecoveryWorkerCounts(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			dev := newStrictDev(t, 1<<21, 0)
+			opts := DefaultOptions()
+			tbl, err := Create(dev, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := tbl.NewSession()
+			for i := 0; i < 1500; i++ {
+				if err := s.Insert(key(i), value(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			tbl.Close()
+			opts.RecoveryWorkers = workers
+			dev2, err := nvm.FromImage(dev.Config(), dev.PersistedImage())
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl2, err := Open(dev2, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tbl2.Close()
+			if tbl2.Count() != 1500 {
+				t.Fatalf("Count = %d with %d workers", tbl2.Count(), workers)
+			}
+		})
+	}
+}

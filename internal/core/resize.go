@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"hdnh/internal/kv"
+	"hdnh/internal/nvm"
+	"hdnh/internal/scheme"
+)
+
+// Resizing follows level hashing as the paper describes (§3.1, §3.7): a new
+// top level with twice the current top's segments is allocated, the old top
+// becomes the bottom level without rehashing, and the old bottom's records
+// are rehashed ("drained") into the new structure. The persistent state
+// machine uses the paper's level numbers — 2 while the new level is being
+// requested, 3 while rehashing — with each transition committed by one
+// atomic 8-byte persist of the state word, and per-bucket drain progress
+// recorded in NVM so a crash resumes where it left off.
+
+// expand grows the table. observedGen is the generation the caller saw when
+// it ran out of space: if another goroutine already expanded, expand returns
+// immediately and the caller retries.
+func (t *Table) expand(observedGen uint64) error {
+	t.resizeMu.Lock()
+	defer t.resizeMu.Unlock()
+	st := t.state()
+	if st.generation != observedGen {
+		return nil // somebody else expanded first
+	}
+	h := t.dev.NewHandle()
+
+	// Pick the descriptor slot not currently in use.
+	free := uint8(0)
+	for free == st.top || free == st.bottom {
+		free++
+	}
+
+	// Paper state 2: new level requested.
+	t.setState(h, tableState{levelNumber: levelNumRequest, top: st.top, bottom: st.bottom, drain: free, generation: st.generation})
+
+	m := t.top.m
+	newSegs := 2 * t.top.segments
+	base, err := t.dev.Alloc(h, newSegs*m*BucketWords, nvm.BlockWords)
+	if err != nil {
+		// Roll back to stable; the table is full for real.
+		t.setState(h, tableState{levelNumber: levelNumStable, top: st.top, bottom: st.bottom, drain: levelSlotUnused, generation: st.generation + 1})
+		return fmt.Errorf("%w: device cannot hold a %d-segment level: %v", scheme.ErrFull, newSegs, err)
+	}
+	t.writeLevelDescriptor(h, free, base, newSegs)
+	h.StorePersist(t.metaOff+metaRehashWord, 0)
+
+	// Paper state 3: pointers switched, rehash in progress.
+	t.setState(h, tableState{levelNumber: levelNumRehash, top: free, bottom: st.top, drain: st.bottom, generation: st.generation})
+
+	drainLvl := t.bottom
+	t.bottom = t.top
+	t.top = newLevel(base, newSegs, m)
+	if t.hot != nil {
+		t.hot.promote(newSegs, m)
+	}
+
+	if err := t.drain(h, drainLvl, 0); err != nil {
+		return err
+	}
+
+	// Stable again; bump the generation.
+	t.setState(h, tableState{levelNumber: levelNumStable, top: free, bottom: st.top, drain: levelSlotUnused, generation: st.generation + 1})
+	return nil
+}
+
+// drain rehashes the source level's records into the current (new) two-level
+// structure, starting at bucket from (non-zero when resuming after a crash).
+// Progress is persisted per bucket; within a bucket the move protocol
+// (commit copy, then invalidate source) plus the existence check make
+// re-draining a partially drained bucket idempotent.
+//
+// Caller holds the resize lock exclusively, so the per-slot locking in the
+// placement helpers never contends.
+func (t *Table) drain(h *nvm.Handle, src *level, from int64) error {
+	buckets := src.buckets()
+	for b := from; b < buckets; b++ {
+		h.ReadAccess(src.bucketWord(b), BucketWords)
+		for s := 0; s < SlotsPerBucket; s++ {
+			ref := slotRef{src, b, s}
+			off := ref.wordOff()
+			w3 := h.Load(off + 3)
+			if !kv.ValidOf(w3) {
+				continue
+			}
+			k := kv.UnpackKey(h.Load(off), h.Load(off+1))
+			v, meta := kv.UnpackValue(h.Load(off+2), w3)
+			h1, h2, fp := hashKV(k[:])
+
+			if _, dup := t.lookup(h, k, h1, h2, fp); !dup {
+				dst, c, ok := t.lockEmptySlot(h1, h2, nil)
+				if !ok && t.displaceOne(h, h1, h2) {
+					dst, c, ok = t.lockEmptySlot(h1, h2, nil)
+				}
+				if !ok {
+					return fmt.Errorf("%w: rehash found no slot for a record (load factor anomaly)", scheme.ErrFull)
+				}
+				t.writeSlotCommit(h, dst, k, v, metaStamp(meta))
+				dst.lvl.ocfRelease(dst.b, dst.s, true, fp, ocfVer(c))
+			}
+			// Invalidate the source copy and bump its OCF version so any
+			// in-flight cache fill that read the old location is rejected.
+			t.clearSlotCommit(h, ref, w3)
+			srcCtrl := src.ocfLoad(b, s)
+			src.ocfSet(b, s, ocfWord(false, 0, ocfVer(srcCtrl)+1))
+		}
+		h.StorePersist(t.metaOff+metaRehashWord, uint64(b+1))
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"hdnh/internal/nvm"
+	"hdnh/internal/rng"
+)
+
+// Session is a per-goroutine handle on a Table. It owns an NVM accounting
+// handle, a deterministic RNG stream for replacement decisions, and the
+// reusable sync_write_signal, so the operation paths allocate nothing.
+//
+// A Session must not be used concurrently; create one per goroutine.
+type Session struct {
+	t    *Table
+	h    *nvm.Handle
+	rng  *rng.Xorshift128
+	done chan struct{} // reusable sync_write_signal (one outstanding write)
+}
+
+// NewSession returns a fresh session on the table.
+func (t *Table) NewSession() *Session {
+	id := t.sessionSeq.Add(1)
+	return &Session{
+		t:    t,
+		h:    t.dev.NewHandle(),
+		rng:  rng.New(t.opts.Seed ^ (id * 0x9E3779B97F4A7C15)),
+		done: make(chan struct{}, 1),
+	}
+}
+
+// Table returns the session's table.
+func (s *Session) Table() *Table { return s.t }
+
+// NVMStats returns the NVM traffic generated through this session.
+func (s *Session) NVMStats() nvm.Stats { return s.h.Stats() }
+
+// ResetNVMStats zeroes the session's NVM counters.
+func (s *Session) ResetNVMStats() { s.h.ResetStats() }

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"hdnh/internal/kv"
+)
+
+// TableStats is a point-in-time snapshot of the table's shape, for
+// monitoring and the load/inspect tooling.
+type TableStats struct {
+	// Items is the live record count and Capacity the total NVT slots.
+	Items    int64
+	Capacity int64
+	// LoadFactor is Items / Capacity.
+	LoadFactor float64
+	// TopSegments / BottomSegments describe the current two-level geometry;
+	// SegmentBuckets is the per-segment bucket count (the paper's m).
+	TopSegments    int64
+	BottomSegments int64
+	SegmentBuckets int64
+	// Generation counts completed resizes.
+	Generation uint64
+	// HotEntries / HotCapacity describe the DRAM cache occupancy.
+	HotEntries  int64
+	HotCapacity int64
+	// DeviceWordsUsed / DeviceWords give NVM consumption (bump-allocated,
+	// including space retired by resizes).
+	DeviceWordsUsed int64
+	DeviceWords     int64
+}
+
+// String renders a human-readable multi-line summary.
+func (s TableStats) String() string {
+	return fmt.Sprintf(
+		"items=%d capacity=%d load=%.3f levels=%d+%d segments (m=%d) gen=%d hot=%d/%d nvm=%d/%d words",
+		s.Items, s.Capacity, s.LoadFactor,
+		s.TopSegments, s.BottomSegments, s.SegmentBuckets, s.Generation,
+		s.HotEntries, s.HotCapacity, s.DeviceWordsUsed, s.DeviceWords)
+}
+
+// Stats returns a snapshot of the table's shape.
+func (t *Table) Stats() TableStats {
+	t.resizeMu.RLock()
+	defer t.resizeMu.RUnlock()
+	st := TableStats{
+		Items:           t.count.Load(),
+		Capacity:        t.top.slots() + t.bottom.slots(),
+		TopSegments:     t.top.segments,
+		BottomSegments:  t.bottom.segments,
+		SegmentBuckets:  t.top.m,
+		Generation:      t.state().generation,
+		DeviceWordsUsed: t.dev.Words() - t.dev.FreeWords(),
+		DeviceWords:     t.dev.Words(),
+	}
+	if st.Capacity > 0 {
+		st.LoadFactor = float64(st.Items) / float64(st.Capacity)
+	}
+	if t.hot != nil {
+		st.HotEntries = t.hot.countValid()
+		top, bottom := t.hot.top.Load(), t.hot.bottom.Load()
+		st.HotCapacity = (top.segments*top.m)*int64(top.slotsPer) +
+			(bottom.segments*bottom.m)*int64(bottom.slotsPer)
+	}
+	return st
+}
+
+// Scan visits every committed record once and calls fn; returning false
+// stops the scan early. Scan returns the number of records visited.
+//
+// Scan runs under the shared resize lock with the same lock-free per-slot
+// validation as Get, so it can race concurrent writers: each record it
+// yields was committed at the moment it was read, but the scan as a whole
+// is not a snapshot. Useful for backups, audits and debugging.
+func (s *Session) Scan(fn func(k kv.Key, v kv.Value) bool) int64 {
+	t := s.t
+	t.resizeMu.RLock()
+	defer t.resizeMu.RUnlock()
+	var visited int64
+	for _, lvl := range [2]*level{t.top, t.bottom} {
+		for b := int64(0); b < lvl.buckets(); b++ {
+			touched := false
+			for slot := 0; slot < SlotsPerBucket; slot++ {
+				c := lvl.ocfLoad(b, slot)
+				if !ocfIsValid(c) || ocfIsLocked(c) {
+					if ocfIsLocked(c) {
+						c = waitUnlocked(lvl, b, slot)
+						if !ocfIsValid(c) {
+							continue
+						}
+					} else {
+						continue
+					}
+				}
+				if !touched {
+					s.h.ReadAccess(lvl.bucketWord(b), BucketWords)
+					touched = true
+				}
+				off := lvl.slotWord(b, slot)
+				w0 := s.h.Load(off)
+				w1 := s.h.Load(off + 1)
+				w2 := s.h.Load(off + 2)
+				w3 := s.h.Load(off + 3)
+				if lvl.ocfLoad(b, slot) != c || !kv.ValidOf(w3) {
+					continue // changed underfoot; a rescan would double-count
+				}
+				k := kv.UnpackKey(w0, w1)
+				v, _ := kv.UnpackValue(w2, w3)
+				visited++
+				if !fn(k, v) {
+					return visited
+				}
+			}
+		}
+	}
+	return visited
+}
+
+// OccupancyHistogram reports bucket-fill distributions per level:
+// hist[k] = number of buckets holding exactly k valid records. Computed
+// from the OCF (DRAM only), so it is cheap enough for monitoring.
+func (t *Table) OccupancyHistogram() (top, bottom [SlotsPerBucket + 1]int64) {
+	t.resizeMu.RLock()
+	defer t.resizeMu.RUnlock()
+	fill := func(lvl *level, out *[SlotsPerBucket + 1]int64) {
+		for b := int64(0); b < lvl.buckets(); b++ {
+			n := 0
+			for s := 0; s < SlotsPerBucket; s++ {
+				if ocfIsValid(lvl.ocfLoad(b, s)) {
+					n++
+				}
+			}
+			out[n]++
+		}
+	}
+	fill(t.top, &top)
+	fill(t.bottom, &bottom)
+	return top, bottom
+}

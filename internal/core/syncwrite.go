@@ -1,0 +1,148 @@
+package core
+
+import (
+	"sync"
+
+	"hdnh/internal/kv"
+	"hdnh/internal/rng"
+)
+
+// The synchronous write mechanism (paper §3.4): every write operation is
+// split between the foreground thread — which persists the record in the
+// non-volatile table and updates the OCF — and a background writer that
+// mirrors the change into the hot table. The two halves meet on a
+// per-request sync_write_signal, so the DRAM copy overlaps the NVM write.
+//
+// Ordering rules that keep the cache coherent:
+//
+//   - Inserts enqueue before the NVT write (full overlap; the key is fresh,
+//     so nothing can race it).
+//   - Updates and deletes enqueue after their NVT commit, so any cache fill
+//     validated against the pre-commit OCF word is rejected.
+//   - Search-path fills (hotOpFill) carry the OCF control word the reader
+//     observed and are re-validated when applied.
+//
+// Requests for one key always route to the same writer, so same-key cache
+// mutations apply in enqueue order.
+
+// Hot request opcodes.
+const (
+	hotOpPut uint8 = iota
+	hotOpDel
+	hotOpFill
+)
+
+// hotRequest is one unit of background hot-table work.
+type hotRequest struct {
+	op   uint8
+	fp   uint8
+	key  kv.Key
+	val  kv.Value
+	h1   uint64
+	done chan struct{} // the sync_write_signal; nil for fire-and-forget fills
+
+	// Fill validation source (hotOpFill only).
+	src       *level
+	srcBucket int64
+	srcSlot   int
+	srcCtrl   uint32
+}
+
+// writerPool runs the background writer goroutines.
+type writerPool struct {
+	t     *Table
+	chans []chan hotRequest
+	wg    sync.WaitGroup
+}
+
+func newWriterPool(t *Table, n int) *writerPool {
+	p := &writerPool{t: t, chans: make([]chan hotRequest, n)}
+	for i := range p.chans {
+		p.chans[i] = make(chan hotRequest, 128)
+		p.wg.Add(1)
+		go p.run(i)
+	}
+	return p
+}
+
+func (p *writerPool) run(i int) {
+	defer p.wg.Done()
+	r := rng.New(p.t.opts.Seed ^ uint64(0xb06e<<16) ^ uint64(i))
+	for req := range p.chans[i] {
+		p.apply(req, r)
+		if req.done != nil {
+			req.done <- struct{}{}
+		}
+	}
+}
+
+func (p *writerPool) apply(req hotRequest, r *rng.Xorshift128) {
+	switch req.op {
+	case hotOpPut:
+		p.t.hot.put(req.key, req.val, req.h1, req.fp, r)
+	case hotOpDel:
+		p.t.hot.del(req.key, req.h1, req.fp)
+	case hotOpFill:
+		p.t.hot.fill(req.key, req.val, req.h1, req.fp, req.src, req.srcBucket, req.srcSlot, req.srcCtrl, r)
+	}
+}
+
+// dispatch hands the request to its writer; same key → same writer → FIFO.
+func (p *writerPool) dispatch(req hotRequest) {
+	p.chans[req.h1>>16%uint64(len(p.chans))] <- req
+}
+
+// stop drains and joins the writers.
+func (p *writerPool) stop() {
+	for _, ch := range p.chans {
+		close(ch)
+	}
+	p.wg.Wait()
+}
+
+// beginHotWrite starts the background half of a write; it returns whether a
+// completion wait is owed. With sync writes off (or no hot table) the DRAM
+// update is applied inline and no wait is owed.
+func (s *Session) beginHotWrite(op uint8, k kv.Key, v kv.Value, h1 uint64, fp uint8) bool {
+	t := s.t
+	if t.hot == nil {
+		return false
+	}
+	if t.pool == nil {
+		switch op {
+		case hotOpPut:
+			t.hot.put(k, v, h1, fp, s.rng)
+		case hotOpDel:
+			t.hot.del(k, h1, fp)
+		}
+		return false
+	}
+	t.pool.dispatch(hotRequest{op: op, fp: fp, key: k, val: v, h1: h1, done: s.done})
+	return true
+}
+
+// waitHotWrite blocks until the background writer raises the
+// sync_write_signal.
+func (s *Session) waitHotWrite(owed bool) {
+	if owed {
+		<-s.done
+	}
+}
+
+// fillHot re-caches a record found in the NVT by a search, validated
+// against the OCF word the search observed. Fire-and-forget: searches never
+// wait on the cache.
+func (s *Session) fillHot(k kv.Key, v kv.Value, h1 uint64, fp uint8, src *level, b int64, slot int, ctrl uint32) {
+	t := s.t
+	if t.hot == nil {
+		return
+	}
+	if t.pool == nil {
+		t.hot.fill(k, v, h1, fp, src, b, slot, ctrl, s.rng)
+		return
+	}
+	t.pool.dispatch(hotRequest{
+		op: hotOpFill, fp: fp, key: k, val: v, h1: h1,
+		src: src, srcBucket: b, srcSlot: slot, srcCtrl: ctrl,
+	})
+}

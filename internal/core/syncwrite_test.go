@@ -1,0 +1,157 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// Tests that pin the synchronous write mechanism on, regardless of the
+// host-adaptive default, so the background-writer path is always covered.
+
+func syncTable(t *testing.T, writers int) *Table {
+	t.Helper()
+	return newTable(t, func(o *Options) {
+		o.SyncWrites = true
+		o.BackgroundWriters = writers
+	})
+}
+
+func TestSyncWritesBasic(t *testing.T) {
+	tbl := syncTable(t, 2)
+	s := tbl.NewSession()
+	for i := 0; i < 2000; i++ {
+		if err := s.Insert(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The background writers must have populated the cache.
+	if tbl.HotEntries() == 0 {
+		t.Fatal("sync writers cached nothing")
+	}
+	for i := 0; i < 2000; i++ {
+		if v, ok := s.Get(key(i)); !ok || v != value(i) {
+			t.Fatalf("key %d wrong", i)
+		}
+	}
+}
+
+func TestSyncWritesReadYourWrites(t *testing.T) {
+	// The foreground waits for the sync_write_signal, so a write is in the
+	// cache before the call returns: an immediate Get must see it from DRAM.
+	tbl := syncTable(t, 1)
+	s := tbl.NewSession()
+	for i := 0; i < 500; i++ {
+		if err := s.Insert(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+		s.ResetNVMStats()
+		if v, ok := s.Get(key(i)); !ok || v != value(i) {
+			t.Fatalf("read-your-write failed for %d", i)
+		}
+		if st := s.NVMStats(); st.ReadAccesses != 0 {
+			t.Fatalf("insert %d not in cache when Insert returned (NVM reads %d)", i, st.ReadAccesses)
+		}
+	}
+}
+
+func TestSyncWritesUpdateCoherence(t *testing.T) {
+	tbl := syncTable(t, 2)
+	s := tbl.NewSession()
+	if err := s.Insert(key(1), value(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := s.Update(key(1), value(i)); err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := s.Get(key(1)); !ok || v != value(i) {
+			t.Fatalf("stale read after update %d: %q", i, v.String())
+		}
+	}
+}
+
+func TestSyncWritesDeleteCoherence(t *testing.T) {
+	tbl := syncTable(t, 2)
+	s := tbl.NewSession()
+	for i := 0; i < 300; i++ {
+		if err := s.Insert(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Delete(key(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get(key(i)); ok {
+			t.Fatalf("phantom cache entry for deleted key %d", i)
+		}
+	}
+}
+
+func TestSyncWritesConcurrent(t *testing.T) {
+	tbl := syncTable(t, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := tbl.NewSession()
+			base := w * 1000
+			for i := 0; i < 1000; i++ {
+				if err := s.Insert(key(base+i), value(base+i)); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				if err := s.Update(key(base+i), value(base+i+7)); err != nil {
+					t.Errorf("update: %v", err)
+					return
+				}
+				if v, ok := s.Get(key(base + i)); !ok || v != value(base+i+7) {
+					t.Errorf("stale value for %d", base+i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tbl.Count() != 6000 {
+		t.Fatalf("Count = %d", tbl.Count())
+	}
+}
+
+func TestSyncWritesSurviveResize(t *testing.T) {
+	tbl := newTable(t, func(o *Options) {
+		o.SyncWrites = true
+		o.BackgroundWriters = 2
+		o.SegmentBuckets = 8 // force many resizes
+	})
+	s := tbl.NewSession()
+	const n = 6000
+	for i := 0; i < n; i++ {
+		if err := s.Insert(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.Generation() < 3 {
+		t.Fatal("no resizes exercised")
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := s.Get(key(i)); !ok || v != value(i) {
+			t.Fatalf("key %d wrong after resizes with sync writes", i)
+		}
+	}
+}
+
+func TestCloseStopsWriters(t *testing.T) {
+	tbl := syncTable(t, 3)
+	s := tbl.NewSession()
+	if err := s.Insert(key(1), value(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Double close and StopBackground after close must be safe.
+	tbl.StopBackground()
+	if err := tbl.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

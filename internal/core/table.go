@@ -1,0 +1,219 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hdnh/internal/nvm"
+)
+
+// Table is an HDNH hash table bound to an NVM device. The Table itself is
+// safe for concurrent use through per-goroutine Sessions.
+type Table struct {
+	dev     *nvm.Device
+	opts    Options
+	metaOff int64
+
+	// resizeMu is held shared by every operation and exclusively by
+	// expansion. Per-slot optimistic concurrency happens inside the shared
+	// section, so the only global serialisation point is resizing — the
+	// same trade the paper makes.
+	resizeMu sync.RWMutex
+	top      *level
+	bottom   *level
+
+	hot  *hotTable // nil when Options.HotSlotsPerBucket == 0
+	pool *writerPool
+
+	count       atomic.Int64
+	sessionSeq  atomic.Uint64
+	recovery    RecoveryStats
+	closed      atomic.Bool
+	poolStopped atomic.Bool
+
+	// moves are sharded movement counters (the libcuckoo/MemC3 technique):
+	// any operation that relocates a committed record (out-of-place update,
+	// displacement) bumps the moved key's shard between publishing the new
+	// slot and retiring the old one. A reader that misses re-checks its
+	// key's shard: unchanged ⇒ the key genuinely was absent at some point
+	// during the scan; changed ⇒ a record it may have raced moved, rescan.
+	moves [moveShards]atomic.Uint64
+}
+
+// moveShards trades memory for contention; updates to one key bump one
+// counter.
+const moveShards = 1024
+
+func (t *Table) moveShard(h1 uint64) *atomic.Uint64 {
+	return &t.moves[(h1>>20)%moveShards]
+}
+
+// ErrNeedResize is internal: an operation found no free slot and wants the
+// caller to expand and retry.
+var errNeedResize = errors.New("core: table needs resize")
+
+// Create formats a fresh HDNH table on the device. It fails if the device
+// already holds one (use Open to recover it).
+func Create(dev *nvm.Device, opts Options) (*Table, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if dev.Root(rootSlot) != 0 {
+		return nil, errors.New("core: device already holds a table; use Open")
+	}
+	t := &Table{dev: dev, opts: opts}
+	h := dev.NewHandle()
+
+	metaOff, err := dev.Alloc(h, metaWords, nvm.BlockWords)
+	if err != nil {
+		return nil, fmt.Errorf("core: allocating metadata: %w", err)
+	}
+	t.metaOff = metaOff
+
+	m := int64(opts.SegmentBuckets)
+	bottomSegs := int64(opts.InitBottomSegments)
+	topSegs := 2 * bottomSegs
+
+	topBase, err := dev.Alloc(h, topSegs*m*BucketWords, nvm.BlockWords)
+	if err != nil {
+		return nil, fmt.Errorf("core: allocating top level: %w", err)
+	}
+	bottomBase, err := dev.Alloc(h, bottomSegs*m*BucketWords, nvm.BlockWords)
+	if err != nil {
+		return nil, fmt.Errorf("core: allocating bottom level: %w", err)
+	}
+
+	h.StorePersist(metaOff+metaMWord, uint64(m))
+	t.writeLevelDescriptor(h, 0, topBase, topSegs)
+	t.writeLevelDescriptor(h, 1, bottomBase, bottomSegs)
+	h.StorePersist(metaOff+metaRehashWord, 0)
+	h.StorePersist(metaOff+metaCleanWord, 0)
+	t.setState(h, tableState{levelNumber: levelNumStable, top: 0, bottom: 1, drain: levelSlotUnused, generation: 1})
+	h.StorePersist(metaOff+metaMagicWord, tableMagic)
+	dev.SetRoot(h, rootSlot, uint64(metaOff))
+
+	t.top = newLevel(topBase, topSegs, m)
+	t.bottom = newLevel(bottomBase, bottomSegs, m)
+	t.initVolatile()
+	return t, nil
+}
+
+// Open recovers the table stored on the device: it replays any interrupted
+// resize, rebuilds the OCF and hot table from the non-volatile table
+// (in parallel batches), and removes torn duplicates left by a crashed
+// out-of-place update. RecoveryStats are available afterwards via
+// LastRecovery.
+func Open(dev *nvm.Device, opts Options) (*Table, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if dev.Root(rootSlot) == 0 {
+		return nil, errors.New("core: device holds no table; use Create")
+	}
+	t := &Table{dev: dev, opts: opts}
+	t.metaOff = int64(dev.Root(rootSlot))
+	if dev.Load(t.metaOff+metaMagicWord) != tableMagic {
+		return nil, errors.New("core: table metadata magic mismatch")
+	}
+	if err := t.recover(); err != nil {
+		return nil, err
+	}
+	t.initVolatile()
+	return t, nil
+}
+
+// OpenOrCreate opens an existing table or creates a fresh one.
+func OpenOrCreate(dev *nvm.Device, opts Options) (*Table, error) {
+	if dev.Root(rootSlot) == 0 {
+		return Create(dev, opts)
+	}
+	return Open(dev, opts)
+}
+
+func (t *Table) initVolatile() {
+	if t.opts.HotSlotsPerBucket > 0 {
+		if t.hot == nil { // recovery may have built it already
+			t.hot = newHotTable(t.top.segments, t.bottom.segments, t.top.m, t.opts.HotSlotsPerBucket, t.opts.Replacer)
+		}
+		if t.opts.SyncWrites {
+			t.pool = newWriterPool(t, t.opts.BackgroundWriters)
+		}
+	}
+}
+
+// state reads the atomic persistent state word.
+func (t *Table) state() tableState {
+	return unpackState(t.dev.Load(t.metaOff + metaStateWord))
+}
+
+// setState durably writes the state word — the single atomic commit point
+// for every structural transition.
+func (t *Table) setState(h *nvm.Handle, s tableState) {
+	h.StorePersist(t.metaOff+metaStateWord, s.pack())
+}
+
+// Count returns the number of live records.
+func (t *Table) Count() int64 { return t.count.Load() }
+
+// Capacity returns the total NVT slot count.
+func (t *Table) Capacity() int64 {
+	t.resizeMu.RLock()
+	defer t.resizeMu.RUnlock()
+	return t.top.slots() + t.bottom.slots()
+}
+
+// LoadFactor returns live records over capacity.
+func (t *Table) LoadFactor() float64 {
+	c := t.Capacity()
+	if c == 0 {
+		return 0
+	}
+	return float64(t.Count()) / float64(c)
+}
+
+// Generation returns the resize generation, observable for tests.
+func (t *Table) Generation() uint64 { return t.state().generation }
+
+// Device returns the underlying NVM device.
+func (t *Table) Device() *nvm.Device { return t.dev }
+
+// Options returns the table's options.
+func (t *Table) Options() Options { return t.opts }
+
+// HotEntries reports how many records the hot table currently caches.
+func (t *Table) HotEntries() int64 {
+	if t.hot == nil {
+		return 0
+	}
+	return t.hot.countValid()
+}
+
+// LastRecovery returns statistics from the Open that built this table
+// (zero-valued for tables built by Create).
+func (t *Table) LastRecovery() RecoveryStats { return t.recovery }
+
+// Close marks a clean shutdown and stops the background writer pool. The
+// caller must have quiesced all sessions first.
+func (t *Table) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	t.StopBackground()
+	h := t.dev.NewHandle()
+	h.StorePersist(t.metaOff+metaCleanWord, 1)
+	return nil
+}
+
+// StopBackground halts the writer pool without marking a clean shutdown —
+// the recovery benchmarks' stand-in for pulling the power cord on a model-
+// mode device. Idempotent; Close calls it too.
+func (t *Table) StopBackground() {
+	if t.poolStopped.Swap(true) {
+		return
+	}
+	if t.pool != nil {
+		t.pool.stop()
+	}
+}

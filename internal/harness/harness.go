@@ -1,0 +1,296 @@
+// Package harness drives the paper's experiments: it wires a scheme, an
+// emulated NVM device and a YCSB workload together, runs the workload over
+// worker goroutines, and reports throughput, NVM traffic, and latency
+// distributions. Every figure and table in the paper's evaluation section
+// has a Fig*/Table* function here that regenerates it.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdnh/internal/histogram"
+	"hdnh/internal/kv"
+	"hdnh/internal/nvm"
+	"hdnh/internal/scheme"
+	"hdnh/internal/ycsb"
+
+	// Register every scheme the experiments sweep.
+	_ "hdnh/internal/cceh"
+	_ "hdnh/internal/levelhash"
+	_ "hdnh/internal/pathhash"
+)
+
+// Options configures one workload run.
+type Options struct {
+	// Scheme is a registry name ("HDNH", "LEVEL", "CCEH", "PATH", ...).
+	Scheme string
+	// Store, when non-nil, is used instead of opening Scheme (the
+	// sensitivity experiments construct HDNH with custom options).
+	Store scheme.Store
+	// Records is the preloaded record count.
+	Records int64
+	// Ops is the total operation count across all threads.
+	Ops int64
+	// Threads is the number of worker goroutines.
+	Threads int
+	// Mix, Dist, Theta configure the YCSB generator.
+	Mix   ycsb.Mix
+	Dist  ycsb.Distribution
+	Theta float64
+	// Seed makes the run reproducible.
+	Seed uint64
+	// DeviceMode selects the NVM emulation level (ModeEmulate by default
+	// gives the latency/bandwidth behaviour; ModeModel is fastest).
+	DeviceMode nvm.Mode
+	// DeviceWords overrides automatic device sizing.
+	DeviceWords int64
+	// RecordLatency enables per-op latency histograms (Figure 15).
+	RecordLatency bool
+	// CapacityHint overrides the scheme sizing hint (default: Records plus
+	// the expected insert volume).
+	CapacityHint int64
+	// skipPreload marks the store as already loaded with Records records
+	// (experiments that reuse one store across several measurements).
+	skipPreload bool
+}
+
+// Result is one run's outcome.
+type Result struct {
+	Scheme         string
+	Records        int64
+	Ops            int64
+	Threads        int
+	PreloadElapsed time.Duration
+	Elapsed        time.Duration
+	// ThroughputMops is completed operations per microsecond (= Mops/s).
+	ThroughputMops float64
+	// NVM aggregates all sessions' traffic during the op phase.
+	NVM nvm.Stats
+	// Latency is populated when Options.RecordLatency is set.
+	Latency *histogram.Histogram
+	// Misses counts ErrNotFound/ErrExists outcomes (expected under
+	// random repeats); Failures counts hard errors (ErrFull etc.).
+	Misses   int64
+	Failures int64
+}
+
+// autoDeviceWords sizes the device generously: bump allocation never
+// reuses space, and growing schemes abandon old levels/segments, so the
+// live data needs several times its size in raw words.
+func autoDeviceWords(records, inserts int64) int64 {
+	data := (records + inserts + 1024) * kv.SlotWords
+	words := data * 24
+	if words < 1<<20 {
+		words = 1 << 20
+	}
+	// Round up to block multiple.
+	if r := words % nvm.BlockWords; r != 0 {
+		words += nvm.BlockWords - r
+	}
+	return words
+}
+
+// Run executes the workload and returns its Result.
+func Run(o Options) (*Result, error) {
+	if o.Threads <= 0 {
+		o.Threads = 1
+	}
+	if o.Records <= 0 {
+		return nil, fmt.Errorf("harness: Records must be positive, got %d", o.Records)
+	}
+	if err := o.Mix.Validate(); err != nil {
+		return nil, err
+	}
+
+	st := o.Store
+	if st == nil {
+		expectedInserts := int64(float64(o.Ops) * o.Mix.Insert)
+		words := o.DeviceWords
+		if words == 0 {
+			words = autoDeviceWords(o.Records, expectedInserts)
+		}
+		cfg := nvm.DefaultConfig(words)
+		cfg.Mode = o.DeviceMode
+		if o.DeviceMode == nvm.ModeEmulate {
+			cfg = nvm.EmulateConfig(words)
+		}
+		dev, err := nvm.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		hint := o.CapacityHint
+		if hint == 0 {
+			hint = o.Records + expectedInserts
+		}
+		st, err = scheme.Open(o.Scheme, dev, hint)
+		if err != nil {
+			return nil, err
+		}
+		defer st.Close()
+	}
+
+	res := &Result{Scheme: o.Scheme, Records: o.Records, Ops: o.Ops, Threads: o.Threads}
+	if res.Scheme == "" {
+		res.Scheme = st.Name()
+	}
+
+	// Preload phase: split the record range across threads.
+	if !o.skipPreload {
+		preStart := time.Now()
+		if err := Preload(st, o.Records, o.Threads); err != nil {
+			return nil, err
+		}
+		res.PreloadElapsed = time.Since(preStart)
+	}
+
+	if o.Ops == 0 {
+		return res, nil
+	}
+
+	gen, err := ycsb.New(ycsb.Config{
+		RecordCount:  o.Records,
+		Mix:          o.Mix,
+		Distribution: o.Dist,
+		Theta:        o.Theta,
+		Seed:         o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var misses, failures atomic.Int64
+	sessions := make([]scheme.Session, o.Threads)
+	hists := make([]*histogram.Histogram, o.Threads)
+	for i := range sessions {
+		sessions[i] = st.NewSession()
+		hists[i] = histogram.New()
+	}
+	before := make([]nvm.Stats, o.Threads)
+	for i, s := range sessions {
+		before[i] = s.NVMStats()
+	}
+
+	perThread := o.Ops / int64(o.Threads)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ti := 0; ti < o.Threads; ti++ {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			s := sessions[ti]
+			w := gen.Worker(ti)
+			w.SetWorkers(o.Threads)
+			h := hists[ti]
+			n := perThread
+			if ti == 0 {
+				n += o.Ops % int64(o.Threads)
+			}
+			for i := int64(0); i < n; i++ {
+				op := w.Next()
+				var opStart time.Time
+				if o.RecordLatency {
+					opStart = time.Now()
+				}
+				err := applyOp(s, op)
+				if o.RecordLatency {
+					h.RecordDuration(time.Since(opStart))
+				}
+				switch {
+				case err == nil:
+				case errors.Is(err, scheme.ErrNotFound), errors.Is(err, scheme.ErrExists):
+					misses.Add(1)
+				default:
+					failures.Add(1)
+				}
+			}
+		}(ti)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.ThroughputMops = float64(o.Ops) / res.Elapsed.Seconds() / 1e6
+	res.Misses = misses.Load()
+	res.Failures = failures.Load()
+	for i, s := range sessions {
+		res.NVM.Add(s.NVMStats().Sub(before[i]))
+	}
+	if o.RecordLatency {
+		res.Latency = histogram.MergeAll(hists)
+	}
+	return res, nil
+}
+
+// applyOp executes one YCSB op through a session.
+func applyOp(s scheme.Session, op ycsb.Op) error {
+	switch op.Kind {
+	case ycsb.OpInsert:
+		return s.Insert(ycsb.InsertKey(op.Index), ycsb.ValueFor(op.Index))
+	case ycsb.OpRead:
+		_, ok := s.Get(ycsb.RecordKey(op.Index))
+		if !ok {
+			return scheme.ErrNotFound
+		}
+		return nil
+	case ycsb.OpReadNegative:
+		if _, ok := s.Get(ycsb.NegativeKey(op.Index)); ok {
+			return fmt.Errorf("harness: negative key %d found", op.Index)
+		}
+		return nil
+	case ycsb.OpUpdate:
+		return s.Update(ycsb.RecordKey(op.Index), ycsb.ValueFor(op.Index+1))
+	case ycsb.OpDelete:
+		return s.Delete(ycsb.RecordKey(op.Index))
+	case ycsb.OpReadModifyWrite:
+		k := ycsb.RecordKey(op.Index)
+		if _, ok := s.Get(k); !ok {
+			return scheme.ErrNotFound
+		}
+		return s.Update(k, ycsb.ValueFor(op.Index+2))
+	default:
+		return fmt.Errorf("harness: unknown op kind %d", int(op.Kind))
+	}
+}
+
+// maxProcs reports the scheduler parallelism available to the run.
+func maxProcs() int { return runtime.GOMAXPROCS(0) }
+
+// Preload inserts records [0, n) with `threads` goroutines.
+func Preload(st scheme.Store, n int64, threads int) error {
+	if threads <= 0 {
+		threads = 1
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, threads)
+	chunk := (n + int64(threads) - 1) / int64(threads)
+	for ti := 0; ti < threads; ti++ {
+		lo := int64(ti) * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int64) {
+			defer wg.Done()
+			s := st.NewSession()
+			for i := lo; i < hi; i++ {
+				if err := s.Insert(ycsb.RecordKey(i), ycsb.ValueFor(i)); err != nil {
+					errCh <- fmt.Errorf("preload %d: %w", i, err)
+					return
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+	return nil
+}

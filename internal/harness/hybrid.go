@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"fmt"
+
+	"hdnh/internal/ycsb"
+
+	// The hybrid comparison needs the extension baselines registered.
+	_ "hdnh/internal/rewo"
+)
+
+// HybridExperiment (extension) lines HDNH up against the hybrid DRAM-NVM
+// designs the paper *discusses* in §2.3 but does not benchmark:
+//
+//	REWO          persistent table + fixed global-LRU cached table
+//	CCEH-DRAMDIR  CCEH with an HMEH-style DRAM directory (no cache)
+//	CCEH          plain CCEH, for reference
+//
+// Expected shape, following the paper's qualitative arguments: the DRAM
+// directory helps CCEH a little (fewer NVM reads per op, no caching);
+// REWO tracks HDNH while its fixed cache covers the data, and falls away
+// on uniform and write-heavy mixes where the LRU bookkeeping and cache
+// misses dominate; HDNH leads throughout.
+func HybridExperiment(sc Scale) (*Experiment, error) {
+	variants := []string{"HDNH", "HDNH-LRU", "REWO", "CCEH-DRAMDIR", "CCEH"}
+	exp := &Experiment{
+		ID:      "ext-hybrid",
+		Title:   "Hybrid DRAM-NVM designs from the paper's related work (single thread)",
+		XLabel:  "workload",
+		Columns: variants,
+		Notes: []string{
+			"REWO ≈ Rewo [DATE'20]: global-LRU cached table; CCEH-DRAMDIR ≈ HMEH's DRAM directory",
+			"paper §2.3 discusses both but benchmarks neither; this extension fills that in",
+		},
+	}
+	type phase struct {
+		label string
+		mix   ycsb.Mix
+		dist  ycsb.Distribution
+		theta float64
+	}
+	phases := []phase{
+		{"search+ skew.99", ycsb.ReadOnly, ycsb.ScrambledZipfian, 0.99},
+		{"search+ uniform", ycsb.ReadOnly, ycsb.Uniform, 0},
+		{"search- uniform", ycsb.NegativeRead, ycsb.Uniform, 0},
+		{"insert", ycsb.InsertOnly, ycsb.Uniform, 0},
+		{"ycsb-a", ycsb.WorkloadA, ycsb.ScrambledZipfian, 0.99},
+	}
+	for _, ph := range phases {
+		cells := make([]Cell, 0, len(variants))
+		for _, name := range variants {
+			res, err := Run(Options{
+				Scheme:     name,
+				Records:    sc.Records,
+				Ops:        sc.Ops,
+				Threads:    1,
+				Mix:        ph.mix,
+				Dist:       ph.dist,
+				Theta:      ph.theta,
+				Seed:       sc.Seed,
+				DeviceMode: sc.Mode,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("hybrid %s %s: %w", name, ph.label, err)
+			}
+			cells = append(cells, mops(name, res.ThroughputMops))
+		}
+		exp.addRow(ph.label, cells...)
+	}
+	return exp, nil
+}

@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Render writes the experiment as an aligned text table, the format the
+// hdnhbench CLI prints and EXPERIMENTS.md records.
+func (e *Experiment) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", e.ID, e.Title)
+
+	widths := make([]int, len(e.Columns)+1)
+	widths[0] = len(e.XLabel)
+	for _, r := range e.Rows {
+		if len(r.X) > widths[0] {
+			widths[0] = len(r.X)
+		}
+	}
+	cellText := func(c Cell) string { return fmt.Sprintf("%.4g", c.Value) }
+	for i, col := range e.Columns {
+		widths[i+1] = len(col)
+		for _, r := range e.Rows {
+			if i < len(r.Cells) {
+				if n := len(cellText(r.Cells[i])); n > widths[i+1] {
+					widths[i+1] = n
+				}
+			}
+		}
+	}
+
+	fmt.Fprintf(&b, "%-*s", widths[0], e.XLabel)
+	for i, col := range e.Columns {
+		fmt.Fprintf(&b, "  %*s", widths[i+1], col)
+	}
+	b.WriteByte('\n')
+	for _, r := range e.Rows {
+		fmt.Fprintf(&b, "%-*s", widths[0], r.X)
+		for i := range e.Columns {
+			if i < len(r.Cells) {
+				fmt.Fprintf(&b, "  %*s", widths[i+1], cellText(r.Cells[i]))
+			} else {
+				fmt.Fprintf(&b, "  %*s", widths[i+1], "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range e.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	if len(e.Extra) > 0 {
+		keys := make([]string, 0, len(e.Extra))
+		for k := range e.Extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "\n-- %s --\n%s", k, e.Extra[k])
+		}
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders to a string.
+func (e *Experiment) String() string {
+	var sb strings.Builder
+	_ = e.Render(&sb)
+	return sb.String()
+}
+
+// CSV renders the experiment as comma-separated rows (x label first), for
+// plotting outside the repository.
+func (e *Experiment) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(e.XLabel))
+	for _, c := range e.Columns {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, r := range e.Rows {
+		b.WriteString(csvEscape(r.X))
+		for i := range e.Columns {
+			b.WriteByte(',')
+			if i < len(r.Cells) {
+				fmt.Fprintf(&b, "%g", r.Cells[i].Value)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

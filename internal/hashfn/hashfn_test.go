@@ -1,0 +1,162 @@
+package hashfn
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestSum64KnownVectors(t *testing.T) {
+	// Reference values from the canonical xxHash64 implementation.
+	cases := []struct {
+		seed uint64
+		in   string
+		want uint64
+	}{
+		{0, "", 0xef46db3751d8e999},
+		{0, "a", 0xd24ec4f1a98c6e5b},
+		{0, "abc", 0x44bc2cf5ad770999},
+		{0, "hello world", 0x45ab6734b21e6968},
+		{0, "xxhash is a fast hash function", 0x5c90eb3418fc483b},
+		{1, "abc", 0xbea9ca8199328908},
+		{0, "0123456789abcdef0123456789abcdef0123456789", 0xa76190c3acf08a1c},
+	}
+	for _, tc := range cases {
+		if got := Sum64(tc.seed, []byte(tc.in)); got != tc.want {
+			t.Errorf("Sum64(%d, %q) = %#x, want %#x", tc.seed, tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSum64AllLengths(t *testing.T) {
+	// Exercise every tail-handling branch: lengths 0..64 must all produce
+	// distinct values for distinct inputs and be stable.
+	seen := map[uint64]int{}
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = byte(i * 7)
+	}
+	for n := 0; n <= 64; n++ {
+		h := Sum64(0, buf[:n])
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("lengths %d and %d collide: %#x", prev, n, h)
+		}
+		seen[h] = n
+		if h != Sum64(0, buf[:n]) {
+			t.Fatalf("Sum64 not deterministic at length %d", n)
+		}
+	}
+}
+
+func TestHash1Hash2Independent(t *testing.T) {
+	// The two hash functions must not be correlated: count matching low bits
+	// over many keys; independence gives ~50%.
+	match := 0
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		key := []byte(fmt.Sprintf("user%08d", i))
+		h1, h2 := Pair(key)
+		if h1 == h2 {
+			t.Fatalf("Hash1 == Hash2 for key %q", key)
+		}
+		if h1&1 == h2&1 {
+			match++
+		}
+	}
+	if match < keys*45/100 || match > keys*55/100 {
+		t.Fatalf("low-bit agreement %d/%d; hashes look correlated", match, keys)
+	}
+}
+
+func TestAvalanche(t *testing.T) {
+	// Flipping one input bit should flip ~32 of 64 output bits on average.
+	base := []byte("0123456789abcdef")
+	h0 := Hash1(base)
+	totalFlips := 0
+	trials := 0
+	for byteIdx := range base {
+		for bit := 0; bit < 8; bit++ {
+			mutated := append([]byte(nil), base...)
+			mutated[byteIdx] ^= 1 << bit
+			totalFlips += bits.OnesCount64(h0 ^ Hash1(mutated))
+			trials++
+		}
+	}
+	avg := float64(totalFlips) / float64(trials)
+	if avg < 28 || avg > 36 {
+		t.Fatalf("avalanche average %.2f bits, want ~32", avg)
+	}
+}
+
+func TestBucketDistribution(t *testing.T) {
+	// Keys spread over 64 buckets should be within 3x of uniform.
+	const buckets = 64
+	const keys = 64 * 1000
+	var counts [buckets]int
+	for i := 0; i < keys; i++ {
+		key := []byte(fmt.Sprintf("user%d", i))
+		counts[Hash1(key)%buckets]++
+	}
+	for b, c := range counts {
+		if c < keys/buckets/3 || c > keys/buckets*3 {
+			t.Fatalf("bucket %d holds %d keys, expected ~%d", b, c, keys/buckets)
+		}
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	if Fingerprint(0x1200) != 1 {
+		t.Fatal("zero LSB must remap to 1")
+	}
+	if Fingerprint(0x12ab) != 0xab {
+		t.Fatal("fingerprint must be the hash LSB")
+	}
+	f := func(h uint64) bool { return Fingerprint(h) != 0 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMix64(t *testing.T) {
+	if Mix64(1) == Mix64(2) {
+		t.Fatal("Mix64 collides on adjacent inputs")
+	}
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		v := Mix64(i)
+		if seen[v] {
+			t.Fatalf("Mix64 collision at input %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSum64MatchesItselfViaQuick(t *testing.T) {
+	f := func(seed uint64, data []byte) bool {
+		return Sum64(seed, data) == Sum64(seed, append([]byte(nil), data...))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSum64_16B(b *testing.B) {
+	key := []byte("0123456789abcdef")
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		Sum64(0, key)
+	}
+}
+
+func BenchmarkFNVBaseline_16B(b *testing.B) {
+	// Context for the Sum64 number; not used by the schemes.
+	key := []byte("0123456789abcdef")
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		h := fnv.New64a()
+		h.Write(key)
+		h.Sum64()
+	}
+}

@@ -1,0 +1,236 @@
+package histogram
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hdnh/internal/rng"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	h := New()
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram has non-zero summary")
+	}
+	if h.Percentile(99) != 0 {
+		t.Fatal("empty percentile non-zero")
+	}
+	if h.CDF() != nil {
+		t.Fatal("empty CDF non-nil")
+	}
+	if h.String() != "histogram: empty" {
+		t.Fatalf("String = %q", h.String())
+	}
+	if h.Table(10) != "(empty)\n" {
+		t.Fatalf("Table = %q", h.Table(10))
+	}
+}
+
+func TestBucketIndexMonotonic(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < 1<<20; v += 997 {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotonic at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+func TestBucketUpperBoundContainsValue(t *testing.T) {
+	f := func(raw uint32) bool {
+		v := int64(raw)
+		idx := bucketIndex(v)
+		ub := bucketUpperBound(idx)
+		if v > ub {
+			return false
+		}
+		// Relative error bound: ub is within ~2/subBuckets of v.
+		return float64(ub-v) <= float64(v)/float64(subBuckets)*2+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordSummary(t *testing.T) {
+	h := New()
+	for _, v := range []int64{100, 200, 300, 400, 500} {
+		h.Record(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != 100 || h.Max() != 500 {
+		t.Fatalf("Min/Max = %d/%d", h.Min(), h.Max())
+	}
+	if m := h.Mean(); m != 300 {
+		t.Fatalf("Mean = %v", m)
+	}
+}
+
+func TestPercentileBoundedError(t *testing.T) {
+	h := New()
+	gen := rng.New(42)
+	samples := make([]int64, 0, 50000)
+	for i := 0; i < 50000; i++ {
+		// Log-uniform latencies from ~100ns to ~100ms.
+		v := int64(100 << gen.Intn(20))
+		v += int64(gen.Intn(int(v/4 + 1)))
+		h.Record(v)
+		samples = append(samples, v)
+	}
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		got := h.Percentile(p)
+		want := Exact(samples, p)
+		if got < want {
+			t.Errorf("p%v: histogram %d below exact %d (must be an upper bound)", p, got, want)
+		}
+		if float64(got-want) > float64(want)*0.15 {
+			t.Errorf("p%v: histogram %d vs exact %d — error above 15%%", p, got, want)
+		}
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	h := New()
+	h.Record(10)
+	h.Record(20)
+	if got := h.Percentile(0); got != 10 {
+		t.Fatalf("p0 = %d", got)
+	}
+	if got := h.Percentile(100); got != 20 {
+		t.Fatalf("p100 = %d", got)
+	}
+	if got := h.Percentile(200); got != 20 {
+		t.Fatalf("p200 = %d", got)
+	}
+}
+
+func TestRecordClampsOutOfRange(t *testing.T) {
+	h := New()
+	h.Record(-5)
+	h.Record(maxTrackableNs * 2)
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Percentile(100) < maxTrackableNs/2 {
+		t.Fatal("huge value collapsed")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	for i := 0; i < 100; i++ {
+		a.Record(100)
+		b.Record(10000)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != 100 || a.Max() != 10000 {
+		t.Fatalf("merged min/max = %d/%d", a.Min(), a.Max())
+	}
+	if p := a.Percentile(50); p < 100 || p > 200 {
+		t.Fatalf("merged p50 = %d", p)
+	}
+}
+
+func TestMergeIntoEmpty(t *testing.T) {
+	a, b := New(), New()
+	b.Record(500)
+	a.Merge(b)
+	if a.Min() != 500 || a.Max() != 500 || a.Count() != 1 {
+		t.Fatal("merge into empty lost data")
+	}
+}
+
+func TestMergeAll(t *testing.T) {
+	hs := []*Histogram{New(), New(), New()}
+	for i, h := range hs {
+		for j := 0; j <= i; j++ {
+			h.Record(int64(1000 * (i + 1)))
+		}
+	}
+	m := MergeAll(hs)
+	if m.Count() != 6 {
+		t.Fatalf("MergeAll count = %d", m.Count())
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New()
+	h.Record(123)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("Reset left state")
+	}
+	h.Record(7)
+	if h.Min() != 7 {
+		t.Fatalf("post-reset Min = %d", h.Min())
+	}
+}
+
+func TestCDFMonotonic(t *testing.T) {
+	h := New()
+	gen := rng.New(7)
+	for i := 0; i < 10000; i++ {
+		h.Record(int64(gen.Intn(1000000)))
+	}
+	points := h.CDF()
+	if len(points) == 0 {
+		t.Fatal("no CDF points")
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].ValueNs < points[i-1].ValueNs || points[i].Fraction < points[i-1].Fraction {
+			t.Fatalf("CDF not monotonic at %d", i)
+		}
+	}
+	if last := points[len(points)-1].Fraction; last != 1.0 {
+		t.Fatalf("CDF ends at %v, want 1.0", last)
+	}
+}
+
+func TestRecordDuration(t *testing.T) {
+	h := New()
+	h.RecordDuration(3 * time.Microsecond)
+	if h.Max() != 3000 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+}
+
+func TestQuantilesAndTable(t *testing.T) {
+	h := New()
+	for i := 1; i <= 1000; i++ {
+		h.Record(int64(i * 100))
+	}
+	q := h.Quantiles()
+	for _, k := range []string{"p50", "p90", "p99", "p999", "max"} {
+		if q[k] == 0 {
+			t.Fatalf("quantile %s is zero", k)
+		}
+	}
+	if q["p50"] > q["p99"] || q["p99"] > q["max"] {
+		t.Fatal("quantiles out of order")
+	}
+	tbl := h.Table(10)
+	if len(tbl) == 0 || tbl == "(empty)\n" {
+		t.Fatal("Table produced nothing")
+	}
+}
+
+func TestExactHelper(t *testing.T) {
+	if Exact(nil, 50) != 0 {
+		t.Fatal("Exact(nil) != 0")
+	}
+	s := []int64{5, 1, 3, 2, 4}
+	if Exact(s, 100) != 5 || Exact(s, 1) != 1 {
+		t.Fatal("Exact percentiles wrong")
+	}
+	// Input must not be mutated.
+	if s[0] != 5 {
+		t.Fatal("Exact sorted its input in place")
+	}
+}

@@ -1,0 +1,45 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPackRoundTrip checks that any byte content survives the word packing
+// used for NVM slots, with meta byte isolation.
+func FuzzPackRoundTrip(f *testing.F) {
+	f.Add([]byte("key"), []byte("value"), byte(1))
+	f.Add([]byte(""), []byte(""), byte(0))
+	f.Add(bytes.Repeat([]byte{0xff}, KeySize), bytes.Repeat([]byte{0xaa}, ValueSize), byte(0x7f))
+	f.Fuzz(func(t *testing.T, kRaw, vRaw []byte, meta byte) {
+		if len(kRaw) > KeySize {
+			kRaw = kRaw[:KeySize]
+		}
+		if len(vRaw) > ValueSize {
+			vRaw = vRaw[:ValueSize]
+		}
+		k, err := MakeKey(kRaw)
+		if err != nil {
+			t.Fatalf("MakeKey(%d bytes): %v", len(kRaw), err)
+		}
+		v, err := MakeValue(vRaw)
+		if err != nil {
+			t.Fatalf("MakeValue(%d bytes): %v", len(vRaw), err)
+		}
+		var words [SlotWords]uint64
+		PackRecord(words[:], k, v, meta)
+		if UnpackKey(words[0], words[1]) != k {
+			t.Fatal("key mangled")
+		}
+		gotV, gotMeta := UnpackValue(words[2], words[3])
+		if gotV != v || gotMeta != meta {
+			t.Fatal("value/meta mangled")
+		}
+		if !KeyEqualsWords(k, words[0], words[1]) {
+			t.Fatal("KeyEqualsWords disagrees with packing")
+		}
+		if ValidOf(words[3]) != (meta&MetaValid != 0) {
+			t.Fatal("ValidOf disagrees with meta")
+		}
+	})
+}

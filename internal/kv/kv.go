@@ -1,0 +1,171 @@
+// Package kv defines the fixed-size key-value record format shared by every
+// hash scheme in this repository.
+//
+// Following the paper's evaluation setup, keys are 16 bytes and values 15
+// bytes. A record packs into exactly four 64-bit device words — a 32-byte
+// slot — so a 256-byte NVM bucket holds eight slots, matching both HDNH's
+// bucket geometry and the Optane 256-byte access granularity:
+//
+//	w0, w1   key bytes 0..15 (little-endian)
+//	w2       value bytes 0..7
+//	w3       value bytes 8..14 | meta byte << 56
+//
+// The meta byte shares a word with the final value byte on purpose: a single
+// 8-byte atomic store of w3 simultaneously completes the value and publishes
+// the valid bit, which is what makes slot commits crash-atomic.
+package kv
+
+import "fmt"
+
+const (
+	// KeySize is the fixed key length in bytes.
+	KeySize = 16
+	// ValueSize is the fixed value length in bytes.
+	ValueSize = 15
+	// SlotWords is the number of 64-bit words a packed record occupies.
+	SlotWords = 4
+	// SlotBytes is the packed record size in bytes.
+	SlotBytes = SlotWords * 8
+)
+
+// Meta bits stored in the top byte of w3.
+const (
+	// MetaValid marks a slot as holding a committed record.
+	MetaValid uint8 = 1 << 0
+)
+
+// Key is a fixed-size key. Shorter user keys are zero-padded.
+type Key [KeySize]byte
+
+// Value is a fixed-size value. Shorter user values are zero-padded.
+type Value [ValueSize]byte
+
+// MakeKey builds a Key from b, zero-padding short input.
+// It returns an error if b is longer than KeySize.
+func MakeKey(b []byte) (Key, error) {
+	var k Key
+	if len(b) > KeySize {
+		return k, fmt.Errorf("kv: key length %d exceeds %d", len(b), KeySize)
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// MakeValue builds a Value from b, zero-padding short input.
+// It returns an error if b is longer than ValueSize.
+func MakeValue(b []byte) (Value, error) {
+	var v Value
+	if len(b) > ValueSize {
+		return v, fmt.Errorf("kv: value length %d exceeds %d", len(b), ValueSize)
+	}
+	copy(v[:], b)
+	return v, nil
+}
+
+// MustKey is MakeKey for static inputs; it panics on oversized keys.
+func MustKey(b []byte) Key {
+	k, err := MakeKey(b)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// MustValue is MakeValue for static inputs; it panics on oversized values.
+func MustValue(b []byte) Value {
+	v, err := MakeValue(b)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// PackKey returns the two words holding k.
+func (k Key) Pack() (w0, w1 uint64) {
+	return le64(k[0:8]), le64(k[8:16])
+}
+
+// UnpackKey rebuilds a Key from its two words.
+func UnpackKey(w0, w1 uint64) Key {
+	var k Key
+	putLE64(k[0:8], w0)
+	putLE64(k[8:16], w1)
+	return k
+}
+
+// Pack returns the two words holding v plus the meta byte: w2 carries value
+// bytes 0..7, w3 carries bytes 8..14 with meta in the top byte.
+func (v Value) Pack(meta uint8) (w2, w3 uint64) {
+	w2 = le64(v[0:8])
+	w3 = uint64(v[8]) | uint64(v[9])<<8 | uint64(v[10])<<16 | uint64(v[11])<<24 |
+		uint64(v[12])<<32 | uint64(v[13])<<40 | uint64(v[14])<<48 | uint64(meta)<<56
+	return w2, w3
+}
+
+// UnpackValue rebuilds a Value and its meta byte from w2, w3.
+func UnpackValue(w2, w3 uint64) (Value, uint8) {
+	var v Value
+	putLE64(v[0:8], w2)
+	v[8] = byte(w3)
+	v[9] = byte(w3 >> 8)
+	v[10] = byte(w3 >> 16)
+	v[11] = byte(w3 >> 24)
+	v[12] = byte(w3 >> 32)
+	v[13] = byte(w3 >> 40)
+	v[14] = byte(w3 >> 48)
+	return v, uint8(w3 >> 56)
+}
+
+// MetaOf extracts the meta byte from a packed w3.
+func MetaOf(w3 uint64) uint8 { return uint8(w3 >> 56) }
+
+// ValidOf reports whether a packed w3 carries the valid bit.
+func ValidOf(w3 uint64) bool { return MetaOf(w3)&MetaValid != 0 }
+
+// WithMeta returns w3 with its meta byte replaced.
+func WithMeta(w3 uint64, meta uint8) uint64 {
+	return w3&^(uint64(0xff)<<56) | uint64(meta)<<56
+}
+
+// PackRecord fills dst (length >= SlotWords) with the packed record.
+func PackRecord(dst []uint64, k Key, v Value, meta uint8) {
+	dst[0], dst[1] = k.Pack()
+	dst[2], dst[3] = v.Pack(meta)
+}
+
+// KeyEqualsWords reports whether k equals the key packed in w0, w1 without
+// materialising byte slices — the hot-path comparison every probe performs.
+func KeyEqualsWords(k Key, w0, w1 uint64) bool {
+	kw0, kw1 := k.Pack()
+	return kw0 == w0 && kw1 == w1
+}
+
+// String renders the key with trailing zero padding trimmed.
+func (k Key) String() string { return trimZero(k[:]) }
+
+// String renders the value with trailing zero padding trimmed.
+func (v Value) String() string { return trimZero(v[:]) }
+
+func trimZero(b []byte) string {
+	end := len(b)
+	for end > 0 && b[end-1] == 0 {
+		end--
+	}
+	return string(b[:end])
+}

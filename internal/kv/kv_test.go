@@ -1,0 +1,165 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeKey(t *testing.T) {
+	k, err := MakeKey([]byte("hello"))
+	if err != nil {
+		t.Fatalf("MakeKey: %v", err)
+	}
+	if k.String() != "hello" {
+		t.Fatalf("Key.String() = %q", k.String())
+	}
+	if _, err := MakeKey(bytes.Repeat([]byte("x"), KeySize+1)); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+	full, err := MakeKey(bytes.Repeat([]byte("k"), KeySize))
+	if err != nil {
+		t.Fatalf("full-size key rejected: %v", err)
+	}
+	if len(full.String()) != KeySize {
+		t.Fatalf("full key lost bytes: %q", full.String())
+	}
+}
+
+func TestMakeValue(t *testing.T) {
+	v, err := MakeValue([]byte("world"))
+	if err != nil {
+		t.Fatalf("MakeValue: %v", err)
+	}
+	if v.String() != "world" {
+		t.Fatalf("Value.String() = %q", v.String())
+	}
+	if _, err := MakeValue(bytes.Repeat([]byte("x"), ValueSize+1)); err == nil {
+		t.Fatal("oversized value accepted")
+	}
+}
+
+func TestMustHelpersPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustKey did not panic on oversized input")
+		}
+	}()
+	MustKey(bytes.Repeat([]byte("x"), KeySize+1))
+}
+
+func TestMustValuePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustValue did not panic on oversized input")
+		}
+	}()
+	MustValue(bytes.Repeat([]byte("x"), ValueSize+1))
+}
+
+func TestKeyPackRoundTrip(t *testing.T) {
+	f := func(raw [KeySize]byte) bool {
+		k := Key(raw)
+		w0, w1 := k.Pack()
+		return UnpackKey(w0, w1) == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValuePackRoundTrip(t *testing.T) {
+	f := func(raw [ValueSize]byte, meta uint8) bool {
+		v := Value(raw)
+		w2, w3 := v.Pack(meta)
+		got, gotMeta := UnpackValue(w2, w3)
+		return got == v && gotMeta == meta
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetaHelpers(t *testing.T) {
+	v := MustValue([]byte("abcdefghijklmno")) // exactly 15 bytes
+	_, w3 := v.Pack(MetaValid)
+	if !ValidOf(w3) {
+		t.Fatal("ValidOf missed the valid bit")
+	}
+	if MetaOf(w3) != MetaValid {
+		t.Fatalf("MetaOf = %d", MetaOf(w3))
+	}
+	cleared := WithMeta(w3, 0)
+	if ValidOf(cleared) {
+		t.Fatal("WithMeta(0) left valid bit set")
+	}
+	got, _ := UnpackValue(0, cleared)
+	if !bytes.Equal(got[8:], v[8:]) {
+		t.Fatal("WithMeta corrupted value bytes")
+	}
+}
+
+func TestWithMetaPreservesValueProperty(t *testing.T) {
+	f := func(raw [ValueSize]byte, m1, m2 uint8) bool {
+		v := Value(raw)
+		_, w3 := v.Pack(m1)
+		w3b := WithMeta(w3, m2)
+		got, gotMeta := UnpackValue(0, w3b)
+		// Value bytes 8..14 must survive any meta rewrite.
+		return gotMeta == m2 && bytes.Equal(got[8:], v[8:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackRecord(t *testing.T) {
+	k := MustKey([]byte("record-key"))
+	v := MustValue([]byte("record-value"))
+	var words [SlotWords]uint64
+	PackRecord(words[:], k, v, MetaValid)
+	if UnpackKey(words[0], words[1]) != k {
+		t.Fatal("PackRecord key mismatch")
+	}
+	gotV, meta := UnpackValue(words[2], words[3])
+	if gotV != v || meta != MetaValid {
+		t.Fatal("PackRecord value/meta mismatch")
+	}
+}
+
+func TestKeyEqualsWords(t *testing.T) {
+	k := MustKey([]byte("compare-me"))
+	w0, w1 := k.Pack()
+	if !KeyEqualsWords(k, w0, w1) {
+		t.Fatal("KeyEqualsWords rejected its own packing")
+	}
+	if KeyEqualsWords(k, w0+1, w1) || KeyEqualsWords(k, w0, w1^0x80) {
+		t.Fatal("KeyEqualsWords accepted a different key")
+	}
+}
+
+func TestStringTrimsPadding(t *testing.T) {
+	k := MustKey([]byte("ab"))
+	if k.String() != "ab" {
+		t.Fatalf("String() = %q", k.String())
+	}
+	var zero Key
+	if zero.String() != "" {
+		t.Fatalf("zero key String() = %q", zero.String())
+	}
+	// Embedded zeros are preserved; only the tail is trimmed.
+	kEmb := Key{'a', 0, 'b'}
+	if kEmb.String() != "a\x00b" {
+		t.Fatalf("embedded-zero String() = %q", kEmb.String())
+	}
+}
+
+func TestSlotGeometry(t *testing.T) {
+	// The whole design hangs on 8 slots fitting a 256-byte bucket.
+	if SlotBytes != 32 {
+		t.Fatalf("SlotBytes = %d, want 32", SlotBytes)
+	}
+	if 8*SlotBytes != 256 {
+		t.Fatal("8 slots must fill one 256-byte NVM block")
+	}
+}

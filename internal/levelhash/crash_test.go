@@ -1,0 +1,141 @@
+package levelhash_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hdnh/internal/kv"
+	"hdnh/internal/levelhash"
+	"hdnh/internal/nvm"
+)
+
+func crashKey(i int) kv.Key     { return kv.MustKey([]byte(fmt.Sprintf("lv-crash-%06d", i))) }
+func crashValue(i int) kv.Value { return kv.MustValue([]byte(fmt.Sprintf("v%06d", i))) }
+
+// TestCrashSweepDuringInserts checks Level Hashing's slot-commit protocol:
+// at any flush-aligned crash point, recovery sees a table where every
+// present record is intact (never torn) and survivors form a prefix of the
+// acknowledged inserts.
+func TestCrashSweepDuringInserts(t *testing.T) {
+	for f := int64(1); f < 160; f += 7 {
+		f := f
+		t.Run(fmt.Sprintf("flush%d", f), func(t *testing.T) {
+			cfg := nvm.StrictConfig(1 << 20)
+			cfg.EvictProb = 0.3
+			cfg.Seed = uint64(f) ^ 0x11ef
+			dev, err := nvm.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl, err := levelhash.New(dev, levelhash.Options{InitTopBuckets: 256})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dev.SetCrashAfterFlushes(f); err != nil {
+				t.Fatal(err)
+			}
+			s := tbl.NewSession()
+			const n = 60
+			for i := 0; i < n; i++ {
+				if err := s.Insert(crashKey(i), crashValue(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			img := dev.CrashImage()
+			if img == nil {
+				return
+			}
+			dev2, err := nvm.FromImage(cfg, img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl2, err := levelhash.New(dev2, levelhash.Options{})
+			if err != nil {
+				t.Fatalf("reopen after crash: %v", err)
+			}
+			s2 := tbl2.NewSession()
+			firstMissing := -1
+			for i := 0; i < n; i++ {
+				v, ok := s2.Get(crashKey(i))
+				if ok && v != crashValue(i) {
+					t.Fatalf("key %d torn after crash: %q", i, v.String())
+				}
+				if !ok && firstMissing < 0 {
+					firstMissing = i
+				}
+				if ok && firstMissing >= 0 {
+					t.Fatalf("non-prefix survival: key %d missing, key %d present", firstMissing, i)
+				}
+			}
+		})
+	}
+}
+
+// TestCrashDuringResizeKeepsOldStructure checks the copy-then-switch resize:
+// a crash before the atomic state switch leaves the old structure fully
+// intact; one after it leaves the new structure complete.
+func TestCrashDuringResizeKeepsOldStructure(t *testing.T) {
+	for f := int64(1); f < 400; f += 13 {
+		f := f
+		t.Run(fmt.Sprintf("flush%d", f), func(t *testing.T) {
+			cfg := nvm.StrictConfig(1 << 20)
+			cfg.EvictProb = 0.3
+			cfg.Seed = uint64(f) + 99
+			dev, err := nvm.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl, err := levelhash.New(dev, levelhash.Options{InitTopBuckets: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := tbl.NewSession()
+			// Load until the first resize completes, arming mid-way.
+			loaded := 0
+			capBefore := tbl.Capacity()
+			armed := false
+			for tbl.Capacity() == capBefore && loaded < 100000 {
+				if loaded == 20 && !armed {
+					if err := dev.SetCrashAfterFlushes(f); err != nil {
+						t.Fatal(err)
+					}
+					armed = true
+				}
+				if err := s.Insert(crashKey(loaded), crashValue(loaded)); err != nil {
+					t.Fatal(err)
+				}
+				loaded++
+			}
+			img := dev.CrashImage()
+			if img == nil {
+				t.Skip("resize finished before the crash point")
+			}
+			dev2, err := nvm.FromImage(cfg, img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl2, err := levelhash.New(dev2, levelhash.Options{})
+			if err != nil {
+				t.Fatalf("reopen after mid-resize crash: %v", err)
+			}
+			s2 := tbl2.NewSession()
+			firstMissing := -1
+			for i := 0; i < loaded; i++ {
+				v, ok := s2.Get(crashKey(i))
+				if ok && v != crashValue(i) {
+					t.Fatalf("key %d corrupt after mid-resize crash", i)
+				}
+				if !ok && firstMissing < 0 {
+					firstMissing = i
+				}
+				if ok && firstMissing >= 0 {
+					t.Fatalf("non-prefix survival across resize crash")
+				}
+			}
+			// Table must remain usable.
+			if err := s2.Insert(crashKey(200000), crashValue(1)); err != nil {
+				t.Fatalf("insert after recovery: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,604 @@
+// Package levelhash implements the LEVEL baseline: Level Hashing (Zuo, Hua,
+// Wu — OSDI '18) as the HDNH paper configures it.
+//
+// Structure: two NVM-resident levels, the top with 2x the buckets of the
+// bottom; every key has two candidate buckets per level (one per hash
+// function). Inserts try all four candidates, then a single in-level cuckoo
+// displacement, then the bottom-to-top eviction, and finally trigger a
+// resize that allocates a 2x top level and rehashes the old bottom level
+// into it (the old top is reused as the new bottom without rehashing).
+//
+// Concurrency follows the HDNH paper's description of LEVEL: slot-grained
+// reader-writer locks plus a global resize lock. The lock words conceptually
+// live in NVM next to their slots, so acquiring or releasing any lock —
+// including a read lock — is charged as an 8-byte NVM write; this is exactly
+// the bandwidth tax the HDNH paper criticises, and it is why LEVEL's search
+// throughput collapses under concurrency in Figure 14(b).
+//
+// There is no DRAM metadata at all, so every probe during search or insert
+// pays NVM read traffic — the contrast with HDNH's OCF.
+package levelhash
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hdnh/internal/hashfn"
+	"hdnh/internal/kv"
+	"hdnh/internal/nvm"
+	"hdnh/internal/scheme"
+)
+
+// Geometry: the original Level Hashing uses 4-slot buckets.
+const (
+	slotsPerBucket = 4
+	slotWords      = kv.SlotWords
+	bucketWords    = slotsPerBucket * slotWords
+)
+
+// Persistent metadata (root slot 1):
+//
+//	word 0  magic
+//	word 1  state: top slot | bottom slot | generation (atomic switch)
+//	words 2..7  three level descriptors (base, buckets)
+const (
+	metaWords    = nvm.BlockWords
+	rootSlot     = 1
+	metaMagic    = uint64(0x4c45564c48415348) // "LEVLHASH"
+	magicWord    = 0
+	stateWord    = 1
+	levelBase    = 2
+	numLevelDesc = 3
+)
+
+type state struct {
+	top, bottom uint8
+	generation  uint64
+}
+
+func (s state) pack() uint64 { return uint64(s.top) | uint64(s.bottom)<<2 | s.generation<<16 }
+func unpack(w uint64) state {
+	return state{top: uint8(w) & 3, bottom: uint8(w>>2) & 3, generation: w >> 16}
+}
+
+// rwSpin is a compact reader-writer spinlock; every transition is charged as
+// an NVM write because Level Hashing keeps its lock words with the data.
+type rwSpin struct{ v atomic.Int32 }
+
+func (l *rwSpin) rlock() {
+	for {
+		v := l.v.Load()
+		if v >= 0 && l.v.CompareAndSwap(v, v+1) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+func (l *rwSpin) runlock() { l.v.Add(-1) }
+
+func (l *rwSpin) lock() {
+	for !l.v.CompareAndSwap(0, -1) {
+		runtime.Gosched()
+	}
+}
+
+func (l *rwSpin) unlock() { l.v.Store(0) }
+
+type levelArr struct {
+	base    int64
+	buckets int64
+	locks   []rwSpin // one per slot
+}
+
+func newLevelArr(base, buckets int64) *levelArr {
+	return &levelArr{base: base, buckets: buckets, locks: make([]rwSpin, buckets*slotsPerBucket)}
+}
+
+func (l *levelArr) slotWordOff(b int64, s int) int64 {
+	return l.base + b*bucketWords + int64(s)*slotWords
+}
+
+func (l *levelArr) words() int64 { return l.buckets * bucketWords }
+
+// Table is a Level Hashing instance.
+type Table struct {
+	dev     *nvm.Device
+	metaOff int64
+
+	resizeMu sync.RWMutex
+	top      *levelArr
+	bottom   *levelArr
+
+	count atomic.Int64
+}
+
+// Options configures creation.
+type Options struct {
+	// InitTopBuckets is the initial top-level bucket count; the bottom
+	// level has half as many. Any positive value works; powers of two are
+	// conventional.
+	InitTopBuckets int64
+}
+
+// New creates or opens a Level Hashing table on the device.
+func New(dev *nvm.Device, opts Options) (*Table, error) {
+	if opts.InitTopBuckets <= 0 {
+		opts.InitTopBuckets = 64
+	}
+	if opts.InitTopBuckets%2 != 0 {
+		opts.InitTopBuckets++
+	}
+	t := &Table{dev: dev}
+	h := dev.NewHandle()
+	if root := dev.Root(rootSlot); root != 0 {
+		t.metaOff = int64(root)
+		if dev.Load(t.metaOff+magicWord) != metaMagic {
+			return nil, errors.New("levelhash: metadata magic mismatch")
+		}
+		st := t.state()
+		topBase, topBuckets := t.descriptor(st.top)
+		botBase, botBuckets := t.descriptor(st.bottom)
+		t.top = newLevelArr(topBase, topBuckets)
+		t.bottom = newLevelArr(botBase, botBuckets)
+		t.count.Store(t.scanCount(h))
+		return t, nil
+	}
+	metaOff, err := dev.Alloc(h, metaWords, nvm.BlockWords)
+	if err != nil {
+		return nil, fmt.Errorf("levelhash: allocating metadata: %w", err)
+	}
+	t.metaOff = metaOff
+	topBuckets := opts.InitTopBuckets
+	botBuckets := topBuckets / 2
+	topBase, err := dev.Alloc(h, topBuckets*bucketWords, nvm.BlockWords)
+	if err != nil {
+		return nil, err
+	}
+	botBase, err := dev.Alloc(h, botBuckets*bucketWords, nvm.BlockWords)
+	if err != nil {
+		return nil, err
+	}
+	t.writeDescriptor(h, 0, topBase, topBuckets)
+	t.writeDescriptor(h, 1, botBase, botBuckets)
+	t.setState(h, state{top: 0, bottom: 1, generation: 1})
+	h.StorePersist(metaOff+magicWord, metaMagic)
+	dev.SetRoot(h, rootSlot, uint64(metaOff))
+	t.top = newLevelArr(topBase, topBuckets)
+	t.bottom = newLevelArr(botBase, botBuckets)
+	return t, nil
+}
+
+func (t *Table) state() state { return unpack(t.dev.Load(t.metaOff + stateWord)) }
+
+func (t *Table) setState(h *nvm.Handle, s state) {
+	h.StorePersist(t.metaOff+stateWord, s.pack())
+}
+
+func (t *Table) descriptor(i uint8) (base, buckets int64) {
+	return int64(t.dev.Load(t.metaOff + levelBase + 2*int64(i))),
+		int64(t.dev.Load(t.metaOff + levelBase + 2*int64(i) + 1))
+}
+
+func (t *Table) writeDescriptor(h *nvm.Handle, i uint8, base, buckets int64) {
+	w := t.metaOff + levelBase + 2*int64(i)
+	h.Store(w, uint64(base))
+	h.Store(w+1, uint64(buckets))
+	h.WriteAccess(w, 2)
+	h.Flush(w, 2)
+	h.Fence()
+}
+
+// lockCharge models the NVM write caused by a lock-word transition.
+func lockCharge(h *nvm.Handle, off int64) {
+	h.WriteAccess(off, 1)
+	h.Flush(off, 1)
+}
+
+// candidate buckets for a level: one per hash function.
+func (l *levelArr) candidates(h1, h2 uint64) [2]int64 {
+	b1 := int64(h1 % uint64(l.buckets))
+	b2 := int64(h2 % uint64(l.buckets))
+	if b2 == b1 {
+		b2 = (b1 + 1) % l.buckets
+	}
+	return [2]int64{b1, b2}
+}
+
+// readSlot loads one slot with accounting.
+func (l *levelArr) readSlot(h *nvm.Handle, b int64, s int) (w [slotWords]uint64) {
+	off := l.slotWordOff(b, s)
+	h.ReadAccess(off, slotWords)
+	for i := range w {
+		w[i] = h.Load(off + int64(i))
+	}
+	return w
+}
+
+// writeSlotCommit persists a record into slot (b, s) with the standard
+// two-step crash-atomic ordering.
+func (l *levelArr) writeSlotCommit(h *nvm.Handle, b int64, s int, k kv.Key, v kv.Value) {
+	off := l.slotWordOff(b, s)
+	var w [slotWords]uint64
+	kv.PackRecord(w[:], k, v, kv.MetaValid)
+	h.Store(off, w[0])
+	h.Store(off+1, w[1])
+	h.Store(off+2, w[2])
+	h.WriteAccess(off, 3)
+	h.Flush(off, 3)
+	h.Fence()
+	h.StorePersist(off+3, w[3])
+}
+
+func (l *levelArr) clearSlot(h *nvm.Handle, b int64, s int, w3 uint64) {
+	h.StorePersist(l.slotWordOff(b, s)+3, kv.WithMeta(w3, 0))
+}
+
+// Count returns live records.
+func (t *Table) Count() int64 { return t.count.Load() }
+
+// Capacity returns total slots.
+func (t *Table) Capacity() int64 {
+	t.resizeMu.RLock()
+	defer t.resizeMu.RUnlock()
+	return (t.top.buckets + t.bottom.buckets) * slotsPerBucket
+}
+
+// LoadFactor returns occupancy.
+func (t *Table) LoadFactor() float64 {
+	c := t.Capacity()
+	if c == 0 {
+		return 0
+	}
+	return float64(t.Count()) / float64(c)
+}
+
+func (t *Table) scanCount(h *nvm.Handle) int64 {
+	st := t.state()
+	var n int64
+	for _, i := range []uint8{st.top, st.bottom} {
+		base, buckets := t.descriptor(i)
+		for b := int64(0); b < buckets; b++ {
+			h.ReadAccess(base+b*bucketWords, bucketWords)
+			for s := 0; s < slotsPerBucket; s++ {
+				if kv.ValidOf(h.Load(base + b*bucketWords + int64(s)*slotWords + 3)) {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Session is the per-goroutine operation handle.
+type Session struct {
+	t *Table
+	h *nvm.Handle
+}
+
+// NewSession returns a session.
+func (t *Table) NewSession() *Session { return &Session{t: t, h: t.dev.NewHandle()} }
+
+// NVMStats returns session traffic.
+func (s *Session) NVMStats() nvm.Stats { return s.h.Stats() }
+
+// Get searches both levels' candidate buckets, slot by slot, taking (and
+// paying for) a read lock per slot probed — Level Hashing has no filter, so
+// every probe is an NVM read.
+func (s *Session) Get(k kv.Key) (kv.Value, bool) {
+	h1, h2 := hashfn.Pair(k[:])
+	kw0, kw1 := k.Pack()
+	s.t.resizeMu.RLock()
+	defer s.t.resizeMu.RUnlock()
+	for _, lvl := range [2]*levelArr{s.t.top, s.t.bottom} {
+		for _, b := range lvl.candidates(h1, h2) {
+			for slot := 0; slot < slotsPerBucket; slot++ {
+				lk := &lvl.locks[b*slotsPerBucket+int64(slot)]
+				lk.rlock()
+				lockCharge(s.h, lvl.slotWordOff(b, slot))
+				w := lvl.readSlot(s.h, b, slot)
+				hit := kv.ValidOf(w[3]) && w[0] == kw0 && w[1] == kw1
+				lk.runlock()
+				lockCharge(s.h, lvl.slotWordOff(b, slot))
+				if hit {
+					v, _ := kv.UnpackValue(w[2], w[3])
+					return v, true
+				}
+			}
+		}
+	}
+	return kv.Value{}, false
+}
+
+// Insert places a new record, using displacement and bottom-to-top eviction
+// before resizing.
+func (s *Session) Insert(k kv.Key, v kv.Value) error {
+	h1, h2 := hashfn.Pair(k[:])
+	for attempt := 0; attempt < 24; attempt++ {
+		s.t.resizeMu.RLock()
+		if _, dup := s.lookupLocked(k, h1, h2); dup {
+			s.t.resizeMu.RUnlock()
+			return scheme.ErrExists
+		}
+		if s.tryPlace(k, v, h1, h2) {
+			s.t.count.Add(1)
+			s.t.resizeMu.RUnlock()
+			return nil
+		}
+		gen := s.t.state().generation
+		s.t.resizeMu.RUnlock()
+		if err := s.t.expand(gen); err != nil {
+			return err
+		}
+	}
+	return scheme.ErrFull
+}
+
+// lookupLocked is Get's probe without the outer lock (caller holds it),
+// returning the slot position.
+func (s *Session) lookupLocked(k kv.Key, h1, h2 uint64) (pos [3]int64, found bool) {
+	kw0, kw1 := k.Pack()
+	for li, lvl := range [2]*levelArr{s.t.top, s.t.bottom} {
+		for _, b := range lvl.candidates(h1, h2) {
+			for slot := 0; slot < slotsPerBucket; slot++ {
+				lk := &lvl.locks[b*slotsPerBucket+int64(slot)]
+				lk.rlock()
+				lockCharge(s.h, lvl.slotWordOff(b, slot))
+				w := lvl.readSlot(s.h, b, slot)
+				hit := kv.ValidOf(w[3]) && w[0] == kw0 && w[1] == kw1
+				lk.runlock()
+				lockCharge(s.h, lvl.slotWordOff(b, slot))
+				if hit {
+					return [3]int64{int64(li), b, int64(slot)}, true
+				}
+			}
+		}
+	}
+	return pos, false
+}
+
+// tryPlace attempts: empty slot in any candidate bucket; one cuckoo
+// displacement in the top level; bottom-to-top eviction.
+func (s *Session) tryPlace(k kv.Key, v kv.Value, h1, h2 uint64) bool {
+	for _, lvl := range [2]*levelArr{s.t.top, s.t.bottom} {
+		for _, b := range lvl.candidates(h1, h2) {
+			if s.placeInBucket(lvl, b, k, v) {
+				return true
+			}
+		}
+	}
+	// One-step displacement: move an item from a top candidate to its own
+	// alternate top bucket.
+	if s.displace(s.t.top, h1, h2, k, v) {
+		return true
+	}
+	// Bottom-to-top eviction: move an item from a bottom candidate up to
+	// the top level to make room (the mechanism the HDNH paper calls out
+	// as expensive).
+	return s.displace(s.t.bottom, h1, h2, k, v)
+}
+
+func (s *Session) placeInBucket(lvl *levelArr, b int64, k kv.Key, v kv.Value) bool {
+	for slot := 0; slot < slotsPerBucket; slot++ {
+		lk := &lvl.locks[b*slotsPerBucket+int64(slot)]
+		lk.lock()
+		lockCharge(s.h, lvl.slotWordOff(b, slot))
+		w := lvl.readSlot(s.h, b, slot)
+		if kv.ValidOf(w[3]) {
+			lk.unlock()
+			lockCharge(s.h, lvl.slotWordOff(b, slot))
+			continue
+		}
+		lvl.writeSlotCommit(s.h, b, int64ToInt(slot), k, v)
+		lk.unlock()
+		lockCharge(s.h, lvl.slotWordOff(b, slot))
+		return true
+	}
+	return false
+}
+
+func int64ToInt(s int) int { return s }
+
+// displace moves one record out of srcLvl's candidate buckets to make room
+// for (k, v). For the top level the record moves to its alternate top
+// bucket; for the bottom level it moves up into the top level.
+func (s *Session) displace(srcLvl *levelArr, h1, h2 uint64, k kv.Key, v kv.Value) bool {
+	dstLvl := s.t.top
+	for _, b := range srcLvl.candidates(h1, h2) {
+		for slot := 0; slot < slotsPerBucket; slot++ {
+			lk := &srcLvl.locks[b*slotsPerBucket+int64(slot)]
+			lk.lock()
+			lockCharge(s.h, srcLvl.slotWordOff(b, slot))
+			w := srcLvl.readSlot(s.h, b, slot)
+			if !kv.ValidOf(w[3]) {
+				lk.unlock()
+				lockCharge(s.h, srcLvl.slotWordOff(b, slot))
+				continue
+			}
+			vk := kv.UnpackKey(w[0], w[1])
+			vv, _ := kv.UnpackValue(w[2], w[3])
+			vh1, vh2 := hashfn.Pair(vk[:])
+			moved := false
+			for _, db := range dstLvl.candidates(vh1, vh2) {
+				if dstLvl == srcLvl && db == b {
+					continue
+				}
+				if s.placeInBucket(dstLvl, db, vk, vv) {
+					moved = true
+					break
+				}
+			}
+			if moved {
+				srcLvl.clearSlot(s.h, b, slot, w[3])
+				// The freed slot takes the new record.
+				srcLvl.writeSlotCommit(s.h, b, slot, k, v)
+				lk.unlock()
+				lockCharge(s.h, srcLvl.slotWordOff(b, slot))
+				return true
+			}
+			lk.unlock()
+			lockCharge(s.h, srcLvl.slotWordOff(b, slot))
+		}
+	}
+	return false
+}
+
+// Update rewrites a record in place under its slot write lock, as Level
+// Hashing does for fitting values. Note: an in-place rewrite of a 31-byte
+// value spans multiple words, so a crash mid-update can tear it — a known
+// limitation of in-place updates on PM that HDNH's out-of-place protocol
+// avoids; the crash-consistency test matrix for this baseline therefore
+// covers inserts (which are crash-atomic here) but not updates.
+func (s *Session) Update(k kv.Key, v kv.Value) error {
+	h1, h2 := hashfn.Pair(k[:])
+	kw0, kw1 := k.Pack()
+	s.t.resizeMu.RLock()
+	defer s.t.resizeMu.RUnlock()
+	for _, lvl := range [2]*levelArr{s.t.top, s.t.bottom} {
+		for _, b := range lvl.candidates(h1, h2) {
+			for slot := 0; slot < slotsPerBucket; slot++ {
+				lk := &lvl.locks[b*slotsPerBucket+int64(slot)]
+				lk.lock()
+				lockCharge(s.h, lvl.slotWordOff(b, slot))
+				w := lvl.readSlot(s.h, b, slot)
+				if kv.ValidOf(w[3]) && w[0] == kw0 && w[1] == kw1 {
+					lvl.writeSlotCommit(s.h, b, slot, k, v)
+					lk.unlock()
+					lockCharge(s.h, lvl.slotWordOff(b, slot))
+					return nil
+				}
+				lk.unlock()
+				lockCharge(s.h, lvl.slotWordOff(b, slot))
+			}
+		}
+	}
+	return scheme.ErrNotFound
+}
+
+// Delete clears the record's valid bit under its slot write lock.
+func (s *Session) Delete(k kv.Key) error {
+	h1, h2 := hashfn.Pair(k[:])
+	kw0, kw1 := k.Pack()
+	s.t.resizeMu.RLock()
+	defer s.t.resizeMu.RUnlock()
+	for _, lvl := range [2]*levelArr{s.t.top, s.t.bottom} {
+		for _, b := range lvl.candidates(h1, h2) {
+			for slot := 0; slot < slotsPerBucket; slot++ {
+				lk := &lvl.locks[b*slotsPerBucket+int64(slot)]
+				lk.lock()
+				lockCharge(s.h, lvl.slotWordOff(b, slot))
+				w := lvl.readSlot(s.h, b, slot)
+				if kv.ValidOf(w[3]) && w[0] == kw0 && w[1] == kw1 {
+					lvl.clearSlot(s.h, b, slot, w[3])
+					lk.unlock()
+					lockCharge(s.h, lvl.slotWordOff(b, slot))
+					s.t.count.Add(-1)
+					return nil
+				}
+				lk.unlock()
+				lockCharge(s.h, lvl.slotWordOff(b, slot))
+			}
+		}
+	}
+	return scheme.ErrNotFound
+}
+
+// expand performs the level-hashing resize: a new top level with twice the
+// old top's buckets is allocated, the old bottom is rehashed into it, and
+// the old top becomes the new bottom. The global resize lock blocks all
+// operations, which is exactly the insertion stall Figure 14(a) shows.
+func (t *Table) expand(observedGen uint64) error {
+	t.resizeMu.Lock()
+	defer t.resizeMu.Unlock()
+	st := t.state()
+	if st.generation != observedGen {
+		return nil
+	}
+	h := t.dev.NewHandle()
+	free := uint8(0)
+	for free == st.top || free == st.bottom {
+		free++
+	}
+	newBuckets := 2 * t.top.buckets
+	base, err := t.dev.Alloc(h, newBuckets*bucketWords, nvm.BlockWords)
+	if err != nil {
+		return fmt.Errorf("%w: levelhash resize: %v", scheme.ErrFull, err)
+	}
+	t.writeDescriptor(h, free, base, newBuckets)
+	newTop := newLevelArr(base, newBuckets)
+
+	// Rehash old bottom into the new top (copy, then switch).
+	src := t.bottom
+	for b := int64(0); b < src.buckets; b++ {
+		h.ReadAccess(src.base+b*bucketWords, bucketWords)
+		for slot := 0; slot < slotsPerBucket; slot++ {
+			w3 := h.Load(src.slotWordOff(b, slot) + 3)
+			if !kv.ValidOf(w3) {
+				continue
+			}
+			off := src.slotWordOff(b, slot)
+			k := kv.UnpackKey(h.Load(off), h.Load(off+1))
+			v, _ := kv.UnpackValue(h.Load(off+2), w3)
+			h1, h2 := hashfn.Pair(k[:])
+			placed := false
+			for _, db := range newTop.candidates(h1, h2) {
+				for ds := 0; ds < slotsPerBucket; ds++ {
+					if !kv.ValidOf(h.Load(newTop.slotWordOff(db, ds) + 3)) {
+						newTop.writeSlotCommit(h, db, ds, k, v)
+						placed = true
+						break
+					}
+				}
+				if placed {
+					break
+				}
+			}
+			if !placed {
+				return fmt.Errorf("%w: levelhash rehash overflow", scheme.ErrFull)
+			}
+		}
+	}
+	// Atomic switch: new top live, old top demoted, old bottom retired.
+	t.setState(h, state{top: free, bottom: st.top, generation: st.generation + 1})
+	t.bottom = t.top
+	t.top = newTop
+	return nil
+}
+
+// Close is a no-op (no background machinery).
+func (t *Table) Close() error { return nil }
+
+func init() {
+	scheme.Register("LEVEL", func(dev *nvm.Device, capacityHint int64) (scheme.Store, error) {
+		// Size so a hint-record load lands near 60% without resizing:
+		// capacity = (top + top/2) * 4 slots.
+		top := int64(64)
+		if capacityHint > 0 {
+			want := capacityHint * 10 / 6 / (slotsPerBucket * 3 / 2)
+			for top < want {
+				top *= 2
+			}
+		}
+		t, err := New(dev, Options{InitTopBuckets: top})
+		if err != nil {
+			return nil, err
+		}
+		return &store{t}, nil
+	})
+}
+
+type store struct{ t *Table }
+
+var _ scheme.Store = (*store)(nil)
+
+func (s *store) Name() string               { return "LEVEL" }
+func (s *store) NewSession() scheme.Session { return s.t.NewSession() }
+func (s *store) Count() int64               { return s.t.Count() }
+func (s *store) Capacity() int64            { return s.t.Capacity() }
+func (s *store) LoadFactor() float64        { return s.t.LoadFactor() }
+func (s *store) Close() error               { return s.t.Close() }
+
+var _ scheme.Session = (*Session)(nil)

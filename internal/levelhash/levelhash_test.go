@@ -1,0 +1,82 @@
+package levelhash_test
+
+import (
+	"testing"
+
+	"hdnh/internal/kv"
+	"hdnh/internal/levelhash"
+	"hdnh/internal/nvm"
+	"hdnh/internal/schemetest"
+)
+
+func TestConformance(t *testing.T) {
+	schemetest.Run(t, "LEVEL", schemetest.Config{DeviceWords: 1 << 23})
+}
+
+func TestSearchChargesLockWrites(t *testing.T) {
+	// The defining cost of LEVEL per the HDNH paper: read locks are NVM
+	// writes, so even a pure search workload produces write traffic.
+	dev, err := nvm.New(nvm.DefaultConfig(1 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := levelhash.New(dev, levelhash.Options{InitTopBuckets: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.NewSession()
+	k := kv.MustKey([]byte("lockcharge"))
+	if err := s.Insert(k, kv.MustValue([]byte("v"))); err != nil {
+		t.Fatal(err)
+	}
+	before := s.NVMStats()
+	for i := 0; i < 100; i++ {
+		if _, ok := s.Get(k); !ok {
+			t.Fatal("lost key")
+		}
+	}
+	delta := s.NVMStats().Sub(before)
+	if delta.WriteAccesses == 0 || delta.Flushes == 0 {
+		t.Fatalf("searches produced no lock-word NVM writes: %+v", delta)
+	}
+	if delta.ReadAccesses == 0 {
+		t.Fatal("searches produced no NVM reads (LEVEL has no filter)")
+	}
+}
+
+func TestReopenKeepsData(t *testing.T) {
+	cfg := nvm.StrictConfig(1 << 20)
+	dev, err := nvm.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := levelhash.New(dev, levelhash.Options{InitTopBuckets: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.NewSession()
+	keys := make([]kv.Key, 200)
+	for i := range keys {
+		keys[i] = kv.MustKey([]byte{byte(i), byte(i >> 8), 'L', 'v'})
+		if err := s.Insert(keys[i], kv.MustValue([]byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev2, err := nvm.FromImage(cfg, dev.PersistedImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl2, err := levelhash.New(dev2, levelhash.Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if tbl2.Count() != 200 {
+		t.Fatalf("Count after reopen = %d", tbl2.Count())
+	}
+	s2 := tbl2.NewSession()
+	for i, k := range keys {
+		if v, ok := s2.Get(k); !ok || v[0] != byte(i) {
+			t.Fatalf("key %d wrong after reopen", i)
+		}
+	}
+}

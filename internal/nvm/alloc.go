@@ -1,0 +1,97 @@
+package nvm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The superblock occupies the first words of every device:
+//
+//	word 0            magic
+//	word 1            allocation head (next free word)
+//	words 8..23       sixteen root pointers for client structures
+//
+// Root pointers are how recovery finds persistent structures after a crash:
+// a scheme stores the word offset of its top-level metadata in a root slot.
+const (
+	SuperblockWords = 64
+
+	superMagicWord = 0
+	superAllocWord = 1
+	superRootBase  = 8
+
+	// NumRoots is how many root pointer slots the superblock provides.
+	NumRoots = 16
+
+	superMagic = uint64(0x48444e485f4e564d) // "HDNH_NVM"
+)
+
+// ErrOutOfSpace is returned when an allocation does not fit on the device.
+var ErrOutOfSpace = errors.New("nvm: out of space")
+
+func (d *Device) formatSuperblock() {
+	d.words[superMagicWord] = superMagic
+	d.words[superAllocWord] = SuperblockWords
+	if d.cfg.Mode == ModeStrict {
+		copy(d.persisted, d.words[:SuperblockWords])
+	}
+}
+
+func (d *Device) checkSuperblock() error {
+	if d.Load(superMagicWord) != superMagic {
+		return errors.New("nvm: image superblock magic mismatch (not a formatted device)")
+	}
+	head := int64(d.Load(superAllocWord))
+	if head < SuperblockWords || head > d.cfg.Words {
+		return fmt.Errorf("nvm: image allocation head %d out of range", head)
+	}
+	return nil
+}
+
+// Alloc durably bump-allocates n words aligned to alignWords (which must be
+// a power of two; 0 or 1 means word alignment) and returns the word offset.
+// The allocation head is persisted through h before Alloc returns, so a
+// crash never leaks a structure the caller already linked into a root.
+func (d *Device) Alloc(h *Handle, n, alignWords int64) (int64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("nvm: allocation of %d words", n)
+	}
+	if alignWords <= 0 {
+		alignWords = 1
+	}
+	if alignWords&(alignWords-1) != 0 {
+		return 0, fmt.Errorf("nvm: alignment %d is not a power of two", alignWords)
+	}
+	d.allocMu.Lock()
+	defer d.allocMu.Unlock()
+	head := int64(d.Load(superAllocWord))
+	off := (head + alignWords - 1) &^ (alignWords - 1)
+	if off+n > d.cfg.Words {
+		return 0, fmt.Errorf("%w: want %d words at %d, capacity %d", ErrOutOfSpace, n, off, d.cfg.Words)
+	}
+	h.StorePersist(superAllocWord, uint64(off+n))
+	return off, nil
+}
+
+// FreeWords reports how many words remain allocatable.
+func (d *Device) FreeWords() int64 {
+	d.allocMu.Lock()
+	defer d.allocMu.Unlock()
+	return d.cfg.Words - int64(d.Load(superAllocWord))
+}
+
+// SetRoot durably stores v in root slot i.
+func (d *Device) SetRoot(h *Handle, i int, v uint64) {
+	if i < 0 || i >= NumRoots {
+		panic(fmt.Sprintf("nvm: root index %d out of range", i))
+	}
+	h.StorePersist(superRootBase+int64(i), v)
+}
+
+// Root reads root slot i.
+func (d *Device) Root(i int) uint64 {
+	if i < 0 || i >= NumRoots {
+		panic(fmt.Sprintf("nvm: root index %d out of range", i))
+	}
+	return d.Load(superRootBase + int64(i))
+}

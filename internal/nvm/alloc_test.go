@@ -1,0 +1,148 @@
+package nvm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestAllocBasic(t *testing.T) {
+	d := newTestDevice(t, DefaultConfig(4096))
+	h := d.NewHandle()
+
+	off1, err := d.Alloc(h, 100, 0)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if off1 != SuperblockWords {
+		t.Fatalf("first allocation at %d, want %d", off1, SuperblockWords)
+	}
+	off2, err := d.Alloc(h, 10, BlockWords)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if off2%BlockWords != 0 {
+		t.Fatalf("aligned allocation at %d is not block-aligned", off2)
+	}
+	if off2 < off1+100 {
+		t.Fatalf("allocations overlap: %d then %d", off1, off2)
+	}
+}
+
+func TestAllocErrors(t *testing.T) {
+	d := newTestDevice(t, DefaultConfig(1024))
+	h := d.NewHandle()
+	if _, err := d.Alloc(h, 0, 0); err == nil {
+		t.Fatal("Alloc(0) succeeded")
+	}
+	if _, err := d.Alloc(h, 8, 3); err == nil {
+		t.Fatal("Alloc with non-power-of-two alignment succeeded")
+	}
+	if _, err := d.Alloc(h, 1<<20, 0); !errors.Is(err, ErrOutOfSpace) {
+		t.Fatalf("oversized Alloc: %v, want ErrOutOfSpace", err)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	d := newTestDevice(t, DefaultConfig(1024))
+	h := d.NewHandle()
+	total := int64(0)
+	for {
+		_, err := d.Alloc(h, 128, 0)
+		if err != nil {
+			if !errors.Is(err, ErrOutOfSpace) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		total += 128
+	}
+	if total == 0 || total > 1024-SuperblockWords {
+		t.Fatalf("allocated %d words from a %d-word device", total, 1024)
+	}
+	if free := d.FreeWords(); free >= 128 {
+		t.Fatalf("FreeWords = %d after exhaustion", free)
+	}
+}
+
+func TestAllocConcurrent(t *testing.T) {
+	d := newTestDevice(t, DefaultConfig(1<<16))
+	const goroutines = 8
+	const each = 20
+	offsets := make([][]int64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := d.NewHandle()
+			for i := 0; i < each; i++ {
+				off, err := d.Alloc(h, 16, 0)
+				if err != nil {
+					t.Errorf("Alloc: %v", err)
+					return
+				}
+				offsets[g] = append(offsets[g], off)
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := map[int64]bool{}
+	for _, offs := range offsets {
+		for _, off := range offs {
+			if seen[off] {
+				t.Fatalf("offset %d allocated twice", off)
+			}
+			seen[off] = true
+		}
+	}
+	if len(seen) != goroutines*each {
+		t.Fatalf("got %d allocations, want %d", len(seen), goroutines*each)
+	}
+}
+
+func TestAllocHeadSurvivesImage(t *testing.T) {
+	cfg := StrictConfig(4096)
+	d := newTestDevice(t, cfg)
+	h := d.NewHandle()
+	off1, err := d.Alloc(h, 64, 0)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	d2, err := FromImage(cfg, d.PersistedImage())
+	if err != nil {
+		t.Fatalf("FromImage: %v", err)
+	}
+	h2 := d2.NewHandle()
+	off2, err := d2.Alloc(h2, 64, 0)
+	if err != nil {
+		t.Fatalf("Alloc after restore: %v", err)
+	}
+	if off2 < off1+64 {
+		t.Fatalf("restored allocator reused space: first %d, second %d", off1, off2)
+	}
+}
+
+func TestRoots(t *testing.T) {
+	d := newTestDevice(t, DefaultConfig(1024))
+	h := d.NewHandle()
+	d.SetRoot(h, 3, 777)
+	if got := d.Root(3); got != 777 {
+		t.Fatalf("Root(3) = %d, want 777", got)
+	}
+	if got := d.Root(4); got != 0 {
+		t.Fatalf("Root(4) = %d, want 0", got)
+	}
+	mustPanic(t, func() { d.SetRoot(h, NumRoots, 1) })
+	mustPanic(t, func() { d.Root(-1) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

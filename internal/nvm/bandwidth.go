@@ -1,0 +1,48 @@
+package nvm
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// tokenBucket enforces a sustained byte rate across concurrent handles.
+// State is a single atomic word holding the (possibly negative) "paid until"
+// timestamp in nanoseconds: each consumer advances it by bytes/rate and, if
+// the new deadline is in the future, spins until real time catches up. This
+// models a saturated memory channel — excess demand turns into stall time,
+// which is exactly how bandwidth-starved NVM schemes lose throughput.
+type tokenBucket struct {
+	paidUntil atomic.Int64 // unix nanos
+	nanosPerB float64
+	_         [40]byte
+}
+
+func newTokenBucket(bytesPerSecond int64) *tokenBucket {
+	tb := &tokenBucket{nanosPerB: float64(time.Second) / float64(bytesPerSecond)}
+	tb.paidUntil.Store(time.Now().UnixNano())
+	return tb
+}
+
+// consume charges n bytes and stalls if the channel is over-subscribed.
+func (tb *tokenBucket) consume(n int64) {
+	cost := int64(float64(n) * tb.nanosPerB)
+	if cost <= 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	for {
+		old := tb.paidUntil.Load()
+		base := old
+		if base < now-int64(time.Millisecond) {
+			// The channel has been idle; don't bank more than 1ms of credit.
+			base = now - int64(time.Millisecond)
+		}
+		if tb.paidUntil.CompareAndSwap(old, base+cost) {
+			deadline := base + cost
+			if deadline > now {
+				spinWait(time.Duration(deadline - now))
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package nvm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveImageToFileAndLoadImageFile(t *testing.T) {
+	d := newTestDevice(t, DefaultConfig(2048))
+	h := d.NewHandle()
+	h.WriteWords(500, []uint64{7, 8, 9})
+	h.Flush(500, 3)
+	d.SetRoot(h, 2, 500)
+
+	path := filepath.Join(t.TempDir(), "dev.img")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SaveImage(f); err != nil {
+		t.Fatalf("SaveImage: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	img, err := LoadImageFile(path)
+	if err != nil {
+		t.Fatalf("LoadImageFile: %v", err)
+	}
+	d2, err := FromImage(DefaultConfig(2048), img)
+	if err != nil {
+		t.Fatalf("FromImage: %v", err)
+	}
+	if d2.Root(2) != 500 || d2.Load(501) != 8 {
+		t.Fatal("image file round trip lost data")
+	}
+}
+
+func TestLoadImageFileMissing(t *testing.T) {
+	if _, err := LoadImageFile(filepath.Join(t.TempDir(), "nope.img")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,22 @@
+package nvm
+
+import (
+	"runtime"
+	"time"
+)
+
+// spinWait busy-waits for roughly d. Sub-microsecond delays cannot be slept
+// accurately (timer granularity is ~50µs+), so the emulated device burns the
+// time on-CPU exactly as a stalled load would. Long waits yield occasionally
+// so the scheduler stays healthy.
+func spinWait(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	start := time.Now()
+	for i := 0; time.Since(start) < d; i++ {
+		if i%1024 == 1023 {
+			runtime.Gosched()
+		}
+	}
+}

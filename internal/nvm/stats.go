@@ -1,0 +1,96 @@
+package nvm
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stats counts the NVM traffic a handle generated. All fields are plain
+// integers: a Stats belongs to exactly one handle until merged.
+type Stats struct {
+	// ReadAccesses is the number of logical read operations (bucket/slot
+	// probes), ReadWords the words they covered, and MediaBlockReads the
+	// 256-byte XPLines they touched — the paper's read-amplification metric.
+	ReadAccesses    uint64
+	ReadWords       uint64
+	MediaBlockReads uint64
+
+	// WriteAccesses / WriteWords count logical writes (before flushing).
+	WriteAccesses uint64
+	WriteWords    uint64
+
+	// Flushes counts flushed cache lines (CLWB) and Fences ordering points.
+	Flushes uint64
+	Fences  uint64
+
+	// ModeledNanos accumulates the latency model's cost for all of the
+	// above, usable as a deterministic time proxy in ModeModel.
+	ModeledNanos uint64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.ReadAccesses += other.ReadAccesses
+	s.ReadWords += other.ReadWords
+	s.MediaBlockReads += other.MediaBlockReads
+	s.WriteAccesses += other.WriteAccesses
+	s.WriteWords += other.WriteWords
+	s.Flushes += other.Flushes
+	s.Fences += other.Fences
+	s.ModeledNanos += other.ModeledNanos
+}
+
+// Sub returns s minus other, for interval deltas.
+func (s Stats) Sub(other Stats) Stats {
+	return Stats{
+		ReadAccesses:    s.ReadAccesses - other.ReadAccesses,
+		ReadWords:       s.ReadWords - other.ReadWords,
+		MediaBlockReads: s.MediaBlockReads - other.MediaBlockReads,
+		WriteAccesses:   s.WriteAccesses - other.WriteAccesses,
+		WriteWords:      s.WriteWords - other.WriteWords,
+		Flushes:         s.Flushes - other.Flushes,
+		Fences:          s.Fences - other.Fences,
+		ModeledNanos:    s.ModeledNanos - other.ModeledNanos,
+	}
+}
+
+// ReadBytes returns the bytes covered by logical reads.
+func (s Stats) ReadBytes() uint64 { return s.ReadWords * WordBytes }
+
+// WriteBytes returns the bytes covered by logical writes.
+func (s Stats) WriteBytes() uint64 { return s.WriteWords * WordBytes }
+
+// MediaReadBytes returns bytes actually moved from media, block-granular.
+func (s Stats) MediaReadBytes() uint64 { return s.MediaBlockReads * BlockBytes }
+
+// ReadAmplification is media bytes read divided by bytes the program asked
+// for; 0 when no reads happened.
+func (s Stats) ReadAmplification() float64 {
+	if s.ReadBytes() == 0 {
+		return 0
+	}
+	return float64(s.MediaReadBytes()) / float64(s.ReadBytes())
+}
+
+// Modeled returns the accumulated modeled duration.
+func (s Stats) Modeled() time.Duration { return time.Duration(s.ModeledNanos) }
+
+// String renders a compact single-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"reads=%d (%.1f MB, %.1f MB media, amp %.2f) writes=%d (%.1f MB) flushes=%d fences=%d modeled=%v",
+		s.ReadAccesses, mb(s.ReadBytes()), mb(s.MediaReadBytes()), s.ReadAmplification(),
+		s.WriteAccesses, mb(s.WriteBytes()), s.Flushes, s.Fences, s.Modeled().Round(time.Microsecond))
+}
+
+func mb(b uint64) float64 { return float64(b) / (1 << 20) }
+
+// MergeStats sums the statistics of a set of handles, the usual end-of-run
+// aggregation across worker goroutines.
+func MergeStats(handles []*Handle) Stats {
+	var total Stats
+	for _, h := range handles {
+		total.Add(h.Stats())
+	}
+	return total
+}

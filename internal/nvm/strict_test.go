@@ -1,0 +1,154 @@
+package nvm
+
+import "testing"
+
+func TestStrictFlushPersists(t *testing.T) {
+	d := newTestDevice(t, StrictConfig(1024))
+	h := d.NewHandle()
+
+	d.Store(200, 42)
+	if got := d.PersistedImage()[200]; got != 0 {
+		t.Fatalf("unflushed store reached persisted image: %d", got)
+	}
+	if d.DirtyLines() != 1 {
+		t.Fatalf("DirtyLines = %d, want 1", d.DirtyLines())
+	}
+	h.Flush(200, 1)
+	h.Fence()
+	if got := d.PersistedImage()[200]; got != 42 {
+		t.Fatalf("flushed store missing from persisted image: %d", got)
+	}
+	if d.DirtyLines() != 0 {
+		t.Fatalf("DirtyLines after flush = %d, want 0", d.DirtyLines())
+	}
+}
+
+func TestStrictCrashLosesUnflushedLines(t *testing.T) {
+	cfg := StrictConfig(1024)
+	cfg.EvictProb = 0 // nothing survives by accident
+	d := newTestDevice(t, cfg)
+	h := d.NewHandle()
+
+	d.Store(300, 1)
+	h.Flush(300, 1)
+	d.Store(400, 2) // never flushed
+
+	if err := d.Crash(); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	if got := d.Load(300); got != 1 {
+		t.Fatalf("flushed word lost on crash: %d", got)
+	}
+	if got := d.Load(400); got != 0 {
+		t.Fatalf("unflushed word survived crash with EvictProb=0: %d", got)
+	}
+	if d.DirtyLines() != 0 {
+		t.Fatal("crash left dirty lines")
+	}
+}
+
+func TestStrictCrashEvictionsAreLineGranular(t *testing.T) {
+	cfg := StrictConfig(1024)
+	cfg.EvictProb = 1 // every dirty line is evicted (written back)
+	d := newTestDevice(t, cfg)
+
+	d.Store(512, 7)
+	d.Store(513, 8) // same cache line
+	if err := d.Crash(); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	if d.Load(512) != 7 || d.Load(513) != 8 {
+		t.Fatal("with EvictProb=1 the whole dirty line must survive")
+	}
+}
+
+func TestStrictCrashIsProbabilistic(t *testing.T) {
+	cfg := StrictConfig(64 * 1024)
+	cfg.EvictProb = 0.5
+	d := newTestDevice(t, cfg)
+
+	// Dirty 512 distinct cache lines.
+	const lines = 512
+	for i := 0; i < lines; i++ {
+		d.Store(int64(SuperblockWords+i*CachelineWords), 1)
+	}
+	if err := d.Crash(); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	survived := 0
+	for i := 0; i < lines; i++ {
+		if d.Load(int64(SuperblockWords+i*CachelineWords)) == 1 {
+			survived++
+		}
+	}
+	// With p=0.5 over 512 trials, [128, 384] is a >8-sigma window.
+	if survived < lines/4 || survived > lines*3/4 {
+		t.Fatalf("survived %d of %d lines; eviction sampling looks broken", survived, lines)
+	}
+}
+
+func TestCrashRequiresStrictMode(t *testing.T) {
+	d := newTestDevice(t, DefaultConfig(1024))
+	if err := d.Crash(); err != ErrNotStrict {
+		t.Fatalf("Crash on model device: %v, want ErrNotStrict", err)
+	}
+	if err := d.SetCrashAfterFlushes(1); err != ErrNotStrict {
+		t.Fatalf("SetCrashAfterFlushes on model device: %v, want ErrNotStrict", err)
+	}
+}
+
+func TestCrashAfterFlushesImage(t *testing.T) {
+	cfg := StrictConfig(1024)
+	cfg.EvictProb = 0
+	d := newTestDevice(t, cfg)
+	h := d.NewHandle()
+
+	if err := d.SetCrashAfterFlushes(2); err != nil {
+		t.Fatalf("SetCrashAfterFlushes: %v", err)
+	}
+	if d.CrashImage() != nil {
+		t.Fatal("crash image appeared before any flush")
+	}
+
+	d.Store(256, 1)
+	h.Flush(256, 1) // flush #1
+	if d.CrashImage() != nil {
+		t.Fatal("crash image appeared one flush early")
+	}
+	d.Store(257, 2)
+	h.Flush(257, 1) // flush #2 — crash point
+	d.Store(258, 3)
+	h.Flush(258, 1) // after the crash point; must not be in the image
+
+	img := d.CrashImage()
+	if img == nil {
+		t.Fatal("crash image missing after crash point")
+	}
+	if img[256] != 1 || img[257] != 2 {
+		t.Fatalf("crash image lost pre-crash flushes: %d %d", img[256], img[257])
+	}
+	if img[258] != 0 {
+		t.Fatalf("crash image contains post-crash flush: %d", img[258])
+	}
+
+	// The image must boot as a device.
+	d2, err := FromImage(cfg, img)
+	if err != nil {
+		t.Fatalf("FromImage(crash image): %v", err)
+	}
+	if d2.Load(257) != 2 {
+		t.Fatal("restored device lost data")
+	}
+}
+
+func TestStrictPersistedImageIsACopy(t *testing.T) {
+	d := newTestDevice(t, StrictConfig(1024))
+	h := d.NewHandle()
+	d.Store(100, 5)
+	h.Flush(100, 1)
+	img := d.PersistedImage()
+	img[100] = 99
+	if got := d.PersistedImage()[100]; got != 5 {
+		t.Fatalf("PersistedImage aliases device state: %d", got)
+	}
+}

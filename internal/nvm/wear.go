@@ -1,0 +1,118 @@
+package nvm
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Wear tracking (optional, Config.TrackWear): persistent memory has bounded
+// write endurance, so a hashing scheme's *write distribution* matters as
+// much as its write volume — a scheme that hammers a few metadata blocks
+// ages them out long before the media average. When enabled, the device
+// counts flushed lines per 256-byte block; WearStats summarises the skew.
+
+// WearStats summarises the per-block write distribution.
+type WearStats struct {
+	// TotalLineWrites is the number of cache-line flushes counted.
+	TotalLineWrites uint64
+	// TouchedBlocks is how many blocks received at least one write.
+	TouchedBlocks int64
+	// MaxBlockWrites is the hottest block's count, and MaxBlock its index.
+	MaxBlockWrites uint64
+	MaxBlock       int64
+	// MeanWrites is TotalLineWrites / TouchedBlocks.
+	MeanWrites float64
+	// P99Writes is the 99th percentile count among touched blocks.
+	P99Writes uint64
+	// SkewRatio is MaxBlockWrites / MeanWrites: 1 = perfectly even wear.
+	SkewRatio float64
+}
+
+// String renders a one-line summary.
+func (w WearStats) String() string {
+	return fmt.Sprintf("wear: %d line writes over %d blocks, mean %.1f, p99 %d, max %d (block %d, %.1fx mean)",
+		w.TotalLineWrites, w.TouchedBlocks, w.MeanWrites, w.P99Writes, w.MaxBlockWrites, w.MaxBlock, w.SkewRatio)
+}
+
+// recordWear counts flushed lines against their blocks.
+func (d *Device) recordWear(w, n int64) {
+	if d.wear == nil {
+		return
+	}
+	first := w / BlockWords
+	last := (w + n - 1) / BlockWords
+	for b := first; b <= last && b < int64(len(d.wear)); b++ {
+		atomic.AddUint64(&d.wear[b], 1)
+	}
+}
+
+// WearEnabled reports whether the device tracks wear.
+func (d *Device) WearEnabled() bool { return d.wear != nil }
+
+// WearStats summarises the write distribution so far. Returns the zero
+// value when tracking is disabled.
+func (d *Device) WearStats() WearStats {
+	if d.wear == nil {
+		return WearStats{}
+	}
+	var st WearStats
+	counts := make([]uint64, 0, 1024)
+	for b := range d.wear {
+		c := atomic.LoadUint64(&d.wear[b])
+		if c == 0 {
+			continue
+		}
+		st.TotalLineWrites += c
+		st.TouchedBlocks++
+		if c > st.MaxBlockWrites {
+			st.MaxBlockWrites = c
+			st.MaxBlock = int64(b)
+		}
+		counts = append(counts, c)
+	}
+	if st.TouchedBlocks == 0 {
+		return st
+	}
+	st.MeanWrites = float64(st.TotalLineWrites) / float64(st.TouchedBlocks)
+	sort.Slice(counts, func(i, j int) bool { return counts[i] < counts[j] })
+	st.P99Writes = counts[len(counts)*99/100]
+	st.SkewRatio = float64(st.MaxBlockWrites) / st.MeanWrites
+	return st
+}
+
+// HottestBlocks returns the n most-written block indexes with their counts,
+// hottest first.
+func (d *Device) HottestBlocks(n int) []struct {
+	Block  int64
+	Writes uint64
+} {
+	type bw struct {
+		Block  int64
+		Writes uint64
+	}
+	if d.wear == nil || n <= 0 {
+		return nil
+	}
+	all := make([]bw, 0, 1024)
+	for b := range d.wear {
+		if c := atomic.LoadUint64(&d.wear[b]); c > 0 {
+			all = append(all, bw{int64(b), c})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Writes > all[j].Writes })
+	if len(all) > n {
+		all = all[:n]
+	}
+	out := make([]struct {
+		Block  int64
+		Writes uint64
+	}, len(all))
+	for i, e := range all {
+		out[i] = struct {
+			Block  int64
+			Writes uint64
+		}{e.Block, e.Writes}
+	}
+	return out
+}

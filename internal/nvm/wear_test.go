@@ -1,0 +1,82 @@
+package nvm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWearDisabledByDefault(t *testing.T) {
+	d := newTestDevice(t, DefaultConfig(4096))
+	if d.WearEnabled() {
+		t.Fatal("wear tracking on without TrackWear")
+	}
+	if st := d.WearStats(); st.TotalLineWrites != 0 {
+		t.Fatalf("stats on disabled tracking: %+v", st)
+	}
+	if d.HottestBlocks(5) != nil {
+		t.Fatal("HottestBlocks on disabled tracking")
+	}
+}
+
+func TestWearCountsFlushes(t *testing.T) {
+	cfg := DefaultConfig(4096)
+	cfg.TrackWear = true
+	d := newTestDevice(t, cfg)
+	h := d.NewHandle()
+
+	// Note: formatting the superblock happens before handles exist, so the
+	// counts below are exactly ours.
+	base := d.WearStats().TotalLineWrites
+
+	// Hammer block 4 (words 128..159), touch block 8 once.
+	for i := 0; i < 10; i++ {
+		h.Flush(128, 8)
+	}
+	h.Flush(256, 1)
+
+	st := d.WearStats()
+	if st.TotalLineWrites-base != 11 {
+		t.Fatalf("TotalLineWrites delta = %d, want 11", st.TotalLineWrites-base)
+	}
+	if st.MaxBlock != 4 || st.MaxBlockWrites != 10 {
+		t.Fatalf("hottest = block %d x%d, want block 4 x10", st.MaxBlock, st.MaxBlockWrites)
+	}
+	if st.SkewRatio <= 1 {
+		t.Fatalf("SkewRatio = %v for a skewed write pattern", st.SkewRatio)
+	}
+	if !strings.Contains(st.String(), "block 4") {
+		t.Fatalf("String() = %q", st.String())
+	}
+
+	hot := d.HottestBlocks(2)
+	if len(hot) != 2 || hot[0].Block != 4 || hot[0].Writes != 10 {
+		t.Fatalf("HottestBlocks = %+v", hot)
+	}
+}
+
+func TestWearSpansBlocks(t *testing.T) {
+	cfg := DefaultConfig(4096)
+	cfg.TrackWear = true
+	d := newTestDevice(t, cfg)
+	h := d.NewHandle()
+	before := d.WearStats().TouchedBlocks
+	h.Flush(BlockWords-1, 2) // straddles blocks 0 and 1
+	if got := d.WearStats().TouchedBlocks - before; got < 1 {
+		t.Fatalf("straddling flush touched %d new blocks", got)
+	}
+	if d.wear[0] == 0 || d.wear[1] == 0 {
+		t.Fatal("straddling flush missed one side")
+	}
+}
+
+func TestWearEmptyStats(t *testing.T) {
+	cfg := DefaultConfig(4096)
+	cfg.TrackWear = true
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Formatting wrote nothing through handles (direct stores), so stats
+	// may be zero; the call must not divide by zero either way.
+	_ = d.WearStats()
+}

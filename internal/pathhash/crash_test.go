@@ -1,0 +1,81 @@
+package pathhash_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hdnh/internal/kv"
+	"hdnh/internal/nvm"
+	"hdnh/internal/pathhash"
+)
+
+func crashKey(i int) kv.Key     { return kv.MustKey([]byte(fmt.Sprintf("pa-crash-%06d", i))) }
+func crashValue(i int) kv.Value { return kv.MustValue([]byte(fmt.Sprintf("v%06d", i))) }
+
+// TestCrashSweepDuringInserts checks Path Hashing's slot commit: any
+// flush-aligned crash leaves an intact prefix of the acknowledged inserts.
+func TestCrashSweepDuringInserts(t *testing.T) {
+	for f := int64(1); f < 160; f += 7 {
+		f := f
+		t.Run(fmt.Sprintf("flush%d", f), func(t *testing.T) {
+			cfg := nvm.StrictConfig(1 << 20)
+			cfg.EvictProb = 0.3
+			cfg.Seed = uint64(f) ^ 0x9a7b
+			dev, err := nvm.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl, err := pathhash.New(dev, pathhash.Options{LeafBits: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dev.SetCrashAfterFlushes(f); err != nil {
+				t.Fatal(err)
+			}
+			s := tbl.NewSession()
+			const n = 60
+			for i := 0; i < n; i++ {
+				if err := s.Insert(crashKey(i), crashValue(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			img := dev.CrashImage()
+			if img == nil {
+				return
+			}
+			dev2, err := nvm.FromImage(cfg, img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl2, err := pathhash.New(dev2, pathhash.Options{})
+			if err != nil {
+				t.Fatalf("reopen after crash: %v", err)
+			}
+			s2 := tbl2.NewSession()
+			firstMissing := -1
+			for i := 0; i < n; i++ {
+				v, ok := s2.Get(crashKey(i))
+				if ok && v != crashValue(i) {
+					t.Fatalf("key %d torn after crash: %q", i, v.String())
+				}
+				if !ok && firstMissing < 0 {
+					firstMissing = i
+				}
+				if ok && firstMissing >= 0 {
+					t.Fatalf("non-prefix survival: key %d missing, key %d present", firstMissing, i)
+				}
+			}
+			// Count after recovery must match survivors.
+			if tbl2.Count() != int64(firstMissingOr(firstMissing, n)) {
+				t.Fatalf("Count = %d, survivors = %d", tbl2.Count(), firstMissingOr(firstMissing, n))
+			}
+		})
+	}
+}
+
+func firstMissingOr(fm, n int) int {
+	if fm < 0 {
+		return n
+	}
+	return fm
+}

@@ -1,0 +1,379 @@
+// Package pathhash implements the PATH baseline: Path Hashing (Zuo & Hua,
+// MSST '17) as the HDNH paper configures it — a static, write-friendly
+// scheme whose collision stash is an inverted complete binary tree.
+//
+// The table is a leaf level of N single-record cells plus `reserved` levels
+// above it; cell i at level d+1 is the shared parent of cells 2i and 2i+1 at
+// level d. A key hashes to two leaf positions and may be stored in any cell
+// on the two root-ward paths, so a lookup inspects at most 2*(reserved+1)
+// cells — the O(log B) search cost the HDNH paper cites. There is no
+// resizing: when both paths are full the insert fails (static hashing).
+// The paper sets reserved = 8 for maximum load factor.
+//
+// Path Hashing predates fine-grained PM concurrency work; following its
+// evaluation (and the poor scalability visible in Figure 14), concurrency
+// control is one global reader-writer lock whose word lives in NVM, so
+// every lock transition — reads included — costs an NVM write.
+package pathhash
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"hdnh/internal/hashfn"
+	"hdnh/internal/kv"
+	"hdnh/internal/nvm"
+	"hdnh/internal/scheme"
+)
+
+const (
+	slotWords = kv.SlotWords
+
+	// ReservedLevels is the stash depth the paper configures.
+	ReservedLevels = 8
+
+	rootSlot  = 3
+	metaWords = nvm.BlockWords
+	metaMagic = uint64(0x5041544848415348) // "PATHHASH"
+	magicWord = 0
+	leafWord  = 1 // log2(leaf cells)
+	baseWord  = 2 // table base offset
+)
+
+// Table is a Path Hashing instance.
+type Table struct {
+	dev      *nvm.Device
+	metaOff  int64
+	base     int64
+	leafBits uint8
+	leaves   int64
+	cells    int64 // total cells across all levels
+
+	lock  rwSpin
+	count atomic.Int64
+}
+
+type rwSpin struct{ v atomic.Int32 }
+
+func (l *rwSpin) rlock() {
+	for {
+		v := l.v.Load()
+		if v >= 0 && l.v.CompareAndSwap(v, v+1) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+func (l *rwSpin) runlock() { l.v.Add(-1) }
+func (l *rwSpin) lock() {
+	for !l.v.CompareAndSwap(0, -1) {
+		runtime.Gosched()
+	}
+}
+func (l *rwSpin) unlock() { l.v.Store(0) }
+
+// Options configures creation.
+type Options struct {
+	// LeafBits sets the leaf level to 2^LeafBits cells.
+	LeafBits uint8
+}
+
+// New creates or opens a Path Hashing table.
+func New(dev *nvm.Device, opts Options) (*Table, error) {
+	t := &Table{dev: dev}
+	h := dev.NewHandle()
+	if root := dev.Root(rootSlot); root != 0 {
+		t.metaOff = int64(root)
+		if dev.Load(t.metaOff+magicWord) != metaMagic {
+			return nil, errors.New("pathhash: metadata magic mismatch")
+		}
+		t.leafBits = uint8(dev.Load(t.metaOff + leafWord))
+		t.base = int64(dev.Load(t.metaOff + baseWord))
+		t.initGeometry()
+		t.count.Store(t.scanCount(h))
+		return t, nil
+	}
+	if opts.LeafBits == 0 {
+		opts.LeafBits = 10
+	}
+	if opts.LeafBits <= ReservedLevels {
+		return nil, fmt.Errorf("pathhash: leaf bits %d must exceed the %d reserved levels", opts.LeafBits, ReservedLevels)
+	}
+	t.leafBits = opts.LeafBits
+	t.initGeometry()
+	metaOff, err := dev.Alloc(h, metaWords, nvm.BlockWords)
+	if err != nil {
+		return nil, err
+	}
+	t.metaOff = metaOff
+	base, err := dev.Alloc(h, t.cells*slotWords, nvm.BlockWords)
+	if err != nil {
+		return nil, err
+	}
+	t.base = base
+	h.StorePersist(metaOff+leafWord, uint64(t.leafBits))
+	h.StorePersist(metaOff+baseWord, uint64(base))
+	h.StorePersist(metaOff+magicWord, metaMagic)
+	dev.SetRoot(h, rootSlot, uint64(metaOff))
+	return t, nil
+}
+
+func (t *Table) initGeometry() {
+	t.leaves = 1 << t.leafBits
+	// Levels d = 0..ReservedLevels, level d has leaves>>d cells.
+	t.cells = 0
+	for d := 0; d <= ReservedLevels; d++ {
+		t.cells += t.leaves >> d
+	}
+}
+
+// levelStart returns the cell index where level d begins (level 0 = leaves
+// first, upper levels packed after).
+func (t *Table) levelStart(d int) int64 {
+	start := int64(0)
+	for i := 0; i < d; i++ {
+		start += t.leaves >> i
+	}
+	return start
+}
+
+// cellOff returns the NVM word offset of cell i at level d (i indexes
+// within the level).
+func (t *Table) cellOff(d int, i int64) int64 {
+	return t.base + (t.levelStart(d)+i)*slotWords
+}
+
+// Capacity returns total cells.
+func (t *Table) Capacity() int64 { return t.cells }
+
+// Count returns live records.
+func (t *Table) Count() int64 { return t.count.Load() }
+
+// LoadFactor returns occupancy.
+func (t *Table) LoadFactor() float64 {
+	return float64(t.Count()) / float64(t.cells)
+}
+
+func (t *Table) scanCount(h *nvm.Handle) int64 {
+	var n int64
+	for i := int64(0); i < t.cells; i++ {
+		off := t.base + i*slotWords
+		if i%32 == 0 {
+			h.ReadAccess(off, 32*slotWords)
+		}
+		if kv.ValidOf(h.Load(off + 3)) {
+			n++
+		}
+	}
+	return n
+}
+
+// Session is the per-goroutine handle.
+type Session struct {
+	t *Table
+	h *nvm.Handle
+}
+
+// NewSession returns a session.
+func (t *Table) NewSession() *Session { return &Session{t: t, h: t.dev.NewHandle()} }
+
+// NVMStats returns session traffic.
+func (s *Session) NVMStats() nvm.Stats { return s.h.Stats() }
+
+func lockCharge(h *nvm.Handle, off int64) {
+	h.WriteAccess(off, 1)
+	h.Flush(off, 1)
+}
+
+// pathCells calls fn for every cell on the root-ward paths of the key's two
+// leaf positions, stopping early when fn returns true.
+func (t *Table) pathCells(h1, h2 uint64, fn func(d int, i int64) bool) {
+	p1 := int64(h1 % uint64(t.leaves))
+	p2 := int64(h2 % uint64(t.leaves))
+	if p2 == p1 {
+		p2 = (p1 + 1) % t.leaves
+	}
+	for d := 0; d <= ReservedLevels; d++ {
+		if fn(d, p1>>uint(d)) {
+			return
+		}
+		if p1>>uint(d) != p2>>uint(d) {
+			if fn(d, p2>>uint(d)) {
+				return
+			}
+		}
+	}
+}
+
+// Get walks both paths under the global read lock.
+func (s *Session) Get(k kv.Key) (kv.Value, bool) {
+	h1, h2 := hashfn.Pair(k[:])
+	kw0, kw1 := k.Pack()
+	s.t.lock.rlock()
+	lockCharge(s.h, s.t.metaOff)
+	var out kv.Value
+	found := false
+	s.t.pathCells(h1, h2, func(d int, i int64) bool {
+		off := s.t.cellOff(d, i)
+		s.h.ReadAccess(off, slotWords)
+		w3 := s.h.Load(off + 3)
+		if kv.ValidOf(w3) && s.h.Load(off) == kw0 && s.h.Load(off+1) == kw1 {
+			out, _ = kv.UnpackValue(s.h.Load(off+2), w3)
+			found = true
+			return true
+		}
+		return false
+	})
+	s.t.lock.runlock()
+	lockCharge(s.h, s.t.metaOff)
+	return out, found
+}
+
+// Insert stores the record in the first empty cell along either path.
+// Static scheme: a full path pair means ErrFull.
+func (s *Session) Insert(k kv.Key, v kv.Value) error {
+	h1, h2 := hashfn.Pair(k[:])
+	kw0, kw1 := k.Pack()
+	s.t.lock.lock()
+	lockCharge(s.h, s.t.metaOff)
+	defer func() {
+		s.t.lock.unlock()
+		lockCharge(s.h, s.t.metaOff)
+	}()
+
+	var emptyD, emptyI int64 = -1, -1
+	dup := false
+	s.t.pathCells(h1, h2, func(d int, i int64) bool {
+		off := s.t.cellOff(d, i)
+		s.h.ReadAccess(off, slotWords)
+		w3 := s.h.Load(off + 3)
+		if kv.ValidOf(w3) {
+			if s.h.Load(off) == kw0 && s.h.Load(off+1) == kw1 {
+				dup = true
+				return true
+			}
+			return false
+		}
+		if emptyD < 0 {
+			emptyD, emptyI = int64(d), i
+		}
+		return false
+	})
+	if dup {
+		return scheme.ErrExists
+	}
+	if emptyD < 0 {
+		return scheme.ErrFull
+	}
+	off := s.t.cellOff(int(emptyD), emptyI)
+	var w [slotWords]uint64
+	kv.PackRecord(w[:], k, v, kv.MetaValid)
+	s.h.Store(off, w[0])
+	s.h.Store(off+1, w[1])
+	s.h.Store(off+2, w[2])
+	s.h.WriteAccess(off, 3)
+	s.h.Flush(off, 3)
+	s.h.Fence()
+	s.h.StorePersist(off+3, w[3])
+	s.t.count.Add(1)
+	return nil
+}
+
+// Update rewrites in place under the global write lock; like the other
+// in-place baselines it is not crash-atomic for multi-word values (see the
+// note on levelhash.Update).
+func (s *Session) Update(k kv.Key, v kv.Value) error {
+	h1, h2 := hashfn.Pair(k[:])
+	kw0, kw1 := k.Pack()
+	s.t.lock.lock()
+	lockCharge(s.h, s.t.metaOff)
+	defer func() {
+		s.t.lock.unlock()
+		lockCharge(s.h, s.t.metaOff)
+	}()
+	err := scheme.ErrNotFound
+	s.t.pathCells(h1, h2, func(d int, i int64) bool {
+		off := s.t.cellOff(d, i)
+		s.h.ReadAccess(off, slotWords)
+		w3 := s.h.Load(off + 3)
+		if kv.ValidOf(w3) && s.h.Load(off) == kw0 && s.h.Load(off+1) == kw1 {
+			var w [slotWords]uint64
+			kv.PackRecord(w[:], k, v, kv.MetaValid)
+			s.h.Store(off, w[0])
+			s.h.Store(off+1, w[1])
+			s.h.Store(off+2, w[2])
+			s.h.WriteAccess(off, 3)
+			s.h.Flush(off, 3)
+			s.h.Fence()
+			s.h.StorePersist(off+3, w[3])
+			err = nil
+			return true
+		}
+		return false
+	})
+	return err
+}
+
+// Delete clears the valid bit under the global write lock.
+func (s *Session) Delete(k kv.Key) error {
+	h1, h2 := hashfn.Pair(k[:])
+	kw0, kw1 := k.Pack()
+	s.t.lock.lock()
+	lockCharge(s.h, s.t.metaOff)
+	defer func() {
+		s.t.lock.unlock()
+		lockCharge(s.h, s.t.metaOff)
+	}()
+	err := scheme.ErrNotFound
+	s.t.pathCells(h1, h2, func(d int, i int64) bool {
+		off := s.t.cellOff(d, i)
+		s.h.ReadAccess(off, slotWords)
+		w3 := s.h.Load(off + 3)
+		if kv.ValidOf(w3) && s.h.Load(off) == kw0 && s.h.Load(off+1) == kw1 {
+			s.h.StorePersist(off+3, kv.WithMeta(w3, 0))
+			err = nil
+			return true
+		}
+		return false
+	})
+	if err == nil {
+		s.t.count.Add(-1)
+	}
+	return err
+}
+
+// Close is a no-op.
+func (t *Table) Close() error { return nil }
+
+func init() {
+	scheme.Register("PATH", func(dev *nvm.Device, capacityHint int64) (scheme.Store, error) {
+		// Static: size the whole tree from the hint at ~50% target load
+		// (leaf count >= hint, so total cells ≈ 2x hint).
+		bits := uint8(ReservedLevels + 2)
+		if capacityHint > 0 {
+			for int64(1)<<bits < capacityHint && bits < 34 {
+				bits++
+			}
+		}
+		t, err := New(dev, Options{LeafBits: bits})
+		if err != nil {
+			return nil, err
+		}
+		return &store{t}, nil
+	})
+}
+
+type store struct{ t *Table }
+
+var _ scheme.Store = (*store)(nil)
+
+func (s *store) Name() string               { return "PATH" }
+func (s *store) NewSession() scheme.Session { return s.t.NewSession() }
+func (s *store) Count() int64               { return s.t.Count() }
+func (s *store) Capacity() int64            { return s.t.Capacity() }
+func (s *store) LoadFactor() float64        { return s.t.LoadFactor() }
+func (s *store) Close() error               { return s.t.Close() }
+
+var _ scheme.Session = (*Session)(nil)

@@ -1,0 +1,102 @@
+package pathhash_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hdnh/internal/kv"
+	"hdnh/internal/nvm"
+	"hdnh/internal/pathhash"
+	"hdnh/internal/schemetest"
+)
+
+func TestConformance(t *testing.T) {
+	schemetest.Run(t, "PATH", schemetest.Config{Static: true, DeviceWords: 1 << 23})
+}
+
+func TestGeometry(t *testing.T) {
+	dev, err := nvm.New(nvm.DefaultConfig(1 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := pathhash.New(dev, pathhash.Options{LeafBits: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cells = sum_{d=0..8} 1024 >> d = 1024+512+...+4 = 2044.
+	if got := tbl.Capacity(); got != 2044 {
+		t.Fatalf("Capacity = %d, want 2044", got)
+	}
+}
+
+func TestRejectsTooShallowTable(t *testing.T) {
+	dev, err := nvm.New(nvm.DefaultConfig(1 << 18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pathhash.New(dev, pathhash.Options{LeafBits: 4}); err == nil {
+		t.Fatal("leaf level smaller than the reserved depth accepted")
+	}
+}
+
+func TestHighLoadFactor(t *testing.T) {
+	// The paper picks reserved level 8 for maximum load factor; the tree
+	// stash should absorb collisions well past 70%.
+	dev, err := nvm.New(nvm.DefaultConfig(1 << 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := pathhash.New(dev, pathhash.Options{LeafBits: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.NewSession()
+	inserted := 0
+	for i := 0; ; i++ {
+		k := kv.MustKey([]byte(fmt.Sprintf("path-%06d", i)))
+		if err := s.Insert(k, kv.MustValue([]byte("v"))); err != nil {
+			break
+		}
+		inserted++
+	}
+	if lf := tbl.LoadFactor(); lf < 0.6 {
+		t.Fatalf("gave up at load factor %.2f (%d items)", lf, inserted)
+	}
+}
+
+func TestReopenKeepsData(t *testing.T) {
+	cfg := nvm.StrictConfig(1 << 20)
+	dev, err := nvm.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := pathhash.New(dev, pathhash.Options{LeafBits: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.NewSession()
+	for i := 0; i < 500; i++ {
+		k := kv.MustKey([]byte(fmt.Sprintf("path-re-%04d", i)))
+		if err := s.Insert(k, kv.MustValue([]byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev2, err := nvm.FromImage(cfg, dev.PersistedImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl2, err := pathhash.New(dev2, pathhash.Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if tbl2.Count() != 500 {
+		t.Fatalf("Count after reopen = %d", tbl2.Count())
+	}
+	s2 := tbl2.NewSession()
+	for i := 0; i < 500; i++ {
+		k := kv.MustKey([]byte(fmt.Sprintf("path-re-%04d", i)))
+		if v, ok := s2.Get(k); !ok || v[0] != byte(i) {
+			t.Fatalf("key %d wrong after reopen", i)
+		}
+	}
+}

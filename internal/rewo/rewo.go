@@ -1,0 +1,528 @@
+// Package rewo implements a REWO-style hybrid baseline (extension; the
+// HDNH paper discusses Rewo [DATE '20] in §2.3 but does not benchmark it):
+// a persistent table in NVM serving writes, plus a cached table in DRAM
+// serving reads, managed by a **global LRU list** — exactly the design the
+// paper criticises:
+//
+//	"LRU list consumes a lot of memory space, and LRU cannot cope with
+//	 random-access workloads efficiently."
+//
+// The cache here is faithful to that critique: a map plus doubly-linked
+// list guarded by one mutex, whose recency update runs on *every hit*. Its
+// fixed capacity cannot be "dynamically adjusted" as the persistent table
+// grows (the paper's other criticism), so after growth the hit rate decays.
+//
+// The persistent table is a two-choice, 8-slot-bucket NVM hash with
+// copy-then-switch doubling and the same crash-atomic slot commit protocol
+// the rest of the repository uses, so comparisons against HDNH isolate the
+// *cache design*, not the persistence machinery.
+package rewo
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hdnh/internal/hashfn"
+	"hdnh/internal/kv"
+	"hdnh/internal/nvm"
+	"hdnh/internal/scheme"
+)
+
+const (
+	slotWords      = kv.SlotWords
+	slotsPerBucket = 8
+	bucketWords    = slotsPerBucket * slotWords
+)
+
+// Persistent metadata (root slot 4):
+//
+//	word 0  magic
+//	word 1  state: table slot | generation
+//	words 2..5  two table descriptors (base, buckets)
+const (
+	rootSlot  = 4
+	metaWords = nvm.BlockWords
+	metaMagic = uint64(0x5245574f48415348) // "REWOHASH"
+	magicWord = 0
+	stateWord = 1
+	descBase  = 2
+)
+
+// Table is a REWO-style store.
+type Table struct {
+	dev     *nvm.Device
+	metaOff int64
+
+	mu      sync.RWMutex // structure lock: ops shared, resize exclusive
+	base    int64
+	buckets int64
+	locks   []rwSpin // per-bucket write locks for the persistent table
+
+	cache *lruCache
+	count atomic.Int64
+}
+
+type rwSpin struct{ v atomic.Int32 }
+
+func (l *rwSpin) rlock() {
+	for {
+		v := l.v.Load()
+		if v >= 0 && l.v.CompareAndSwap(v, v+1) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+func (l *rwSpin) runlock() { l.v.Add(-1) }
+func (l *rwSpin) lock() {
+	for !l.v.CompareAndSwap(0, -1) {
+		runtime.Gosched()
+	}
+}
+func (l *rwSpin) unlock() { l.v.Store(0) }
+
+// lruCache is the DRAM cached table: one mutex, a map, and a recency list.
+type lruCache struct {
+	mu       sync.Mutex
+	capacity int
+	items    map[kv.Key]*list.Element
+	order    *list.List // front = most recent
+}
+
+type cacheEntry struct {
+	k kv.Key
+	v kv.Value
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{
+		capacity: capacity,
+		items:    make(map[kv.Key]*list.Element, capacity),
+		order:    list.New(),
+	}
+}
+
+// get returns the cached value, updating recency — the per-hit bookkeeping
+// cost the HDNH paper's RAFL avoids.
+func (c *lruCache) get(k kv.Key) (kv.Value, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return kv.Value{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).v, true
+}
+
+// put inserts or refreshes an entry, evicting the global LRU tail on
+// overflow.
+func (c *lruCache) put(k kv.Key, v kv.Value) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*cacheEntry).v = v
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		tail := c.order.Back()
+		if tail != nil {
+			c.order.Remove(tail)
+			delete(c.items, tail.Value.(*cacheEntry).k)
+		}
+	}
+	c.items[k] = c.order.PushFront(&cacheEntry{k: k, v: v})
+}
+
+func (c *lruCache) del(k kv.Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.order.Remove(el)
+		delete(c.items, k)
+	}
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Options configures creation.
+type Options struct {
+	// InitBuckets is the persistent table's starting bucket count.
+	InitBuckets int64
+	// CacheEntries fixes the cached table's capacity (Rewo's cache is not
+	// dynamically adjustable; this is the point the paper makes).
+	CacheEntries int
+}
+
+// New creates or opens a REWO-style table on the device.
+func New(dev *nvm.Device, opts Options) (*Table, error) {
+	if opts.InitBuckets <= 0 {
+		opts.InitBuckets = 64
+	}
+	if opts.CacheEntries <= 0 {
+		opts.CacheEntries = int(opts.InitBuckets) * slotsPerBucket / 2
+	}
+	t := &Table{dev: dev, cache: newLRUCache(opts.CacheEntries)}
+	h := dev.NewHandle()
+	if root := dev.Root(rootSlot); root != 0 {
+		t.metaOff = int64(root)
+		if dev.Load(t.metaOff+magicWord) != metaMagic {
+			return nil, errors.New("rewo: metadata magic mismatch")
+		}
+		st := t.state()
+		t.base, t.buckets = t.descriptor(st & 1)
+		t.locks = make([]rwSpin, t.buckets)
+		t.count.Store(t.scanCount(h))
+		return t, nil
+	}
+	metaOff, err := dev.Alloc(h, metaWords, nvm.BlockWords)
+	if err != nil {
+		return nil, err
+	}
+	t.metaOff = metaOff
+	base, err := dev.Alloc(h, opts.InitBuckets*bucketWords, nvm.BlockWords)
+	if err != nil {
+		return nil, err
+	}
+	t.base, t.buckets = base, opts.InitBuckets
+	t.locks = make([]rwSpin, t.buckets)
+	t.writeDescriptor(h, 0, base, opts.InitBuckets)
+	h.StorePersist(metaOff+stateWord, 0|1<<8) // slot 0, generation 1
+	h.StorePersist(metaOff+magicWord, metaMagic)
+	dev.SetRoot(h, rootSlot, uint64(metaOff))
+	return t, nil
+}
+
+func (t *Table) state() uint64 { return t.dev.Load(t.metaOff + stateWord) }
+
+func (t *Table) descriptor(i uint64) (base, buckets int64) {
+	return int64(t.dev.Load(t.metaOff + descBase + 2*int64(i))),
+		int64(t.dev.Load(t.metaOff + descBase + 2*int64(i) + 1))
+}
+
+func (t *Table) writeDescriptor(h *nvm.Handle, i uint64, base, buckets int64) {
+	w := t.metaOff + descBase + 2*int64(i)
+	h.Store(w, uint64(base))
+	h.Store(w+1, uint64(buckets))
+	h.WriteAccess(w, 2)
+	h.Flush(w, 2)
+	h.Fence()
+}
+
+func (t *Table) slotOff(b int64, s int) int64 {
+	return t.base + b*bucketWords + int64(s)*slotWords
+}
+
+// candidates are the key's two buckets (two-choice hashing).
+func (t *Table) candidates(h1, h2 uint64) [2]int64 {
+	b1 := int64(h1 % uint64(t.buckets))
+	b2 := int64(h2 % uint64(t.buckets))
+	if b2 == b1 {
+		b2 = (b1 + 1) % t.buckets
+	}
+	return [2]int64{b1, b2}
+}
+
+// Count returns live records.
+func (t *Table) Count() int64 { return t.count.Load() }
+
+// Capacity returns total persistent slots.
+func (t *Table) Capacity() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.buckets * slotsPerBucket
+}
+
+// LoadFactor returns occupancy.
+func (t *Table) LoadFactor() float64 {
+	c := t.Capacity()
+	if c == 0 {
+		return 0
+	}
+	return float64(t.Count()) / float64(c)
+}
+
+// CacheEntries reports current cache occupancy.
+func (t *Table) CacheEntries() int { return t.cache.len() }
+
+func (t *Table) scanCount(h *nvm.Handle) int64 {
+	var n int64
+	for b := int64(0); b < t.buckets; b++ {
+		h.ReadAccess(t.base+b*bucketWords, bucketWords)
+		for s := 0; s < slotsPerBucket; s++ {
+			if kv.ValidOf(h.Load(t.slotOff(b, s) + 3)) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Session is the per-goroutine handle.
+type Session struct {
+	t *Table
+	h *nvm.Handle
+}
+
+// NewSession returns a session.
+func (t *Table) NewSession() *Session { return &Session{t: t, h: t.dev.NewHandle()} }
+
+// NVMStats returns session traffic.
+func (s *Session) NVMStats() nvm.Stats { return s.h.Stats() }
+
+// Get serves reads from the cached table when possible; a miss reads the
+// persistent table and promotes the record into the cache (evicting the
+// global LRU victim).
+func (s *Session) Get(k kv.Key) (kv.Value, bool) {
+	if v, ok := s.t.cache.get(k); ok {
+		return v, true
+	}
+	h1, h2 := hashfn.Pair(k[:])
+	kw0, kw1 := k.Pack()
+	s.t.mu.RLock()
+	var out kv.Value
+	found := false
+	for _, b := range s.t.candidates(h1, h2) {
+		lk := &s.t.locks[b]
+		lk.rlock()
+		s.h.ReadAccess(s.t.base+b*bucketWords, bucketWords)
+		for slot := 0; slot < slotsPerBucket; slot++ {
+			off := s.t.slotOff(b, slot)
+			w3 := s.h.Load(off + 3)
+			if kv.ValidOf(w3) && s.h.Load(off) == kw0 && s.h.Load(off+1) == kw1 {
+				out, _ = kv.UnpackValue(s.h.Load(off+2), w3)
+				found = true
+				break
+			}
+		}
+		if found {
+			// Promote while still holding the bucket lock: a concurrent
+			// update must wait for the write lock, so its newer cache.put
+			// happens strictly after this one — no stale promotion.
+			s.t.cache.put(k, out)
+		}
+		lk.runlock()
+		if found {
+			break
+		}
+	}
+	s.t.mu.RUnlock()
+	return out, found
+}
+
+// findLocked locates the key under its bucket write lock; returns bucket,
+// slot and the slot's w3, with the bucket still locked on success.
+func (s *Session) findLocked(k kv.Key, h1, h2 uint64) (b int64, slot int, w3 uint64, ok bool) {
+	kw0, kw1 := k.Pack()
+	for _, cb := range s.t.candidates(h1, h2) {
+		lk := &s.t.locks[cb]
+		lk.lock()
+		s.h.ReadAccess(s.t.base+cb*bucketWords, bucketWords)
+		for sl := 0; sl < slotsPerBucket; sl++ {
+			off := s.t.slotOff(cb, sl)
+			w := s.h.Load(off + 3)
+			if kv.ValidOf(w) && s.h.Load(off) == kw0 && s.h.Load(off+1) == kw1 {
+				return cb, sl, w, true
+			}
+		}
+		lk.unlock()
+	}
+	return 0, 0, 0, false
+}
+
+// Insert adds a record to the persistent table and mirrors it into the
+// cache (Rewo keeps the cached table a copy of recently used items).
+func (s *Session) Insert(k kv.Key, v kv.Value) error {
+	h1, h2 := hashfn.Pair(k[:])
+	for attempt := 0; attempt < 24; attempt++ {
+		s.t.mu.RLock()
+		if b, _, _, dup := s.findLocked(k, h1, h2); dup {
+			s.t.locks[b].unlock()
+			s.t.mu.RUnlock()
+			return scheme.ErrExists
+		}
+		placed := false
+		for _, b := range s.t.candidates(h1, h2) {
+			lk := &s.t.locks[b]
+			lk.lock()
+			for slot := 0; slot < slotsPerBucket; slot++ {
+				off := s.t.slotOff(b, slot)
+				if kv.ValidOf(s.h.Load(off + 3)) {
+					continue
+				}
+				writeSlotCommit(s.h, off, k, v)
+				s.t.cache.put(k, v) // mirror under the bucket lock
+				placed = true
+				break
+			}
+			lk.unlock()
+			if placed {
+				break
+			}
+		}
+		if placed {
+			s.t.count.Add(1)
+			s.t.mu.RUnlock()
+			return nil
+		}
+		gen := s.t.state() >> 8
+		s.t.mu.RUnlock()
+		if err := s.t.grow(gen); err != nil {
+			return err
+		}
+	}
+	return scheme.ErrFull
+}
+
+func writeSlotCommit(h *nvm.Handle, off int64, k kv.Key, v kv.Value) {
+	var w [slotWords]uint64
+	kv.PackRecord(w[:], k, v, kv.MetaValid)
+	h.Store(off, w[0])
+	h.Store(off+1, w[1])
+	h.Store(off+2, w[2])
+	h.WriteAccess(off, 3)
+	h.Flush(off, 3)
+	h.Fence()
+	h.StorePersist(off+3, w[3])
+}
+
+// Update rewrites the record in place under its bucket lock and refreshes
+// the cache. In-place multi-word rewrites are not crash-atomic (see the
+// note on levelhash.Update); HDNH's stamped out-of-place protocol is the
+// contrast.
+func (s *Session) Update(k kv.Key, v kv.Value) error {
+	h1, h2 := hashfn.Pair(k[:])
+	s.t.mu.RLock()
+	b, slot, _, ok := s.findLocked(k, h1, h2)
+	if !ok {
+		s.t.mu.RUnlock()
+		return scheme.ErrNotFound
+	}
+	writeSlotCommit(s.h, s.t.slotOff(b, slot), k, v)
+	s.t.cache.put(k, v) // mirror under the bucket lock
+	s.t.locks[b].unlock()
+	s.t.mu.RUnlock()
+	return nil
+}
+
+// Delete clears the record and removes its cache entry.
+func (s *Session) Delete(k kv.Key) error {
+	h1, h2 := hashfn.Pair(k[:])
+	s.t.mu.RLock()
+	b, slot, w3, ok := s.findLocked(k, h1, h2)
+	if !ok {
+		s.t.mu.RUnlock()
+		return scheme.ErrNotFound
+	}
+	s.h.StorePersist(s.t.slotOff(b, slot)+3, kv.WithMeta(w3, 0))
+	s.t.cache.del(k) // unmirror under the bucket lock
+	s.t.locks[b].unlock()
+	s.t.count.Add(-1)
+	s.t.mu.RUnlock()
+	return nil
+}
+
+// grow doubles the persistent table (copy then atomic switch). The cache is
+// *not* resized — Rewo's fixed cache is the limitation the HDNH paper calls
+// out — so hit rates decay as the table outgrows it.
+func (t *Table) grow(observedGen uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.state()
+	if st>>8 != observedGen {
+		return nil
+	}
+	h := t.dev.NewHandle()
+	cur := st & 1
+	next := 1 - cur
+	newBuckets := t.buckets * 2
+	base, err := t.dev.Alloc(h, newBuckets*bucketWords, nvm.BlockWords)
+	if err != nil {
+		return fmt.Errorf("%w: rewo grow: %v", scheme.ErrFull, err)
+	}
+	t.writeDescriptor(h, next, base, newBuckets)
+
+	oldBase, oldBuckets := t.base, t.buckets
+	t.base, t.buckets = base, newBuckets
+	for b := int64(0); b < oldBuckets; b++ {
+		h.ReadAccess(oldBase+b*bucketWords, bucketWords)
+		for sl := 0; sl < slotsPerBucket; sl++ {
+			off := oldBase + b*bucketWords + int64(sl)*slotWords
+			w3 := h.Load(off + 3)
+			if !kv.ValidOf(w3) {
+				continue
+			}
+			k := kv.UnpackKey(h.Load(off), h.Load(off+1))
+			v, _ := kv.UnpackValue(h.Load(off+2), w3)
+			h1, h2 := hashfn.Pair(k[:])
+			placed := false
+			for _, nb := range t.candidates(h1, h2) {
+				for ns := 0; ns < slotsPerBucket; ns++ {
+					noff := t.slotOff(nb, ns)
+					if kv.ValidOf(h.Load(noff + 3)) {
+						continue
+					}
+					writeSlotCommit(h, noff, k, v)
+					placed = true
+					break
+				}
+				if placed {
+					break
+				}
+			}
+			if !placed {
+				return fmt.Errorf("%w: rewo rehash overflow", scheme.ErrFull)
+			}
+		}
+	}
+	// Atomic switch; the old region is retired.
+	h.StorePersist(t.metaOff+stateWord, next|(st>>8+1)<<8)
+	t.locks = make([]rwSpin, newBuckets)
+	return nil
+}
+
+// Close is a no-op.
+func (t *Table) Close() error { return nil }
+
+func init() {
+	scheme.Register("REWO", func(dev *nvm.Device, capacityHint int64) (scheme.Store, error) {
+		buckets := int64(64)
+		if capacityHint > 0 {
+			for buckets*slotsPerBucket*6/10 < capacityHint {
+				buckets *= 2
+			}
+		}
+		// Cache sized like HDNH's hot table (half the persistent slots) at
+		// creation — but fixed thereafter, per Rewo's design.
+		t, err := New(dev, Options{InitBuckets: buckets, CacheEntries: int(buckets * slotsPerBucket / 2)})
+		if err != nil {
+			return nil, err
+		}
+		return &store{t}, nil
+	})
+}
+
+type store struct{ t *Table }
+
+var _ scheme.Store = (*store)(nil)
+
+func (s *store) Name() string               { return "REWO" }
+func (s *store) NewSession() scheme.Session { return s.t.NewSession() }
+func (s *store) Count() int64               { return s.t.Count() }
+func (s *store) Capacity() int64            { return s.t.Capacity() }
+func (s *store) LoadFactor() float64        { return s.t.LoadFactor() }
+func (s *store) Close() error               { return s.t.Close() }
+
+var _ scheme.Session = (*Session)(nil)

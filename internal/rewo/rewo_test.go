@@ -1,0 +1,163 @@
+package rewo_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hdnh/internal/kv"
+	"hdnh/internal/nvm"
+	"hdnh/internal/rewo"
+	"hdnh/internal/schemetest"
+)
+
+func TestConformance(t *testing.T) {
+	schemetest.Run(t, "REWO", schemetest.Config{DeviceWords: 1 << 23})
+}
+
+func rk(i int) kv.Key   { return kv.MustKey([]byte(fmt.Sprintf("rewo-%06d", i))) }
+func rv(i int) kv.Value { return kv.MustValue([]byte(fmt.Sprintf("v%06d", i))) }
+
+func TestCacheServesRepeatedReads(t *testing.T) {
+	dev, err := nvm.New(nvm.DefaultConfig(1 << 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := rewo.New(dev, rewo.Options{InitBuckets: 256, CacheEntries: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.NewSession()
+	for i := 0; i < 500; i++ {
+		if err := s.Insert(rk(i), rv(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Inserts mirrored into the cache: repeated reads of a cached key must
+	// not touch NVM.
+	before := s.NVMStats()
+	for i := 0; i < 100; i++ {
+		if v, ok := s.Get(rk(7)); !ok || v != rv(7) {
+			t.Fatal("cached read failed")
+		}
+	}
+	if delta := s.NVMStats().Sub(before); delta.ReadAccesses != 0 {
+		t.Fatalf("cached reads touched NVM %d times", delta.ReadAccesses)
+	}
+	if tbl.CacheEntries() == 0 {
+		t.Fatal("cache empty after inserts")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	dev, err := nvm.New(nvm.DefaultConfig(1 << 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := rewo.New(dev, rewo.Options{InitBuckets: 256, CacheEntries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.NewSession()
+	for i := 0; i < 4; i++ {
+		if err := s.Insert(rk(i), rv(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cache capacity 3; inserts 0..3 mirrored in order → key 0 evicted.
+	// Touch key 1 (most recent now), then read key 0 (miss → promote,
+	// evicting key 2, the current LRU).
+	s.Get(rk(1))
+	before := s.NVMStats()
+	s.Get(rk(0))
+	if delta := s.NVMStats().Sub(before); delta.ReadAccesses == 0 {
+		t.Fatal("expected key 0 to be a cache miss")
+	}
+	before = s.NVMStats()
+	s.Get(rk(2))
+	if delta := s.NVMStats().Sub(before); delta.ReadAccesses == 0 {
+		t.Fatal("expected key 2 to have been evicted (LRU order broken)")
+	}
+	before = s.NVMStats()
+	s.Get(rk(1))
+	if delta := s.NVMStats().Sub(before); delta.ReadAccesses != 0 {
+		t.Fatal("recently touched key 1 should still be cached")
+	}
+}
+
+func TestFixedCacheDecaysAfterGrowth(t *testing.T) {
+	// The paper's criticism: Rewo's cache "cannot be dynamically adjusted".
+	// After the persistent table grows well past the cache, the cache can
+	// only cover a shrinking fraction of the data.
+	dev, err := nvm.New(nvm.DefaultConfig(1 << 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cacheCap = 256
+	tbl, err := rewo.New(dev, rewo.Options{InitBuckets: 64, CacheEntries: cacheCap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.NewSession()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if err := s.Insert(rk(i), rv(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if got := tbl.CacheEntries(); got > cacheCap {
+		t.Fatalf("cache grew to %d entries past its fixed capacity %d", got, cacheCap)
+	}
+	// Uniform reads now mostly miss.
+	before := s.NVMStats()
+	misses := 0
+	for i := 0; i < 1000; i++ {
+		k := (i * 7919) % n
+		ra := s.NVMStats().ReadAccesses
+		if v, ok := s.Get(rk(k)); !ok || v != rv(k) {
+			t.Fatalf("key %d wrong", k)
+		}
+		if s.NVMStats().ReadAccesses != ra {
+			misses++
+		}
+	}
+	_ = before
+	if misses < 800 {
+		t.Fatalf("only %d/1000 uniform reads missed a %d-entry cache over %d records", misses, cacheCap, n)
+	}
+}
+
+func TestReopenKeepsData(t *testing.T) {
+	cfg := nvm.StrictConfig(1 << 21)
+	dev, err := nvm.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := rewo.New(dev, rewo.Options{InitBuckets: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.NewSession()
+	const n = 600
+	for i := 0; i < n; i++ {
+		if err := s.Insert(rk(i), rv(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev2, err := nvm.FromImage(cfg, dev.PersistedImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl2, err := rewo.New(dev2, rewo.Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if tbl2.Count() != n {
+		t.Fatalf("Count after reopen = %d", tbl2.Count())
+	}
+	s2 := tbl2.NewSession()
+	for i := 0; i < n; i++ {
+		if v, ok := s2.Get(rk(i)); !ok || v != rv(i) {
+			t.Fatalf("key %d wrong after reopen", i)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package rng provides small deterministic pseudo-random generators for
+// workload generation and replacement decisions.
+//
+// math/rand would work, but these generators are allocation-free value types
+// with explicit state, so each worker goroutine can own an independent,
+// reproducible stream (seeded from a run seed plus the worker index) without
+// locking — the standard HPC pattern for deterministic parallel workloads.
+package rng
+
+// SplitMix64 is the seeding generator: fast, full-period over 2^64, and the
+// conventional way to expand one seed word into many.
+type SplitMix64 struct{ state uint64 }
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) SplitMix64 { return SplitMix64{state: seed} }
+
+// Next returns the next value in the stream.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Xorshift128 is the workhorse generator (xorshift128+): one add and a few
+// shifts per value, good-enough statistical quality for zipfian sampling and
+// victim selection.
+type Xorshift128 struct{ s0, s1 uint64 }
+
+// New returns an Xorshift128 seeded deterministically from seed. A zero seed
+// is valid: the state is expanded through SplitMix64 and never all-zero.
+func New(seed uint64) *Xorshift128 {
+	sm := NewSplitMix64(seed)
+	x := &Xorshift128{s0: sm.Next(), s1: sm.Next()}
+	if x.s0 == 0 && x.s1 == 0 {
+		x.s0 = 1
+	}
+	return x
+}
+
+// Uint64 returns the next value in the stream.
+func (x *Xorshift128) Uint64() uint64 {
+	s1 := x.s0
+	s0 := x.s1
+	result := s0 + s1
+	x.s0 = s0
+	s1 ^= s1 << 23
+	x.s1 = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5)
+	return result
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (x *Xorshift128) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(x.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+func (x *Xorshift128) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	return x.Uint64() % n
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (x *Xorshift128) Float64() float64 {
+	return float64(x.Uint64()>>11) / (1 << 53)
+}

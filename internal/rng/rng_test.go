@@ -1,0 +1,123 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a, b := NewSplitMix64(42), NewSplitMix64(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seeded SplitMix64 streams diverged")
+		}
+	}
+}
+
+func TestSplitMix64DistinctSeeds(t *testing.T) {
+	a, b := NewSplitMix64(1), NewSplitMix64(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between distinct seeds", same)
+	}
+}
+
+func TestXorshiftZeroSeedWorks(t *testing.T) {
+	x := New(0)
+	if x.Uint64() == 0 && x.Uint64() == 0 && x.Uint64() == 0 {
+		t.Fatal("zero-seeded generator is stuck at zero")
+	}
+}
+
+func TestXorshiftDeterministic(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seeded streams diverged")
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	x := New(3)
+	for i := 0; i < 10000; i++ {
+		v := x.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d", v)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	x := New(1)
+	for _, n := range []int{0, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			x.Intn(n)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Uint64n(0) did not panic")
+			}
+		}()
+		x.Uint64n(0)
+	}()
+}
+
+func TestFloat64Range(t *testing.T) {
+	x := New(9)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := x.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.48 || mean > 0.52 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRoughlyUniform(t *testing.T) {
+	x := New(11)
+	const buckets = 10
+	const n = 100000
+	var counts [buckets]int
+	for i := 0; i < n; i++ {
+		counts[x.Intn(buckets)]++
+	}
+	for b, c := range counts {
+		if c < n/buckets*8/10 || c > n/buckets*12/10 {
+			t.Fatalf("bucket %d has %d of %d draws", b, c, n)
+		}
+	}
+}
+
+func TestUint64nProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint32) bool {
+		n := uint64(nRaw%1000) + 1
+		x := New(seed)
+		for i := 0; i < 50; i++ {
+			if x.Uint64n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

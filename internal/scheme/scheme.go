@@ -1,0 +1,102 @@
+// Package scheme defines the common interface every hashing scheme in this
+// repository implements — HDNH and the three baselines (LEVEL, CCEH, PATH) —
+// so the benchmark harness can sweep schemes uniformly, exactly as the
+// paper's evaluation does.
+package scheme
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hdnh/internal/kv"
+	"hdnh/internal/nvm"
+)
+
+// Sentinel errors shared by all schemes.
+var (
+	// ErrFull means the scheme could not place the key even after any
+	// resizing it supports (PATH is static and returns this first).
+	ErrFull = errors.New("scheme: table full")
+	// ErrNotFound means an update or delete targeted an absent key.
+	ErrNotFound = errors.New("scheme: key not found")
+	// ErrExists means an insert targeted a key that is already present.
+	ErrExists = errors.New("scheme: key already exists")
+)
+
+// Store is a persistent hash table bound to an NVM device.
+type Store interface {
+	// Name returns the scheme's short name (e.g. "HDNH", "CCEH").
+	Name() string
+	// NewSession returns a per-goroutine handle. Sessions are not safe for
+	// concurrent use; the Store itself is, through concurrent sessions.
+	NewSession() Session
+	// Count returns the number of live records.
+	Count() int64
+	// Capacity returns the total slot count of the current structure.
+	Capacity() int64
+	// LoadFactor returns live records divided by total slot capacity.
+	LoadFactor() float64
+	// Close releases background resources (e.g. HDNH's writer pool).
+	Close() error
+}
+
+// Session is the per-worker operation interface.
+type Session interface {
+	// Insert adds a new record. Returns ErrExists or ErrFull.
+	Insert(k kv.Key, v kv.Value) error
+	// Get returns the value for k, with found=false when absent.
+	Get(k kv.Key) (kv.Value, bool)
+	// Update replaces the value of an existing record. Returns ErrNotFound
+	// (or ErrFull for schemes that update out-of-place and ran out of room).
+	Update(k kv.Key, v kv.Value) error
+	// Delete removes a record. Returns ErrNotFound when absent.
+	Delete(k kv.Key) error
+	// NVMStats returns the NVM traffic generated through this session.
+	NVMStats() nvm.Stats
+}
+
+// Factory builds a Store on the given device. capacityHint is the number of
+// records the caller plans to load; schemes size their initial structures
+// from it (static PATH sizes its whole table from it).
+type Factory func(dev *nvm.Device, capacityHint int64) (Store, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register adds a named factory. Duplicate registration panics (it is a
+// programming error in package init).
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("scheme: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// Open instantiates the named scheme.
+func Open(name string, dev *nvm.Device, capacityHint int64) (Store, error) {
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("scheme: unknown scheme %q (registered: %v)", name, Names())
+	}
+	return f(dev, capacityHint)
+}
+
+// Names lists registered schemes, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

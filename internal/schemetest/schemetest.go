@@ -1,0 +1,296 @@
+// Package schemetest is a conformance suite every hashing scheme in this
+// repository must pass. Each scheme's test file calls Run with its
+// registered name; the suite exercises CRUD semantics, capacity growth,
+// negative lookups, concurrent sessions, and a randomized model-based check
+// against a plain map reference.
+package schemetest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"hdnh/internal/kv"
+	"hdnh/internal/nvm"
+	"hdnh/internal/rng"
+	"hdnh/internal/scheme"
+)
+
+// Config tunes the suite for a scheme's characteristics.
+type Config struct {
+	// Static marks schemes that cannot grow (PATH): growth tests are
+	// skipped and sizes kept within the initial capacity.
+	Static bool
+	// DeviceWords sizes the backing device.
+	DeviceWords int64
+}
+
+// Run executes the conformance suite against the named scheme.
+func Run(t *testing.T, name string, cfg Config) {
+	if cfg.DeviceWords == 0 {
+		cfg.DeviceWords = 1 << 22
+	}
+	open := func(t *testing.T, hint int64) scheme.Store {
+		t.Helper()
+		dev, err := nvm.New(nvm.DefaultConfig(cfg.DeviceWords))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := scheme.Open(name, dev, hint)
+		if err != nil {
+			t.Fatalf("open %s: %v", name, err)
+		}
+		t.Cleanup(func() { st.Close() })
+		return st
+	}
+	key := func(i int) kv.Key { return kv.MustKey([]byte(fmt.Sprintf("ct-key-%08d", i))) }
+	val := func(i int) kv.Value { return kv.MustValue([]byte(fmt.Sprintf("ct-val-%05d", i))) }
+
+	t.Run("InsertGetDeleteUpdate", func(t *testing.T) {
+		st := open(t, 1000)
+		s := st.NewSession()
+		if err := s.Insert(key(1), val(1)); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+		if v, ok := s.Get(key(1)); !ok || v != val(1) {
+			t.Fatalf("get = (%q, %v)", v.String(), ok)
+		}
+		if _, ok := s.Get(key(2)); ok {
+			t.Fatal("negative get hit")
+		}
+		if err := s.Insert(key(1), val(9)); !errors.Is(err, scheme.ErrExists) {
+			t.Fatalf("duplicate insert: %v", err)
+		}
+		if err := s.Update(key(1), val(2)); err != nil {
+			t.Fatalf("update: %v", err)
+		}
+		if v, _ := s.Get(key(1)); v != val(2) {
+			t.Fatal("update not visible")
+		}
+		if err := s.Update(key(3), val(3)); !errors.Is(err, scheme.ErrNotFound) {
+			t.Fatalf("update missing: %v", err)
+		}
+		if err := s.Delete(key(1)); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+		if err := s.Delete(key(1)); !errors.Is(err, scheme.ErrNotFound) {
+			t.Fatalf("double delete: %v", err)
+		}
+		if _, ok := s.Get(key(1)); ok {
+			t.Fatal("deleted key still present")
+		}
+		if st.Count() != 0 {
+			t.Fatalf("count = %d", st.Count())
+		}
+	})
+
+	t.Run("BulkLoadAndVerify", func(t *testing.T) {
+		n := 8000
+		if cfg.Static {
+			n = 2000
+		}
+		st := open(t, int64(n))
+		s := st.NewSession()
+		for i := 0; i < n; i++ {
+			if err := s.Insert(key(i), val(i)); err != nil {
+				t.Fatalf("insert %d (load %.2f): %v", i, st.LoadFactor(), err)
+			}
+		}
+		if st.Count() != int64(n) {
+			t.Fatalf("count = %d, want %d", st.Count(), n)
+		}
+		for i := 0; i < n; i++ {
+			if v, ok := s.Get(key(i)); !ok || v != val(i) {
+				t.Fatalf("key %d = (%q, %v)", i, v.String(), ok)
+			}
+		}
+		for i := n; i < n+500; i++ {
+			if _, ok := s.Get(key(i)); ok {
+				t.Fatalf("phantom key %d", i)
+			}
+		}
+		if lf := st.LoadFactor(); lf <= 0 || lf > 1 {
+			t.Fatalf("load factor = %v", lf)
+		}
+	})
+
+	if !cfg.Static {
+		t.Run("GrowthBeyondInitialCapacity", func(t *testing.T) {
+			st := open(t, 100) // deliberately undersized
+			s := st.NewSession()
+			const n = 12000
+			for i := 0; i < n; i++ {
+				if err := s.Insert(key(i), val(i)); err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+			}
+			for i := 0; i < n; i++ {
+				if v, ok := s.Get(key(i)); !ok || v != val(i) {
+					t.Fatalf("key %d lost during growth", i)
+				}
+			}
+		})
+	} else {
+		t.Run("StaticFillsToErrFull", func(t *testing.T) {
+			st := open(t, 300)
+			s := st.NewSession()
+			inserted := 0
+			for i := 0; i < 1000000; i++ {
+				err := s.Insert(key(i), val(i))
+				if errors.Is(err, scheme.ErrFull) {
+					break
+				}
+				if err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+				inserted++
+			}
+			if inserted == 0 {
+				t.Fatal("nothing inserted before ErrFull")
+			}
+			if st.LoadFactor() < 0.2 {
+				t.Fatalf("gave up at load factor %.2f — collision handling broken", st.LoadFactor())
+			}
+			// Everything inserted must still be readable.
+			for i := 0; i < inserted; i++ {
+				if v, ok := s.Get(key(i)); !ok || v != val(i) {
+					t.Fatalf("key %d wrong after fill", i)
+				}
+			}
+		})
+	}
+
+	t.Run("ModelBasedRandomOps", func(t *testing.T) {
+		st := open(t, 4000)
+		s := st.NewSession()
+		model := map[int]kv.Value{}
+		r := rng.New(0xC0FFEE)
+		keyLimit := 3000
+		if cfg.Static {
+			keyLimit = 1500
+		}
+		for step := 0; step < 20000; step++ {
+			k := r.Intn(keyLimit)
+			switch r.Intn(10) {
+			case 0, 1, 2, 3: // insert
+				err := s.Insert(key(k), val(k))
+				if _, exists := model[k]; exists {
+					if !errors.Is(err, scheme.ErrExists) {
+						t.Fatalf("step %d: insert existing %d: %v", step, k, err)
+					}
+				} else if err == nil {
+					model[k] = val(k)
+				} else if !errors.Is(err, scheme.ErrFull) {
+					t.Fatalf("step %d: insert %d: %v", step, k, err)
+				}
+			case 4, 5: // update
+				nv := val(k + 777000)
+				err := s.Update(key(k), nv)
+				if _, exists := model[k]; exists {
+					if err == nil {
+						model[k] = nv
+					} else if !errors.Is(err, scheme.ErrFull) {
+						t.Fatalf("step %d: update %d: %v", step, k, err)
+					}
+				} else if !errors.Is(err, scheme.ErrNotFound) {
+					t.Fatalf("step %d: update missing %d: %v", step, k, err)
+				}
+			case 6, 7: // delete
+				err := s.Delete(key(k))
+				if _, exists := model[k]; exists {
+					if err != nil {
+						t.Fatalf("step %d: delete %d: %v", step, k, err)
+					}
+					delete(model, k)
+				} else if !errors.Is(err, scheme.ErrNotFound) {
+					t.Fatalf("step %d: delete missing %d: %v", step, k, err)
+				}
+			default: // get
+				v, ok := s.Get(key(k))
+				want, exists := model[k]
+				if ok != exists {
+					t.Fatalf("step %d: get %d presence = %v, want %v", step, k, ok, exists)
+				}
+				if ok && v != want {
+					t.Fatalf("step %d: get %d = %q, want %q", step, k, v.String(), want.String())
+				}
+			}
+		}
+		if st.Count() != int64(len(model)) {
+			t.Fatalf("final count %d, model %d", st.Count(), len(model))
+		}
+		for k, want := range model {
+			if v, ok := s.Get(key(k)); !ok || v != want {
+				t.Fatalf("final check: key %d = (%q, %v), want %q", k, v.String(), ok, want.String())
+			}
+		}
+	})
+
+	t.Run("ConcurrentSessions", func(t *testing.T) {
+		workers := 4
+		perW := 1500
+		if cfg.Static {
+			perW = 400
+		}
+		st := open(t, int64(workers*perW))
+		var wg sync.WaitGroup
+		errs := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				s := st.NewSession()
+				base := w * perW
+				for i := 0; i < perW; i++ {
+					if err := s.Insert(key(base+i), val(base+i)); err != nil {
+						errs <- fmt.Errorf("worker %d insert %d: %w", w, i, err)
+						return
+					}
+					if v, ok := s.Get(key(base + i)); !ok || v != val(base+i) {
+						errs <- fmt.Errorf("worker %d read-own-write %d failed", w, i)
+						return
+					}
+				}
+				for i := 0; i < perW; i += 3 {
+					if err := s.Delete(key(base + i)); err != nil {
+						errs <- fmt.Errorf("worker %d delete %d: %w", w, i, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		s := st.NewSession()
+		for w := 0; w < workers; w++ {
+			for i := 0; i < perW; i++ {
+				v, ok := s.Get(key(w*perW + i))
+				if i%3 == 0 {
+					if ok {
+						t.Fatalf("deleted key %d present", w*perW+i)
+					}
+				} else if !ok || v != val(w*perW+i) {
+					t.Fatalf("key %d wrong after concurrent run", w*perW+i)
+				}
+			}
+		}
+	})
+
+	t.Run("StatsAccounting", func(t *testing.T) {
+		st := open(t, 1000)
+		s := st.NewSession()
+		for i := 0; i < 200; i++ {
+			if err := s.Insert(key(i), val(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stats := s.NVMStats()
+		if stats.WriteAccesses == 0 || stats.Flushes == 0 {
+			t.Fatalf("inserts produced no NVM write traffic: %+v", stats)
+		}
+	})
+}

@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader throws arbitrary bytes at the trace reader: it must never
+// panic and must either parse records cleanly or return a wrapped
+// ErrBadTrace / io.EOF.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid single-record trace.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // malformed header rejected: fine
+		}
+		for i := 0; i < 10000; i++ {
+			_, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return // malformed record rejected: fine
+			}
+		}
+	})
+}

@@ -1,0 +1,151 @@
+// Package trace records operation streams to a compact binary format and
+// replays them later — the reproducibility tool for cross-scheme and
+// cross-machine comparisons: capture one workload once, replay the identical
+// op sequence against every scheme or configuration.
+//
+// Format (little-endian):
+//
+//	header   magic (8 bytes) | version (4 bytes) | reserved (4 bytes)
+//	record   kind (1 byte) | key index (8 bytes)
+//
+// Streams are framed per record so traces can be produced and consumed
+// incrementally; the record count is implicit (read to EOF).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"hdnh/internal/ycsb"
+)
+
+const (
+	headerMagic = uint64(0x48444e48545243) // "HDNHTRC"
+	version     = uint32(1)
+	headerBytes = 16
+	recordBytes = 9
+)
+
+// ErrBadTrace reports a malformed trace stream.
+var ErrBadTrace = errors.New("trace: malformed stream")
+
+// Writer streams operations to an io.Writer.
+type Writer struct {
+	bw    *bufio.Writer
+	count int64
+	err   error
+}
+
+// NewWriter writes the header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	var hdr [headerBytes]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], headerMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], version)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{bw: bw}, nil
+}
+
+// Append records one operation.
+func (w *Writer) Append(op ycsb.Op) error {
+	if w.err != nil {
+		return w.err
+	}
+	var rec [recordBytes]byte
+	rec[0] = byte(op.Kind)
+	binary.LittleEndian.PutUint64(rec[1:], uint64(op.Index))
+	if _, err := w.bw.Write(rec[:]); err != nil {
+		w.err = fmt.Errorf("trace: writing record: %w", err)
+		return w.err
+	}
+	w.count++
+	return nil
+}
+
+// Count reports how many records have been appended.
+func (w *Writer) Count() int64 { return w.count }
+
+// Flush drains buffered records to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// Reader iterates a trace stream.
+type Reader struct {
+	br *bufio.Reader
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [headerBytes]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadTrace, err)
+	}
+	if binary.LittleEndian.Uint64(hdr[0:8]) != headerMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadTrace)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
+	}
+	return &Reader{br: br}, nil
+}
+
+// Next returns the next operation, or io.EOF at the end of the trace.
+func (r *Reader) Next() (ycsb.Op, error) {
+	var rec [recordBytes]byte
+	if _, err := io.ReadFull(r.br, rec[:]); err != nil {
+		if err == io.EOF {
+			return ycsb.Op{}, io.EOF
+		}
+		return ycsb.Op{}, fmt.Errorf("%w: torn record: %v", ErrBadTrace, err)
+	}
+	kind := ycsb.OpKind(rec[0])
+	if kind < ycsb.OpInsert || kind > ycsb.OpReadModifyWrite {
+		return ycsb.Op{}, fmt.Errorf("%w: unknown op kind %d", ErrBadTrace, rec[0])
+	}
+	return ycsb.Op{Kind: kind, Index: int64(binary.LittleEndian.Uint64(rec[1:]))}, nil
+}
+
+// ReadAll loads a whole trace into memory.
+func ReadAll(r io.Reader) ([]ycsb.Op, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var ops []ycsb.Op
+	for {
+		op, err := tr.Next()
+		if err == io.EOF {
+			return ops, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+}
+
+// Capture generates n operations from a ycsb.Generator worker and writes
+// them to w, returning how many were recorded.
+func Capture(w io.Writer, gen *ycsb.Generator, workerID int, n int64) (int64, error) {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	wk := gen.Worker(workerID)
+	for i := int64(0); i < n; i++ {
+		if err := tw.Append(wk.Next()); err != nil {
+			return tw.Count(), err
+		}
+	}
+	return tw.Count(), tw.Flush()
+}

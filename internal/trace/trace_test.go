@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"hdnh/internal/ycsb"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	ops := []ycsb.Op{
+		{Kind: ycsb.OpInsert, Index: 0},
+		{Kind: ycsb.OpRead, Index: 42},
+		{Kind: ycsb.OpUpdate, Index: 1 << 40},
+		{Kind: ycsb.OpDelete, Index: 7},
+		{Kind: ycsb.OpReadNegative, Index: 3},
+		{Kind: ycsb.OpReadModifyWrite, Index: 99},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		if err := w.Append(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != int64(len(ops)) {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("read %d ops, wrote %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d: got %+v, want %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(make([]byte, 16))); err == nil {
+		t.Fatal("zero magic accepted")
+	}
+	// Right magic, wrong version.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.Flush()
+	raw := buf.Bytes()
+	raw[8] = 99
+	if _, err := NewReader(bytes.NewReader(raw)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+func TestReaderRejectsTornRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.Append(ycsb.Op{Kind: ycsb.OpRead, Index: 1})
+	_ = w.Flush()
+	raw := buf.Bytes()[:buf.Len()-3] // cut the last record short
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("torn record accepted")
+	}
+}
+
+func TestReaderRejectsUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.Append(ycsb.Op{Kind: ycsb.OpRead, Index: 1})
+	_ = w.Flush()
+	raw := buf.Bytes()
+	raw[16] = 200 // corrupt the kind byte
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestEmptyTraceReadsEOF(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.Flush()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("Next on empty trace: %v, want EOF", err)
+	}
+}
+
+func TestCaptureDeterministic(t *testing.T) {
+	gen, err := ycsb.New(ycsb.Config{
+		RecordCount:  500,
+		Mix:          ycsb.WorkloadA,
+		Distribution: ycsb.ScrambledZipfian,
+		Theta:        0.99,
+		Seed:         11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	na, err := Capture(&a, gen, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := Capture(&b, gen, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na != 1000 || nb != 1000 {
+		t.Fatalf("captured %d / %d", na, nb)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same-seed captures differ byte-for-byte")
+	}
+}

@@ -1,0 +1,247 @@
+// Package vlog is an append-only, crash-safe value log on the emulated NVM
+// device — the key-value separation the paper's reference list points at
+// (WiscKey [19]): HDNH's fixed 15-byte slots hold a log address while the
+// log holds values of any size.
+//
+// Record layout (word-aligned):
+//
+//	word 0      header: length (32 bits) | checksum (32 bits)
+//	words 1..n  payload, zero-padded to a word boundary
+//
+// Append protocol: payload words are written and flushed first, then the
+// header word is persisted last (8-byte atomic commit). A torn append
+// therefore leaves a zero or garbage header that fails the checksum and is
+// treated as the end of the log during recovery scans. The durable head
+// pointer is advanced lazily — Recover re-scans forward from the last
+// persisted head to find every committed record.
+package vlog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hdnh/internal/hashfn"
+	"hdnh/internal/nvm"
+)
+
+// Meta layout (at the log's base):
+//
+//	word 0  magic
+//	word 1  capacity in words (fixed at creation)
+//	word 2  durable head (lazily persisted append cursor)
+//
+// Data records start at base+metaWords.
+const (
+	metaWords = nvm.BlockWords
+	logMagic  = uint64(0x48444e48564c4f47) // "HDNHVLOG"
+
+	magicWord = 0
+	capWord   = 1
+	headWord  = 2
+
+	// headSyncInterval bounds how much of the log a recovery scan must
+	// re-verify: the durable head is persisted at least this often.
+	headSyncInterval = 1024
+)
+
+// ErrCorrupt reports a checksum mismatch on read.
+var ErrCorrupt = errors.New("vlog: corrupt record")
+
+// ErrLogFull reports an append beyond capacity.
+var ErrLogFull = errors.New("vlog: log full")
+
+// Log is an append-only value log. Appends are safe for concurrent use;
+// reads are lock-free.
+type Log struct {
+	dev  *nvm.Device
+	base int64
+	cap  int64 // data words
+
+	mu         sync.Mutex
+	head       int64 // next free data word (relative to data start)
+	sinceSync  int64
+	persistedH int64
+}
+
+// Create allocates a log with the given data capacity in words.
+func Create(dev *nvm.Device, h *nvm.Handle, dataWords int64) (*Log, error) {
+	if dataWords <= 0 {
+		return nil, fmt.Errorf("vlog: capacity %d words", dataWords)
+	}
+	base, err := dev.Alloc(h, metaWords+dataWords, nvm.BlockWords)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dev: dev, base: base, cap: dataWords}
+	h.StorePersist(base+capWord, uint64(dataWords))
+	h.StorePersist(base+headWord, 0)
+	h.StorePersist(base+magicWord, logMagic)
+	return l, nil
+}
+
+// Open recovers a log created at base: it validates the meta block and
+// scans forward from the durable head over committed records, so appends
+// that completed after the last head sync are found again.
+func Open(dev *nvm.Device, h *nvm.Handle, base int64) (*Log, error) {
+	if dev.Load(base+magicWord) != logMagic {
+		return nil, errors.New("vlog: bad magic")
+	}
+	l := &Log{
+		dev:  dev,
+		base: base,
+		cap:  int64(dev.Load(base + capWord)),
+	}
+	l.head = int64(dev.Load(base + headWord))
+	if l.head < 0 || l.head > l.cap {
+		return nil, fmt.Errorf("vlog: corrupt durable head %d", l.head)
+	}
+	l.persistedH = l.head
+	// Scan forward over valid records; the first header that fails its
+	// checksum (or runs past capacity) is the true end.
+	for l.head < l.cap {
+		hdrOff := l.dataOff(l.head)
+		h.ReadAccess(hdrOff, 1)
+		hdr := dev.Load(hdrOff)
+		if hdr == 0 {
+			break
+		}
+		length := int64(hdr >> 32)
+		sum := uint32(hdr)
+		words := payloadWords(length)
+		if length <= 0 || l.head+1+words > l.cap {
+			break
+		}
+		if checksum(dev, h, hdrOff+1, length) != sum {
+			break
+		}
+		l.head += 1 + words
+	}
+	return l, nil
+}
+
+// Base returns the log's device offset (store it in a root or a table).
+func (l *Log) Base() int64 { return l.base }
+
+// Capacity returns the data capacity in words.
+func (l *Log) Capacity() int64 { return l.cap }
+
+// UsedWords returns the append cursor.
+func (l *Log) UsedWords() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.head
+}
+
+func (l *Log) dataOff(rel int64) int64 { return l.base + metaWords + rel }
+
+func payloadWords(length int64) int64 { return (length + 7) / 8 }
+
+// checksum hashes `length` payload bytes starting at word off.
+func checksum(dev *nvm.Device, h *nvm.Handle, off, length int64) uint32 {
+	words := payloadWords(length)
+	buf := make([]byte, 0, words*8)
+	for i := int64(0); i < words; i++ {
+		w := dev.Load(off + i)
+		for b := 0; b < 8; b++ {
+			buf = append(buf, byte(w>>(8*b)))
+		}
+	}
+	return uint32(hashfn.Sum64(0xC5C5, buf[:length]))
+}
+
+// Append durably stores value and returns its address (the record's
+// relative word offset), which fits in 8 bytes and can live in an HDNH
+// slot value.
+func (l *Log) Append(h *nvm.Handle, value []byte) (int64, error) {
+	if len(value) == 0 {
+		return 0, errors.New("vlog: empty value")
+	}
+	length := int64(len(value))
+	words := payloadWords(length)
+
+	// The mutex is held across the whole append so committed records form a
+	// contiguous prefix: if appends could commit out of order, a crash in an
+	// earlier (still uncommitted) record would hide later committed ones
+	// from Open's forward scan.
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.head+1+words > l.cap {
+		return 0, fmt.Errorf("%w: need %d words, %d free", ErrLogFull, 1+words, l.cap-l.head)
+	}
+	addr := l.head
+
+	// Payload first...
+	off := l.dataOff(addr)
+	for i := int64(0); i < words; i++ {
+		var w uint64
+		for b := 0; b < 8; b++ {
+			idx := i*8 + int64(b)
+			if idx < length {
+				w |= uint64(value[idx]) << (8 * b)
+			}
+		}
+		l.dev.Store(off+1+i, w)
+	}
+	h.WriteAccess(off+1, words)
+	h.Flush(off+1, words)
+	h.Fence()
+	// ...then the committing header.
+	sum := checksum(l.dev, h, off+1, length)
+	h.StorePersist(off, uint64(length)<<32|uint64(sum))
+
+	l.head += 1 + words
+	l.sinceSync += 1 + words
+	if l.sinceSync >= headSyncInterval {
+		l.sinceSync = 0
+		h.StorePersist(l.base+headWord, uint64(l.head))
+		if l.head > l.persistedH {
+			l.persistedH = l.head
+		}
+	}
+	return addr, nil
+}
+
+// Read returns the value stored at addr.
+func (l *Log) Read(h *nvm.Handle, addr int64) ([]byte, error) {
+	if addr < 0 || addr >= l.cap {
+		return nil, fmt.Errorf("vlog: address %d out of range", addr)
+	}
+	off := l.dataOff(addr)
+	h.ReadAccess(off, 1)
+	hdr := l.dev.Load(off)
+	length := int64(hdr >> 32)
+	if length <= 0 || addr+1+payloadWords(length) > l.cap {
+		return nil, fmt.Errorf("%w: bad length %d at %d", ErrCorrupt, length, addr)
+	}
+	words := payloadWords(length)
+	h.ReadAccess(off+1, words)
+	out := make([]byte, length)
+	for i := int64(0); i < words; i++ {
+		w := l.dev.Load(off + 1 + i)
+		for b := 0; b < 8; b++ {
+			idx := i*8 + int64(b)
+			if idx < length {
+				out[idx] = byte(w >> (8 * b))
+			}
+		}
+	}
+	if uint32(hashfn.Sum64(0xC5C5, out)) != uint32(hdr) {
+		return nil, fmt.Errorf("%w: checksum mismatch at %d", ErrCorrupt, addr)
+	}
+	return out, nil
+}
+
+// Sync persists the append cursor so the next Open's scan starts here.
+func (l *Log) Sync(h *nvm.Handle) {
+	l.mu.Lock()
+	head := l.head
+	l.sinceSync = 0
+	l.mu.Unlock()
+	h.StorePersist(l.base+headWord, uint64(head))
+	l.mu.Lock()
+	if head > l.persistedH {
+		l.persistedH = head
+	}
+	l.mu.Unlock()
+}

@@ -1,0 +1,106 @@
+package ycsb
+
+import (
+	"fmt"
+	"math"
+
+	"hdnh/internal/rng"
+)
+
+// Zipf samples ranks in [0, n) with probability proportional to
+// 1/(rank+1)^theta. It is immutable after construction, so one Zipf can be
+// shared by all worker goroutines, each drawing with its own rng stream.
+//
+// Two regimes:
+//
+//   - theta < 1: Gray et al.'s constant-time approximate inversion, the same
+//     algorithm YCSB's ZipfianGenerator uses. Construction is O(n) (the
+//     zeta(n, theta) sum) but sampling is O(1).
+//   - theta >= 1 (the paper tunes s up to 1.22, past the Gray formula's
+//     validity range): exact inverse-CDF over a cumulative table with binary
+//     search — O(n) memory, O(log n) sampling. At this repository's scaled
+//     key counts the table is a few MB.
+type Zipf struct {
+	n     int64
+	theta float64
+
+	// Gray-approximation parameters (theta < 1).
+	zetan, zeta2, alpha, eta float64
+
+	// Exact CDF table (theta >= 1).
+	cum []float64
+}
+
+// NewZipf builds a sampler over [0, n). theta must be positive; theta values
+// approaching 0 degenerate toward uniform.
+func NewZipf(n int64, theta float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("ycsb: zipf over %d items", n)
+	}
+	if theta <= 0 {
+		return nil, fmt.Errorf("ycsb: zipf theta %v must be positive", theta)
+	}
+	z := &Zipf{n: n, theta: theta}
+	if theta < 1 {
+		z.zetan = zeta(n, theta)
+		z.zeta2 = zeta(2, theta)
+		z.alpha = 1 / (1 - theta)
+		z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+		return z, nil
+	}
+	z.cum = make([]float64, n)
+	sum := 0.0
+	for i := int64(0); i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+		z.cum[i] = sum
+	}
+	inv := 1 / sum
+	for i := range z.cum {
+		z.cum[i] *= inv
+	}
+	return z, nil
+}
+
+func zeta(n int64, theta float64) float64 {
+	sum := 0.0
+	for i := int64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// N returns the keyspace size.
+func (z *Zipf) N() int64 { return z.n }
+
+// Theta returns the skew parameter.
+func (z *Zipf) Theta() float64 { return z.theta }
+
+// Sample draws one rank using r. Rank 0 is the hottest item.
+func (z *Zipf) Sample(r *rng.Xorshift128) int64 {
+	u := r.Float64()
+	if z.cum != nil {
+		// Binary search for the first cumulative weight >= u.
+		lo, hi := 0, len(z.cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if z.cum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return int64(lo)
+	}
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	rank := int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	return rank
+}
