@@ -16,7 +16,7 @@ test:
 	$(GO) test ./... -count=1
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/nvm/ -count=1
+	$(GO) test -race ./... -count=1
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,6 +1,9 @@
 package hdnh_test
 
 import (
+	"bytes"
+	"errors"
+	"strings"
 	"testing"
 
 	"hdnh"
@@ -92,4 +95,45 @@ func TestKeyValuePanicOnOversize(t *testing.T) {
 		}
 	}()
 	hdnh.Key("this key is way longer than sixteen bytes")
+}
+
+func TestPublicFacadeMetricsAndErrors(t *testing.T) {
+	dev, err := hdnh.NewDevice(hdnh.DeviceConfig(1 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := hdnh.DefaultOptions()
+	opts.Metrics = hdnh.NewMetrics(hdnh.MetricsConfig{SampleEvery: 1})
+	table, err := hdnh.Create(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer table.Close()
+	s := table.NewSession()
+	if err := s.Insert(hdnh.Key("m"), hdnh.Value("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(hdnh.Key("m"), hdnh.Value("2")); !errors.Is(err, hdnh.ErrExists) {
+		t.Fatalf("duplicate Insert = %v, want ErrExists", err)
+	}
+	if _, err := s.Lookup(hdnh.Key("absent")); !errors.Is(err, hdnh.ErrNotFound) {
+		t.Fatalf("Lookup absent = %v, want ErrNotFound", err)
+	}
+	if err := s.Delete(hdnh.Key("absent")); !errors.Is(err, hdnh.ErrNotFound) {
+		t.Fatalf("Delete absent = %v, want ErrNotFound", err)
+	}
+	snap := table.MetricsSnapshot()
+	if snap.OpTotal(0) == 0 {
+		t.Fatal("metrics snapshot recorded no get/insert activity")
+	}
+	if snap.Gauges.Items != 1 {
+		t.Fatalf("Items gauge = %d, want 1", snap.Gauges.Items)
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hdnh_ops_total") {
+		t.Fatal("Prometheus exposition missing hdnh_ops_total")
+	}
 }

@@ -18,8 +18,10 @@ import (
 	"runtime"
 	"strings"
 
+	"hdnh/internal/core"
 	"hdnh/internal/harness"
 	"hdnh/internal/nvm"
+	"hdnh/internal/obs"
 )
 
 func main() {
@@ -33,8 +35,19 @@ func main() {
 		mode    = flag.String("mode", "emulate", "device mode: model | emulate")
 		seed    = flag.Uint64("seed", 42, "workload seed")
 		csvDir  = flag.String("csv", "", "also write each experiment as <dir>/<id>.csv")
+		metrics = flag.Bool("metrics", false, "collect HDNH observability counters and print the Prometheus exposition after the runs")
 	)
 	flag.Parse()
+
+	if *records <= 0 {
+		usageErr("-records %d must be positive", *records)
+	}
+	if *ops <= 0 {
+		usageErr("-ops %d must be positive", *ops)
+	}
+	if *threads <= 0 {
+		usageErr("-threads %d must be positive", *threads)
+	}
 
 	sc := harness.Scale{
 		Records: *records,
@@ -48,8 +61,16 @@ func main() {
 	case "emulate":
 		sc.Mode = nvm.ModeEmulate
 	default:
-		fmt.Fprintf(os.Stderr, "hdnhbench: unknown mode %q\n", *mode)
-		os.Exit(2)
+		usageErr("unknown mode %q", *mode)
+	}
+
+	var reg *obs.Metrics
+	if *metrics {
+		// Every HDNH table the harness builds through the scheme registry
+		// records into one shared registry; the exposition below aggregates
+		// all selected experiments.
+		reg = obs.New(obs.Config{})
+		core.SetDefaultMetrics(reg)
 	}
 
 	type job struct {
@@ -129,6 +150,20 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	if reg != nil {
+		fmt.Printf("\n# HDNH observability counters, aggregated across the selected experiments\n")
+		if err := reg.Snapshot().WriteProm(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "hdnhbench: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hdnhbench: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func gomaxprocs() int { return runtime.GOMAXPROCS(0) }

@@ -30,6 +30,13 @@ func main() {
 	)
 	flag.Parse()
 
+	if *n <= 0 {
+		usageErr("-n %d must be positive", *n)
+	}
+	if *threads <= 0 {
+		usageErr("-threads %d must be positive", *threads)
+	}
+
 	words := int64(0)
 	{
 		// Same sizing rule the harness uses.
@@ -50,7 +57,7 @@ func main() {
 	case "strict":
 		cfg = nvm.StrictConfig(words)
 	default:
-		fatal("unknown mode %q", *mode)
+		usageErr("unknown mode %q", *mode)
 	}
 	dev, err := nvm.New(cfg)
 	if err != nil {
@@ -109,4 +116,11 @@ func main() {
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "hdnhload: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// usageErr reports a bad flag value and exits with the usage status.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hdnhload: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -1,0 +1,256 @@
+// Command hdnhserve runs an HDNH table behind a small HTTP server: a
+// key-value API plus the observability endpoints (Prometheus text and JSON
+// exposition of the internal/obs counters). It exists so the metrics layer
+// can be watched live — point a browser or Prometheus scraper at /metrics
+// while load runs against /kv/.
+//
+//	hdnhserve -addr :8080 -capacity 100000 -mode model
+//
+// Endpoints:
+//
+//	GET    /kv/<key>      value bytes, or 404
+//	PUT    /kv/<key>      body is the value (≤15 bytes); upsert
+//	DELETE /kv/<key>      remove the record
+//	GET    /metrics       Prometheus text exposition
+//	GET    /metrics.json  the same counters as indented JSON
+//	GET    /stats         one-line table shape summary
+//	GET    /healthz       liveness probe
+//
+// Contended operations (retry budgets exhausted under sustained movement)
+// return 503 with a Retry-After header rather than a fabricated 404 — the
+// HTTP face of the ErrContended semantics.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+
+	"hdnh/internal/core"
+	"hdnh/internal/kv"
+	"hdnh/internal/nvm"
+	"hdnh/internal/obs"
+	"hdnh/internal/scheme"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		capacity = flag.Int64("capacity", 100_000, "record capacity the device is sized for")
+		mode     = flag.String("mode", "model", "device mode: model | emulate")
+		sample   = flag.Uint64("sample", obs.DefaultSampleEvery, "latency-sample one in N operations (1 samples all)")
+	)
+	flag.Parse()
+
+	if *capacity <= 0 {
+		usageErr("-capacity %d must be positive", *capacity)
+	}
+	if *sample == 0 {
+		usageErr("-sample must be at least 1")
+	}
+
+	words := deviceWords(*capacity)
+	var cfg nvm.Config
+	switch *mode {
+	case "model":
+		cfg = nvm.DefaultConfig(words)
+	case "emulate":
+		cfg = nvm.EmulateConfig(words)
+	default:
+		usageErr("unknown mode %q", *mode)
+	}
+
+	dev, err := nvm.New(cfg)
+	if err != nil {
+		fatal("creating device: %v", err)
+	}
+	opts := core.DefaultOptions()
+	opts.InitBottomSegments = bottomSegments(*capacity, opts.SegmentBuckets)
+	opts.Metrics = obs.New(obs.Config{SampleEvery: *sample})
+	tbl, err := core.Create(dev, opts)
+	if err != nil {
+		fatal("creating table: %v", err)
+	}
+	defer tbl.Close()
+
+	srv := &server{tbl: tbl}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/kv/", srv.kv)
+	mux.HandleFunc("/metrics", srv.metricsProm)
+	mux.HandleFunc("/metrics.json", srv.metricsJSON)
+	mux.HandleFunc("/stats", srv.stats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	log.Printf("hdnhserve: listening on %s (capacity %d, mode %s)", *addr, *capacity, *mode)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fatal("%v", err)
+	}
+}
+
+// deviceWords mirrors the sizing rule hdnhload and the harness use.
+func deviceWords(records int64) int64 {
+	words := (records + 1024) * kv.SlotWords * 24
+	if words < 1<<20 {
+		words = 1 << 20
+	}
+	if r := words % nvm.BlockWords; r != 0 {
+		words += nvm.BlockWords - r
+	}
+	return words
+}
+
+// bottomSegments sizes the initial structure for ~60% load at capacity,
+// the same rule the scheme registry applies.
+func bottomSegments(hint int64, m int) int {
+	slotsWanted := hint * 10 / 6
+	perSegment := int64(m) * 8
+	segs := (slotsWanted + 3*perSegment - 1) / (3 * perSegment)
+	if segs < 1 {
+		segs = 1
+	}
+	return int(segs)
+}
+
+// server owns the table and a pool of per-request sessions. Sessions are
+// single-goroutine objects; the pool hands each in-flight request its own.
+type server struct {
+	tbl      *core.Table
+	sessions sync.Pool
+}
+
+func (s *server) session() *core.Session {
+	if v := s.sessions.Get(); v != nil {
+		return v.(*core.Session)
+	}
+	return s.tbl.NewSession()
+}
+
+func (s *server) release(sess *core.Session) {
+	// Bridge this session's NVM traffic into the registry while we still own
+	// the session; /metrics then needs no cross-goroutine stats reads.
+	sess.SyncObs()
+	s.sessions.Put(sess)
+}
+
+func (s *server) kv(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/kv/")
+	if name == "" {
+		http.Error(w, "missing key", http.StatusBadRequest)
+		return
+	}
+	k, err := kv.MakeKey([]byte(name))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sess := s.session()
+	defer s.release(sess)
+
+	switch r.Method {
+	case http.MethodGet:
+		v, err := sess.Lookup(k)
+		switch {
+		case err == nil:
+			io.WriteString(w, v.String())
+		case errors.Is(err, scheme.ErrContended):
+			contended(w)
+		default:
+			http.Error(w, "not found", http.StatusNotFound)
+		}
+
+	case http.MethodPut, http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 64))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		v, err := kv.MakeValue(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		// Upsert: update the common case, fall back to insert, and absorb
+		// the one race where another writer inserts between the two.
+		for {
+			err = sess.Update(k, v)
+			if errors.Is(err, scheme.ErrNotFound) {
+				err = sess.Insert(k, v)
+				if errors.Is(err, scheme.ErrExists) {
+					continue
+				}
+			}
+			break
+		}
+		switch {
+		case err == nil:
+			w.WriteHeader(http.StatusNoContent)
+		case errors.Is(err, scheme.ErrContended):
+			contended(w)
+		case errors.Is(err, scheme.ErrFull):
+			http.Error(w, "table full", http.StatusInsufficientStorage)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+
+	case http.MethodDelete:
+		err := sess.Delete(k)
+		switch {
+		case err == nil:
+			w.WriteHeader(http.StatusNoContent)
+		case errors.Is(err, scheme.ErrContended):
+			contended(w)
+		case errors.Is(err, scheme.ErrNotFound):
+			http.Error(w, "not found", http.StatusNotFound)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// contended answers a budget-exhausted operation: the request may succeed on
+// retry once the movement burst passes, so say exactly that.
+func contended(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "contended, retry", http.StatusServiceUnavailable)
+}
+
+func (s *server) metricsProm(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.tbl.MetricsSnapshot().WriteProm(w); err != nil {
+		log.Printf("hdnhserve: /metrics: %v", err)
+	}
+}
+
+func (s *server) metricsJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.tbl.MetricsSnapshot().WriteJSON(w); err != nil {
+		log.Printf("hdnhserve: /metrics.json: %v", err)
+	}
+}
+
+func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
+	fmt.Fprintln(w, s.tbl.Stats())
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hdnhserve: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// usageErr reports a bad flag value and exits with the usage status.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hdnhserve: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}

@@ -39,6 +39,33 @@ func main() {
 	)
 	flag.Parse()
 
+	if *records <= 0 {
+		usageErr("-records %d must be positive", *records)
+	}
+	if *ops < 0 {
+		usageErr("-ops %d must not be negative", *ops)
+	}
+	if *threads <= 0 {
+		usageErr("-threads %d must be positive", *threads)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"read", *read}, {"readneg", *readNeg}, {"update", *update},
+		{"insert", *insert}, {"delete", *del},
+	} {
+		if p.v < 0 || p.v > 1 {
+			usageErr("-%s %g outside [0,1]", p.name, p.v)
+		}
+	}
+	if sum := *read + *readNeg + *update + *insert + *del; sum <= 0 {
+		usageErr("operation mix sums to %g; pick at least one positive proportion", sum)
+	}
+	if *theta <= 0 || *theta >= 1 {
+		usageErr("-theta %g outside (0,1)", *theta)
+	}
+
 	var d ycsb.Distribution
 	switch *dist {
 	case "uniform":
@@ -50,13 +77,13 @@ func main() {
 	case "latest":
 		d = ycsb.Latest
 	default:
-		fatal("unknown distribution %q", *dist)
+		usageErr("unknown distribution %q", *dist)
 	}
 	devMode := nvm.ModeEmulate
 	if *mode == "model" {
 		devMode = nvm.ModeModel
 	} else if *mode != "emulate" {
-		fatal("unknown mode %q", *mode)
+		usageErr("unknown mode %q", *mode)
 	}
 
 	var dev *nvm.Device
@@ -134,4 +161,11 @@ func main() {
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "hdnhycsb: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// usageErr reports a bad flag value and exits with the usage status.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hdnhycsb: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -28,6 +28,8 @@ import (
 	"hdnh/internal/core"
 	"hdnh/internal/kv"
 	"hdnh/internal/nvm"
+	"hdnh/internal/obs"
+	"hdnh/internal/scheme"
 )
 
 // Re-exported core types. Table is safe for concurrent use via per-goroutine
@@ -47,7 +49,31 @@ type (
 	Device = nvm.Device
 	// DeviceOptions configures the emulated device.
 	DeviceOptions = nvm.Config
+	// Metrics is an opt-in metrics registry; attach one via Options.Metrics
+	// and scrape it with Table.MetricsSnapshot. See docs/OBSERVABILITY.md.
+	Metrics = obs.Metrics
+	// MetricsConfig configures a Metrics registry.
+	MetricsConfig = obs.Config
+	// MetricsSnapshot is a point-in-time copy of a registry's counters.
+	MetricsSnapshot = obs.Snapshot
 )
+
+// Sentinel errors returned by Session operations; test with errors.Is.
+var (
+	// ErrNotFound: the key was conclusively absent.
+	ErrNotFound = scheme.ErrNotFound
+	// ErrExists: Insert found the key already present.
+	ErrExists = scheme.ErrExists
+	// ErrFull: no free slot even after resizing was ruled out.
+	ErrFull = scheme.ErrFull
+	// ErrContended: the lookup retry budget exhausted under sustained record
+	// movement — the key's presence could not be decided. Transient; retry.
+	// (Get never returns it: it retries internally and never false-misses.)
+	ErrContended = scheme.ErrContended
+)
+
+// NewMetrics creates a metrics registry to attach via Options.Metrics.
+func NewMetrics(cfg MetricsConfig) *Metrics { return obs.New(cfg) }
 
 // Replacement strategies.
 const (

@@ -44,7 +44,11 @@ func TestEndToEndPipeline(t *testing.T) {
 		t.Fatalf("trace has %d ops", len(opsList))
 	}
 
-	// 2. Replay the identical trace against HDNH and CCEH.
+	// 2. Replay the identical trace against HDNH and CCEH. One replay
+	// worker: the cross-scheme outcome-equality check below is only sound
+	// when same-key ops stay ordered, and ReplayTrace chunks the stream
+	// across workers without regard to keys. Concurrent correctness is
+	// covered by the internal/core concurrency and contention tests.
 	results := map[string]*harness.Result{}
 	for _, name := range []string{"HDNH", "CCEH"} {
 		dev, err := nvm.New(nvm.DefaultConfig(1 << 22))
@@ -58,7 +62,7 @@ func TestEndToEndPipeline(t *testing.T) {
 		if err := harness.Preload(st, records, 2); err != nil {
 			t.Fatal(err)
 		}
-		res, err := harness.ReplayTrace(st, opsList, 2, false)
+		res, err := harness.ReplayTrace(st, opsList, 1, false)
 		if err != nil {
 			t.Fatal(err)
 		}

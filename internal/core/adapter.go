@@ -1,10 +1,26 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"hdnh/internal/kv"
 	"hdnh/internal/nvm"
+	"hdnh/internal/obs"
 	"hdnh/internal/scheme"
 )
+
+// defaultMetrics is the registry scheme-factory-built tables record into.
+// The registry's Factory signature cannot carry per-call options, so tools
+// that want observability on "scheme.Open" tables (hdnhbench -metrics,
+// hdnhserve) install a registry here before opening the store.
+var defaultMetrics atomic.Pointer[obs.Metrics]
+
+// SetDefaultMetrics installs (or, with nil, removes) the metrics registry
+// future factory-built tables use. Tables already open are unaffected.
+func SetDefaultMetrics(m *obs.Metrics) { defaultMetrics.Store(m) }
+
+// DefaultMetrics returns the currently installed registry, nil when none.
+func DefaultMetrics() *obs.Metrics { return defaultMetrics.Load() }
 
 // The scheme registry entries the benchmark harness sweeps. "HDNH" is the
 // paper's tuned configuration; the suffixed variants isolate one design
@@ -14,6 +30,7 @@ func init() {
 		scheme.Register(name, func(dev *nvm.Device, capacityHint int64) (scheme.Store, error) {
 			opts := DefaultOptions()
 			opts.InitBottomSegments = sizeBottomSegments(capacityHint, opts.SegmentBuckets)
+			opts.Metrics = defaultMetrics.Load()
 			if mutate != nil {
 				mutate(&opts)
 			}
@@ -74,4 +91,14 @@ func (sa *sessionAdapter) Insert(k kv.Key, v kv.Value) error { return sa.s.Inser
 func (sa *sessionAdapter) Get(k kv.Key) (kv.Value, bool)     { return sa.s.Get(k) }
 func (sa *sessionAdapter) Update(k kv.Key, v kv.Value) error { return sa.s.Update(k, v) }
 func (sa *sessionAdapter) Delete(k kv.Key) error             { return sa.s.Delete(k) }
-func (sa *sessionAdapter) NVMStats() nvm.Stats               { return sa.s.NVMStats() }
+
+// Lookup exposes the contention-surfacing read for callers that type-assert
+// past the scheme interface.
+func (sa *sessionAdapter) Lookup(k kv.Key) (kv.Value, error) { return sa.s.Lookup(k) }
+
+// NVMStats doubles as the harness's per-worker checkpoint, so it also
+// bridges the handle-local device counters into the metrics registry.
+func (sa *sessionAdapter) NVMStats() nvm.Stats {
+	sa.s.SyncObs()
+	return sa.s.NVMStats()
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"hdnh/internal/kv"
+	"hdnh/internal/obs"
 	"hdnh/internal/rng"
 )
 
@@ -142,13 +143,14 @@ func (l *hotLevel) findKey(b int64, kw0, kw1 uint64, fp uint8) int64 {
 type hotTable struct {
 	slotsPer int
 	replacer Replacer
+	rec      obs.Recorder // shared, atomic-only events (evictions, fills)
 	top      atomic.Pointer[hotLevel]
 	bottom   atomic.Pointer[hotLevel]
 	clock    atomic.Uint64 // LRU recency source
 }
 
 func newHotTable(topSegs, bottomSegs, m int64, slotsPer int, replacer Replacer) *hotTable {
-	ht := &hotTable{slotsPer: slotsPer, replacer: replacer}
+	ht := &hotTable{slotsPer: slotsPer, replacer: replacer, rec: obs.Nop{}}
 	ht.top.Store(newHotLevel(topSegs, m, slotsPer, replacer == ReplacerLRU))
 	ht.bottom.Store(newHotLevel(bottomSegs, m, slotsPer, replacer == ReplacerLRU))
 	return ht
@@ -266,6 +268,7 @@ func (ht *hotTable) putLocked(top, bottom *hotLevel, tb, bb int64, kw0, kw1 uint
 // replaceLocked implements RAFL (or the LRU comparison strategy) on one
 // locked bucket.
 func (ht *hotTable) replaceLocked(l *hotLevel, b int64, k kv.Key, v kv.Value, fp uint8, r *rng.Xorshift128) {
+	ht.rec.HotEvict()
 	switch ht.replacer {
 	case ReplacerRAFL:
 		// First choice: any cold (hotmap == 0) victim — Figure 6(a).
@@ -328,8 +331,10 @@ func (ht *hotTable) fill(k kv.Key, v kv.Value, h1 uint64, fp uint8, src *level, 
 	top, bottom, tb, bb := ht.lockBuckets(h1)
 	defer unlockBuckets(top, bottom, tb, bb)
 	if src.ocfLoad(srcBucket, srcSlot) != observed {
+		ht.rec.HotFill(true)
 		return // the record moved or changed since it was read; skip
 	}
+	ht.rec.HotFill(false)
 	ht.putLocked(top, bottom, tb, bb, kw0, kw1, k, v, fp, r)
 }
 

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"hdnh/internal/scheme"
+)
+
+// These tests race the search-path cache fill against same-key writes and
+// assert the fill's OCF validation holds: the hot table must never resurrect
+// a deleted key or retain a superseded value once the writer pool drains.
+// Run them under -race; the interleavings are driven by repetition.
+
+// fillRaceRound builds a fresh table (fresh writer pool), runs the racing
+// closures, drains the background writers, and hands the table to check.
+func fillRaceRound(t *testing.T, race func(get, write *Session), check func(tbl *Table)) {
+	t.Helper()
+	tbl := newTable(t, func(o *Options) {
+		o.SyncWrites = true // force the async fill path even on 1 CPU
+		o.BackgroundWriters = 2
+	})
+	get, write := tbl.NewSession(), tbl.NewSession()
+	if err := write.Insert(key(1), value(1)); err != nil {
+		t.Fatal(err)
+	}
+	race(get, write)
+	// Drain barrier: stop closes the writer channels and joins the workers,
+	// so every dispatched fill has been applied (or rejected) after this.
+	tbl.StopBackground()
+	check(tbl)
+}
+
+func TestHotFillNeverResurrectsDeletedKey(t *testing.T) {
+	k := key(1)
+	h1, h2, fp := hashKV(k[:])
+	for round := 0; round < 30; round++ {
+		fillRaceRound(t,
+			func(get, write *Session) {
+				var wg sync.WaitGroup
+				wg.Add(2)
+				go func() {
+					defer wg.Done()
+					// Each hit on the NVT dispatches a fire-and-forget fill
+					// that races the delete below.
+					for i := 0; i < 200; i++ {
+						get.Get(k)
+					}
+				}()
+				go func() {
+					defer wg.Done()
+					if err := write.Delete(k); err != nil && !errors.Is(err, scheme.ErrContended) {
+						t.Errorf("delete: %v", err)
+					}
+				}()
+				wg.Wait()
+			},
+			func(tbl *Table) {
+				if _, ok := tbl.hot.get(k, h1, fp); ok {
+					t.Fatal("hot table resurrected a deleted key")
+				}
+				s := tbl.NewSession()
+				var ps probeStats
+				if _, res := tbl.lookup(s.h, k, h1, h2, fp, &ps); res != lookupMissing {
+					t.Fatalf("NVT still finds the deleted key (result %d)", res)
+				}
+			})
+	}
+}
+
+func TestHotFillNeverRetainsStaleValue(t *testing.T) {
+	k := key(1)
+	h1, h2, fp := hashKV(k[:])
+	final := value(99)
+	for round := 0; round < 30; round++ {
+		fillRaceRound(t,
+			func(get, write *Session) {
+				var wg sync.WaitGroup
+				wg.Add(2)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 200; i++ {
+						get.Get(k)
+					}
+				}()
+				go func() {
+					defer wg.Done()
+					// A chain of updates; each moves the record out of place,
+					// invalidating any fill validated against an older slot.
+					for i := 2; i < 10; i++ {
+						if err := write.Update(k, value(i)); err != nil {
+							t.Errorf("update %d: %v", i, err)
+							return
+						}
+					}
+					if err := write.Update(k, final); err != nil {
+						t.Errorf("final update: %v", err)
+					}
+				}()
+				wg.Wait()
+			},
+			func(tbl *Table) {
+				if v, ok := tbl.hot.get(k, h1, fp); ok && v != final {
+					t.Fatalf("hot table kept stale value %q after updates settled", v.String())
+				}
+				// The pool is stopped, so read the NVT directly (Get would
+				// dispatch a cache fill onto the closed writer channels).
+				s := tbl.NewSession()
+				var ps probeStats
+				ht, res := tbl.lookup(s.h, k, h1, h2, fp, &ps)
+				if res != lookupFound || ht.val != final {
+					t.Fatalf("table lost the final value (result %d, %q)", res, ht.val.String())
+				}
+			})
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hdnh/internal/obs"
+)
+
+// TestObsReconcilesWithNVMStats cross-checks the two accounting layers: on a
+// cold-read workload (hot table off, so every Get is exactly one NVT walk)
+// the metrics registry's probe count must explain the device counters the
+// session bridged in — each accounted probe reads exactly slotWords words,
+// and nothing else in the Get path touches the device.
+func TestObsReconcilesWithNVMStats(t *testing.T) {
+	m := obs.New(obs.Config{SampleEvery: 1})
+	tbl := newTable(t, func(o *Options) {
+		o.HotSlotsPerBucket = 0
+		o.Metrics = m
+	})
+	s := tbl.NewSession()
+
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := s.Insert(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SyncObs()
+	base := tbl.MetricsSnapshot()
+
+	for i := 0; i < n; i++ {
+		if _, ok := s.Get(key(i)); !ok {
+			t.Fatalf("key %d missing", i)
+		}
+	}
+	s.SyncObs()
+	d := tbl.MetricsSnapshot().Sub(base)
+
+	if got := d.Ops[obs.OpGet][obs.OutNVTHit]; got != n {
+		t.Fatalf("nvt_hit gets = %d, want %d", got, n)
+	}
+	if d.Ops[obs.OpGet][obs.OutHotHit] != 0 || d.Ops[obs.OpGet][obs.OutMiss] != 0 {
+		t.Fatalf("unexpected outcomes in cold-read phase: %+v", d.Ops[obs.OpGet])
+	}
+	// Every probe the walks recorded is one ReadAccess of slotWords words,
+	// and the Get phase issues no other device reads: the two accounting
+	// layers must agree exactly.
+	if d.NVTProbes < n {
+		t.Fatalf("probe count %d below one per get", d.NVTProbes)
+	}
+	if got, want := d.NVM.ReadWords, d.NVTProbes*slotWords; got != want {
+		t.Fatalf("device read words = %d, metrics probes explain %d", got, want)
+	}
+	if got, want := d.NVM.ReadAccesses, d.NVTProbes; got != want {
+		t.Fatalf("device read accesses = %d, metrics probes = %d", got, want)
+	}
+	// Reads only: the Get phase must not have written the device.
+	if d.NVM.WriteAccesses != 0 || d.NVM.Flushes != 0 {
+		t.Fatalf("cold-read phase wrote the device: %+v", d.NVM)
+	}
+}
+
+// TestMetricsSnapshotGaugesAndExposition sanity-checks the table-shape
+// gauges and that the end-to-end exposition carries real numbers.
+func TestMetricsSnapshotGaugesAndExposition(t *testing.T) {
+	m := obs.New(obs.Config{SampleEvery: 1})
+	tbl := newTable(t, func(o *Options) { o.Metrics = m })
+	s := tbl.NewSession()
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := s.Insert(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := s.Get(key(i)); !ok {
+			t.Fatalf("key %d missing", i)
+		}
+	}
+	s.SyncObs()
+	snap := tbl.MetricsSnapshot()
+	if snap.Gauges.Items != n {
+		t.Fatalf("items gauge = %d, want %d", snap.Gauges.Items, n)
+	}
+	if snap.Gauges.Capacity <= 0 || snap.Gauges.LoadFactor <= 0 {
+		t.Fatalf("capacity gauges not filled: %+v", snap.Gauges)
+	}
+	if snap.Gauges.HotCapacity <= 0 {
+		t.Fatalf("hot capacity gauge = %d", snap.Gauges.HotCapacity)
+	}
+	if total := snap.OpTotal(obs.OpGet); total != n {
+		t.Fatalf("get total = %d, want %d", total, n)
+	}
+
+	var b strings.Builder
+	if err := snap.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"hdnh_items 500", "hdnh_ops_total", "hdnh_nvm_read_words_total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestNVMStatsBridgeThroughAdapter checks the scheme-level NVMStats call
+// doubles as the SyncObs checkpoint for factory-built tables.
+func TestNVMStatsBridgeThroughAdapter(t *testing.T) {
+	m := obs.New(obs.Config{})
+	tbl := newTable(t, func(o *Options) { o.Metrics = m })
+	sess := NewStore(tbl).NewSession()
+	if err := sess.Insert(key(1), value(1)); err != nil {
+		t.Fatal(err)
+	}
+	direct := sess.NVMStats() // bridges as a side effect
+	snap := m.Snapshot()
+	if snap.NVM.WriteWords == 0 {
+		t.Fatal("adapter NVMStats did not bridge device counters")
+	}
+	if snap.NVM.WriteWords != direct.WriteWords {
+		t.Fatalf("bridged write words %d != session's %d", snap.NVM.WriteWords, direct.WriteWords)
+	}
+}

@@ -2,9 +2,11 @@ package core
 
 import (
 	"runtime"
+	"time"
 
 	"hdnh/internal/kv"
 	"hdnh/internal/nvm"
+	"hdnh/internal/obs"
 	"hdnh/internal/scheme"
 )
 
@@ -17,17 +19,76 @@ type slotRef struct {
 
 func (r slotRef) wordOff() int64 { return r.lvl.slotWord(r.b, r.s) }
 
+// Contention-control constants for the optimistic read/write paths.
+const (
+	// spinYields is how many misses a waiter spends on pure Gosched before
+	// it starts sleeping; short writer critical sections (a few stores)
+	// almost always clear within this window.
+	spinYields = 64
+	// backoffMaxShift caps the exponential sleep at 2^7 µs = 128µs, so a
+	// stuck writer degrades a waiter to a polite poll instead of pegging a
+	// core.
+	backoffMaxShift = 7
+	// contendedRetryMax bounds how many whole-budget retry rounds a write
+	// operation absorbs internally before surfacing ErrContended.
+	contendedRetryMax = 16
+)
+
+// spinBackoff delays the attempt-th retry of some busy loop: Gosched for the
+// first spinYields attempts, then exponentially growing sleeps capped at
+// 2^backoffMaxShift microseconds.
+func spinBackoff(attempt int) {
+	if attempt < spinYields {
+		runtime.Gosched()
+		return
+	}
+	time.Sleep(time.Duration(1<<min(attempt-spinYields, backoffMaxShift)) * time.Microsecond)
+}
+
+// probeStats accumulates one operation's NVT-walk accounting: rescan passes,
+// accounted slot reads, and lock-wait spin iterations. Stack-allocated by the
+// session paths and reported through the obs.Recorder in one call.
+type probeStats struct {
+	passes int64
+	probes int64
+	spins  int64
+}
+
+// report publishes the walk's accounting (rescans are passes beyond the
+// first).
+func (ps *probeStats) report(rec obs.Recorder) {
+	rec.Probe(ps.passes-1, ps.probes, ps.spins)
+}
+
+// lookupResult is the tri-state outcome of an NVT walk. The third state is
+// the bugfix this file carries: a walk whose rescan budget exhausts is
+// contended, NOT a miss — the key may exist but kept moving behind the scan,
+// and reporting "absent" here is a silent false miss.
+type lookupResult uint8
+
+const (
+	lookupFound lookupResult = iota
+	lookupMissing
+	lookupContended
+)
+
 // waitUnlocked waits until the slot's op bit clears, returning the fresh
 // control word — the paper's "the read thread will wait until the slot is
-// free". Writers hold slot locks only for a few stores, but on small
-// GOMAXPROCS the holder needs the CPU, so yield on every miss.
-func waitUnlocked(lvl *level, b int64, s int) uint32 {
-	for {
+// free". Writers hold slot locks only for a few stores, so the wait starts
+// as pure yields (on small GOMAXPROCS the holder needs the CPU); if the lock
+// still doesn't clear, the wait backs off exponentially (capped) so a stuck
+// or descheduled writer degrades waiters gracefully instead of pegging a
+// core. ps, when non-nil, receives the spin count.
+func waitUnlocked(lvl *level, b int64, s int, ps *probeStats) uint32 {
+	for spin := 0; ; spin++ {
 		c := lvl.ocfLoad(b, s)
 		if !ocfIsLocked(c) {
+			if ps != nil {
+				ps.spins += int64(spin)
+			}
 			return c
 		}
-		runtime.Gosched()
+		spinBackoff(spin)
 	}
 }
 
@@ -48,12 +109,17 @@ type hit struct {
 // record's new slot before retiring the old one, but the new slot may sit
 // in a bucket this scan already passed. Whenever a pass both misses AND
 // observed a matching-fingerprint slot transition under a writer lock, the
-// scan restarts — the record may have moved behind us. Caller holds the
-// resize lock shared.
-func (t *Table) lookup(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8) (hit, bool) {
+// scan restarts — the record may have moved behind us. The restart count is
+// capped by Options.LookupRetryBudget; exhausting it returns
+// lookupContended, never lookupMissing. Caller holds the resize lock shared.
+func (t *Table) lookup(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8, ps *probeStats) (hit, lookupResult) {
 	kw0, kw1 := k.Pack()
-	for pass := 0; pass < 1024; pass++ {
+	for pass := 0; pass < t.opts.LookupRetryBudget; pass++ {
+		ps.passes++
 		moveSnapshot := t.moveShard(h1).Load()
+		if hook := t.testHookLookupPass; hook != nil {
+			hook()
+		}
 		mayHaveMoved := false
 		for _, lvl := range [2]*level{t.top, t.bottom} {
 			for _, b := range lvl.candidates(h1, h2) {
@@ -64,7 +130,7 @@ func (t *Table) lookup(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8) (hit, b
 						continue // covers empty slots: their fingerprint is 0
 					}
 					if ocfIsLocked(c) {
-						c = waitUnlocked(lvl, b, s)
+						c = waitUnlocked(lvl, b, s, ps)
 						if ocfFP(c) != fp || !ocfIsValid(c) {
 							mayHaveMoved = true
 							continue
@@ -74,6 +140,7 @@ func (t *Table) lookup(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8) (hit, b
 						continue
 					}
 					off := lvl.slotWord(b, s)
+					ps.probes++
 					h.ReadAccess(off, slotWords)
 					w0 := h.Load(off)
 					w1 := h.Load(off + 1)
@@ -87,24 +154,30 @@ func (t *Table) lookup(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8) (hit, b
 						continue
 					}
 					v, _ := kv.UnpackValue(w2, w3)
-					return hit{ref: slotRef{lvl, b, s}, ctrl: c, val: v, w3: w3}, true
+					return hit{ref: slotRef{lvl, b, s}, ctrl: c, val: v, w3: w3}, lookupFound
 				}
 			}
 		}
 		if !mayHaveMoved && t.moveShard(h1).Load() == moveSnapshot {
-			return hit{}, false
+			return hit{}, lookupMissing
 		}
 	}
-	return hit{}, false
+	return hit{}, lookupContended
 }
 
 // findAndLock locates the key and acquires its slot's OCF lock, the entry
 // point for update and delete. On success the caller owns the slot and the
 // observed state is current (the lock CAS covers the whole control word).
-func (t *Table) findAndLock(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8) (hit, bool) {
+// Like lookup, budget exhaustion is reported as lookupContended, not as a
+// miss.
+func (t *Table) findAndLock(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8, ps *probeStats) (hit, lookupResult) {
 	kw0, kw1 := k.Pack()
-	for attempt := 0; attempt < 1024; attempt++ {
+	for attempt := 0; attempt < t.opts.LookupRetryBudget; attempt++ {
+		ps.passes++
 		moveSnapshot := t.moveShard(h1).Load()
+		if hook := t.testHookLookupPass; hook != nil {
+			hook()
+		}
 		found := false
 		for _, lvl := range [2]*level{t.top, t.bottom} {
 			for _, b := range lvl.candidates(h1, h2) {
@@ -114,7 +187,7 @@ func (t *Table) findAndLock(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8) (h
 						continue
 					}
 					if ocfIsLocked(c) {
-						c = waitUnlocked(lvl, b, s)
+						c = waitUnlocked(lvl, b, s, ps)
 						if ocfFP(c) != fp || !ocfIsValid(c) {
 							// The record may have moved behind this scan
 							// (same hazard as lookup): rescan from the top.
@@ -126,6 +199,7 @@ func (t *Table) findAndLock(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8) (h
 						continue
 					}
 					off := lvl.slotWord(b, s)
+					ps.probes++
 					h.ReadAccess(off, slotWords)
 					w0 := h.Load(off)
 					w1 := h.Load(off + 1)
@@ -143,16 +217,16 @@ func (t *Table) findAndLock(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8) (h
 						continue
 					}
 					v, _ := kv.UnpackValue(w2, w3)
-					return hit{ref: slotRef{lvl, b, s}, ctrl: c, val: v, w3: w3}, true
+					return hit{ref: slotRef{lvl, b, s}, ctrl: c, val: v, w3: w3}, lookupFound
 				}
 			}
 		}
 		if !found && t.moveShard(h1).Load() == moveSnapshot {
-			return hit{}, false
+			return hit{}, lookupMissing
 		}
 		runtime.Gosched()
 	}
-	return hit{}, false
+	return hit{}, lookupContended
 }
 
 // lockEmptySlot claims a free slot among the key's eight candidate buckets.
@@ -301,14 +375,37 @@ func (t *Table) lockEmptySlotExcluding(h1, h2 uint64, excl slotRef) (slotRef, ui
 // Insert adds a new record (foreground thread of paper Figure 9). The hot
 // table write is dispatched to a background writer before the NVM work so
 // the two overlap; Insert returns only after both halves complete.
+//
+// When the duplicate check's rescan budget exhausts under sustained record
+// movement, Insert retries with capped backoff and eventually returns
+// ErrContended — inserting without a conclusive duplicate check could plant
+// a second copy of a live key.
 func (s *Session) Insert(k kv.Key, v kv.Value) error {
 	h1, h2, fp := hashKV(k[:])
+	start := s.rec.Start()
+	contendedRounds := 0
 	for attempt := 0; attempt <= s.t.opts.MaxExpansions; attempt++ {
 		s.t.resizeMu.RLock()
-		if _, found := s.t.lookup(s.h, k, h1, h2, fp); found {
+		var ps probeStats
+		_, res := s.t.lookup(s.h, k, h1, h2, fp, &ps)
+		if res != lookupMissing {
 			s.t.resizeMu.RUnlock()
-			return scheme.ErrExists
+			ps.report(s.rec)
+			if res == lookupFound {
+				s.rec.Op(obs.OpInsert, obs.OutExists, start)
+				return scheme.ErrExists
+			}
+			s.rec.Contended()
+			if contendedRounds < contendedRetryMax {
+				contendedRounds++
+				attempt--
+				spinBackoff(spinYields + contendedRounds)
+				continue
+			}
+			s.rec.Op(obs.OpInsert, obs.OutContended, start)
+			return scheme.ErrContended
 		}
+		ps.report(s.rec)
 		ref, c, ok := s.t.lockEmptySlot(h1, h2, nil)
 		if !ok && s.t.opts.DisplaceOnInsert && s.t.displaceOne(s.h, h1, h2) {
 			ref, c, ok = s.t.lockEmptySlot(h1, h2, nil)
@@ -317,6 +414,7 @@ func (s *Session) Insert(k kv.Key, v kv.Value) error {
 			gen := s.t.state().generation
 			s.t.resizeMu.RUnlock()
 			if err := s.t.expand(gen); err != nil {
+				s.rec.Op(obs.OpInsert, obs.OutFull, start)
 				return err
 			}
 			continue
@@ -327,8 +425,10 @@ func (s *Session) Insert(k kv.Key, v kv.Value) error {
 		s.t.count.Add(1)
 		s.waitHotWrite(owed)
 		s.t.resizeMu.RUnlock()
+		s.rec.Op(obs.OpInsert, obs.OutOK, start)
 		return nil
 	}
+	s.rec.Op(obs.OpInsert, obs.OutFull, start)
 	return scheme.ErrFull
 }
 
@@ -336,20 +436,77 @@ func (s *Session) Insert(k kv.Key, v kv.Value) error {
 // OCF fingerprints, and NVM only on a fingerprint hit. A record found in
 // the NVT is re-cached (validated against the observed OCF word) so hot
 // items that were evicted re-enter the hot table.
+//
+// When the walk's rescan budget exhausts — the key kept moving behind the
+// scan — Get retries with capped backoff instead of fabricating a miss: a
+// present key is never reported absent. Callers that would rather observe
+// the contention than wait it out use Lookup.
 func (s *Session) Get(k kv.Key) (kv.Value, bool) {
 	h1, h2, fp := hashKV(k[:])
+	start := s.rec.Start()
 	if s.t.hot != nil {
 		if v, ok := s.t.hot.get(k, h1, fp); ok {
+			s.rec.Op(obs.OpGet, obs.OutHotHit, start)
 			return v, true
 		}
 	}
+	for round := 0; ; round++ {
+		s.t.resizeMu.RLock()
+		var ps probeStats
+		ht, res := s.t.lookup(s.h, k, h1, h2, fp, &ps)
+		if res == lookupFound {
+			s.fillHot(k, ht.val, h1, fp, ht.ref.lvl, ht.ref.b, ht.ref.s, ht.ctrl)
+		}
+		s.t.resizeMu.RUnlock()
+		ps.report(s.rec)
+		switch res {
+		case lookupFound:
+			s.rec.Op(obs.OpGet, obs.OutNVTHit, start)
+			return ht.val, true
+		case lookupMissing:
+			s.rec.Op(obs.OpGet, obs.OutMiss, start)
+			return kv.Value{}, false
+		}
+		s.rec.Contended()
+		s.rec.GetRetry()
+		spinBackoff(spinYields + round)
+	}
+}
+
+// Lookup is Get with the contention surfaced: one rescan budget, and when it
+// exhausts the caller gets ErrContended instead of a blocking retry loop —
+// distinguishing "definitely absent at some point during the scan"
+// (ErrNotFound) from "gave up under sustained record movement". Returns nil
+// on a hit.
+func (s *Session) Lookup(k kv.Key) (kv.Value, error) {
+	h1, h2, fp := hashKV(k[:])
+	start := s.rec.Start()
+	if s.t.hot != nil {
+		if v, ok := s.t.hot.get(k, h1, fp); ok {
+			s.rec.Op(obs.OpGet, obs.OutHotHit, start)
+			return v, nil
+		}
+	}
 	s.t.resizeMu.RLock()
-	ht, found := s.t.lookup(s.h, k, h1, h2, fp)
-	if found {
+	var ps probeStats
+	ht, res := s.t.lookup(s.h, k, h1, h2, fp, &ps)
+	if res == lookupFound {
 		s.fillHot(k, ht.val, h1, fp, ht.ref.lvl, ht.ref.b, ht.ref.s, ht.ctrl)
 	}
 	s.t.resizeMu.RUnlock()
-	return ht.val, found
+	ps.report(s.rec)
+	switch res {
+	case lookupFound:
+		s.rec.Op(obs.OpGet, obs.OutNVTHit, start)
+		return ht.val, nil
+	case lookupContended:
+		s.rec.Contended()
+		s.rec.Op(obs.OpGet, obs.OutContended, start)
+		return kv.Value{}, scheme.ErrContended
+	default:
+		s.rec.Op(obs.OpGet, obs.OutMiss, start)
+		return kv.Value{}, scheme.ErrNotFound
+	}
 }
 
 // Update replaces the value out-of-place (paper Figure 10): the old slot is
@@ -357,16 +514,36 @@ func (s *Session) Get(k kv.Key) (kv.Value, bool) {
 // record's own bucket — and only then is the old slot invalidated. A crash
 // between the two commits leaves a stamped duplicate that recovery resolves
 // toward the newer record.
+//
+// Budget-exhausted searches retry with capped backoff and then surface
+// ErrContended; ErrNotFound is returned only after a conclusive scan.
 func (s *Session) Update(k kv.Key, v kv.Value) error {
 	h1, h2, fp := hashKV(k[:])
+	start := s.rec.Start()
 	transientRetries := 0
+	contendedRounds := 0
 	for attempt := 0; attempt <= s.t.opts.MaxExpansions; attempt++ {
 		s.t.resizeMu.RLock()
-		old, ok := s.t.findAndLock(s.h, k, h1, h2, fp)
-		if !ok {
+		var ps probeStats
+		old, res := s.t.findAndLock(s.h, k, h1, h2, fp, &ps)
+		if res != lookupFound {
 			s.t.resizeMu.RUnlock()
-			return scheme.ErrNotFound
+			ps.report(s.rec)
+			if res == lookupMissing {
+				s.rec.Op(obs.OpUpdate, obs.OutNotFound, start)
+				return scheme.ErrNotFound
+			}
+			s.rec.Contended()
+			if contendedRounds < contendedRetryMax {
+				contendedRounds++
+				attempt--
+				spinBackoff(spinYields + contendedRounds)
+				continue
+			}
+			s.rec.Op(obs.OpUpdate, obs.OutContended, start)
+			return scheme.ErrContended
 		}
+		ps.report(s.rec)
 		ref, c, okEmpty := s.t.lockEmptySlot(h1, h2, &old.ref)
 		if !okEmpty {
 			// Put the old slot back.
@@ -385,6 +562,7 @@ func (s *Session) Update(k kv.Key, v kv.Value) error {
 				continue
 			}
 			if err := s.t.expand(gen); err != nil {
+				s.rec.Op(obs.OpUpdate, obs.OutFull, start)
 				return err
 			}
 			continue
@@ -406,26 +584,47 @@ func (s *Session) Update(k kv.Key, v kv.Value) error {
 		owed := s.beginHotWrite(hotOpPut, k, v, h1, fp)
 		s.waitHotWrite(owed)
 		s.t.resizeMu.RUnlock()
+		s.rec.Op(obs.OpUpdate, obs.OutOK, start)
 		return nil
 	}
+	s.rec.Op(obs.OpUpdate, obs.OutFull, start)
 	return scheme.ErrFull
 }
 
 // Delete invalidates the record with a single atomic persist of its final
-// word, then removes any cache entry.
+// word, then removes any cache entry. Like Update, an inconclusive
+// (budget-exhausted) search retries and then returns ErrContended rather
+// than masquerading as ErrNotFound.
 func (s *Session) Delete(k kv.Key) error {
 	h1, h2, fp := hashKV(k[:])
-	s.t.resizeMu.RLock()
-	old, ok := s.t.findAndLock(s.h, k, h1, h2, fp)
-	if !ok {
+	start := s.rec.Start()
+	for round := 0; ; round++ {
+		s.t.resizeMu.RLock()
+		var ps probeStats
+		old, res := s.t.findAndLock(s.h, k, h1, h2, fp, &ps)
+		if res != lookupFound {
+			s.t.resizeMu.RUnlock()
+			ps.report(s.rec)
+			if res == lookupMissing {
+				s.rec.Op(obs.OpDelete, obs.OutNotFound, start)
+				return scheme.ErrNotFound
+			}
+			s.rec.Contended()
+			if round < contendedRetryMax {
+				spinBackoff(spinYields + round)
+				continue
+			}
+			s.rec.Op(obs.OpDelete, obs.OutContended, start)
+			return scheme.ErrContended
+		}
+		ps.report(s.rec)
+		s.t.clearSlotCommit(s.h, old.ref, old.w3)
+		old.ref.lvl.ocfRelease(old.ref.b, old.ref.s, false, 0, ocfVer(old.ctrl))
+		s.t.count.Add(-1)
+		owed := s.beginHotWrite(hotOpDel, k, kv.Value{}, h1, fp)
+		s.waitHotWrite(owed)
 		s.t.resizeMu.RUnlock()
-		return scheme.ErrNotFound
+		s.rec.Op(obs.OpDelete, obs.OutOK, start)
+		return nil
 	}
-	s.t.clearSlotCommit(s.h, old.ref, old.w3)
-	old.ref.lvl.ocfRelease(old.ref.b, old.ref.s, false, 0, ocfVer(old.ctrl))
-	s.t.count.Add(-1)
-	owed := s.beginHotWrite(hotOpDel, k, kv.Value{}, h1, fp)
-	s.waitHotWrite(owed)
-	s.t.resizeMu.RUnlock()
-	return nil
 }

@@ -21,6 +21,8 @@ package core
 import (
 	"fmt"
 	"runtime"
+
+	"hdnh/internal/obs"
 )
 
 // Replacer selects the hot-table replacement strategy.
@@ -84,9 +86,27 @@ type Options struct {
 	// and hot table after a restart (the paper's multi-threaded recovery).
 	RecoveryWorkers int
 
+	// LookupRetryBudget caps how many movement-hazard rescan passes one NVT
+	// walk may take before reporting ErrContended. 0 means the default
+	// (DefaultLookupRetryBudget); tests use tiny budgets to provoke the
+	// contended paths deterministically.
+	LookupRetryBudget int
+
+	// Metrics, when non-nil, enables observability: sessions and background
+	// writers record into it (see internal/obs). nil compiles the accounting
+	// down to no-ops.
+	Metrics *obs.Metrics
+
 	// Seed makes replacement decisions and any sampling deterministic.
 	Seed uint64
 }
+
+// DefaultLookupRetryBudget is the rescan cap a zero LookupRetryBudget means.
+// A conclusive pass needs no rescans at all unless a record the walk raced
+// actually moved, so real workloads spend the budget only under pathological
+// same-shard churn — where exhausting it now yields ErrContended instead of
+// the silent false miss it used to.
+const DefaultLookupRetryBudget = 1024
 
 // DefaultOptions returns the paper's tuned configuration. The synchronous
 // write mechanism assumes spare cores for the background writers (the
@@ -104,8 +124,18 @@ func DefaultOptions() Options {
 		DisplaceOnInsert:   false,
 		MaxExpansions:      24,
 		RecoveryWorkers:    4,
+		LookupRetryBudget:  DefaultLookupRetryBudget,
 		Seed:               1,
 	}
+}
+
+// withDefaults normalises optional zero values; Create and Open apply it
+// after Validate so the rest of the package never sees a zero budget.
+func (o Options) withDefaults() Options {
+	if o.LookupRetryBudget == 0 {
+		o.LookupRetryBudget = DefaultLookupRetryBudget
+	}
+	return o
 }
 
 // Validate reports whether the options are usable.
@@ -130,6 +160,9 @@ func (o Options) Validate() error {
 	}
 	if o.RecoveryWorkers <= 0 {
 		return fmt.Errorf("core: RecoveryWorkers %d must be positive", o.RecoveryWorkers)
+	}
+	if o.LookupRetryBudget < 0 {
+		return fmt.Errorf("core: LookupRetryBudget %d must not be negative", o.LookupRetryBudget)
 	}
 	return nil
 }

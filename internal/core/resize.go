@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"hdnh/internal/kv"
 	"hdnh/internal/nvm"
@@ -27,6 +28,7 @@ func (t *Table) expand(observedGen uint64) error {
 	if st.generation != observedGen {
 		return nil // somebody else expanded first
 	}
+	began := time.Now()
 	h := t.dev.NewHandle()
 
 	// Pick the descriptor slot not currently in use.
@@ -65,6 +67,7 @@ func (t *Table) expand(observedGen uint64) error {
 
 	// Stable again; bump the generation.
 	t.setState(h, tableState{levelNumber: levelNumStable, top: free, bottom: st.top, drain: levelSlotUnused, generation: st.generation + 1})
+	t.rec.Expansion(time.Since(began))
 	return nil
 }
 
@@ -91,7 +94,15 @@ func (t *Table) drain(h *nvm.Handle, src *level, from int64) error {
 			v, meta := kv.UnpackValue(h.Load(off+2), w3)
 			h1, h2, fp := hashKV(k[:])
 
-			if _, dup := t.lookup(h, k, h1, h2, fp); !dup {
+			var ps probeStats
+			_, res := t.lookup(h, k, h1, h2, fp, &ps)
+			if res == lookupContended {
+				// Impossible in practice: the exclusive resize lock keeps
+				// every mover out, so the first pass is conclusive. Fail
+				// loudly rather than risk duplicating the record.
+				return fmt.Errorf("core: drain lookup exhausted its retry budget under the exclusive resize lock")
+			}
+			if res == lookupMissing {
 				dst, c, ok := t.lockEmptySlot(h1, h2, nil)
 				if !ok && t.displaceOne(h, h1, h2) {
 					dst, c, ok = t.lockEmptySlot(h1, h2, nil)

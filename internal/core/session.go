@@ -2,12 +2,14 @@ package core
 
 import (
 	"hdnh/internal/nvm"
+	"hdnh/internal/obs"
 	"hdnh/internal/rng"
 )
 
 // Session is a per-goroutine handle on a Table. It owns an NVM accounting
-// handle, a deterministic RNG stream for replacement decisions, and the
-// reusable sync_write_signal, so the operation paths allocate nothing.
+// handle, a deterministic RNG stream for replacement decisions, the reusable
+// sync_write_signal, and (when metrics are enabled) a shard-bound recorder,
+// so the operation paths allocate nothing.
 //
 // A Session must not be used concurrently; create one per goroutine.
 type Session struct {
@@ -15,6 +17,9 @@ type Session struct {
 	h    *nvm.Handle
 	rng  *rng.Xorshift128
 	done chan struct{} // reusable sync_write_signal (one outstanding write)
+
+	rec     obs.Recorder
+	nvmBase nvm.Stats // handle stats already published via SyncObs
 }
 
 // NewSession returns a fresh session on the table.
@@ -25,6 +30,7 @@ func (t *Table) NewSession() *Session {
 		h:    t.dev.NewHandle(),
 		rng:  rng.New(t.opts.Seed ^ (id * 0x9E3779B97F4A7C15)),
 		done: make(chan struct{}, 1),
+		rec:  t.recorderHandle(),
 	}
 }
 
@@ -34,5 +40,23 @@ func (s *Session) Table() *Table { return s.t }
 // NVMStats returns the NVM traffic generated through this session.
 func (s *Session) NVMStats() nvm.Stats { return s.h.Stats() }
 
-// ResetNVMStats zeroes the session's NVM counters.
-func (s *Session) ResetNVMStats() { s.h.ResetStats() }
+// ResetNVMStats zeroes the session's NVM counters, and the SyncObs baseline
+// with them so the bridge never underflows.
+func (s *Session) ResetNVMStats() {
+	s.h.ResetStats()
+	s.nvmBase = nvm.Stats{}
+}
+
+// SyncObs publishes the session's NVM traffic accumulated since the last
+// SyncObs into the metrics registry. The handle's stats are handle-local and
+// unsynchronised, so the bridge is an explicit pull by the owning goroutine —
+// call it at harness checkpoints or before reading Table.MetricsSnapshot.
+// No-op when metrics are disabled.
+func (s *Session) SyncObs() {
+	if s.t.metrics == nil {
+		return
+	}
+	cur := s.h.Stats()
+	s.rec.AddNVM(cur.Sub(s.nvmBase))
+	s.nvmBase = cur
+}

@@ -84,7 +84,7 @@ func (s *Session) Scan(fn func(k kv.Key, v kv.Value) bool) int64 {
 				c := lvl.ocfLoad(b, slot)
 				if !ocfIsValid(c) || ocfIsLocked(c) {
 					if ocfIsLocked(c) {
-						c = waitUnlocked(lvl, b, slot)
+						c = waitUnlocked(lvl, b, slot, nil)
 						if !ocfIsValid(c) {
 							continue
 						}

@@ -68,8 +68,10 @@ func newWriterPool(t *Table, n int) *writerPool {
 func (p *writerPool) run(i int) {
 	defer p.wg.Done()
 	r := rng.New(p.t.opts.Seed ^ uint64(0xb06e<<16) ^ uint64(i))
+	rec := p.t.recorderHandle() // each writer owns a shard-bound recorder
 	for req := range p.chans[i] {
 		p.apply(req, r)
+		rec.BGApply()
 		if req.done != nil {
 			req.done <- struct{}{}
 		}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"hdnh/internal/nvm"
+	"hdnh/internal/obs"
 )
 
 // Table is an HDNH hash table bound to an NVM device. The Table itself is
@@ -27,11 +28,23 @@ type Table struct {
 	hot  *hotTable // nil when Options.HotSlotsPerBucket == 0
 	pool *writerPool
 
+	// metrics is Options.Metrics (nil when observability is off); rec is a
+	// table-level recorder handle for events not tied to one session
+	// (expansions, hot-table traffic), Nop when metrics is nil.
+	metrics *obs.Metrics
+	rec     obs.Recorder
+
 	count       atomic.Int64
 	sessionSeq  atomic.Uint64
 	recovery    RecoveryStats
 	closed      atomic.Bool
 	poolStopped atomic.Bool
+
+	// testHookLookupPass, when non-nil, runs at the start of every NVT-walk
+	// pass (after the movement snapshot). Tests use it to simulate sustained
+	// record movement deterministically — real interleaving cannot be forced
+	// on a single-CPU host. Always nil in production.
+	testHookLookupPass func()
 
 	// moves are sharded movement counters (the libcuckoo/MemC3 technique):
 	// any operation that relocates a committed record (out-of-place update,
@@ -63,7 +76,7 @@ func Create(dev *nvm.Device, opts Options) (*Table, error) {
 	if dev.Root(rootSlot) != 0 {
 		return nil, errors.New("core: device already holds a table; use Open")
 	}
-	t := &Table{dev: dev, opts: opts}
+	t := &Table{dev: dev, opts: opts.withDefaults(), rec: obs.Nop{}}
 	h := dev.NewHandle()
 
 	metaOff, err := dev.Alloc(h, metaWords, nvm.BlockWords)
@@ -112,7 +125,7 @@ func Open(dev *nvm.Device, opts Options) (*Table, error) {
 	if dev.Root(rootSlot) == 0 {
 		return nil, errors.New("core: device holds no table; use Create")
 	}
-	t := &Table{dev: dev, opts: opts}
+	t := &Table{dev: dev, opts: opts.withDefaults(), rec: obs.Nop{}}
 	t.metaOff = int64(dev.Root(rootSlot))
 	if dev.Load(t.metaOff+metaMagicWord) != tableMagic {
 		return nil, errors.New("core: table metadata magic mismatch")
@@ -133,14 +146,54 @@ func OpenOrCreate(dev *nvm.Device, opts Options) (*Table, error) {
 }
 
 func (t *Table) initVolatile() {
+	t.metrics = t.opts.Metrics
+	t.rec = t.recorderHandle()
 	if t.opts.HotSlotsPerBucket > 0 {
 		if t.hot == nil { // recovery may have built it already
 			t.hot = newHotTable(t.top.segments, t.bottom.segments, t.top.m, t.opts.HotSlotsPerBucket, t.opts.Replacer)
 		}
+		t.hot.rec = t.rec
 		if t.opts.SyncWrites {
 			t.pool = newWriterPool(t, t.opts.BackgroundWriters)
 		}
 	}
+}
+
+// recorderHandle deals a fresh shard-bound recorder when metrics are on, the
+// no-op recorder otherwise.
+func (t *Table) recorderHandle() obs.Recorder {
+	if t.metrics != nil {
+		return t.metrics.Handle()
+	}
+	return obs.Nop{}
+}
+
+// Metrics returns the registry the table records into, nil when disabled.
+func (t *Table) Metrics() *obs.Metrics { return t.metrics }
+
+// MetricsSnapshot returns the current metrics counters with the table-shape
+// gauges filled in. Zero-valued when metrics are disabled.
+func (t *Table) MetricsSnapshot() obs.Snapshot {
+	if t.metrics == nil {
+		return obs.Snapshot{}
+	}
+	s := t.metrics.Snapshot()
+	ts := t.Stats()
+	s.Gauges = obs.Gauges{
+		Items:           ts.Items,
+		Capacity:        ts.Capacity,
+		LoadFactor:      ts.LoadFactor,
+		Generation:      ts.Generation,
+		HotEntries:      ts.HotEntries,
+		HotCapacity:     ts.HotCapacity,
+		DeviceWords:     ts.DeviceWords,
+		DeviceWordsUsed: ts.DeviceWordsUsed,
+		DeviceFlushes:   t.dev.TotalFlushes(),
+	}
+	if ts.HotCapacity > 0 {
+		s.Gauges.HotFillRatio = float64(ts.HotEntries) / float64(ts.HotCapacity)
+	}
+	return s
 }
 
 // state reads the atomic persistent state word.

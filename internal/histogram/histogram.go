@@ -25,6 +25,43 @@ const (
 	maxTrackableNs = int64(1) << (magnitudes + subBucketBits - 1)
 )
 
+// Buckets is the total bucket count, exported so callers (internal/obs) can
+// keep their own atomically updated count arrays with the same geometry.
+const Buckets = totalBuckets
+
+// BucketOf maps a nanosecond value to its bucket index in [0, Buckets).
+func BucketOf(v int64) int { return bucketIndex(v) }
+
+// UpperBound returns the largest value mapping to bucket i.
+func UpperBound(i int) int64 { return bucketUpperBound(i) }
+
+// FromCounts rebuilds a Histogram from an externally maintained count array
+// of length Buckets (for example internal/obs's atomic histograms) plus the
+// recorded value sum, so the usual percentile/CDF queries apply. Min and max
+// are recovered at bucket resolution.
+func FromCounts(counts []uint64, sum uint64) *Histogram {
+	h := New()
+	if len(counts) > totalBuckets {
+		counts = counts[:totalBuckets]
+	}
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		h.counts[i] += c
+		h.total += c
+		ub := bucketUpperBound(i)
+		if h.min < 0 {
+			h.min = ub
+		}
+		if ub > h.max {
+			h.max = ub
+		}
+	}
+	h.sum = sum
+	return h
+}
+
 // Histogram records int64 nanosecond values. The zero value is ready to use.
 type Histogram struct {
 	counts   [totalBuckets]uint64

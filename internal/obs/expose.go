@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// outcomesFor lists the outcomes an op can legitimately end with; the
+// Prometheus exposition emits these series even at zero so dashboards get
+// stable series sets, and any other nonzero combination defensively.
+func outcomesFor(op Op) []Outcome {
+	switch op {
+	case OpGet:
+		return []Outcome{OutHotHit, OutNVTHit, OutMiss, OutContended}
+	case OpInsert:
+		return []Outcome{OutOK, OutExists, OutFull, OutContended}
+	case OpUpdate:
+		return []Outcome{OutOK, OutNotFound, OutFull, OutContended}
+	case OpDelete:
+		return []Outcome{OutOK, OutNotFound, OutContended}
+	default:
+		return nil
+	}
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition format
+// (version 0.0.4). Metric names and meanings are documented in
+// docs/OBSERVABILITY.md.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	p("# HELP hdnh_ops_total Completed operations by op and outcome.\n")
+	p("# TYPE hdnh_ops_total counter\n")
+	for op := Op(0); op < NumOps; op++ {
+		canonical := outcomesFor(op)
+		emitted := make(map[Outcome]bool, len(canonical))
+		for _, out := range canonical {
+			p("hdnh_ops_total{op=%q,outcome=%q} %d\n", op.String(), out.String(), s.Ops[op][out])
+			emitted[out] = true
+		}
+		for out := Outcome(0); out < NumOutcomes; out++ {
+			if !emitted[out] && s.Ops[op][out] != 0 {
+				p("hdnh_ops_total{op=%q,outcome=%q} %d\n", op.String(), out.String(), s.Ops[op][out])
+			}
+		}
+	}
+
+	p("# HELP hdnh_op_latency_nanoseconds Sampled operation latency quantiles.\n")
+	p("# TYPE hdnh_op_latency_nanoseconds summary\n")
+	for op := Op(0); op < NumOps; op++ {
+		for out := Outcome(0); out < NumOutcomes; out++ {
+			l := s.Latency[op][out]
+			if l.Sampled == 0 {
+				continue
+			}
+			lbl := fmt.Sprintf("op=%q,outcome=%q", op.String(), out.String())
+			p("hdnh_op_latency_nanoseconds{%s,quantile=\"0.5\"} %d\n", lbl, l.P50Ns)
+			p("hdnh_op_latency_nanoseconds{%s,quantile=\"0.99\"} %d\n", lbl, l.P99Ns)
+			p("hdnh_op_latency_nanoseconds{%s,quantile=\"0.999\"} %d\n", lbl, l.P999Ns)
+			p("hdnh_op_latency_nanoseconds_sum{%s} %.0f\n", lbl, l.MeanNs*float64(l.Sampled))
+			p("hdnh_op_latency_nanoseconds_count{%s} %d\n", lbl, l.Sampled)
+		}
+	}
+
+	counter := func(name, help string, v uint64) {
+		p("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("hdnh_lookup_rescans_total", "Movement-hazard rescan passes beyond each NVT walk's first.", s.LookupRescans)
+	counter("hdnh_nvt_probe_reads_total", "Accounted NVT slot reads issued by lookups.", s.NVTProbes)
+	counter("hdnh_lock_spins_total", "waitUnlocked backoff iterations on locked OCF words.", s.Spins)
+	counter("hdnh_contended_total", "Lookup retry-budget exhaustions (would have been silent false misses).", s.Contended)
+	counter("hdnh_get_retries_total", "Capped-backoff retry rounds inside Get after budget exhaustion.", s.GetRetries)
+	counter("hdnh_hot_fills_total", "Search-path hot-table fill attempts.", s.HotFills)
+	counter("hdnh_hot_fills_rejected_total", "Fills rejected by OCF validation (record moved or changed).", s.HotFillsRejected)
+	counter("hdnh_hot_evictions_total", "Hot-table replacement evictions.", s.HotEvictions)
+	counter("hdnh_bg_applies_total", "Requests applied by the background writer pool.", s.BGApplies)
+	counter("hdnh_expansions_total", "Completed table expansions.", s.Expansions)
+	counter("hdnh_expansion_nanoseconds_total", "Total time spent expanding.", s.ExpansionNanos)
+
+	counter("hdnh_nvm_read_accesses_total", "Bridged device logical reads.", s.NVM.ReadAccesses)
+	counter("hdnh_nvm_read_words_total", "Bridged device words read.", s.NVM.ReadWords)
+	counter("hdnh_nvm_media_block_reads_total", "Bridged device 256B media blocks read.", s.NVM.MediaBlockReads)
+	counter("hdnh_nvm_write_accesses_total", "Bridged device logical writes.", s.NVM.WriteAccesses)
+	counter("hdnh_nvm_write_words_total", "Bridged device words written.", s.NVM.WriteWords)
+	counter("hdnh_nvm_flushes_total", "Bridged device cache-line flushes.", s.NVM.Flushes)
+	counter("hdnh_nvm_fences_total", "Bridged device ordering fences.", s.NVM.Fences)
+
+	gauge := func(name, help string, format string, v any) {
+		p("# HELP %s %s\n# TYPE %s gauge\n%s "+format+"\n", name, help, name, name, v)
+	}
+	gauge("hdnh_items", "Live records.", "%d", s.Gauges.Items)
+	gauge("hdnh_capacity_slots", "Total NVT slots.", "%d", s.Gauges.Capacity)
+	gauge("hdnh_load_factor", "Items over capacity.", "%g", s.Gauges.LoadFactor)
+	gauge("hdnh_generation", "Completed resize generation.", "%d", s.Gauges.Generation)
+	gauge("hdnh_hot_entries", "Hot-table cached records.", "%d", s.Gauges.HotEntries)
+	gauge("hdnh_hot_capacity_slots", "Hot-table slot capacity.", "%d", s.Gauges.HotCapacity)
+	gauge("hdnh_hot_fill_ratio", "Hot entries over hot capacity.", "%g", s.Gauges.HotFillRatio)
+	gauge("hdnh_hot_hit_ratio", "Hot-table hits over all Gets.", "%g", s.HitRatio())
+	gauge("hdnh_device_words", "Device capacity in words.", "%d", s.Gauges.DeviceWords)
+	gauge("hdnh_device_words_used", "Device words bump-allocated.", "%d", s.Gauges.DeviceWordsUsed)
+	gauge("hdnh_device_flushes", "Device-wide flush count.", "%d", s.Gauges.DeviceFlushes)
+	return err
+}
+
+// jsonForm is the exposition shape: maps keyed by op/outcome names instead of
+// positional arrays.
+type jsonForm struct {
+	Ops     map[string]map[string]uint64      `json:"ops"`
+	Latency map[string]map[string]LatencyStat `json:"latency_ns"`
+
+	LookupRescans uint64 `json:"lookup_rescans"`
+	NVTProbes     uint64 `json:"nvt_probe_reads"`
+	Spins         uint64 `json:"lock_spins"`
+	Contended     uint64 `json:"contended"`
+	GetRetries    uint64 `json:"get_retries"`
+
+	HotFills         uint64 `json:"hot_fills"`
+	HotFillsRejected uint64 `json:"hot_fills_rejected"`
+	HotEvictions     uint64 `json:"hot_evictions"`
+	BGApplies        uint64 `json:"bg_applies"`
+
+	Expansions     uint64 `json:"expansions"`
+	ExpansionNanos uint64 `json:"expansion_ns"`
+
+	HitRatio float64 `json:"hot_hit_ratio"`
+
+	NVM struct {
+		ReadAccesses    uint64 `json:"read_accesses"`
+		ReadWords       uint64 `json:"read_words"`
+		MediaBlockReads uint64 `json:"media_block_reads"`
+		WriteAccesses   uint64 `json:"write_accesses"`
+		WriteWords      uint64 `json:"write_words"`
+		Flushes         uint64 `json:"flushes"`
+		Fences          uint64 `json:"fences"`
+		ModeledNanos    uint64 `json:"modeled_ns"`
+	} `json:"nvm"`
+
+	Gauges Gauges `json:"gauges"`
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	f := jsonForm{
+		Ops:              map[string]map[string]uint64{},
+		Latency:          map[string]map[string]LatencyStat{},
+		LookupRescans:    s.LookupRescans,
+		NVTProbes:        s.NVTProbes,
+		Spins:            s.Spins,
+		Contended:        s.Contended,
+		GetRetries:       s.GetRetries,
+		HotFills:         s.HotFills,
+		HotFillsRejected: s.HotFillsRejected,
+		HotEvictions:     s.HotEvictions,
+		BGApplies:        s.BGApplies,
+		Expansions:       s.Expansions,
+		ExpansionNanos:   s.ExpansionNanos,
+		HitRatio:         s.HitRatio(),
+		Gauges:           s.Gauges,
+	}
+	for op := Op(0); op < NumOps; op++ {
+		outs := map[string]uint64{}
+		lats := map[string]LatencyStat{}
+		for out := Outcome(0); out < NumOutcomes; out++ {
+			if s.Ops[op][out] != 0 {
+				outs[out.String()] = s.Ops[op][out]
+			}
+			if s.Latency[op][out].Sampled != 0 {
+				lats[out.String()] = s.Latency[op][out]
+			}
+		}
+		f.Ops[op.String()] = outs
+		if len(lats) > 0 {
+			f.Latency[op.String()] = lats
+		}
+	}
+	f.NVM.ReadAccesses = s.NVM.ReadAccesses
+	f.NVM.ReadWords = s.NVM.ReadWords
+	f.NVM.MediaBlockReads = s.NVM.MediaBlockReads
+	f.NVM.WriteAccesses = s.NVM.WriteAccesses
+	f.NVM.WriteWords = s.NVM.WriteWords
+	f.NVM.Flushes = s.NVM.Flushes
+	f.NVM.Fences = s.NVM.Fences
+	f.NVM.ModeledNanos = s.NVM.ModeledNanos
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}

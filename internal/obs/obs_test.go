@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hdnh/internal/nvm"
+)
+
+func TestCountersSumAcrossHandles(t *testing.T) {
+	m := New(Config{SampleEvery: 1})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := m.Handle()
+			for i := 0; i < per; i++ {
+				h.Op(OpGet, OutNVTHit, time.Time{})
+				h.Probe(2, 3, 1)
+				h.Contended()
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if got := s.Ops[OpGet][OutNVTHit]; got != workers*per {
+		t.Fatalf("nvt_hit count = %d, want %d", got, workers*per)
+	}
+	if s.LookupRescans != 2*workers*per || s.NVTProbes != 3*workers*per || s.Spins != workers*per {
+		t.Fatalf("probe counters wrong: %+v", s)
+	}
+	if s.Contended != workers*per {
+		t.Fatalf("contended = %d", s.Contended)
+	}
+}
+
+func TestLatencySampling(t *testing.T) {
+	m := New(Config{SampleEvery: 4})
+	h := m.Handle()
+	sampled := 0
+	for i := 0; i < 100; i++ {
+		start := h.Start()
+		if !start.IsZero() {
+			sampled++
+		}
+		h.Op(OpGet, OutHotHit, start)
+	}
+	if sampled != 25 {
+		t.Fatalf("sampled %d of 100 at 1/4", sampled)
+	}
+	s := m.Snapshot()
+	if s.Ops[OpGet][OutHotHit] != 100 {
+		t.Fatalf("counter must be exact, got %d", s.Ops[OpGet][OutHotHit])
+	}
+	if s.Latency[OpGet][OutHotHit].Sampled != 25 {
+		t.Fatalf("latency sampled = %d, want 25", s.Latency[OpGet][OutHotHit].Sampled)
+	}
+}
+
+func TestAtomicHistQuantiles(t *testing.T) {
+	var a AtomicHist
+	for i := int64(1); i <= 1000; i++ {
+		a.Record(i * 1000) // 1µs .. 1ms
+	}
+	h := a.Snapshot()
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.Percentile(50)
+	// Bounded relative error: the histogram reports bucket upper bounds.
+	if p50 < 450_000 || p50 > 600_000 {
+		t.Fatalf("p50 = %d outside [450µs, 600µs]", p50)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	m := New(Config{SampleEvery: 1})
+	h := m.Handle()
+	h.Op(OpInsert, OutOK, time.Time{})
+	h.AddNVM(nvm.Stats{ReadWords: 10})
+	base := m.Snapshot()
+	h.Op(OpInsert, OutOK, time.Time{})
+	h.Op(OpInsert, OutOK, time.Time{})
+	h.AddNVM(nvm.Stats{ReadWords: 7})
+	d := m.Snapshot().Sub(base)
+	if d.Ops[OpInsert][OutOK] != 2 {
+		t.Fatalf("delta insert ok = %d, want 2", d.Ops[OpInsert][OutOK])
+	}
+	if d.NVM.ReadWords != 7 {
+		t.Fatalf("delta read words = %d, want 7", d.NVM.ReadWords)
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	m := New(Config{})
+	h := m.Handle()
+	for i := 0; i < 3; i++ {
+		h.Op(OpGet, OutHotHit, time.Time{})
+	}
+	h.Op(OpGet, OutNVTHit, time.Time{})
+	if r := m.Snapshot().HitRatio(); r != 0.75 {
+		t.Fatalf("hit ratio = %g, want 0.75", r)
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	m := New(Config{SampleEvery: 1})
+	h := m.Handle()
+	start := h.Start()
+	h.Op(OpGet, OutNVTHit, start)
+	h.HotFill(true)
+	snap := m.Snapshot()
+	snap.Gauges = Gauges{Items: 5, Capacity: 100, LoadFactor: 0.05}
+	var b bytes.Buffer
+	if err := snap.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`hdnh_ops_total{op="get",outcome="nvt_hit"} 1`,
+		`hdnh_ops_total{op="get",outcome="miss"} 0`, // canonical series emitted at zero
+		`hdnh_hot_fills_rejected_total 1`,
+		`hdnh_items 5`,
+		"# TYPE hdnh_ops_total counter",
+		"# TYPE hdnh_op_latency_nanoseconds summary",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	m := New(Config{SampleEvery: 1})
+	h := m.Handle()
+	h.Op(OpUpdate, OutContended, time.Time{})
+	h.Contended()
+	var b bytes.Buffer
+	if err := m.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(b.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	ops := decoded["ops"].(map[string]any)["update"].(map[string]any)
+	if ops["contended"].(float64) != 1 {
+		t.Fatalf("json ops.update.contended = %v", ops["contended"])
+	}
+	if decoded["contended"].(float64) != 1 {
+		t.Fatalf("json contended = %v", decoded["contended"])
+	}
+}
+
+func TestNopIsSafe(t *testing.T) {
+	var r Recorder = Nop{}
+	if !r.Start().IsZero() {
+		t.Fatal("Nop.Start must return zero time")
+	}
+	r.Op(OpGet, OutMiss, time.Time{})
+	r.Probe(1, 2, 3)
+	r.Contended()
+	r.GetRetry()
+	r.HotFill(false)
+	r.HotEvict()
+	r.BGApply()
+	r.Expansion(time.Second)
+	r.AddNVM(nvm.Stats{})
+}

@@ -1,0 +1,164 @@
+package obs
+
+import "hdnh/internal/nvm"
+
+// LatencyStat summarises one (op, outcome) latency histogram. Counts reflect
+// only the sampled operations (see Config.SampleEvery); the quantiles are
+// upper bounds with the bounded relative error internal/histogram provides.
+type LatencyStat struct {
+	Sampled uint64  `json:"sampled"`
+	MeanNs  float64 `json:"mean_ns"`
+	P50Ns   int64   `json:"p50_ns"`
+	P99Ns   int64   `json:"p99_ns"`
+	P999Ns  int64   `json:"p999_ns"`
+	MaxNs   int64   `json:"max_ns"`
+}
+
+// Gauges are point-in-time table-shape readings a Snapshot carries alongside
+// the monotonic counters; core.Table.MetricsSnapshot fills them.
+type Gauges struct {
+	Items           int64   `json:"items"`
+	Capacity        int64   `json:"capacity"`
+	LoadFactor      float64 `json:"load_factor"`
+	Generation      uint64  `json:"generation"`
+	HotEntries      int64   `json:"hot_entries"`
+	HotCapacity     int64   `json:"hot_capacity"`
+	HotFillRatio    float64 `json:"hot_fill_ratio"`
+	DeviceWords     int64   `json:"device_words"`
+	DeviceWordsUsed int64   `json:"device_words_used"`
+	DeviceFlushes   int64   `json:"device_flushes"`
+}
+
+// Snapshot is a point-in-time copy of every counter in a Metrics registry.
+type Snapshot struct {
+	// Ops counts completed operations per (op, outcome).
+	Ops [NumOps][NumOutcomes]uint64
+	// Latency summarises sampled latency per (op, outcome).
+	Latency [NumOps][NumOutcomes]LatencyStat
+
+	// LookupRescans counts movement-hazard rescan passes beyond each walk's
+	// first; NVTProbes counts accounted slot reads those walks issued.
+	LookupRescans uint64
+	NVTProbes     uint64
+	// Spins counts waitUnlocked backoff iterations; Contended counts
+	// retry-budget exhaustions; GetRetries counts Get's backoff rounds.
+	Spins      uint64
+	Contended  uint64
+	GetRetries uint64
+
+	// Hot-table traffic: search-path fills (and how many the OCF validation
+	// rejected) and replacement evictions.
+	HotFills         uint64
+	HotFillsRejected uint64
+	HotEvictions     uint64
+	// BGApplies counts requests the background writer pool applied.
+	BGApplies uint64
+
+	// Expansions counts completed resizes and ExpansionNanos their total
+	// duration.
+	Expansions     uint64
+	ExpansionNanos uint64
+
+	// NVM aggregates the device traffic sessions published via SyncObs.
+	NVM nvm.Stats
+
+	// Gauges are table-shape readings taken with the snapshot.
+	Gauges Gauges
+}
+
+// Snapshot sums every shard into a consistent-enough point-in-time copy
+// (individual counters are atomic; the set is not globally serialised, the
+// usual monitoring trade).
+func (m *Metrics) Snapshot() Snapshot {
+	var s Snapshot
+	for i := range m.shards {
+		sh := &m.shards[i]
+		for op := Op(0); op < NumOps; op++ {
+			for out := Outcome(0); out < NumOutcomes; out++ {
+				s.Ops[op][out] += sh.ops[op][out].Load()
+			}
+		}
+		s.LookupRescans += sh.lookupRescans.Load()
+		s.NVTProbes += sh.nvtProbes.Load()
+		s.Spins += sh.spins.Load()
+		s.Contended += sh.contended.Load()
+		s.GetRetries += sh.getRetries.Load()
+		s.HotFills += sh.hotFills.Load()
+		s.HotFillsRejected += sh.hotFillsReject.Load()
+		s.HotEvictions += sh.hotEvictions.Load()
+		s.BGApplies += sh.bgApplies.Load()
+		s.Expansions += sh.expansions.Load()
+		s.ExpansionNanos += sh.expansionNanos.Load()
+		s.NVM.Add(nvm.Stats{
+			ReadAccesses:    sh.nvm[nvmReadAccesses].Load(),
+			ReadWords:       sh.nvm[nvmReadWords].Load(),
+			MediaBlockReads: sh.nvm[nvmMediaBlockReads].Load(),
+			WriteAccesses:   sh.nvm[nvmWriteAccesses].Load(),
+			WriteWords:      sh.nvm[nvmWriteWords].Load(),
+			Flushes:         sh.nvm[nvmFlushes].Load(),
+			Fences:          sh.nvm[nvmFences].Load(),
+			ModeledNanos:    sh.nvm[nvmModeledNanos].Load(),
+		})
+	}
+	for op := Op(0); op < NumOps; op++ {
+		for out := Outcome(0); out < NumOutcomes; out++ {
+			h := m.lat[op][out].Snapshot()
+			if h.Count() == 0 {
+				continue
+			}
+			s.Latency[op][out] = LatencyStat{
+				Sampled: h.Count(),
+				MeanNs:  h.Mean(),
+				P50Ns:   h.Percentile(50),
+				P99Ns:   h.Percentile(99),
+				P999Ns:  h.Percentile(99.9),
+				MaxNs:   h.Max(),
+			}
+		}
+	}
+	return s
+}
+
+// Sub returns the counter deltas s minus base, for interval monitoring.
+// Latency stats and gauges are not differences; the receiver's (current)
+// values are kept.
+func (s Snapshot) Sub(base Snapshot) Snapshot {
+	d := s
+	for op := Op(0); op < NumOps; op++ {
+		for out := Outcome(0); out < NumOutcomes; out++ {
+			d.Ops[op][out] -= base.Ops[op][out]
+		}
+	}
+	d.LookupRescans -= base.LookupRescans
+	d.NVTProbes -= base.NVTProbes
+	d.Spins -= base.Spins
+	d.Contended -= base.Contended
+	d.GetRetries -= base.GetRetries
+	d.HotFills -= base.HotFills
+	d.HotFillsRejected -= base.HotFillsRejected
+	d.HotEvictions -= base.HotEvictions
+	d.BGApplies -= base.BGApplies
+	d.Expansions -= base.Expansions
+	d.ExpansionNanos -= base.ExpansionNanos
+	d.NVM = s.NVM.Sub(base.NVM)
+	return d
+}
+
+// OpTotal sums one op's count across all outcomes.
+func (s Snapshot) OpTotal(op Op) uint64 {
+	var n uint64
+	for out := Outcome(0); out < NumOutcomes; out++ {
+		n += s.Ops[op][out]
+	}
+	return n
+}
+
+// HitRatio returns hot-table hits over all completed Gets, the paper's
+// headline cache metric; 0 when no Gets happened.
+func (s Snapshot) HitRatio() float64 {
+	total := s.OpTotal(OpGet)
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Ops[OpGet][OutHotHit]) / float64(total)
+}

@@ -23,6 +23,11 @@ var (
 	ErrNotFound = errors.New("scheme: key not found")
 	// ErrExists means an insert targeted a key that is already present.
 	ErrExists = errors.New("scheme: key already exists")
+	// ErrContended means the operation exhausted its optimistic retry budget
+	// under sustained concurrent record movement and gave up without a
+	// conclusive answer. It is distinct from ErrNotFound on purpose: the key
+	// may well exist. Callers should back off and retry.
+	ErrContended = errors.New("scheme: operation contended, retry")
 )
 
 // Store is a persistent hash table bound to an NVM device.
