@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure to regenerate: 11a, 11b, 12, 13, 14, 15")
+		fig     = flag.String("fig", "", "figure to regenerate: 11a, 11b, 12, 13, 14, 15, ablation, loadfactor, hybrid, resize")
 		table   = flag.String("table", "", "table to regenerate: 1")
 		all     = flag.Bool("all", false, "run every figure and table")
 		records = flag.Int64("records", 100_000, "preloaded record count")
@@ -117,8 +117,9 @@ func main() {
 		"ablation":   {"Ablation (extension)", single(harness.Ablation)},
 		"loadfactor": {"Load factor (extension)", single(harness.LoadFactorExperiment)},
 		"hybrid":     {"Hybrid related-work comparison (extension)", single(harness.HybridExperiment)},
+		"resize":     {"Resize latency: blocking vs incremental (extension)", single(harness.FigResize)},
 	}
-	order := []string{"fig11a", "fig11b", "fig12", "fig13", "fig14", "fig15", "table1", "ablation", "loadfactor", "hybrid"}
+	order := []string{"fig11a", "fig11b", "fig12", "fig13", "fig14", "fig15", "table1", "ablation", "loadfactor", "hybrid", "resize"}
 
 	var selected []string
 	switch {
@@ -126,7 +127,7 @@ func main() {
 		selected = order
 	case *fig != "":
 		name := strings.ToLower(*fig)
-		if name != "ablation" && name != "loadfactor" && name != "hybrid" {
+		if name != "ablation" && name != "loadfactor" && name != "hybrid" && name != "resize" {
 			name = "fig" + name
 		}
 		selected = []string{name}

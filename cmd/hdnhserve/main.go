@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -29,8 +30,11 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	"hdnh/internal/core"
 	"hdnh/internal/kv"
@@ -77,7 +81,6 @@ func main() {
 	if err != nil {
 		fatal("creating table: %v", err)
 	}
-	defer tbl.Close()
 
 	srv := &server{tbl: tbl}
 	mux := http.NewServeMux()
@@ -89,9 +92,43 @@ func main() {
 		fmt.Fprintln(w, "ok")
 	})
 
-	log.Printf("hdnhserve: listening on %s (capacity %d, mode %s)", *addr, *capacity, *mode)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+	// A configured server, not the bare http.ListenAndServe default: without
+	// timeouts one slow-loris client pins a connection goroutine forever, and
+	// without Shutdown a SIGTERM kills the process mid-request with the
+	// table's clean-shutdown flag never written.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      15 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("hdnhserve: listening on %s (capacity %d, mode %s)", *addr, *capacity, *mode)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		tbl.Close()
 		fatal("%v", err)
+	case <-ctx.Done():
+		log.Printf("hdnhserve: signal received, draining connections")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("hdnhserve: shutdown: %v", err)
+		}
+		if err := tbl.Close(); err != nil {
+			log.Printf("hdnhserve: closing table: %v", err)
+		}
+		log.Printf("hdnhserve: clean shutdown")
 	}
 }
 

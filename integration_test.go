@@ -101,6 +101,7 @@ func TestEndToEndPipeline(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	table.StopBackground() // quiesce drain goroutines; no clean-shutdown flag
 	if err := dev.Crash(); err != nil {
 		t.Fatal(err)
 	}

@@ -24,6 +24,11 @@ import (
 //     value for its key (entries for absent keys or stale values are
 //     violations).
 func (t *Table) CheckInvariants() []error {
+	// Let any in-flight incremental rehash settle first: mid-drain the
+	// audit's quiescence assumptions (no slot locks held, stable count)
+	// do not hold. A failed drain returns immediately with its level still
+	// installed; the audit then covers it as a third level.
+	t.waitDrain()
 	t.resizeMu.Lock()
 	defer t.resizeMu.Unlock()
 
@@ -32,7 +37,8 @@ func (t *Table) CheckInvariants() []error {
 	seen := make(map[kv.Key]slotRef)
 	var live int64
 
-	for li, lvl := range [2]*level{t.top, t.bottom} {
+	var lv [3]*level
+	for li, lvl := range lv[:t.walkLevels(&lv)] {
 		for b := int64(0); b < lvl.buckets(); b++ {
 			for s := 0; s < SlotsPerBucket; s++ {
 				c := lvl.ocfLoad(b, s)

@@ -45,13 +45,18 @@ func stampNewer(a, b uint8) bool {
 
 // Persistent metadata block. Root slot 0 of the device points at it.
 //
-//	word 0      magic
-//	word 1      state: levelNumber | role indexes | generation (atomic)
-//	words 2..7  three level descriptors: (base ptr, segment count) x 3
-//	word 8      segmentBuckets (m)
-//	word 9      rehash progress: next bucket index to drain in the old
-//	            bottom level
-//	word 10     clean-shutdown flag
+//	word 0       magic
+//	word 1       state: levelNumber | role indexes | generation (atomic)
+//	words 2..7   three level descriptors: (base ptr, segment count) x 3
+//	word 8       segmentBuckets (m)
+//	word 9       legacy rehash progress: next bucket index to drain in the
+//	             old bottom level (single-threaded drains; still honoured on
+//	             open when word 11 is zero)
+//	word 10      clean-shutdown flag
+//	word 11      drain range count R for the parallel rehash (0 = legacy
+//	             single-range layout)
+//	words 12..27 per-range drain progress: buckets durably rehashed from the
+//	             start of range i (i < R ≤ MaxDrainRanges)
 const (
 	metaWords = nvm.BlockWords
 
@@ -61,6 +66,8 @@ const (
 	metaMWord        = 8
 	metaRehashWord   = 9
 	metaCleanWord    = 10
+	metaDrainRanges  = 11
+	metaDrainBase    = 12
 	rootSlot         = 0
 	tableMagic       = uint64(0x48444e48544f504c) // "HDNHTOPL"
 	numLevelSlots    = 3
@@ -74,6 +81,11 @@ const (
 	stateDrainShift  = 12
 	stateGenShift    = 16
 )
+
+// MaxDrainRanges bounds how many disjoint bucket ranges (and hence parallel
+// drain workers) one rehash may persist progress for: the meta block has 16
+// progress words (12..27).
+const MaxDrainRanges = 16
 
 // tableState is the decoded form of the atomic state word. levelNumber
 // follows the paper: 1 stable, 2 new level requested, 3 rehashing. top,

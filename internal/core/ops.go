@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"runtime"
 	"time"
 
@@ -43,6 +44,38 @@ func spinBackoff(attempt int) {
 		return
 	}
 	time.Sleep(time.Duration(1<<min(attempt-spinYields, backoffMaxShift)) * time.Microsecond)
+}
+
+// expandOutcome classifies an expansion failure for the metrics: a genuinely
+// full table (ErrFull anywhere in the chain) is OutFull; anything else — a
+// drain that could not conclude, an I/O-level fault — is OutError, a distinct
+// outcome so capacity exhaustion and internal faults never conflate on a
+// dashboard. The error itself is propagated to the caller unwrapped either
+// way.
+func expandOutcome(err error) obs.Outcome {
+	if errors.Is(err, scheme.ErrFull) {
+		return obs.OutFull
+	}
+	return obs.OutError
+}
+
+// helpDrainStep is the amortized-incremental-rehash contribution every write
+// makes while a drain is in flight: claim at most one chunk and rehash it.
+// Background workers normally finish long before writers notice, but on a
+// starved scheduler this keeps the drain deterministically ahead of table
+// growth — without it a tight insert loop can refill the table to its next
+// trigger point while the old bottom still holds records, and those records
+// would then genuinely find no slot. Must be called WITHOUT the resize lock
+// (drainChunk takes it shared).
+func (s *Session) helpDrainStep() {
+	task := s.t.draining.Load()
+	if task == nil || task.blocking || task.failed.Load() {
+		return
+	}
+	if r, lo, hi, ok := task.claim(0); ok {
+		s.t.drainChunk(s.h, task, r, lo, hi)
+		s.rec.DrainHelp()
+	}
 }
 
 // probeStats accumulates one operation's NVT-walk accounting: rescan passes,
@@ -121,7 +154,8 @@ func (t *Table) lookup(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8, ps *pro
 			hook()
 		}
 		mayHaveMoved := false
-		for _, lvl := range [2]*level{t.top, t.bottom} {
+		var lv [3]*level
+		for _, lvl := range lv[:t.walkLevels(&lv)] {
 			for _, b := range lvl.candidates(h1, h2) {
 				for s := 0; s < SlotsPerBucket; s++ {
 				retrySlot:
@@ -179,7 +213,8 @@ func (t *Table) findAndLock(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8, ps
 			hook()
 		}
 		found := false
-		for _, lvl := range [2]*level{t.top, t.bottom} {
+		var lv [3]*level
+		for _, lvl := range lv[:t.walkLevels(&lv)] {
 			for _, b := range lvl.candidates(h1, h2) {
 				for s := 0; s < SlotsPerBucket; s++ {
 					c := lvl.ocfLoad(b, s)
@@ -231,8 +266,10 @@ func (t *Table) findAndLock(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8, ps
 
 // lockEmptySlot claims a free slot among the key's eight candidate buckets.
 // prefer, when non-nil, is scanned first (updates prefer the old record's
-// bucket so a crash leaves the duplicate bucket-local). Returns the locked
-// slot and the pre-lock control word.
+// bucket so a crash leaves the duplicate bucket-local). Placement never
+// targets a level being drained — only top and bottom — so the drain level
+// monotonically empties. Returns the locked slot and the pre-lock control
+// word.
 func (t *Table) lockEmptySlot(h1, h2 uint64, prefer *slotRef) (slotRef, uint32, bool) {
 	if prefer != nil {
 		if ref, c, ok := lockEmptyIn(prefer.lvl, prefer.b); ok {
@@ -385,6 +422,7 @@ func (s *Session) Insert(k kv.Key, v kv.Value) error {
 	start := s.rec.Start()
 	contendedRounds := 0
 	for attempt := 0; attempt <= s.t.opts.MaxExpansions; attempt++ {
+		s.helpDrainStep()
 		s.t.resizeMu.RLock()
 		var ps probeStats
 		_, res := s.t.lookup(s.h, k, h1, h2, fp, &ps)
@@ -414,7 +452,7 @@ func (s *Session) Insert(k kv.Key, v kv.Value) error {
 			gen := s.t.state().generation
 			s.t.resizeMu.RUnlock()
 			if err := s.t.expand(gen); err != nil {
-				s.rec.Op(obs.OpInsert, obs.OutFull, start)
+				s.rec.Op(obs.OpInsert, expandOutcome(err), start)
 				return err
 			}
 			continue
@@ -523,6 +561,7 @@ func (s *Session) Update(k kv.Key, v kv.Value) error {
 	transientRetries := 0
 	contendedRounds := 0
 	for attempt := 0; attempt <= s.t.opts.MaxExpansions; attempt++ {
+		s.helpDrainStep()
 		s.t.resizeMu.RLock()
 		var ps probeStats
 		old, res := s.t.findAndLock(s.h, k, h1, h2, fp, &ps)
@@ -544,7 +583,14 @@ func (s *Session) Update(k kv.Key, v kv.Value) error {
 			return scheme.ErrContended
 		}
 		ps.report(s.rec)
-		ref, c, okEmpty := s.t.lockEmptySlot(h1, h2, &old.ref)
+		// Prefer the old record's own bucket only while it lives in the
+		// current structure: a record found in the drain level must move to
+		// top/bottom, never back into the level being emptied.
+		prefer := &old.ref
+		if old.ref.lvl != s.t.top && old.ref.lvl != s.t.bottom {
+			prefer = nil
+		}
+		ref, c, okEmpty := s.t.lockEmptySlot(h1, h2, prefer)
 		if !okEmpty {
 			// Put the old slot back.
 			old.ref.lvl.ocfRelease(old.ref.b, old.ref.s, true, fp, ocfVer(old.ctrl))
@@ -562,7 +608,7 @@ func (s *Session) Update(k kv.Key, v kv.Value) error {
 				continue
 			}
 			if err := s.t.expand(gen); err != nil {
-				s.rec.Op(obs.OpUpdate, obs.OutFull, start)
+				s.rec.Op(obs.OpUpdate, expandOutcome(err), start)
 				return err
 			}
 			continue

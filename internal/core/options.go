@@ -82,6 +82,22 @@ type Options struct {
 	// table expansion before giving up with ErrFull.
 	MaxExpansions int
 
+	// DrainWorkers is how many background goroutines rehash the old bottom
+	// level during an expansion, each over its own disjoint bucket range with
+	// its own NVM handle and persisted progress word. Capped at the meta
+	// block's MaxDrainRanges. 0 picks the default (DefaultDrainWorkers).
+	DrainWorkers int
+	// DrainChunkBuckets bounds how many buckets a drain worker rehashes per
+	// shared-lock acquisition; smaller chunks tighten the tail latency of
+	// foreground operations racing the drain at the price of more progress
+	// persists. 0 picks the default (DefaultDrainChunkBuckets).
+	DrainChunkBuckets int
+	// BlockingResize restores the pre-incremental behaviour: the expanding
+	// goroutine holds the resize lock exclusively for the whole drain,
+	// stalling every foreground operation. Kept as the measurable baseline
+	// for the resize latency experiment, and as an escape hatch.
+	BlockingResize bool
+
 	// RecoveryWorkers is the number of goroutines used to rebuild the OCF
 	// and hot table after a restart (the paper's multi-threaded recovery).
 	RecoveryWorkers int
@@ -100,6 +116,16 @@ type Options struct {
 	// Seed makes replacement decisions and any sampling deterministic.
 	Seed uint64
 }
+
+// DefaultDrainWorkers balances rehash completion time against the NVM
+// bandwidth the drain steals from foreground writes; four workers finish a
+// doubling quickly without saturating the emulated device.
+const DefaultDrainWorkers = 4
+
+// DefaultDrainChunkBuckets is 64 buckets (16KB of NVT) per shared-lock
+// acquisition: large enough that progress persists are amortised, small
+// enough that a pointer-swapping expansion never waits long behind a chunk.
+const DefaultDrainChunkBuckets = 64
 
 // DefaultLookupRetryBudget is the rescan cap a zero LookupRetryBudget means.
 // A conclusive pass needs no rescans at all unless a record the walk raced
@@ -123,6 +149,8 @@ func DefaultOptions() Options {
 		BackgroundWriters:  2,
 		DisplaceOnInsert:   false,
 		MaxExpansions:      24,
+		DrainWorkers:       DefaultDrainWorkers,
+		DrainChunkBuckets:  DefaultDrainChunkBuckets,
 		RecoveryWorkers:    4,
 		LookupRetryBudget:  DefaultLookupRetryBudget,
 		Seed:               1,
@@ -134,6 +162,15 @@ func DefaultOptions() Options {
 func (o Options) withDefaults() Options {
 	if o.LookupRetryBudget == 0 {
 		o.LookupRetryBudget = DefaultLookupRetryBudget
+	}
+	if o.DrainWorkers == 0 {
+		o.DrainWorkers = DefaultDrainWorkers
+	}
+	if o.DrainWorkers > MaxDrainRanges {
+		o.DrainWorkers = MaxDrainRanges
+	}
+	if o.DrainChunkBuckets == 0 {
+		o.DrainChunkBuckets = DefaultDrainChunkBuckets
 	}
 	return o
 }
@@ -160,6 +197,12 @@ func (o Options) Validate() error {
 	}
 	if o.RecoveryWorkers <= 0 {
 		return fmt.Errorf("core: RecoveryWorkers %d must be positive", o.RecoveryWorkers)
+	}
+	if o.DrainWorkers < 0 {
+		return fmt.Errorf("core: DrainWorkers %d must not be negative", o.DrainWorkers)
+	}
+	if o.DrainChunkBuckets < 0 {
+		return fmt.Errorf("core: DrainChunkBuckets %d must not be negative", o.DrainChunkBuckets)
 	}
 	if o.LookupRetryBudget < 0 {
 		return fmt.Errorf("core: LookupRetryBudget %d must not be negative", o.LookupRetryBudget)

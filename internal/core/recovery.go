@@ -81,7 +81,10 @@ func (t *Table) recover() error {
 	stats.OCFRebuild = time.Since(ocfStart)
 
 	// Level number 3: resume draining the old bottom level from the
-	// persisted per-bucket progress record.
+	// persisted per-range progress words (or the legacy single-range word),
+	// using the same parallel chunked machinery as a live expansion — run
+	// synchronously here so the table is stable before sessions exist. The
+	// drain reads OCF validity, so the drain level's filter is rebuilt first.
 	if st.levelNumber == levelNumRehash {
 		stats.ResumedRehash = true
 		drainBase, drainSegs := t.levelDescriptor(st.drain)
@@ -89,14 +92,20 @@ func (t *Table) recover() error {
 			return fmt.Errorf("core: corrupt drain descriptor (%d segments)", drainSegs)
 		}
 		drainLvl := newLevel(drainBase, drainSegs, m)
-		from := int64(dev.Load(t.metaOff + metaRehashWord))
-		if from < 0 || from > drainLvl.buckets() {
-			from = 0
+		t.rebuildOCFLevel(drainLvl)
+		task := t.resumeDrainTask(h, drainLvl,
+			tableState{levelNumber: levelNumStable, top: st.top, bottom: st.bottom, drain: levelSlotUnused, generation: st.generation + 1})
+		t.draining.Store(task)
+		if task.remaining.Load() == 0 {
+			// Crashed after the last progress persist, before the stable
+			// state word: nothing left to move, just finalise.
+			t.finishDrain(h, task)
+		} else {
+			t.runDrainWorkers(task)
 		}
-		if err := t.drain(h, drainLvl, from); err != nil {
-			return err
+		if task.err != nil {
+			return task.err
 		}
-		t.setState(h, tableState{levelNumber: levelNumStable, top: st.top, bottom: st.bottom, drain: levelSlotUnused, generation: st.generation + 1})
 	}
 
 	// After an unclean shutdown a crashed out-of-place update may have left
@@ -125,20 +134,25 @@ func (t *Table) recover() error {
 // handling an independent batch of buckets (the paper's parallel recovery).
 func (t *Table) rebuildOCF() {
 	for _, lvl := range [2]*level{t.top, t.bottom} {
-		t.parallelBuckets(lvl, func(h *nvm.Handle, lvl *level, b int64) {
-			h.ReadAccess(lvl.bucketWord(b), BucketWords)
-			for s := 0; s < SlotsPerBucket; s++ {
-				off := lvl.slotWord(b, s)
-				w3 := h.Load(off + 3)
-				if !kv.ValidOf(w3) {
-					continue
-				}
-				k := kv.UnpackKey(h.Load(off), h.Load(off+1))
-				fp := hashfn.Fingerprint(hashfn.Hash1(k[:]))
-				lvl.ocfSet(b, s, ocfWord(true, fp, 0))
-			}
-		})
+		t.rebuildOCFLevel(lvl)
 	}
+}
+
+// rebuildOCFLevel recomputes one level's filter from the persisted NVT.
+func (t *Table) rebuildOCFLevel(lvl *level) {
+	t.parallelBuckets(lvl, func(h *nvm.Handle, lvl *level, b int64) {
+		h.ReadAccess(lvl.bucketWord(b), BucketWords)
+		for s := 0; s < SlotsPerBucket; s++ {
+			off := lvl.slotWord(b, s)
+			w3 := h.Load(off + 3)
+			if !kv.ValidOf(w3) {
+				continue
+			}
+			k := kv.UnpackKey(h.Load(off), h.Load(off+1))
+			fp := hashfn.Fingerprint(hashfn.Hash1(k[:]))
+			lvl.ocfSet(b, s, ocfWord(true, fp, 0))
+		}
+	})
 }
 
 // rebuildHot repopulates the cache from the NVT. Entries enter cold, just

@@ -96,7 +96,11 @@ func TestCrashWithoutCloseLosesNothingCommitted(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Power failure: no Close, dirty cache lines partially evicted.
+	// Power failure: no Close, dirty cache lines partially evicted. The old
+	// process must stop mutating the device before the new one opens it —
+	// the incremental drain runs on background goroutines now, so quiesce
+	// them first (without the clean-shutdown flag Close would set).
+	tbl.StopBackground()
 	if err := dev.Crash(); err != nil {
 		t.Fatal(err)
 	}
@@ -345,6 +349,7 @@ func TestRecoveryAfterDeletes(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	tbl.StopBackground() // quiesce drain goroutines; no clean-shutdown flag
 	if err := dev.Crash(); err != nil {
 		t.Fatal(err)
 	}
@@ -411,6 +416,7 @@ func TestRecoveryPreservesUpdatesAcrossResizes(t *testing.T) {
 			}
 		}
 	}
+	tbl.StopBackground() // quiesce drain goroutines; no clean-shutdown flag
 	if err := dev.Crash(); err != nil {
 		t.Fatal(err)
 	}

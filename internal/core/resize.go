@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hdnh/internal/kv"
@@ -15,18 +17,118 @@ import (
 // are rehashed ("drained") into the new structure. The persistent state
 // machine uses the paper's level numbers — 2 while the new level is being
 // requested, 3 while rehashing — with each transition committed by one
-// atomic 8-byte persist of the state word, and per-bucket drain progress
-// recorded in NVM so a crash resumes where it left off.
+// atomic 8-byte persist of the state word.
+//
+// The drain itself is incremental and parallel: the resize lock is held
+// exclusively only for the pointer swap (state 2→3); the old bottom is then
+// rehashed by Options.DrainWorkers goroutines, each owning a disjoint bucket
+// range with its own NVM handle and its own persisted progress word, working
+// in DrainChunkBuckets-sized chunks under the shared lock plus per-slot OCF
+// locks. Foreground operations therefore proceed throughout state 3 — they
+// walk the drain level as a third lookup level until it empties — and
+// foreground writers that run out of space during state 3 help drain before
+// retrying. A crash mid-drain resumes from the per-range progress words,
+// which only ever under-report: re-draining a bucket is idempotent because
+// the per-record move is copy-then-invalidate behind an existence check.
+
+// drainRange is one worker's share of the drain level's buckets. Claiming is
+// in-memory (the chunk cursor); completion is durable (the progress word
+// advances only over a contiguous prefix of finished chunks, so a crash can
+// only under-report progress).
+type drainRange struct {
+	idx    int
+	lo, hi int64        // bucket bounds [lo, hi)
+	next   atomic.Int64 // claim cursor, starts at the resumed completedTo
+
+	// completedTo tracks the durably finished contiguous prefix; doneChunks
+	// parks out-of-order chunk completions (start → end) until the prefix
+	// reaches them.
+	mu          sync.Mutex
+	completedTo int64
+	doneChunks  map[int64]int64
+}
+
+// drainTask is one in-progress rehash of an old bottom level.
+type drainTask struct {
+	src    *level
+	ranges []*drainRange
+	chunk  int64
+
+	// remaining counts buckets not yet durably complete; the worker whose
+	// completion drops it to zero finalises the resize.
+	remaining atomic.Int64
+
+	began      time.Time
+	finalState tableState // stable state persisted at completion
+	blocking   bool       // drained inline under the exclusive resize lock
+
+	failed   atomic.Bool
+	failOnce sync.Once
+	err      error
+	done     chan struct{} // closed at completion or failure
+}
+
+// fail records the first error and releases waiters. The task stays
+// installed: the table remains in state 3 with the drain level readable, so
+// no records are lost — subsequent expansion attempts surface err.
+func (task *drainTask) fail(err error) {
+	task.failOnce.Do(func() {
+		task.err = err
+		task.failed.Store(true)
+		close(task.done)
+	})
+}
+
+// claim hands out the next unprocessed chunk, preferring the worker's own
+// range and stealing from the others once it empties. ok=false means no
+// work is left to claim (completion may still be in flight elsewhere).
+func (task *drainTask) claim(worker int) (r *drainRange, lo, hi int64, ok bool) {
+	n := len(task.ranges)
+	for i := 0; i < n; i++ {
+		r := task.ranges[(worker+i)%n]
+		for {
+			cur := r.next.Load()
+			if cur >= r.hi {
+				break
+			}
+			end := cur + task.chunk
+			if end > r.hi {
+				end = r.hi
+			}
+			if r.next.CompareAndSwap(cur, end) {
+				return r, cur, end, true
+			}
+		}
+	}
+	return nil, 0, 0, false
+}
 
 // expand grows the table. observedGen is the generation the caller saw when
 // it ran out of space: if another goroutine already expanded, expand returns
 // immediately and the caller retries.
+//
+// With an incremental drain already running, expand helps finish it instead
+// of starting another doubling — the caller retries against the swapped-in
+// structure once the drain completes. Otherwise expand performs the state
+// transitions and pointer swap under the exclusive lock, then either drains
+// inline (Options.BlockingResize, the stop-the-world baseline) or returns
+// immediately with background workers draining, so the caller's retry
+// proceeds against the new top level while the rehash is still in flight.
 func (t *Table) expand(observedGen uint64) error {
+	if task := t.draining.Load(); task != nil {
+		return t.helpDrain(task)
+	}
+
 	t.resizeMu.Lock()
-	defer t.resizeMu.Unlock()
 	st := t.state()
 	if st.generation != observedGen {
+		t.resizeMu.Unlock()
 		return nil // somebody else expanded first
+	}
+	if task := t.draining.Load(); task != nil {
+		// Installed between our check and the lock; help instead.
+		t.resizeMu.Unlock()
+		return t.helpDrain(task)
 	}
 	began := time.Now()
 	h := t.dev.NewHandle()
@@ -46,80 +148,413 @@ func (t *Table) expand(observedGen uint64) error {
 	if err != nil {
 		// Roll back to stable; the table is full for real.
 		t.setState(h, tableState{levelNumber: levelNumStable, top: st.top, bottom: st.bottom, drain: levelSlotUnused, generation: st.generation + 1})
+		t.resizeMu.Unlock()
 		return fmt.Errorf("%w: device cannot hold a %d-segment level: %v", scheme.ErrFull, newSegs, err)
 	}
 	t.writeLevelDescriptor(h, free, base, newSegs)
-	h.StorePersist(t.metaOff+metaRehashWord, 0)
-
-	// Paper state 3: pointers switched, rehash in progress.
-	t.setState(h, tableState{levelNumber: levelNumRehash, top: free, bottom: st.top, drain: st.bottom, generation: st.generation})
 
 	drainLvl := t.bottom
+	task := t.newDrainTask(drainLvl, began, t.opts.BlockingResize,
+		tableState{levelNumber: levelNumStable, top: free, bottom: st.top, drain: levelSlotUnused, generation: st.generation + 1})
+	t.persistDrainProgress(h, task)
+
+	// Paper state 3: pointers switched, rehash in progress. From here the
+	// drain level is reachable through the persisted descriptor and the
+	// progress words, so the swap is the last exclusive-section step.
+	t.setState(h, tableState{levelNumber: levelNumRehash, top: free, bottom: st.top, drain: st.bottom, generation: st.generation})
+
 	t.bottom = t.top
 	t.top = newLevel(base, newSegs, m)
 	if t.hot != nil {
 		t.hot.promote(newSegs, m)
 	}
-
-	if err := t.drain(h, drainLvl, 0); err != nil {
-		return err
+	t.draining.Store(task)
+	if task.blocking {
+		// Baseline mode: drain to completion before releasing the lock.
+		t.runDrainWorkers(task)
+		t.resizeMu.Unlock()
+		return task.err
 	}
+	t.resizeMu.Unlock()
+	t.rec.ExpansionSwap(time.Since(began))
 
-	// Stable again; bump the generation.
-	t.setState(h, tableState{levelNumber: levelNumStable, top: free, bottom: st.top, drain: levelSlotUnused, generation: st.generation + 1})
-	t.rec.Expansion(time.Since(began))
+	for w := 0; w < len(task.ranges); w++ {
+		go t.drainWorker(task, w)
+	}
 	return nil
 }
 
-// drain rehashes the source level's records into the current (new) two-level
-// structure, starting at bucket from (non-zero when resuming after a crash).
-// Progress is persisted per bucket; within a bucket the move protocol
-// (commit copy, then invalidate source) plus the existence check make
-// re-draining a partially drained bucket idempotent.
-//
-// Caller holds the resize lock exclusively, so the per-slot locking in the
-// placement helpers never contends.
-func (t *Table) drain(h *nvm.Handle, src *level, from int64) error {
+// helpDrain is the foreground writer's contribution during state 3: rehash
+// chunks until none are left to claim, then wait for the last in-flight
+// chunk to complete. The generation bumps at completion, so the caller's
+// retry observes the finished doubling.
+func (t *Table) helpDrain(task *drainTask) error {
+	h := t.dev.NewHandle()
+	base := h.Stats()
+	for !task.failed.Load() {
+		r, lo, hi, ok := task.claim(0)
+		if !ok {
+			break
+		}
+		t.drainChunk(h, task, r, lo, hi)
+		t.rec.DrainHelp()
+	}
+	t.rec.AddNVM(h.Stats().Sub(base))
+	<-task.done
+	return task.err
+}
+
+// newDrainTask splits src into up to DrainWorkers disjoint ranges. resumedTo,
+// when building from a crash image, is applied by the recovery path after
+// construction; live expansions start every range at its lo.
+func (t *Table) newDrainTask(src *level, began time.Time, blocking bool, final tableState) *drainTask {
 	buckets := src.buckets()
-	for b := from; b < buckets; b++ {
-		h.ReadAccess(src.bucketWord(b), BucketWords)
-		for s := 0; s < SlotsPerBucket; s++ {
-			ref := slotRef{src, b, s}
-			off := ref.wordOff()
-			w3 := h.Load(off + 3)
-			if !kv.ValidOf(w3) {
+	nr := int64(t.opts.DrainWorkers)
+	if nr < 1 {
+		nr = 1
+	}
+	if nr > MaxDrainRanges {
+		nr = MaxDrainRanges
+	}
+	if nr > buckets {
+		nr = buckets
+	}
+	chunk := int64(t.opts.DrainChunkBuckets)
+	if chunk < 1 {
+		chunk = 1
+	}
+	task := &drainTask{
+		src:        src,
+		chunk:      chunk,
+		began:      began,
+		finalState: final,
+		blocking:   blocking,
+		done:       make(chan struct{}),
+	}
+	per := (buckets + nr - 1) / nr
+	for i := int64(0); i < nr; i++ {
+		lo := i * per
+		hi := lo + per
+		if hi > buckets {
+			hi = buckets
+		}
+		if lo >= hi {
+			break
+		}
+		r := &drainRange{idx: int(i), lo: lo, hi: hi, completedTo: lo, doneChunks: map[int64]int64{}}
+		r.next.Store(lo)
+		task.ranges = append(task.ranges, r)
+		task.remaining.Add(hi - lo)
+	}
+	return task
+}
+
+// resumeDrainTask rebuilds a drain task from the geometry a crashed resize
+// persisted: the range count from the meta block and each range's durable
+// progress. Progress words only ever under-report, so resuming re-drains at
+// most the chunks that were in flight — idempotent by the existence check.
+// Images without a persisted range layout (a crash inside state 2's replay,
+// or a table written by the earlier single-threaded drain) fall back to the
+// legacy single-progress word, or to a fresh parallel layout when that word
+// says nothing has been drained yet. Recovery tasks run blocking: no
+// sessions exist, so no shared-lock choreography is needed.
+func (t *Table) resumeDrainTask(h *nvm.Handle, src *level, final tableState) *drainTask {
+	buckets := src.buckets()
+	nr := int64(t.dev.Load(t.metaOff + metaDrainRanges))
+	if nr < 1 || nr > MaxDrainRanges || nr > buckets {
+		from := int64(t.dev.Load(t.metaOff + metaRehashWord))
+		if from < 0 || from > buckets {
+			from = 0
+		}
+		if from == 0 {
+			task := t.newDrainTask(src, time.Now(), true, final)
+			t.persistDrainProgress(h, task)
+			return task
+		}
+		// Mid-drain legacy image: honour its linear progress with one range.
+		task := t.newDrainTask(src, time.Now(), true, final)
+		r := &drainRange{idx: 0, lo: 0, hi: buckets, completedTo: from, doneChunks: map[int64]int64{}}
+		r.next.Store(from)
+		task.ranges = []*drainRange{r}
+		task.remaining.Store(buckets - from)
+		t.persistDrainProgress(h, task)
+		return task
+	}
+
+	task := t.newDrainTask(src, time.Now(), true, final)
+	task.ranges = task.ranges[:0]
+	task.remaining.Store(0)
+	per := (buckets + nr - 1) / nr
+	for i := int64(0); i < nr; i++ {
+		lo := i * per
+		hi := lo + per
+		if hi > buckets {
+			hi = buckets
+		}
+		if lo >= hi {
+			break
+		}
+		done := int64(t.dev.Load(t.metaOff + metaDrainBase + i))
+		if done < 0 || done > hi-lo {
+			done = 0
+		}
+		r := &drainRange{idx: int(i), lo: lo, hi: hi, completedTo: lo + done, doneChunks: map[int64]int64{}}
+		r.next.Store(lo + done)
+		task.ranges = append(task.ranges, r)
+		task.remaining.Add(hi - (lo + done))
+	}
+	return task
+}
+
+// persistDrainProgress durably records the range layout and zeroes every
+// progress word, so a crash any time after state 3 resumes with the same
+// geometry. Must run before the state word flips to levelNumRehash.
+func (t *Table) persistDrainProgress(h *nvm.Handle, task *drainTask) {
+	h.StorePersist(t.metaOff+metaRehashWord, 0)
+	for _, r := range task.ranges {
+		h.StorePersist(t.metaOff+metaDrainBase+int64(r.idx), uint64(r.completedTo-r.lo))
+	}
+	h.StorePersist(t.metaOff+metaDrainRanges, uint64(len(task.ranges)))
+}
+
+// runDrainWorkers drains the task to completion on the calling goroutine
+// plus len(ranges)-1 helpers — the blocking baseline and the recovery path.
+// It joins the helpers (not merely the task) so the caller may mutate table
+// state the workers read — recovery's Open continues into initVolatile.
+func (t *Table) runDrainWorkers(task *drainTask) {
+	n := len(task.ranges)
+	var wg sync.WaitGroup
+	for w := 1; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t.drainWorker(task, w)
+		}(w)
+	}
+	t.drainWorker(task, 0)
+	wg.Wait()
+	<-task.done
+}
+
+// drainWorker claims and rehashes chunks until the task runs out of work or
+// fails. Each worker owns its NVM handle and bridges its device traffic into
+// the metrics registry on exit.
+func (t *Table) drainWorker(task *drainTask, worker int) {
+	h := t.dev.NewHandle()
+	base := h.Stats()
+	rec := t.recorderHandle()
+	for !task.failed.Load() {
+		r, lo, hi, ok := task.claim(worker)
+		if !ok {
+			break
+		}
+		t.drainChunk(h, task, r, lo, hi)
+	}
+	rec.AddNVM(h.Stats().Sub(base))
+}
+
+// drainChunk rehashes buckets [lo, hi) of one range under the shared resize
+// lock (unless the task runs inside the exclusive section), then durably
+// completes them. A failed bucket fails the whole task; its records stay
+// committed and readable in the drain level.
+func (t *Table) drainChunk(h *nvm.Handle, task *drainTask, r *drainRange, lo, hi int64) {
+	start := time.Now()
+	var moved int64
+	if !task.blocking {
+		t.resizeMu.RLock()
+	}
+	for b := lo; b < hi; b++ {
+		n, err := t.drainBucket(h, task, b)
+		if err != nil {
+			if !task.blocking {
+				t.resizeMu.RUnlock()
+			}
+			task.fail(err)
+			return
+		}
+		moved += n
+	}
+	if !task.blocking {
+		t.resizeMu.RUnlock()
+	}
+	t.rec.DrainChunk(hi-lo, moved, time.Since(start))
+	t.completeChunk(h, task, r, lo, hi)
+}
+
+// completeChunk advances the range's durable progress over the contiguous
+// prefix of finished chunks and, when the whole task is durably complete,
+// finalises the resize.
+func (t *Table) completeChunk(h *nvm.Handle, task *drainTask, r *drainRange, lo, hi int64) {
+	r.mu.Lock()
+	r.doneChunks[lo] = hi
+	advanced := int64(0)
+	for {
+		end, ok := r.doneChunks[r.completedTo]
+		if !ok {
+			break
+		}
+		delete(r.doneChunks, r.completedTo)
+		advanced += end - r.completedTo
+		r.completedTo = end
+	}
+	if advanced > 0 {
+		h.StorePersist(t.metaOff+metaDrainBase+int64(r.idx), uint64(r.completedTo-r.lo))
+	}
+	r.mu.Unlock()
+	if advanced > 0 && task.remaining.Add(-advanced) == 0 {
+		t.finishDrain(h, task)
+	}
+}
+
+// finishDrain persists the stable state (bumping the generation), clears the
+// drain level from the lookup path and releases every waiter. Called exactly
+// once: by the goroutine whose chunk completion emptied the task, or by
+// recovery when the resumed image was already fully drained.
+func (t *Table) finishDrain(h *nvm.Handle, task *drainTask) {
+	t.setState(h, task.finalState)
+	t.draining.Store(nil)
+	t.rec.Expansion(time.Since(task.began))
+	close(task.done)
+}
+
+// drainBucket rehashes every committed record of one drain-level bucket into
+// the current two-level structure, returning how many records it moved.
+// Slots are taken with their OCF locks, so the drain composes with foreground
+// updates and deletes that still target the drain level; a slot locked by a
+// foreground writer is waited out.
+func (t *Table) drainBucket(h *nvm.Handle, task *drainTask, b int64) (int64, error) {
+	src := task.src
+	h.ReadAccess(src.bucketWord(b), BucketWords)
+	var moved int64
+	for s := 0; s < SlotsPerBucket; s++ {
+		for attempt := 0; ; attempt++ {
+			c := src.ocfLoad(b, s)
+			if ocfIsLocked(c) {
+				// A foreground op owns the slot (update moving the record
+				// out, delete clearing it). Its critical section is short.
+				spinBackoff(attempt)
 				continue
 			}
-			k := kv.UnpackKey(h.Load(off), h.Load(off+1))
-			v, meta := kv.UnpackValue(h.Load(off+2), w3)
-			h1, h2, fp := hashKV(k[:])
-
-			var ps probeStats
-			_, res := t.lookup(h, k, h1, h2, fp, &ps)
-			if res == lookupContended {
-				// Impossible in practice: the exclusive resize lock keeps
-				// every mover out, so the first pass is conclusive. Fail
-				// loudly rather than risk duplicating the record.
-				return fmt.Errorf("core: drain lookup exhausted its retry budget under the exclusive resize lock")
+			if !ocfIsValid(c) {
+				break // empty (or emptied since the bucket read)
 			}
-			if res == lookupMissing {
-				dst, c, ok := t.lockEmptySlot(h1, h2, nil)
-				if !ok && t.displaceOne(h, h1, h2) {
-					dst, c, ok = t.lockEmptySlot(h1, h2, nil)
-				}
-				if !ok {
-					return fmt.Errorf("%w: rehash found no slot for a record (load factor anomaly)", scheme.ErrFull)
-				}
-				t.writeSlotCommit(h, dst, k, v, metaStamp(meta))
-				dst.lvl.ocfRelease(dst.b, dst.s, true, fp, ocfVer(c))
+			if !src.ocfTryLock(b, s, c) {
+				continue
 			}
-			// Invalidate the source copy and bump its OCF version so any
-			// in-flight cache fill that read the old location is rejected.
-			t.clearSlotCommit(h, ref, w3)
-			srcCtrl := src.ocfLoad(b, s)
-			src.ocfSet(b, s, ocfWord(false, 0, ocfVer(srcCtrl)+1))
+			n, err := t.drainSlot(h, src, b, s, c)
+			if err != nil {
+				return moved, err
+			}
+			moved += n
+			break
 		}
-		h.StorePersist(t.metaOff+metaRehashWord, uint64(b+1))
 	}
-	return nil
+	return moved, nil
+}
+
+// drainSlot moves one locked, committed record: publish a copy in the new
+// structure (unless one already exists — the crash-resume case), bump the
+// movement counter, then retire the source. Caller holds the slot's OCF lock;
+// drainSlot releases it.
+func (t *Table) drainSlot(h *nvm.Handle, src *level, b int64, s int, c uint32) (int64, error) {
+	ref := slotRef{src, b, s}
+	off := ref.wordOff()
+	h.ReadAccess(off, slotWords)
+	w3 := h.Load(off + 3)
+	if !kv.ValidOf(w3) {
+		// OCF said valid but the record is gone — never expected while we
+		// hold the lock; repair the OCF rather than lose the invariant.
+		src.ocfRelease(b, s, false, 0, ocfVer(c))
+		return 0, nil
+	}
+	k := kv.UnpackKey(h.Load(off), h.Load(off+1))
+	v, meta := kv.UnpackValue(h.Load(off+2), w3)
+	h1, h2, fp := hashKV(k[:])
+
+	exists, err := t.committedInNew(h, k, h1, h2, fp)
+	if err != nil {
+		src.ocfRelease(b, s, true, fp, ocfVer(c))
+		return 0, err
+	}
+	var moved int64
+	if !exists {
+		dst, dc, ok := t.lockEmptySlot(h1, h2, nil)
+		for attempt := 0; !ok && attempt < contendedRetryMax; attempt++ {
+			// Transient fullness: concurrent writers each hold one extra
+			// slot mid-move. Displace once, back off, retry.
+			if t.displaceOne(h, h1, h2) {
+				dst, dc, ok = t.lockEmptySlot(h1, h2, nil)
+				continue
+			}
+			spinBackoff(spinYields + attempt)
+			dst, dc, ok = t.lockEmptySlot(h1, h2, nil)
+		}
+		if !ok {
+			src.ocfRelease(b, s, true, fp, ocfVer(c))
+			return 0, fmt.Errorf("%w: rehash found no slot for a record (load factor anomaly)", scheme.ErrFull)
+		}
+		t.writeSlotCommit(h, dst, k, v, metaStamp(meta))
+		dst.lvl.ocfRelease(dst.b, dst.s, true, fp, ocfVer(dc))
+		moved = 1
+	}
+	// Signal the move while both copies are visible, then retire the source
+	// with a version bump so stale cache fills are rejected — the same
+	// publish-before-retire ordering as Update.
+	t.moveShard(h1).Add(1)
+	t.clearSlotCommit(h, ref, w3)
+	src.ocfRelease(b, s, false, 0, ocfVer(c))
+	return moved, nil
+}
+
+// committedInNew reports whether the key is already committed in the current
+// two-level structure — the existence check that makes re-draining after a
+// crash idempotent. It deliberately skips the drain level (the caller holds
+// that copy's lock) and, unlike lookup, must reach a conclusive answer: the
+// caller holds the only copy's lock if the key is absent, so the key itself
+// cannot move, and rescans only repeat under unrelated same-shard churn.
+func (t *Table) committedInNew(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8) (bool, error) {
+	kw0, kw1 := k.Pack()
+	for round := 0; ; round++ {
+		moveSnapshot := t.moveShard(h1).Load()
+		mayHaveMoved := false
+		for _, lvl := range [2]*level{t.top, t.bottom} {
+			for _, b := range lvl.candidates(h1, h2) {
+				for s := 0; s < SlotsPerBucket; s++ {
+				retrySlot:
+					c := lvl.ocfLoad(b, s)
+					if ocfFP(c) != fp {
+						continue
+					}
+					if ocfIsLocked(c) {
+						c = waitUnlocked(lvl, b, s, nil)
+						if ocfFP(c) != fp || !ocfIsValid(c) {
+							mayHaveMoved = true
+							continue
+						}
+					}
+					if !ocfIsValid(c) {
+						continue
+					}
+					off := lvl.slotWord(b, s)
+					h.ReadAccess(off, slotWords)
+					w0 := h.Load(off)
+					w1 := h.Load(off + 1)
+					w3 := h.Load(off + 3)
+					if lvl.ocfLoad(b, s) != c {
+						goto retrySlot
+					}
+					if w0 == kw0 && w1 == kw1 && kv.ValidOf(w3) {
+						return true, nil
+					}
+				}
+			}
+		}
+		if !mayHaveMoved && t.moveShard(h1).Load() == moveSnapshot {
+			return false, nil
+		}
+		if round >= t.opts.LookupRetryBudget+contendedRetryMax {
+			return false, fmt.Errorf("core: drain existence check exhausted its retry budget")
+		}
+		spinBackoff(round)
+	}
 }

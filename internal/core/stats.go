@@ -21,6 +21,10 @@ type TableStats struct {
 	SegmentBuckets int64
 	// Generation counts completed resizes.
 	Generation uint64
+	// Resizing reports an incremental rehash in flight, with
+	// DrainBucketsRemaining its not-yet-durably-complete bucket count.
+	Resizing              bool
+	DrainBucketsRemaining int64
 	// HotEntries / HotCapacity describe the DRAM cache occupancy.
 	HotEntries  int64
 	HotCapacity int64
@@ -44,14 +48,16 @@ func (t *Table) Stats() TableStats {
 	t.resizeMu.RLock()
 	defer t.resizeMu.RUnlock()
 	st := TableStats{
-		Items:           t.count.Load(),
-		Capacity:        t.top.slots() + t.bottom.slots(),
-		TopSegments:     t.top.segments,
-		BottomSegments:  t.bottom.segments,
-		SegmentBuckets:  t.top.m,
-		Generation:      t.state().generation,
-		DeviceWordsUsed: t.dev.Words() - t.dev.FreeWords(),
-		DeviceWords:     t.dev.Words(),
+		Items:                 t.count.Load(),
+		Capacity:              t.top.slots() + t.bottom.slots(),
+		TopSegments:           t.top.segments,
+		BottomSegments:        t.bottom.segments,
+		SegmentBuckets:        t.top.m,
+		Generation:            t.state().generation,
+		Resizing:              t.Resizing(),
+		DrainBucketsRemaining: t.DrainBucketsRemaining(),
+		DeviceWordsUsed:       t.dev.Words() - t.dev.FreeWords(),
+		DeviceWords:           t.dev.Words(),
 	}
 	if st.Capacity > 0 {
 		st.LoadFactor = float64(st.Items) / float64(st.Capacity)
@@ -77,7 +83,8 @@ func (s *Session) Scan(fn func(k kv.Key, v kv.Value) bool) int64 {
 	t.resizeMu.RLock()
 	defer t.resizeMu.RUnlock()
 	var visited int64
-	for _, lvl := range [2]*level{t.top, t.bottom} {
+	var lv [3]*level
+	for _, lvl := range lv[:t.walkLevels(&lv)] {
 		for b := int64(0); b < lvl.buckets(); b++ {
 			touched := false
 			for slot := 0; slot < SlotsPerBucket; slot++ {

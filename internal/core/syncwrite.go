@@ -53,6 +53,14 @@ type writerPool struct {
 	t     *Table
 	chans []chan hotRequest
 	wg    sync.WaitGroup
+
+	// mu guards the stop/dispatch race: Close used to close the channels
+	// while a concurrent session op was mid-send, panicking the sender.
+	// dispatch holds mu shared around the send; stop flips stopped under the
+	// exclusive lock before closing, so every in-flight send either lands
+	// before the close or observes stopped and falls back inline.
+	mu      sync.RWMutex
+	stopped bool
 }
 
 func newWriterPool(t *Table, n int) *writerPool {
@@ -90,12 +98,31 @@ func (p *writerPool) apply(req hotRequest, r *rng.Xorshift128) {
 }
 
 // dispatch hands the request to its writer; same key → same writer → FIFO.
-func (p *writerPool) dispatch(req hotRequest) {
+// It reports false once the pool has stopped — the caller then applies the
+// request inline instead of panicking on a closed channel. Holding the
+// shared lock across a send that blocks on a full channel is safe: stop
+// closes only after taking the lock exclusively, and the writers keep
+// consuming until then.
+func (p *writerPool) dispatch(req hotRequest) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.stopped {
+		return false
+	}
 	p.chans[req.h1>>16%uint64(len(p.chans))] <- req
+	return true
 }
 
-// stop drains and joins the writers.
+// stop drains and joins the writers. Safe against concurrent dispatchers:
+// they either complete their send before the close or see stopped.
 func (p *writerPool) stop() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.stopped = true
+	p.mu.Unlock()
 	for _, ch := range p.chans {
 		close(ch)
 	}
@@ -110,17 +137,17 @@ func (s *Session) beginHotWrite(op uint8, k kv.Key, v kv.Value, h1 uint64, fp ui
 	if t.hot == nil {
 		return false
 	}
-	if t.pool == nil {
-		switch op {
-		case hotOpPut:
-			t.hot.put(k, v, h1, fp, s.rng)
-		case hotOpDel:
-			t.hot.del(k, h1, fp)
-		}
-		return false
+	if t.pool != nil && t.pool.dispatch(hotRequest{op: op, fp: fp, key: k, val: v, h1: h1, done: s.done}) {
+		return true
 	}
-	t.pool.dispatch(hotRequest{op: op, fp: fp, key: k, val: v, h1: h1, done: s.done})
-	return true
+	// No pool, or the pool already stopped (an op racing Close): inline.
+	switch op {
+	case hotOpPut:
+		t.hot.put(k, v, h1, fp, s.rng)
+	case hotOpDel:
+		t.hot.del(k, h1, fp)
+	}
+	return false
 }
 
 // waitHotWrite blocks until the background writer raises the
@@ -139,12 +166,11 @@ func (s *Session) fillHot(k kv.Key, v kv.Value, h1 uint64, fp uint8, src *level,
 	if t.hot == nil {
 		return
 	}
-	if t.pool == nil {
-		t.hot.fill(k, v, h1, fp, src, b, slot, ctrl, s.rng)
-		return
-	}
-	t.pool.dispatch(hotRequest{
+	if t.pool != nil && t.pool.dispatch(hotRequest{
 		op: hotOpFill, fp: fp, key: k, val: v, h1: h1,
 		src: src, srcBucket: b, srcSlot: slot, srcCtrl: ctrl,
-	})
+	}) {
+		return
+	}
+	t.hot.fill(k, v, h1, fp, src, b, slot, ctrl, s.rng)
 }

@@ -17,13 +17,19 @@ type Table struct {
 	opts    Options
 	metaOff int64
 
-	// resizeMu is held shared by every operation and exclusively by
-	// expansion. Per-slot optimistic concurrency happens inside the shared
-	// section, so the only global serialisation point is resizing — the
-	// same trade the paper makes.
+	// resizeMu is held shared by every operation and exclusively by the
+	// pointer-swapping prologue of an expansion. Per-slot optimistic
+	// concurrency happens inside the shared section; the rehash itself runs
+	// incrementally under the shared lock (see resize.go), so the exclusive
+	// section is a few metadata writes, not a full drain.
 	resizeMu sync.RWMutex
 	top      *level
 	bottom   *level
+
+	// draining, when non-nil, is the in-progress incremental rehash. Ops
+	// walk its source level as a third lookup level until the drain empties
+	// it; writers that run out of space help it along (see Table.expand).
+	draining atomic.Pointer[drainTask]
 
 	hot  *hotTable // nil when Options.HotSlotsPerBucket == 0
 	pool *writerPool
@@ -61,6 +67,41 @@ const moveShards = 1024
 
 func (t *Table) moveShard(h1 uint64) *atomic.Uint64 {
 	return &t.moves[(h1>>20)%moveShards]
+}
+
+// walkLevels fills dst with the levels a lookup must visit — top, bottom,
+// and the drain level while an incremental rehash is in flight — returning
+// how many are live. Callers hold the resize lock shared, which pins the
+// top/bottom pointers; the drain level is published via the atomic task
+// pointer before the swap's exclusive section ends.
+func (t *Table) walkLevels(dst *[3]*level) int {
+	dst[0], dst[1] = t.top, t.bottom
+	if task := t.draining.Load(); task != nil {
+		dst[2] = task.src
+		return 3
+	}
+	return 2
+}
+
+// Resizing reports whether an incremental rehash is currently in flight.
+func (t *Table) Resizing() bool { return t.draining.Load() != nil }
+
+// DrainBucketsRemaining reports how many drain-level buckets the in-flight
+// rehash has not yet durably completed (0 when no rehash is running).
+func (t *Table) DrainBucketsRemaining() int64 {
+	if task := t.draining.Load(); task != nil {
+		return task.remaining.Load()
+	}
+	return 0
+}
+
+// waitDrain blocks until any in-flight incremental rehash completes or
+// fails. Used by shutdown and the invariant checker; a failed drain leaves
+// its task installed (records stay readable), so waiters return then too.
+func (t *Table) waitDrain() {
+	if task := t.draining.Load(); task != nil {
+		<-task.done
+	}
 }
 
 // ErrNeedResize is internal: an operation found no free slot and wants the
@@ -180,15 +221,19 @@ func (t *Table) MetricsSnapshot() obs.Snapshot {
 	s := t.metrics.Snapshot()
 	ts := t.Stats()
 	s.Gauges = obs.Gauges{
-		Items:           ts.Items,
-		Capacity:        ts.Capacity,
-		LoadFactor:      ts.LoadFactor,
-		Generation:      ts.Generation,
-		HotEntries:      ts.HotEntries,
-		HotCapacity:     ts.HotCapacity,
-		DeviceWords:     ts.DeviceWords,
-		DeviceWordsUsed: ts.DeviceWordsUsed,
-		DeviceFlushes:   t.dev.TotalFlushes(),
+		Items:                 ts.Items,
+		Capacity:              ts.Capacity,
+		LoadFactor:            ts.LoadFactor,
+		Generation:            ts.Generation,
+		HotEntries:            ts.HotEntries,
+		HotCapacity:           ts.HotCapacity,
+		DeviceWords:           ts.DeviceWords,
+		DeviceWordsUsed:       ts.DeviceWordsUsed,
+		DeviceFlushes:         t.dev.TotalFlushes(),
+		DrainBucketsRemaining: ts.DrainBucketsRemaining,
+	}
+	if ts.Resizing {
+		s.Gauges.Resizing = 1
 	}
 	if ts.HotCapacity > 0 {
 		s.Gauges.HotFillRatio = float64(ts.HotEntries) / float64(ts.HotCapacity)
@@ -247,8 +292,10 @@ func (t *Table) HotEntries() int64 {
 // (zero-valued for tables built by Create).
 func (t *Table) LastRecovery() RecoveryStats { return t.recovery }
 
-// Close marks a clean shutdown and stops the background writer pool. The
-// caller must have quiesced all sessions first.
+// Close marks a clean shutdown and stops the background writer pool, first
+// letting any in-flight incremental rehash finish so the clean flag never
+// covers a half-drained image. The caller must have quiesced all sessions
+// first.
 func (t *Table) Close() error {
 	if t.closed.Swap(true) {
 		return nil
@@ -259,13 +306,15 @@ func (t *Table) Close() error {
 	return nil
 }
 
-// StopBackground halts the writer pool without marking a clean shutdown —
+// StopBackground halts the background machinery — the drain workers of any
+// in-flight rehash, then the writer pool — without marking a clean shutdown:
 // the recovery benchmarks' stand-in for pulling the power cord on a model-
 // mode device. Idempotent; Close calls it too.
 func (t *Table) StopBackground() {
 	if t.poolStopped.Swap(true) {
 		return
 	}
+	t.waitDrain()
 	if t.pool != nil {
 		t.pool.stop()
 	}

@@ -277,6 +277,24 @@ func TestLoadFactorExperiment(t *testing.T) {
 	}
 }
 
+func TestFigResize(t *testing.T) {
+	exp, err := FigResize(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Rows) != 2 {
+		t.Fatalf("rows = %d, want blocking + incremental", len(exp.Rows))
+	}
+	for _, r := range exp.Rows {
+		if len(r.Cells) != 6 {
+			t.Fatalf("%s: cells = %d, want 6", r.X, len(r.Cells))
+		}
+		if exps := r.Cells[4].Value; exps < 1 {
+			t.Fatalf("%s: %v expansions; the run never resized", r.X, exps)
+		}
+	}
+}
+
 func TestRunWorkloadF(t *testing.T) {
 	res, err := Run(Options{
 		Scheme:  "HDNH",

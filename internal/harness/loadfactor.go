@@ -60,8 +60,13 @@ func LoadFactorExperiment(sc Scale) (*Experiment, error) {
 			if err := s.Insert(ycsb.RecordKey(i), ycsb.ValueFor(i)); err != nil {
 				break
 			}
-			if tbl.Generation() != gen {
-				break // it managed to resize once; stop at the pre-resize count
+			if tbl.Generation() != gen || tbl.Resizing() {
+				// It managed to resize once; stop at the pre-resize count. The
+				// swap precedes the generation bump now (the drain is
+				// incremental), so an in-flight drain counts as resized too —
+				// otherwise inserts landing in the doubled structure would
+				// inflate the pre-resize load factor past 1.
+				break
 			}
 			n++
 		}

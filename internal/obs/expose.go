@@ -14,9 +14,9 @@ func outcomesFor(op Op) []Outcome {
 	case OpGet:
 		return []Outcome{OutHotHit, OutNVTHit, OutMiss, OutContended}
 	case OpInsert:
-		return []Outcome{OutOK, OutExists, OutFull, OutContended}
+		return []Outcome{OutOK, OutExists, OutFull, OutContended, OutError}
 	case OpUpdate:
-		return []Outcome{OutOK, OutNotFound, OutFull, OutContended}
+		return []Outcome{OutOK, OutNotFound, OutFull, OutContended, OutError}
 	case OpDelete:
 		return []Outcome{OutOK, OutNotFound, OutContended}
 	default:
@@ -81,7 +81,22 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 	counter("hdnh_hot_evictions_total", "Hot-table replacement evictions.", s.HotEvictions)
 	counter("hdnh_bg_applies_total", "Requests applied by the background writer pool.", s.BGApplies)
 	counter("hdnh_expansions_total", "Completed table expansions.", s.Expansions)
-	counter("hdnh_expansion_nanoseconds_total", "Total time spent expanding.", s.ExpansionNanos)
+	counter("hdnh_expansion_nanoseconds_total", "Total time spent expanding (swap through drain completion).", s.ExpansionNanos)
+	counter("hdnh_expansion_swaps_total", "Incremental-resize pointer swaps.", s.ExpansionSwaps)
+	counter("hdnh_expansion_swap_nanoseconds_total", "Total exclusive-lock residency of resize pointer swaps.", s.ExpansionSwapNanos)
+	counter("hdnh_drain_chunks_total", "Rehash chunks completed by the incremental drain.", s.DrainChunks)
+	counter("hdnh_drain_buckets_total", "Buckets rehashed by the incremental drain.", s.DrainBuckets)
+	counter("hdnh_drain_records_moved_total", "Records moved into the new structure by the incremental drain.", s.DrainRecordsMoved)
+	counter("hdnh_drain_helps_total", "Drain chunks contributed by foreground writers.", s.DrainHelps)
+	if l := s.DrainChunkLatency; l.Sampled > 0 {
+		p("# HELP hdnh_drain_chunk_nanoseconds Shared-lock residency per drain chunk.\n")
+		p("# TYPE hdnh_drain_chunk_nanoseconds summary\n")
+		p("hdnh_drain_chunk_nanoseconds{quantile=\"0.5\"} %d\n", l.P50Ns)
+		p("hdnh_drain_chunk_nanoseconds{quantile=\"0.99\"} %d\n", l.P99Ns)
+		p("hdnh_drain_chunk_nanoseconds{quantile=\"0.999\"} %d\n", l.P999Ns)
+		p("hdnh_drain_chunk_nanoseconds_sum %.0f\n", l.MeanNs*float64(l.Sampled))
+		p("hdnh_drain_chunk_nanoseconds_count %d\n", l.Sampled)
+	}
 
 	counter("hdnh_nvm_read_accesses_total", "Bridged device logical reads.", s.NVM.ReadAccesses)
 	counter("hdnh_nvm_read_words_total", "Bridged device words read.", s.NVM.ReadWords)
@@ -105,6 +120,8 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 	gauge("hdnh_device_words", "Device capacity in words.", "%d", s.Gauges.DeviceWords)
 	gauge("hdnh_device_words_used", "Device words bump-allocated.", "%d", s.Gauges.DeviceWordsUsed)
 	gauge("hdnh_device_flushes", "Device-wide flush count.", "%d", s.Gauges.DeviceFlushes)
+	gauge("hdnh_resizing", "1 while an incremental rehash is in flight.", "%d", s.Gauges.Resizing)
+	gauge("hdnh_drain_buckets_remaining", "Drain-level buckets not yet durably rehashed.", "%d", s.Gauges.DrainBucketsRemaining)
 	return err
 }
 
@@ -128,6 +145,14 @@ type jsonForm struct {
 	Expansions     uint64 `json:"expansions"`
 	ExpansionNanos uint64 `json:"expansion_ns"`
 
+	ExpansionSwaps     uint64      `json:"expansion_swaps"`
+	ExpansionSwapNanos uint64      `json:"expansion_swap_ns"`
+	DrainChunks        uint64      `json:"drain_chunks"`
+	DrainBuckets       uint64      `json:"drain_buckets"`
+	DrainRecordsMoved  uint64      `json:"drain_records_moved"`
+	DrainHelps         uint64      `json:"drain_helps"`
+	DrainChunkLatency  LatencyStat `json:"drain_chunk_latency_ns"`
+
 	HitRatio float64 `json:"hot_hit_ratio"`
 
 	NVM struct {
@@ -147,21 +172,28 @@ type jsonForm struct {
 // WriteJSON renders the snapshot as indented JSON.
 func (s Snapshot) WriteJSON(w io.Writer) error {
 	f := jsonForm{
-		Ops:              map[string]map[string]uint64{},
-		Latency:          map[string]map[string]LatencyStat{},
-		LookupRescans:    s.LookupRescans,
-		NVTProbes:        s.NVTProbes,
-		Spins:            s.Spins,
-		Contended:        s.Contended,
-		GetRetries:       s.GetRetries,
-		HotFills:         s.HotFills,
-		HotFillsRejected: s.HotFillsRejected,
-		HotEvictions:     s.HotEvictions,
-		BGApplies:        s.BGApplies,
-		Expansions:       s.Expansions,
-		ExpansionNanos:   s.ExpansionNanos,
-		HitRatio:         s.HitRatio(),
-		Gauges:           s.Gauges,
+		Ops:                map[string]map[string]uint64{},
+		Latency:            map[string]map[string]LatencyStat{},
+		LookupRescans:      s.LookupRescans,
+		NVTProbes:          s.NVTProbes,
+		Spins:              s.Spins,
+		Contended:          s.Contended,
+		GetRetries:         s.GetRetries,
+		HotFills:           s.HotFills,
+		HotFillsRejected:   s.HotFillsRejected,
+		HotEvictions:       s.HotEvictions,
+		BGApplies:          s.BGApplies,
+		Expansions:         s.Expansions,
+		ExpansionNanos:     s.ExpansionNanos,
+		ExpansionSwaps:     s.ExpansionSwaps,
+		ExpansionSwapNanos: s.ExpansionSwapNanos,
+		DrainChunks:        s.DrainChunks,
+		DrainBuckets:       s.DrainBuckets,
+		DrainRecordsMoved:  s.DrainRecordsMoved,
+		DrainHelps:         s.DrainHelps,
+		DrainChunkLatency:  s.DrainChunkLatency,
+		HitRatio:           s.HitRatio(),
+		Gauges:             s.Gauges,
 	}
 	for op := Op(0); op < NumOps; op++ {
 		outs := map[string]uint64{}

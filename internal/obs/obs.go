@@ -53,7 +53,10 @@ func (o Op) String() string {
 
 // Outcome enumerates how an operation completed. Gets use HotHit/NVTHit/Miss;
 // writes use OK/Exists/NotFound/Full; every op can end Contended when its
-// movement-hazard rescan budget exhausts (see docs/OBSERVABILITY.md).
+// movement-hazard rescan budget exhausts (see docs/OBSERVABILITY.md). Error
+// is the write outcome for an expansion that failed for a reason other than
+// genuine capacity exhaustion — keeping internal faults distinguishable from
+// a full table.
 type Outcome uint8
 
 const (
@@ -65,6 +68,7 @@ const (
 	OutNotFound
 	OutFull
 	OutContended
+	OutError
 	NumOutcomes
 )
 
@@ -87,6 +91,8 @@ func (o Outcome) String() string {
 		return "full"
 	case OutContended:
 		return "contended"
+	case OutError:
+		return "error"
 	default:
 		return "unknown"
 	}
@@ -116,8 +122,18 @@ type Recorder interface {
 	HotEvict()
 	// BGApply records one request applied by a background writer.
 	BGApply()
-	// Expansion records one completed table expansion and its duration.
+	// Expansion records one completed table expansion and its end-to-end
+	// duration (swap through drain completion).
 	Expansion(d time.Duration)
+	// ExpansionSwap records the exclusive-lock window of an incremental
+	// expansion — the stall every foreground operation actually observes.
+	ExpansionSwap(d time.Duration)
+	// DrainChunk records one rehashed drain chunk: buckets covered, records
+	// moved, and the chunk's shared-lock residency (the per-chunk stall
+	// histogram).
+	DrainChunk(buckets, moved int64, d time.Duration)
+	// DrainHelp records a foreground writer pitching in on the drain.
+	DrainHelp()
 	// AddNVM merges a device-traffic delta bridged from nvm.Stats.
 	AddNVM(delta nvm.Stats)
 }
@@ -127,16 +143,19 @@ type Nop struct{}
 
 var _ Recorder = Nop{}
 
-func (Nop) Start() time.Time          { return time.Time{} }
-func (Nop) Op(Op, Outcome, time.Time) {}
-func (Nop) Probe(int64, int64, int64) {}
-func (Nop) Contended()                {}
-func (Nop) GetRetry()                 {}
-func (Nop) HotFill(bool)              {}
-func (Nop) HotEvict()                 {}
-func (Nop) BGApply()                  {}
-func (Nop) Expansion(time.Duration)   {}
-func (Nop) AddNVM(nvm.Stats)          {}
+func (Nop) Start() time.Time                       { return time.Time{} }
+func (Nop) Op(Op, Outcome, time.Time)              {}
+func (Nop) Probe(int64, int64, int64)              {}
+func (Nop) Contended()                             {}
+func (Nop) GetRetry()                              {}
+func (Nop) HotFill(bool)                           {}
+func (Nop) HotEvict()                              {}
+func (Nop) BGApply()                               {}
+func (Nop) Expansion(time.Duration)                {}
+func (Nop) ExpansionSwap(time.Duration)            {}
+func (Nop) DrainChunk(int64, int64, time.Duration) {}
+func (Nop) DrainHelp()                             {}
+func (Nop) AddNVM(nvm.Stats)                       {}
 
 // shardCount bounds counter contention: handles are dealt shards round-robin,
 // and a snapshot sums across all of them.
@@ -171,6 +190,13 @@ type shard struct {
 	expansions     atomic.Uint64
 	expansionNanos atomic.Uint64
 
+	expansionSwaps     atomic.Uint64
+	expansionSwapNanos atomic.Uint64
+	drainChunks        atomic.Uint64
+	drainBuckets       atomic.Uint64
+	drainMoved         atomic.Uint64
+	drainHelps         atomic.Uint64
+
 	nvm [nvmFields]atomic.Uint64
 
 	_ [64]byte // keep neighbouring shards off one cache line
@@ -196,6 +222,9 @@ type Metrics struct {
 
 	shards [shardCount]shard
 	lat    [NumOps][NumOutcomes]AtomicHist
+	// drainLat is the per-chunk stall histogram: how long each drain chunk
+	// held the shared resize lock.
+	drainLat AtomicHist
 }
 
 // New builds a Metrics registry.
@@ -266,6 +295,20 @@ func (h *Handle) Expansion(d time.Duration) {
 	h.sh.expansions.Add(1)
 	h.sh.expansionNanos.Add(uint64(d.Nanoseconds()))
 }
+
+func (h *Handle) ExpansionSwap(d time.Duration) {
+	h.sh.expansionSwaps.Add(1)
+	h.sh.expansionSwapNanos.Add(uint64(d.Nanoseconds()))
+}
+
+func (h *Handle) DrainChunk(buckets, moved int64, d time.Duration) {
+	h.sh.drainChunks.Add(1)
+	h.sh.drainBuckets.Add(uint64(buckets))
+	h.sh.drainMoved.Add(uint64(moved))
+	h.m.drainLat.Record(d.Nanoseconds())
+}
+
+func (h *Handle) DrainHelp() { h.sh.drainHelps.Add(1) }
 
 func (h *Handle) AddNVM(delta nvm.Stats) {
 	n := &h.sh.nvm

@@ -27,6 +27,10 @@ type Gauges struct {
 	DeviceWords     int64   `json:"device_words"`
 	DeviceWordsUsed int64   `json:"device_words_used"`
 	DeviceFlushes   int64   `json:"device_flushes"`
+	// Resizing is 1 while an incremental rehash is in flight;
+	// DrainBucketsRemaining is its not-yet-durably-complete bucket count.
+	Resizing              int64 `json:"resizing"`
+	DrainBucketsRemaining int64 `json:"drain_buckets_remaining"`
 }
 
 // Snapshot is a point-in-time copy of every counter in a Metrics registry.
@@ -55,9 +59,24 @@ type Snapshot struct {
 	BGApplies uint64
 
 	// Expansions counts completed resizes and ExpansionNanos their total
-	// duration.
+	// end-to-end duration (swap through drain completion).
 	Expansions     uint64
 	ExpansionNanos uint64
+
+	// ExpansionSwaps counts incremental-resize pointer swaps and
+	// ExpansionSwapNanos their total exclusive-lock residency — the stall
+	// foreground operations actually observe per doubling.
+	ExpansionSwaps     uint64
+	ExpansionSwapNanos uint64
+	// DrainChunks / DrainBuckets / DrainRecordsMoved describe incremental
+	// rehash progress; DrainHelps counts foreground writers that pitched in.
+	DrainChunks       uint64
+	DrainBuckets      uint64
+	DrainRecordsMoved uint64
+	DrainHelps        uint64
+	// DrainChunkLatency summarises how long each drain chunk held the shared
+	// resize lock (every chunk is recorded, not sampled).
+	DrainChunkLatency LatencyStat
 
 	// NVM aggregates the device traffic sessions published via SyncObs.
 	NVM nvm.Stats
@@ -89,6 +108,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.BGApplies += sh.bgApplies.Load()
 		s.Expansions += sh.expansions.Load()
 		s.ExpansionNanos += sh.expansionNanos.Load()
+		s.ExpansionSwaps += sh.expansionSwaps.Load()
+		s.ExpansionSwapNanos += sh.expansionSwapNanos.Load()
+		s.DrainChunks += sh.drainChunks.Load()
+		s.DrainBuckets += sh.drainBuckets.Load()
+		s.DrainRecordsMoved += sh.drainMoved.Load()
+		s.DrainHelps += sh.drainHelps.Load()
 		s.NVM.Add(nvm.Stats{
 			ReadAccesses:    sh.nvm[nvmReadAccesses].Load(),
 			ReadWords:       sh.nvm[nvmReadWords].Load(),
@@ -116,6 +141,16 @@ func (m *Metrics) Snapshot() Snapshot {
 			}
 		}
 	}
+	if h := m.drainLat.Snapshot(); h.Count() > 0 {
+		s.DrainChunkLatency = LatencyStat{
+			Sampled: h.Count(),
+			MeanNs:  h.Mean(),
+			P50Ns:   h.Percentile(50),
+			P99Ns:   h.Percentile(99),
+			P999Ns:  h.Percentile(99.9),
+			MaxNs:   h.Max(),
+		}
+	}
 	return s
 }
 
@@ -140,6 +175,12 @@ func (s Snapshot) Sub(base Snapshot) Snapshot {
 	d.BGApplies -= base.BGApplies
 	d.Expansions -= base.Expansions
 	d.ExpansionNanos -= base.ExpansionNanos
+	d.ExpansionSwaps -= base.ExpansionSwaps
+	d.ExpansionSwapNanos -= base.ExpansionSwapNanos
+	d.DrainChunks -= base.DrainChunks
+	d.DrainBuckets -= base.DrainBuckets
+	d.DrainRecordsMoved -= base.DrainRecordsMoved
+	d.DrainHelps -= base.DrainHelps
 	d.NVM = s.NVM.Sub(base.NVM)
 	return d
 }
