@@ -60,7 +60,13 @@ func (t *Table) recover() error {
 			return fmt.Errorf("core: replaying level allocation: %w", err)
 		}
 		t.writeLevelDescriptor(h, st.drain, base, newSegs)
-		h.StorePersist(t.metaOff+metaRehashWord, 0)
+		// The meta block may still carry the previous, completed resize's
+		// drain layout — a crash in this window is exactly how: the next
+		// layout is only persisted after the new level exists. Its per-range
+		// done counts are meaningless for the level about to be drained, yet
+		// plausible enough to pass validation (that level is larger), so
+		// retire the whole layout before entering state 3.
+		t.clearDrainLayout(h)
 		st = tableState{levelNumber: levelNumRehash, top: st.drain, bottom: st.top, drain: st.bottom, generation: st.generation}
 		t.setState(h, st)
 	}

@@ -469,3 +469,85 @@ func TestRecoveryWorkerCounts(t *testing.T) {
 		})
 	}
 }
+
+// TestStateTwoCrashIgnoresStaleDrainLayout regresses a recovery bug: after a
+// completed parallel resize, the meta block still carried that resize's drain
+// layout (metaDrainRanges plus per-range progress words). A crash inside the
+// next expansion's state-2 window — after the state word flips to
+// levelNumRequest but before persistDrainProgress writes the new layout —
+// used to replay into state 3 with only metaRehashWord zeroed, so
+// resumeDrainTask honoured the stale layout. Its per-range done counts pass
+// the done<=hi-lo validation against the new, roughly twice-as-large drain
+// level, so whole bucket prefixes were treated as already rehashed and their
+// records silently dropped when the drain finalised.
+func TestStateTwoCrashIgnoresStaleDrainLayout(t *testing.T) {
+	dev := newStrictDev(t, 1<<22, 0)
+	opts := DefaultOptions()
+	opts.SegmentBuckets = 16 // small segments: expansions come early
+	opts.DrainWorkers = 4
+	tbl, err := Create(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.NewSession()
+	n := 0
+	for tbl.Generation() < 3 && n < 100000 {
+		if err := s.Insert(key(n), value(n)); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if tbl.Generation() < 3 {
+		t.Fatal("inserts never triggered an expansion")
+	}
+	tbl.StopBackground() // quiesce drain workers and the writer pool
+
+	// Plant the residue a completed parallel resize leaves: a range layout
+	// whose per-range done counts are plausible for the level the NEXT
+	// expansion will drain (half of each range "already rehashed").
+	h := dev.NewHandle()
+	st := tbl.state()
+	if st.levelNumber != levelNumStable {
+		t.Fatalf("table not stable after StopBackground (level number %d)", st.levelNumber)
+	}
+	drainBuckets := tbl.bottom.buckets() // the next expansion drains this level
+	nr := int64(4)
+	per := (drainBuckets + nr - 1) / nr
+	h.StorePersist(tbl.metaOff+metaDrainRanges, uint64(nr))
+	for i := int64(0); i < nr; i++ {
+		h.StorePersist(tbl.metaOff+metaDrainBase+i, uint64(per/2))
+	}
+
+	// Crash in the next expansion's state-2 window: the state word is the
+	// only thing expand persists before persistDrainProgress runs.
+	free := uint8(0)
+	for free == st.top || free == st.bottom {
+		free++
+	}
+	tbl.setState(h, tableState{levelNumber: levelNumRequest, top: st.top, bottom: st.bottom, drain: free, generation: st.generation})
+	if err := dev.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	tbl2, err := Open(dev, opts)
+	if err != nil {
+		t.Fatalf("Open after state-2 crash: %v", err)
+	}
+	defer tbl2.Close()
+	if !tbl2.LastRecovery().ResumedRehash {
+		t.Fatal("recovery did not replay the interrupted resize")
+	}
+	s2 := tbl2.NewSession()
+	lost := 0
+	for i := 0; i < n; i++ {
+		if v, ok := s2.Get(key(i)); !ok || v != value(i) {
+			lost++
+		}
+	}
+	if lost > 0 {
+		t.Fatalf("%d of %d committed keys lost to a stale drain layout", lost, n)
+	}
+	if errs := tbl2.CheckInvariants(); len(errs) != 0 {
+		t.Fatalf("invariants violated after replay: %v", errs[0])
+	}
+}

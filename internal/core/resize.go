@@ -70,7 +70,9 @@ type drainTask struct {
 
 // fail records the first error and releases waiters. The task stays
 // installed: the table remains in state 3 with the drain level readable, so
-// no records are lost — subsequent expansion attempts surface err.
+// no records are lost. Waiters parked on done surface err once; the next
+// expansion attempt retires the task and resumes from the persisted progress
+// (retryFailedDrain), so a transient failure never freezes growth for good.
 func (task *drainTask) fail(err error) {
 	task.failOnce.Do(func() {
 		task.err = err
@@ -115,21 +117,40 @@ func (task *drainTask) claim(worker int) (r *drainRange, lo, hi int64, ok bool) 
 // immediately with background workers draining, so the caller's retry
 // proceeds against the new top level while the rehash is still in flight.
 func (t *Table) expand(observedGen uint64) error {
-	if task := t.draining.Load(); task != nil {
-		return t.helpDrain(task)
-	}
+	for {
+		if task := t.draining.Load(); task != nil {
+			if !task.failed.Load() {
+				return t.helpDrain(task)
+			}
+			// A failed drain is not terminal: the failure may have been
+			// transient (retry-budget exhaustion under churn, momentary
+			// fullness), and the persisted per-range progress supports an
+			// idempotent resume. Retire the task and drain again rather than
+			// freezing growth until restart.
+			if task = t.retryFailedDrain(task); task != nil {
+				return t.helpDrain(task)
+			}
+			continue // retired or superseded; re-evaluate
+		}
 
-	t.resizeMu.Lock()
-	st := t.state()
-	if st.generation != observedGen {
-		t.resizeMu.Unlock()
-		return nil // somebody else expanded first
+		t.resizeMu.Lock()
+		st := t.state()
+		if st.generation != observedGen {
+			t.resizeMu.Unlock()
+			return nil // somebody else expanded first
+		}
+		if t.draining.Load() != nil {
+			// Installed between our check and the lock; help (or retry) it.
+			t.resizeMu.Unlock()
+			continue
+		}
+		return t.expandLocked(st)
 	}
-	if task := t.draining.Load(); task != nil {
-		// Installed between our check and the lock; help instead.
-		t.resizeMu.Unlock()
-		return t.helpDrain(task)
-	}
+}
+
+// expandLocked performs the doubling proper. Caller holds resizeMu
+// exclusively with no drain task installed; expandLocked releases it.
+func (t *Table) expandLocked(st tableState) error {
 	began := time.Now()
 	h := t.dev.NewHandle()
 
@@ -202,6 +223,38 @@ func (t *Table) helpDrain(task *drainTask) error {
 	t.rec.AddNVM(h.Stats().Sub(base))
 	<-task.done
 	return task.err
+}
+
+// retryFailedDrain retires a failed drain task and installs a replacement
+// rebuilt from the persisted per-range progress words, resuming the rehash
+// where it durably left off (re-draining is idempotent — see resumeDrainTask).
+// Returns the replacement for the caller to help along, or nil when the
+// failed task was already superseded or the resumed task had nothing left to
+// do. Stragglers still finishing chunks of the failed task are harmless: they
+// only advance durable progress, and concurrent re-drains of a bucket compose
+// through the per-slot locks and the existence check.
+func (t *Table) retryFailedDrain(failed *drainTask) *drainTask {
+	t.resizeMu.Lock()
+	if t.draining.Load() != failed {
+		// Another goroutine already retired it (or a fresh expansion won the
+		// race); the caller re-evaluates against the current task.
+		t.resizeMu.Unlock()
+		return nil
+	}
+	h := t.dev.NewHandle()
+	task := t.resumeDrainTask(h, failed.src, failed.finalState)
+	task.blocking = false // resumed live: chunks take the shared lock
+	t.draining.Store(task)
+	t.resizeMu.Unlock()
+	if task.remaining.Load() == 0 {
+		// The failure landed after the last durable completion; finalise.
+		t.finishDrain(h, task)
+		return nil
+	}
+	for w := 0; w < len(task.ranges); w++ {
+		go t.drainWorker(task, w)
+	}
+	return task
 }
 
 // newDrainTask splits src into up to DrainWorkers disjoint ranges. resumedTo,
@@ -317,6 +370,18 @@ func (t *Table) persistDrainProgress(h *nvm.Handle, task *drainTask) {
 	h.StorePersist(t.metaOff+metaDrainRanges, uint64(len(task.ranges)))
 }
 
+// clearDrainLayout durably retires the persisted drain geometry — the range
+// count first, since it alone decides whether the progress words are ever
+// read, then the progress words themselves. A resume that runs after this
+// sees no layout and builds a fresh one sized to the level it is draining.
+func (t *Table) clearDrainLayout(h *nvm.Handle) {
+	h.StorePersist(t.metaOff+metaDrainRanges, 0)
+	h.StorePersist(t.metaOff+metaRehashWord, 0)
+	for i := int64(0); i < MaxDrainRanges; i++ {
+		h.StorePersist(t.metaOff+metaDrainBase+i, 0)
+	}
+}
+
 // runDrainWorkers drains the task to completion on the calling goroutine
 // plus len(ranges)-1 helpers — the blocking baseline and the recovery path.
 // It joins the helpers (not merely the task) so the caller may mutate table
@@ -412,6 +477,11 @@ func (t *Table) completeChunk(h *nvm.Handle, task *drainTask, r *drainRange, lo,
 // recovery when the resumed image was already fully drained.
 func (t *Table) finishDrain(h *nvm.Handle, task *drainTask) {
 	t.setState(h, task.finalState)
+	// Retire the persisted drain layout while expansion is still gated on
+	// this task (draining non-nil, so no new layout can be written yet): a
+	// later state-2 crash replay must never honour this resize's geometry
+	// against its own, larger drain level.
+	t.clearDrainLayout(h)
 	t.draining.Store(nil)
 	t.rec.Expansion(time.Since(task.began))
 	close(task.done)

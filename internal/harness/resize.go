@@ -76,8 +76,11 @@ func FigResize(sc Scale) (*Experiment, error) {
 			lat.RecordDuration(time.Since(t0))
 		}
 		elapsed := time.Since(began)
-		expansions := tbl.Generation() - 1
+		// Close first: in incremental mode the last drain may still be in
+		// flight and the generation only bumps when it completes; Close waits
+		// it out, so the expansions cell counts every finished doubling.
 		tbl.Close()
+		expansions := tbl.Generation() - 1
 
 		exp.addRow(mode.name,
 			Cell{"p50 us", float64(lat.Percentile(50)) / 1e3},
