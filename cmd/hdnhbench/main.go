@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure to regenerate: 11a, 11b, 12, 13, 14, 15, ablation, loadfactor, hybrid, resize")
+		fig     = flag.String("fig", "", "figure to regenerate: 11a, 11b, 12, 13, 14, 15, ablation, loadfactor, hybrid, resize, vloggc")
 		table   = flag.String("table", "", "table to regenerate: 1")
 		all     = flag.Bool("all", false, "run every figure and table")
 		records = flag.Int64("records", 100_000, "preloaded record count")
@@ -118,8 +118,9 @@ func main() {
 		"loadfactor": {"Load factor (extension)", single(harness.LoadFactorExperiment)},
 		"hybrid":     {"Hybrid related-work comparison (extension)", single(harness.HybridExperiment)},
 		"resize":     {"Resize latency: blocking vs incremental (extension)", single(harness.FigResize)},
+		"vloggc":     {"Value-log churn: GC off vs online GC (extension)", single(harness.FigVlogGC)},
 	}
-	order := []string{"fig11a", "fig11b", "fig12", "fig13", "fig14", "fig15", "table1", "ablation", "loadfactor", "hybrid", "resize"}
+	order := []string{"fig11a", "fig11b", "fig12", "fig13", "fig14", "fig15", "table1", "ablation", "loadfactor", "hybrid", "resize", "vloggc"}
 
 	var selected []string
 	switch {
@@ -127,7 +128,7 @@ func main() {
 		selected = order
 	case *fig != "":
 		name := strings.ToLower(*fig)
-		if name != "ablation" && name != "loadfactor" && name != "hybrid" && name != "resize" {
+		if name != "ablation" && name != "loadfactor" && name != "hybrid" && name != "resize" && name != "vloggc" {
 			name = "fig" + name
 		}
 		selected = []string{name}

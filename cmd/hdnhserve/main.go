@@ -1,24 +1,27 @@
-// Command hdnhserve runs an HDNH table behind a small HTTP server: a
-// key-value API plus the observability endpoints (Prometheus text and JSON
-// exposition of the internal/obs counters). It exists so the metrics layer
-// can be watched live — point a browser or Prometheus scraper at /metrics
-// while load runs against /kv/.
+// Command hdnhserve runs an HDNH-indexed store behind a small HTTP server:
+// a key-value API plus the observability endpoints (Prometheus text and
+// JSON exposition of the internal/obs counters). The store is bigkv — the
+// HDNH table as index over a segmented value log with online GC — so
+// values are no longer capped at 15 bytes and the GC counters can be
+// watched live: point a browser or Prometheus scraper at /metrics while
+// load runs against /kv/.
 //
 //	hdnhserve -addr :8080 -capacity 100000 -mode model
 //
 // Endpoints:
 //
 //	GET    /kv/<key>      value bytes, or 404
-//	PUT    /kv/<key>      body is the value (≤15 bytes); upsert
+//	PUT    /kv/<key>      body is the value (≤64 KiB); upsert
 //	DELETE /kv/<key>      remove the record
 //	GET    /metrics       Prometheus text exposition
 //	GET    /metrics.json  the same counters as indented JSON
-//	GET    /stats         one-line table shape summary
+//	GET    /stats         one-line table and value-log shape summary
 //	GET    /healthz       liveness probe
 //
 // Contended operations (retry budgets exhausted under sustained movement)
 // return 503 with a Retry-After header rather than a fabricated 404 — the
-// HTTP face of the ErrContended semantics.
+// HTTP face of the ErrContended semantics. A value log full of live data
+// returns 507.
 package main
 
 import (
@@ -36,12 +39,16 @@ import (
 	"syscall"
 	"time"
 
-	"hdnh/internal/core"
+	"hdnh/internal/bigkv"
 	"hdnh/internal/kv"
 	"hdnh/internal/nvm"
 	"hdnh/internal/obs"
 	"hdnh/internal/scheme"
+	"hdnh/internal/vlog"
 )
+
+// maxValueBytes bounds PUT bodies; the value log stores them whole.
+const maxValueBytes = 64 << 10
 
 func main() {
 	var (
@@ -49,6 +56,7 @@ func main() {
 		capacity = flag.Int64("capacity", 100_000, "record capacity the device is sized for")
 		mode     = flag.String("mode", "model", "device mode: model | emulate")
 		sample   = flag.Uint64("sample", obs.DefaultSampleEvery, "latency-sample one in N operations (1 samples all)")
+		logMB    = flag.Int64("logmb", 8, "value-log capacity in MiB (fixed; the GC recycles within it)")
 	)
 	flag.Parse()
 
@@ -58,8 +66,20 @@ func main() {
 	if *sample == 0 {
 		usageErr("-sample must be at least 1")
 	}
+	if *logMB <= 0 {
+		usageErr("-logmb %d must be positive", *logMB)
+	}
 
-	words := deviceWords(*capacity)
+	opts := bigkv.DefaultOptions()
+	opts.Table.InitBottomSegments = bottomSegments(*capacity, opts.Table.SegmentBuckets)
+	opts.Table.Metrics = obs.New(obs.Config{SampleEvery: *sample})
+	opts.SegmentWords = 1 << 14
+	opts.Segments = *logMB << 20 / 8 / opts.SegmentWords
+	if opts.Segments < 2 {
+		opts.Segments = 2
+	}
+
+	words := deviceWords(*capacity, opts.SegmentWords*opts.Segments)
 	var cfg nvm.Config
 	switch *mode {
 	case "model":
@@ -74,15 +94,12 @@ func main() {
 	if err != nil {
 		fatal("creating device: %v", err)
 	}
-	opts := core.DefaultOptions()
-	opts.InitBottomSegments = bottomSegments(*capacity, opts.SegmentBuckets)
-	opts.Metrics = obs.New(obs.Config{SampleEvery: *sample})
-	tbl, err := core.Create(dev, opts)
+	st, err := bigkv.Create(dev, opts)
 	if err != nil {
-		fatal("creating table: %v", err)
+		fatal("creating store: %v", err)
 	}
 
-	srv := &server{tbl: tbl}
+	srv := &server{st: st}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/kv/", srv.kv)
 	mux.HandleFunc("/metrics", srv.metricsProm)
@@ -110,13 +127,14 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("hdnhserve: listening on %s (capacity %d, mode %s)", *addr, *capacity, *mode)
+		log.Printf("hdnhserve: listening on %s (capacity %d, mode %s, log %d MiB)",
+			*addr, *capacity, *mode, *logMB)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errCh:
-		tbl.Close()
+		st.Close()
 		fatal("%v", err)
 	case <-ctx.Done():
 		log.Printf("hdnhserve: signal received, draining connections")
@@ -125,16 +143,17 @@ func main() {
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			log.Printf("hdnhserve: shutdown: %v", err)
 		}
-		if err := tbl.Close(); err != nil {
-			log.Printf("hdnhserve: closing table: %v", err)
+		if err := st.Close(); err != nil {
+			log.Printf("hdnhserve: closing store: %v", err)
 		}
 		log.Printf("hdnhserve: clean shutdown")
 	}
 }
 
-// deviceWords mirrors the sizing rule hdnhload and the harness use.
-func deviceWords(records int64) int64 {
-	words := (records + 1024) * kv.SlotWords * 24
+// deviceWords mirrors the sizing rule hdnhload and the harness use, plus
+// room for the value log.
+func deviceWords(records, logWords int64) int64 {
+	words := (records+1024)*kv.SlotWords*24 + logWords + nvm.BlockWords
 	if words < 1<<20 {
 		words = 1 << 20
 	}
@@ -156,21 +175,21 @@ func bottomSegments(hint int64, m int) int {
 	return int(segs)
 }
 
-// server owns the table and a pool of per-request sessions. Sessions are
+// server owns the store and a pool of per-request sessions. Sessions are
 // single-goroutine objects; the pool hands each in-flight request its own.
 type server struct {
-	tbl      *core.Table
+	st       *bigkv.Store
 	sessions sync.Pool
 }
 
-func (s *server) session() *core.Session {
+func (s *server) session() *bigkv.Session {
 	if v := s.sessions.Get(); v != nil {
-		return v.(*core.Session)
+		return v.(*bigkv.Session)
 	}
-	return s.tbl.NewSession()
+	return s.st.NewSession()
 }
 
-func (s *server) release(sess *core.Session) {
+func (s *server) release(sess *bigkv.Session) {
 	// Bridge this session's NVM traffic into the registry while we still own
 	// the session; /metrics then needs no cross-goroutine stats reads.
 	sess.SyncObs()
@@ -183,9 +202,9 @@ func (s *server) kv(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing key", http.StatusBadRequest)
 		return
 	}
-	k, err := kv.MakeKey([]byte(name))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	key := []byte(name)
+	if len(key) > kv.KeySize {
+		http.Error(w, fmt.Sprintf("key longer than %d bytes", kv.KeySize), http.StatusBadRequest)
 		return
 	}
 	sess := s.session()
@@ -193,52 +212,46 @@ func (s *server) kv(w http.ResponseWriter, r *http.Request) {
 
 	switch r.Method {
 	case http.MethodGet:
-		v, err := sess.Lookup(k)
+		v, ok, err := sess.Get(key)
 		switch {
+		case err == nil && ok:
+			w.Write(v)
 		case err == nil:
-			io.WriteString(w, v.String())
+			http.Error(w, "not found", http.StatusNotFound)
 		case errors.Is(err, scheme.ErrContended):
 			contended(w)
 		default:
-			http.Error(w, "not found", http.StatusNotFound)
+			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 
 	case http.MethodPut, http.MethodPost:
-		body, err := io.ReadAll(io.LimitReader(r.Body, 64))
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxValueBytes+1))
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		v, err := kv.MakeValue(body)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		if len(body) > maxValueBytes {
+			http.Error(w, "value too large", http.StatusRequestEntityTooLarge)
 			return
 		}
-		// Upsert: update the common case, fall back to insert, and absorb
-		// the one race where another writer inserts between the two.
-		for {
-			err = sess.Update(k, v)
-			if errors.Is(err, scheme.ErrNotFound) {
-				err = sess.Insert(k, v)
-				if errors.Is(err, scheme.ErrExists) {
-					continue
-				}
-			}
-			break
+		if len(body) == 0 {
+			http.Error(w, "empty value", http.StatusBadRequest)
+			return
 		}
+		err = sess.Put(key, body)
 		switch {
 		case err == nil:
 			w.WriteHeader(http.StatusNoContent)
 		case errors.Is(err, scheme.ErrContended):
 			contended(w)
-		case errors.Is(err, scheme.ErrFull):
-			http.Error(w, "table full", http.StatusInsufficientStorage)
+		case errors.Is(err, scheme.ErrFull), errors.Is(err, vlog.ErrLogFull):
+			http.Error(w, "store full", http.StatusInsufficientStorage)
 		default:
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 
 	case http.MethodDelete:
-		err := sess.Delete(k)
+		err := sess.Delete(key)
 		switch {
 		case err == nil:
 			w.WriteHeader(http.StatusNoContent)
@@ -264,20 +277,23 @@ func contended(w http.ResponseWriter) {
 
 func (s *server) metricsProm(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := s.tbl.MetricsSnapshot().WriteProm(w); err != nil {
+	if err := s.st.MetricsSnapshot().WriteProm(w); err != nil {
 		log.Printf("hdnhserve: /metrics: %v", err)
 	}
 }
 
 func (s *server) metricsJSON(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := s.tbl.MetricsSnapshot().WriteJSON(w); err != nil {
+	if err := s.st.MetricsSnapshot().WriteJSON(w); err != nil {
 		log.Printf("hdnhserve: /metrics.json: %v", err)
 	}
 }
 
 func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
-	fmt.Fprintln(w, s.tbl.Stats())
+	lg := s.st.Log()
+	fmt.Fprintln(w, s.st.Table().Stats())
+	fmt.Fprintf(w, "vlog: %d/%d words live, %d/%d segments free, %d recycles\n",
+		lg.LiveWords(), lg.Capacity(), lg.FreeSegments(), lg.Segments(), lg.Recycles())
 }
 
 func fatal(format string, args ...any) {

@@ -1,18 +1,41 @@
 // Package bigkv lifts HDNH's fixed 15-byte values to arbitrary-size values
 // by key-value separation (the WiscKey idea the paper cites as [19]): the
-// HDNH table remains the index, and large values live in an append-only
+// HDNH table remains the index, and large values live in a segmented
 // crash-safe value log (internal/vlog).
 //
 // Encoding inside the 15-byte HDNH slot value:
 //
 //	tag 0x01: inline — byte 1 is the length, bytes 2..14 the value (≤ 13 B)
-//	tag 0x02: pointer — bytes 1..8 are the log address (little endian)
+//	tag 0x02: pointer — bytes 1..8 the log address (little endian),
+//	          bytes 9..12 the record's total word count
 //
-// Crash ordering: the value is appended (and committed) to the log before
+// Carrying the word count in the pointer lets every index operation adjust
+// the log's per-segment liveness counters without touching NVM.
+//
+// Crash ordering: a value is appended (and committed) to the log before
 // the index is updated, so a crash can only leak an unreferenced log
-// record, never leave a dangling index entry. Overwritten and deleted
-// values linger in the log until Compact rolls the live records into a
-// fresh log and atomically switches the durable root.
+// record, never leave a dangling index entry. Space abandoned by
+// overwrites and deletes is reclaimed online by a background GC
+// (see gc.go) that copies live records out of mostly-dead segments and
+// recycles them in place — copy → persist → conditional index rewrite →
+// segment free, so any crash point again leaks at most one benign copy.
+//
+// Liveness accounting protocol (the invariant: at quiescence each
+// segment's live counter equals the words of its records the index still
+// references):
+//
+//   - every append optimistically increments its destination segment at
+//     append time, before the record is indexed — so a segment with an
+//     in-flight, not-yet-indexed record can never look fully dead;
+//   - whoever makes an index entry stop referencing a record decrements
+//     that record's segment: an overwriter via UpdateExchange's returned
+//     old value, a deleter via DeleteExchange's, the GC via a successful
+//     conditional rewrite (the source record), or the appender itself
+//     when its own index operation fails or loses (the orphaned copy).
+//
+// UpdateExchange/DeleteExchange hand each displaced value to exactly one
+// winner (the slot lock serialises them), so every decrement happens
+// exactly once.
 package bigkv
 
 import (
@@ -22,6 +45,7 @@ import (
 	"hdnh/internal/core"
 	"hdnh/internal/kv"
 	"hdnh/internal/nvm"
+	"hdnh/internal/obs"
 	"hdnh/internal/scheme"
 	"hdnh/internal/vlog"
 )
@@ -32,19 +56,58 @@ const (
 	maxInline  = kv.ValueSize - 2
 
 	logRootSlot = 5
+
+	// decodeRetries bounds Get's stale-pointer loop. Each retry means the
+	// GC recycled the segment under us after we read the index; re-reading
+	// the index observes the rewritten pointer.
+	decodeRetries = 64
 )
+
+// errStale reports a log record whose embedded key does not match the key
+// the index led us to — the address was recycled and reused. Like a
+// checksum failure it resolves by re-reading the index.
+var errStale = fmt.Errorf("%w: address recycled", vlog.ErrCorrupt)
 
 // Options configures a Store.
 type Options struct {
 	// Table configures the underlying HDNH index.
 	Table core.Options
-	// LogWords is the value log capacity in 8-byte words.
-	LogWords int64
+	// SegmentWords is the value-log segment size in 8-byte words.
+	// 0 picks 1<<14 (128 KB).
+	SegmentWords int64
+	// Segments is the segment count; total log capacity is
+	// Segments*SegmentWords and never grows. 0 picks 64.
+	Segments int64
+	// GCTriggerFreeSegments kicks the background GC when the free-segment
+	// count drops to this value or below. 0 picks max(2, Segments/8).
+	GCTriggerFreeSegments int
+	// DisableAutoGC turns off the background worker and the foreground
+	// ErrLogFull fallback; space is then reclaimed only by explicit GCOnce
+	// calls. For deterministic tests.
+	DisableAutoGC bool
 }
 
-// DefaultOptions sizes the log at 1M words (8 MB of values).
+// DefaultOptions sizes the log at 64 segments of 16K words (8 MB of
+// values, matching the old single-log default).
 func DefaultOptions() Options {
-	return Options{Table: core.DefaultOptions(), LogWords: 1 << 20}
+	return Options{Table: core.DefaultOptions()}
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.SegmentWords == 0 {
+		o.SegmentWords = 1 << 14
+	}
+	if o.Segments == 0 {
+		o.Segments = 64
+	}
+	if o.GCTriggerFreeSegments == 0 {
+		o.GCTriggerFreeSegments = int(o.Segments / 8)
+		if o.GCTriggerFreeSegments < 2 {
+			o.GCTriggerFreeSegments = 2
+		}
+	}
+	return o
 }
 
 // Store is an HDNH-indexed key-value store with arbitrary-size values.
@@ -52,43 +115,77 @@ type Store struct {
 	table *core.Table
 	log   *vlog.Log
 	dev   *nvm.Device
+	opts  Options
+	rec   obs.Recorder
+
+	gc gcState
 }
 
 // Create formats a fresh store on the device.
 func Create(dev *nvm.Device, opts Options) (*Store, error) {
-	if opts.LogWords <= 0 {
-		return nil, fmt.Errorf("bigkv: log capacity %d", opts.LogWords)
-	}
+	opts = opts.withDefaults()
 	table, err := core.Create(dev, opts.Table)
 	if err != nil {
 		return nil, err
 	}
 	h := dev.NewHandle()
-	log, err := vlog.Create(dev, h, opts.LogWords)
+	log, err := vlog.Create(dev, h, opts.SegmentWords, opts.Segments)
 	if err != nil {
+		table.Close()
 		return nil, err
 	}
 	dev.SetRoot(h, logRootSlot, uint64(log.Base()))
-	return &Store{table: table, log: log, dev: dev}, nil
+	st := &Store{table: table, log: log, dev: dev, opts: opts}
+	st.start()
+	return st, nil
 }
 
-// Open recovers the store: the HDNH table replays its own recovery and the
-// log rescans its committed tail.
+// Open recovers the store: the HDNH table replays its own recovery, the
+// log recovers its segment states and committed tails, and the liveness
+// counters are rebuilt by checking every log record against the index.
 func Open(dev *nvm.Device, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
 	table, err := core.Open(dev, opts.Table)
 	if err != nil {
 		return nil, err
 	}
 	base := int64(dev.Root(logRootSlot))
 	if base == 0 {
+		table.Close()
 		return nil, errors.New("bigkv: device has no value log")
 	}
 	h := dev.NewHandle()
 	log, err := vlog.Open(dev, h, base)
 	if err != nil {
+		table.Close()
 		return nil, err
 	}
-	return &Store{table: table, log: log, dev: dev}, nil
+	st := &Store{table: table, log: log, dev: dev, opts: opts}
+	st.rebuildLiveness(h)
+	st.start()
+	return st, nil
+}
+
+// start wires the recorder and launches the GC worker.
+func (st *Store) start() {
+	if m := st.table.Metrics(); m != nil {
+		st.rec = m.Handle()
+	} else {
+		st.rec = obs.Nop{}
+	}
+	st.startGC()
+}
+
+// rebuildLiveness recomputes every segment's live-word counter after a
+// recovery: a record is live iff the index still points at its address.
+func (st *Store) rebuildLiveness(h *nvm.Handle) {
+	s := st.table.NewSession()
+	st.log.ScanAll(h, func(addr, words int64, key kv.Key, _ []byte) bool {
+		if sv, ok := s.Get(key); ok && sv == packPointer(addr, words) {
+			st.log.AddLive(addr, words)
+		}
+		return true
+	})
 }
 
 // Table exposes the underlying index (stats, invariants).
@@ -100,8 +197,45 @@ func (st *Store) Log() *vlog.Log { return st.log }
 // Count returns the number of live keys.
 func (st *Store) Count() int64 { return st.table.Count() }
 
-// Close shuts the store down cleanly.
+// MetricsSnapshot returns the table's snapshot with the value-log gauges
+// filled in.
+func (st *Store) MetricsSnapshot() obs.Snapshot {
+	s := st.table.MetricsSnapshot()
+	s.Gauges.VLogSegments = st.log.Segments()
+	s.Gauges.VLogFreeSegments = int64(st.log.FreeSegments())
+	s.Gauges.VLogLiveWords = st.log.LiveWords()
+	s.Gauges.VLogUsedWords = st.log.UsedWords()
+	return s
+}
+
+// AuditLiveness recounts every segment's live words from the index and
+// compares against the maintained counters. Valid only while the store is
+// quiesced (no concurrent sessions, no GC pass in flight).
+func (st *Store) AuditLiveness() error {
+	want := make([]int64, st.log.Segments())
+	s := st.table.NewSession()
+	s.Scan(func(_ kv.Key, sv kv.Value) bool {
+		if sv[0] == tagPointer {
+			addr, words := unpackPointer(sv)
+			want[addr/st.log.SegmentWords()] += words
+		}
+		return true
+	})
+	var firstErr error
+	for seg := range want {
+		if got := st.log.SegLive(int64(seg)); got != want[seg] {
+			err := fmt.Errorf("bigkv: segment %d live counter %d, index says %d", seg, got, want[seg])
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// Close stops the GC worker and shuts the store down cleanly.
 func (st *Store) Close() error {
+	st.stopGC()
 	h := st.dev.NewHandle()
 	st.log.Sync(h)
 	return st.table.Close()
@@ -109,14 +243,20 @@ func (st *Store) Close() error {
 
 // Session is the per-goroutine handle.
 type Session struct {
-	st *Store
-	ts *core.Session
-	h  *nvm.Handle
+	st      *Store
+	ts      *core.Session
+	h       *nvm.Handle
+	rec     obs.Recorder
+	nvmBase nvm.Stats
 }
 
 // NewSession returns a session.
 func (st *Store) NewSession() *Session {
-	return &Session{st: st, ts: st.table.NewSession(), h: st.dev.NewHandle()}
+	var rec obs.Recorder = obs.Nop{}
+	if m := st.table.Metrics(); m != nil {
+		rec = m.Handle()
+	}
+	return &Session{st: st, ts: st.table.NewSession(), h: st.dev.NewHandle(), rec: rec}
 }
 
 // NVMStats returns the session's NVM traffic (index + log).
@@ -126,28 +266,87 @@ func (s *Session) NVMStats() nvm.Stats {
 	return stats
 }
 
-// encode packs v into a slot value, appending to the log when needed.
-func (s *Session) encode(v []byte) (kv.Value, error) {
+// SyncObs bridges this session's NVM traffic (index and log) into the
+// store's metrics registry.
+func (s *Session) SyncObs() {
+	s.ts.SyncObs()
+	cur := s.h.Stats()
+	s.rec.AddNVM(cur.Sub(s.nvmBase))
+	s.nvmBase = cur
+}
+
+func packPointer(addr, words int64) kv.Value {
 	var out kv.Value
+	out[0] = tagPointer
+	for i := 0; i < 8; i++ {
+		out[1+i] = byte(uint64(addr) >> (8 * i))
+	}
+	for i := 0; i < 4; i++ {
+		out[9+i] = byte(uint64(words) >> (8 * i))
+	}
+	return out
+}
+
+func unpackPointer(sv kv.Value) (addr, words int64) {
+	var a, w uint64
+	for i := 0; i < 8; i++ {
+		a |= uint64(sv[1+i]) << (8 * i)
+	}
+	for i := 0; i < 4; i++ {
+		w |= uint64(sv[9+i]) << (8 * i)
+	}
+	return int64(a), int64(w)
+}
+
+// retire decrements the liveness of the record a displaced index entry
+// pointed at; inline entries carry no log record.
+func (s *Session) retire(sv kv.Value) {
+	if sv[0] == tagPointer {
+		addr, words := unpackPointer(sv)
+		s.st.log.AddLive(addr, -words)
+	}
+}
+
+// appendRecord commits value to the log, running foreground GC passes when
+// the log is out of free segments.
+func (s *Session) appendRecord(k kv.Key, value []byte) (kv.Value, error) {
+	for tries := 0; ; tries++ {
+		addr, words, err := s.st.log.Append(s.h, k, value)
+		if err == nil {
+			s.rec.VLogAppend(words)
+			s.st.maybeKickGC()
+			return packPointer(addr, words), nil
+		}
+		if !errors.Is(err, vlog.ErrLogFull) || s.st.opts.DisableAutoGC || tries >= 4 {
+			return kv.Value{}, err
+		}
+		// Help the GC instead of failing: each pass recycles at most one
+		// segment. No progress means the log is genuinely full of live data.
+		progress, gcErr := s.st.GCOnce()
+		if gcErr != nil {
+			return kv.Value{}, gcErr
+		}
+		if !progress && tries > 0 {
+			return kv.Value{}, err
+		}
+	}
+}
+
+// encode packs v into a slot value, appending to the log when needed.
+func (s *Session) encode(k kv.Key, v []byte) (kv.Value, error) {
 	if len(v) <= maxInline {
+		var out kv.Value
 		out[0] = tagInline
 		out[1] = byte(len(v))
 		copy(out[2:], v)
 		return out, nil
 	}
-	addr, err := s.st.log.Append(s.h, v)
-	if err != nil {
-		return out, err
-	}
-	out[0] = tagPointer
-	for i := 0; i < 8; i++ {
-		out[1+i] = byte(uint64(addr) >> (8 * i))
-	}
-	return out, nil
+	return s.appendRecord(k, v)
 }
 
-// decode resolves a slot value back to bytes.
-func (s *Session) decode(sv kv.Value) ([]byte, error) {
+// decode resolves a slot value back to bytes, verifying for pointer
+// entries that the record still belongs to k.
+func (s *Session) decode(k kv.Key, sv kv.Value) ([]byte, error) {
 	switch sv[0] {
 	case tagInline:
 		n := int(sv[1])
@@ -158,11 +357,15 @@ func (s *Session) decode(sv kv.Value) ([]byte, error) {
 		copy(out, sv[2:2+n])
 		return out, nil
 	case tagPointer:
-		var addr uint64
-		for i := 0; i < 8; i++ {
-			addr |= uint64(sv[1+i]) << (8 * i)
+		addr, _ := unpackPointer(sv)
+		rk, v, err := s.st.log.Read(s.h, addr)
+		if err != nil {
+			return nil, err
 		}
-		return s.st.log.Read(s.h, int64(addr))
+		if rk != k {
+			return nil, errStale
+		}
+		return v, nil
 	default:
 		return nil, fmt.Errorf("bigkv: unknown value tag %#x", sv[0])
 	}
@@ -177,22 +380,32 @@ func (s *Session) Put(key, value []byte) error {
 	if len(value) == 0 {
 		return errors.New("bigkv: empty value")
 	}
-	sv, err := s.encode(value) // log commit happens before the index write
+	sv, err := s.encode(k, value) // log commit happens before the index write
 	if err != nil {
 		return err
 	}
-	if err := s.ts.Update(k, sv); err == nil {
-		return nil
-	} else if !errors.Is(err, scheme.ErrNotFound) {
-		return err
+	// Upsert: update the common case, fall back to insert, and loop — a
+	// concurrent deleter can invalidate the key between our failed Insert
+	// and a retried Update, so neither single call is conclusive.
+	for {
+		old, err := s.ts.UpdateExchange(k, sv)
+		if err == nil {
+			s.retire(old)
+			return nil
+		}
+		if !errors.Is(err, scheme.ErrNotFound) {
+			s.retire(sv) // the appended record never got indexed
+			return err
+		}
+		err = s.ts.Insert(k, sv)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, scheme.ErrExists) {
+			s.retire(sv)
+			return err
+		}
 	}
-	err = s.ts.Insert(k, sv)
-	if errors.Is(err, scheme.ErrExists) {
-		// Raced an insert of the same key from this session's perspective
-		// (upsert semantics): fall back to update.
-		return s.ts.Update(k, sv)
-	}
-	return err
 }
 
 // Get returns the value for key.
@@ -205,89 +418,40 @@ func (s *Session) Get(key []byte) ([]byte, bool, error) {
 	if !ok {
 		return nil, false, nil
 	}
-	v, err := s.decode(sv)
-	if err != nil {
-		return nil, false, err
+	for attempt := 0; ; attempt++ {
+		v, err := s.decode(k, sv)
+		if err == nil {
+			return v, true, nil
+		}
+		if !errors.Is(err, vlog.ErrCorrupt) {
+			return nil, false, err
+		}
+		// The GC may have moved the record and recycled its segment between
+		// our index read and the log read. Re-read the index: a changed
+		// entry is the relocation — retry with it; an unchanged entry (the
+		// GC frees segments only after rewriting the index) is genuine
+		// corruption.
+		sv2, ok2 := s.ts.Get(k)
+		if !ok2 {
+			return nil, false, nil // deleted meanwhile
+		}
+		if sv2 == sv || attempt >= decodeRetries {
+			return nil, false, err
+		}
+		sv = sv2
 	}
-	return v, true, nil
 }
 
-// Delete removes key. The log record, if any, is leaked until compaction.
+// Delete removes key; the log record's space is reclaimed by the GC.
 func (s *Session) Delete(key []byte) error {
 	k, err := kv.MakeKey(key)
 	if err != nil {
 		return err
 	}
-	return s.ts.Delete(k)
-}
-
-// Compact reclaims value-log space abandoned by overwrites and deletes: it
-// allocates a fresh log, copies every *referenced* record into it (walking
-// the index), rewrites the index entries to the new addresses, and switches
-// the durable log root. The old log region is retired (bump allocator, so
-// its words are not reused — compaction trades device address space for a
-// small, fast log, exactly like a WiscKey log rollover).
-//
-// Compact requires the store to be quiesced: no concurrent sessions may be
-// operating. It returns the number of records copied.
-func (st *Store) Compact(newLogWords int64) (int64, error) {
-	if newLogWords <= 0 {
-		newLogWords = st.log.Capacity()
-	}
-	h := st.dev.NewHandle()
-	newLog, err := vlog.Create(st.dev, h, newLogWords)
+	old, err := s.ts.DeleteExchange(k)
 	if err != nil {
-		return 0, err
+		return err
 	}
-
-	// Walk the index; rewrite pointer entries into the new log.
-	s := st.NewSession()
-	type rewrite struct {
-		k  kv.Key
-		sv kv.Value
-	}
-	var rewrites []rewrite
-	var copied int64
-	var walkErr error
-	s.ts.Scan(func(k kv.Key, sv kv.Value) bool {
-		if sv[0] != tagPointer {
-			return true
-		}
-		var addr uint64
-		for i := 0; i < 8; i++ {
-			addr |= uint64(sv[1+i]) << (8 * i)
-		}
-		val, err := st.log.Read(h, int64(addr))
-		if err != nil {
-			walkErr = fmt.Errorf("bigkv: compacting key %q: %w", k.String(), err)
-			return false
-		}
-		newAddr, err := newLog.Append(h, val)
-		if err != nil {
-			walkErr = fmt.Errorf("bigkv: compacting key %q: %w", k.String(), err)
-			return false
-		}
-		var nsv kv.Value
-		nsv[0] = tagPointer
-		for i := 0; i < 8; i++ {
-			nsv[1+i] = byte(uint64(newAddr) >> (8 * i))
-		}
-		copied++
-		rewrites = append(rewrites, rewrite{k: k, sv: nsv})
-		return true
-	})
-	if walkErr != nil {
-		return copied, walkErr
-	}
-	for _, rw := range rewrites {
-		if err := s.ts.Update(rw.k, rw.sv); err != nil {
-			return copied, fmt.Errorf("bigkv: rewriting index for %q: %w", rw.k.String(), err)
-		}
-	}
-	// Commit the switch. A crash before this persist leaves the old log
-	// root with the old (still valid) addresses; after it, the new ones.
-	newLog.Sync(h)
-	st.dev.SetRoot(h, logRootSlot, uint64(newLog.Base()))
-	st.log = newLog
-	return copied, nil
+	s.retire(old)
+	return nil
 }

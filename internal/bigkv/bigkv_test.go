@@ -2,10 +2,16 @@ package bigkv
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"hdnh/internal/nvm"
+	"hdnh/internal/scheme"
+	"hdnh/internal/vlog"
 )
 
 func storeFixture(t *testing.T) *Store {
@@ -20,6 +26,40 @@ func storeFixture(t *testing.T) *Store {
 	}
 	t.Cleanup(func() { st.Close() })
 	return st
+}
+
+// smallLogStore builds a store whose value log is tiny enough for tests to
+// fill and force the GC to work.
+func smallLogStore(t *testing.T, segWords, segs int64, autoGC bool) *Store {
+	t.Helper()
+	dev, err := nvm.New(nvm.DefaultConfig(1 << 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.SegmentWords = segWords
+	opts.Segments = segs
+	opts.DisableAutoGC = !autoGC
+	st, err := Create(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// drainGC runs GC passes until a full pass frees nothing.
+func drainGC(t *testing.T, st *Store) {
+	t.Helper()
+	for {
+		progress, err := st.GCOnce()
+		if err != nil {
+			t.Fatalf("GCOnce: %v", err)
+		}
+		if !progress {
+			return
+		}
+	}
 }
 
 func TestPutGetInlineAndPointer(t *testing.T) {
@@ -48,6 +88,9 @@ func TestPutGetInlineAndPointer(t *testing.T) {
 	if _, ok, _ := s.Get([]byte("absent")); ok {
 		t.Fatal("phantom key")
 	}
+	if err := st.AuditLiveness(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestPutOverwrites(t *testing.T) {
@@ -74,6 +117,14 @@ func TestPutOverwrites(t *testing.T) {
 	if st.Count() != 1 {
 		t.Fatalf("Count = %d", st.Count())
 	}
+	// Both pointer records were displaced (big→small retired the second);
+	// the liveness counters must agree the log holds no live words.
+	if live := st.Log().LiveWords(); live != 0 {
+		t.Fatalf("live words = %d after all pointers displaced", live)
+	}
+	if err := st.AuditLiveness(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestDelete(t *testing.T) {
@@ -90,6 +141,9 @@ func TestDelete(t *testing.T) {
 	}
 	if err := s.Delete([]byte("k")); err == nil {
 		t.Fatal("double delete succeeded")
+	}
+	if live := st.Log().LiveWords(); live != 0 {
+		t.Fatalf("live words = %d after delete", live)
 	}
 }
 
@@ -130,6 +184,271 @@ func TestManyMixedSizes(t *testing.T) {
 	}
 	if st.Count() != n {
 		t.Fatalf("Count = %d", st.Count())
+	}
+	if err := st.AuditLiveness(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPutDeleteRaceUpsert is the regression for the upsert fallback bug:
+// Put's old single Update fallback could observe ErrNotFound when a
+// concurrent deleter removed the key between Put's failed Insert and its
+// retried Update, surfacing a spurious error for a plain overwrite.
+func TestPutDeleteRaceUpsert(t *testing.T) {
+	st := storeFixture(t)
+	key := []byte("contended")
+	val := bytes.Repeat([]byte("w"), 50)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := st.NewSession()
+			for i := 0; i < 500; i++ {
+				if err := s.Put(key, val); err != nil {
+					t.Errorf("Put racing Delete: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := st.NewSession()
+			for i := 0; i < 500; i++ {
+				if err := s.Delete(key); err != nil && !isNotFound(err) {
+					t.Errorf("Delete: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := st.AuditLiveness(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isNotFound(err error) bool { return errors.Is(err, scheme.ErrNotFound) }
+
+// TestGCReclaimsSpace replaces the old TestCompact: overwrite churn bloats
+// the log with dead records, and explicit GC passes must recycle segments
+// in place without growing the device, losing a key, or resurrecting a
+// deleted one.
+func TestGCReclaimsSpace(t *testing.T) {
+	st := smallLogStore(t, 1024, 32, false)
+	s := st.NewSession()
+	const n = 200
+	big := func(i, gen int) []byte {
+		return bytes.Repeat([]byte{byte(i), byte(gen)}, 50)
+	}
+	for gen := 0; gen < 5; gen++ {
+		for i := 0; i < n; i++ {
+			if err := s.Put([]byte(fmt.Sprintf("c-%04d", i)), big(i, gen)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < n; i += 4 {
+		if err := s.Delete([]byte(fmt.Sprintf("c-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	freeBefore := st.Log().FreeSegments()
+
+	drainGC(t, st)
+
+	if st.Log().Recycles() == 0 {
+		t.Fatal("GC recycled nothing despite 80% dead log")
+	}
+	if free := st.Log().FreeSegments(); free <= freeBefore {
+		t.Fatalf("free segments %d -> %d, GC freed no space", freeBefore, free)
+	}
+	if err := st.AuditLiveness(); err != nil {
+		t.Fatal(err)
+	}
+	// Every live key still reads its newest value through the relocated
+	// records; deleted keys stay dead.
+	s2 := st.NewSession()
+	for i := 0; i < n; i++ {
+		got, ok, err := s2.Get([]byte(fmt.Sprintf("c-%04d", i)))
+		if i%4 == 0 {
+			if ok {
+				t.Fatalf("deleted key %d resurrected by GC", i)
+			}
+			continue
+		}
+		if err != nil || !ok || !bytes.Equal(got, big(i, 4)) {
+			t.Fatalf("key %d wrong after GC: ok=%v err=%v", i, ok, err)
+		}
+	}
+	// Reopen: recycled segments and relocated records must be durable.
+	dev := st.dev
+	opts := st.opts
+	st.Close()
+	st2, err := Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if err := st2.AuditLiveness(); err != nil {
+		t.Fatalf("rebuilt liveness inconsistent: %v", err)
+	}
+	s3 := st2.NewSession()
+	for i := 1; i < n; i += 2 {
+		if _, ok, err := s3.Get([]byte(fmt.Sprintf("c-%04d", i))); err != nil || !ok {
+			t.Fatalf("key %d lost after GC + reopen: %v", i, err)
+		}
+	}
+	// And the reopened store's GC keeps working.
+	drainGC(t, st2)
+}
+
+// TestChurnBoundedSpace is the acceptance property: 100% overwrite at a
+// fixed key count sustains appended bytes far beyond the log capacity
+// without ErrLogFull — the GC recycles space online and the device never
+// grows.
+func TestChurnBoundedSpace(t *testing.T) {
+	st := smallLogStore(t, 1024, 16, true)
+	s := st.NewSession()
+	const keys = 64
+	val := func(i, gen int) []byte {
+		return bytes.Repeat([]byte{byte(i), byte(gen)}, 50)
+	}
+	for i := 0; i < keys; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("ch-%03d", i)), val(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := 10 * st.Log().Capacity()
+	for gen := 1; st.Log().AppendedWords() < target; gen++ {
+		for i := 0; i < keys; i++ {
+			if err := s.Put([]byte(fmt.Sprintf("ch-%03d", i)), val(i, gen)); err != nil {
+				t.Fatalf("gen %d key %d: %v (appended %d / target %d)",
+					gen, i, err, st.Log().AppendedWords(), target)
+			}
+		}
+	}
+	if st.Log().UsedWords() > st.Log().Capacity() {
+		t.Fatalf("used %d exceeds fixed capacity %d", st.Log().UsedWords(), st.Log().Capacity())
+	}
+	st.stopGC()
+	drainGC(t, st)
+	if err := st.AuditLiveness(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("appended %d words through a %d-word log (%d recycles)",
+		st.Log().AppendedWords(), st.Log().Capacity(), st.Log().Recycles())
+}
+
+// TestGCChurnConcurrent races overwrites, deletes, reads, and the
+// background GC on a tiny log. Run under -race in CI.
+func TestGCChurnConcurrent(t *testing.T) {
+	st := smallLogStore(t, 1024, 16, true)
+	const keys = 48
+	const perWorker = 400
+	keyName := func(i int) []byte { return []byte(fmt.Sprintf("cc-%03d", i)) }
+
+	boot := st.NewSession()
+	for i := 0; i < keys; i++ {
+		if err := boot.Put(keyName(i), bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	var fails atomic.Int64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := st.NewSession()
+			rng := rand.New(rand.NewSource(int64(w) * 977))
+			for i := 0; i < perWorker; i++ {
+				k := rng.Intn(keys)
+				switch rng.Intn(10) {
+				case 0:
+					if err := s.Delete(keyName(k)); err != nil && !isNotFound(err) {
+						t.Errorf("delete: %v", err)
+						fails.Add(1)
+						return
+					}
+				case 1, 2:
+					v, ok, err := s.Get(keyName(k))
+					if err != nil {
+						t.Errorf("get key %d: %v", k, err)
+						fails.Add(1)
+						return
+					}
+					if ok && (len(v) != 100 || v[0] != byte(k)) {
+						t.Errorf("key %d read foreign value (%d bytes)", k, len(v))
+						fails.Add(1)
+						return
+					}
+				default:
+					if err := s.Put(keyName(k), bytes.Repeat([]byte{byte(k)}, 100)); err != nil {
+						t.Errorf("put key %d: %v", k, err)
+						fails.Add(1)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if fails.Load() > 0 {
+		t.FailNow()
+	}
+	st.stopGC()
+	drainGC(t, st)
+	if err := st.AuditLiveness(); err != nil {
+		t.Fatal(err)
+	}
+	s := st.NewSession()
+	for i := 0; i < keys; i++ {
+		v, ok, err := s.Get(keyName(i))
+		if err != nil {
+			t.Fatalf("key %d after churn: %v", i, err)
+		}
+		if ok && (len(v) != 100 || v[0] != byte(i)) {
+			t.Fatalf("key %d corrupt after churn", i)
+		}
+	}
+}
+
+// TestLogGenuinelyFull: with GC disabled and a log full of live records,
+// Put must surface ErrLogFull rather than hang or corrupt, and reads keep
+// working.
+func TestLogGenuinelyFull(t *testing.T) {
+	st := smallLogStore(t, vlog.MinSegmentWords*4, 4, false)
+	s := st.NewSession()
+	var stored int
+	var full bool
+	for i := 0; i < 1000; i++ {
+		err := s.Put([]byte(fmt.Sprintf("f-%04d", i)), bytes.Repeat([]byte{byte(i)}, 100))
+		if err != nil {
+			if !errors.Is(err, vlog.ErrLogFull) {
+				t.Fatalf("put %d: %v", i, err)
+			}
+			full = true
+			break
+		}
+		stored++
+	}
+	if !full {
+		t.Fatal("tiny log never filled")
+	}
+	for i := 0; i < stored; i++ {
+		if _, ok, err := s.Get([]byte(fmt.Sprintf("f-%04d", i))); err != nil || !ok {
+			t.Fatalf("key %d unreadable in full log: %v", i, err)
+		}
+	}
+	// GC cannot help — everything is live.
+	if progress, err := st.GCOnce(); err != nil || progress {
+		t.Fatalf("GC on all-live log: progress=%v err=%v", progress, err)
 	}
 }
 
@@ -176,6 +495,9 @@ func TestCrashRecovery(t *testing.T) {
 		if !bytes.Equal(got, big(i)) {
 			t.Fatalf("key %d corrupt after crash", i)
 		}
+	}
+	if err := st2.AuditLiveness(); err != nil {
+		t.Fatalf("liveness rebuild after crash: %v", err)
 	}
 	// And the store must keep working.
 	if err := s2.Put([]byte("post"), bytes.Repeat([]byte("p"), 64)); err != nil {
@@ -235,76 +557,5 @@ func TestCrashMidPutNeverDangles(t *testing.T) {
 				}
 			}
 		})
-	}
-}
-
-func TestCompact(t *testing.T) {
-	dev, err := nvm.New(nvm.DefaultConfig(1 << 23))
-	if err != nil {
-		t.Fatal(err)
-	}
-	opts := DefaultOptions()
-	opts.LogWords = 1 << 18
-	st, err := Create(dev, opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	s := st.NewSession()
-	const n = 200
-	big := func(i, gen int) []byte {
-		return bytes.Repeat([]byte{byte(i), byte(gen)}, 50)
-	}
-	// Several overwrite generations bloat the log with dead records.
-	for gen := 0; gen < 5; gen++ {
-		for i := 0; i < n; i++ {
-			if err := s.Put([]byte(fmt.Sprintf("c-%04d", i)), big(i, gen)); err != nil {
-				t.Fatal(err)
-			}
-		}
-	}
-	// Delete some keys entirely.
-	for i := 0; i < n; i += 4 {
-		if err := s.Delete([]byte(fmt.Sprintf("c-%04d", i))); err != nil {
-			t.Fatal(err)
-		}
-	}
-	usedBefore := st.Log().UsedWords()
-
-	copied, err := st.Compact(0)
-	if err != nil {
-		t.Fatalf("Compact: %v", err)
-	}
-	if wantLive := int64(n - n/4); copied != wantLive {
-		t.Fatalf("copied %d records, want %d", copied, wantLive)
-	}
-	if st.Log().UsedWords() >= usedBefore {
-		t.Fatalf("compaction did not shrink the log: %d -> %d", usedBefore, st.Log().UsedWords())
-	}
-	// Every live key still reads its newest value through the new log.
-	s2 := st.NewSession()
-	for i := 0; i < n; i++ {
-		got, ok, err := s2.Get([]byte(fmt.Sprintf("c-%04d", i)))
-		if i%4 == 0 {
-			if ok {
-				t.Fatalf("deleted key %d resurrected by compaction", i)
-			}
-			continue
-		}
-		if err != nil || !ok || !bytes.Equal(got, big(i, 4)) {
-			t.Fatalf("key %d wrong after compaction: ok=%v err=%v", i, ok, err)
-		}
-	}
-	// Reopen: the switched root must be durable.
-	st.Close()
-	st2, err := Open(dev, opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer st2.Close()
-	s3 := st2.NewSession()
-	for i := 1; i < n; i += 2 {
-		if _, ok, err := s3.Get([]byte(fmt.Sprintf("c-%04d", i))); err != nil || !ok {
-			t.Fatalf("key %d lost after compaction + reopen: %v", i, err)
-		}
 	}
 }

@@ -1,0 +1,204 @@
+package bigkv
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdnh/internal/core"
+	"hdnh/internal/kv"
+	"hdnh/internal/nvm"
+	"hdnh/internal/scheme"
+	"hdnh/internal/vlog"
+)
+
+// gcState bundles the online garbage collector. Passes are serialised by
+// mu — the background worker and foreground helpers (appendRecord on
+// ErrLogFull, explicit GCOnce calls) all funnel through gcOnceLocked.
+type gcState struct {
+	mu   sync.Mutex
+	sess *core.Session // index access for relocation, guarded by mu
+	h    *nvm.Handle   // log access for relocation, guarded by mu
+
+	kick   chan struct{}
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// gcPollInterval backstops the kick channel so garbage created while the
+// log is far from full is still reclaimed eventually.
+const gcPollInterval = 100 * time.Millisecond
+
+func (st *Store) startGC() {
+	st.gc.sess = st.table.NewSession()
+	st.gc.h = st.dev.NewHandle()
+	st.gc.kick = make(chan struct{}, 1)
+	st.gc.stop = make(chan struct{})
+	if st.opts.DisableAutoGC {
+		return
+	}
+	st.gc.wg.Add(1)
+	go st.gcWorker()
+}
+
+func (st *Store) stopGC() {
+	if st.gc.closed.Swap(true) {
+		return
+	}
+	close(st.gc.stop)
+	st.gc.wg.Wait()
+}
+
+// maybeKickGC nudges the worker when free segments run low. Called after
+// every log append; the send is non-blocking so the fast path never waits.
+func (st *Store) maybeKickGC() {
+	if st.opts.DisableAutoGC {
+		return
+	}
+	if st.log.FreeSegments() > st.opts.GCTriggerFreeSegments {
+		return
+	}
+	select {
+	case st.gc.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (st *Store) gcWorker() {
+	defer st.gc.wg.Done()
+	ticker := time.NewTicker(gcPollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-st.gc.stop:
+			return
+		case <-st.gc.kick:
+		case <-ticker.C:
+			// Idle reclamation only chases real garbage; skip when the log
+			// has plenty of room and nothing dead.
+			if st.log.FreeSegments() > st.opts.GCTriggerFreeSegments &&
+				st.log.LiveWords() == st.log.UsedWords() {
+				continue
+			}
+		}
+		// Reclaim until the pressure is gone or a pass stops progressing
+		// (residual in-flight liveness resolves by the next kick/tick).
+		for st.log.FreeSegments() <= st.opts.GCTriggerFreeSegments {
+			select {
+			case <-st.gc.stop:
+				return
+			default:
+			}
+			progress, err := st.GCOnce()
+			if err != nil || !progress {
+				break
+			}
+		}
+	}
+}
+
+// GCOnce runs one garbage-collection pass: pick the sealed segment with
+// the lowest live fraction, relocate its live records, and recycle it.
+// Returns whether a segment was freed. Safe to call concurrently with all
+// store operations; passes themselves are serialised.
+func (st *Store) GCOnce() (bool, error) {
+	st.gc.mu.Lock()
+	defer st.gc.mu.Unlock()
+	seg, ok := st.pickVictim()
+	if !ok {
+		return false, nil
+	}
+	if err := st.relocate(seg); err != nil {
+		return false, err
+	}
+	if st.log.SegLive(seg) != 0 {
+		// A racing update displaced a record we relocated but has not
+		// decremented it yet, or skipped records are still being retired.
+		// The segment is safe to recycle once those land; leave it for the
+		// next pass rather than spin here.
+		return false, nil
+	}
+	if err := st.log.Recycle(st.gc.h, seg); err != nil {
+		if errors.Is(err, vlog.ErrSegmentLive) {
+			return false, nil
+		}
+		return false, err
+	}
+	st.rec.GCRecycle()
+	st.gc.sess.SyncObs()
+	return true, nil
+}
+
+// pickVictim selects the sealed segment with the lowest live fraction.
+// Fully-live segments are skipped — relocating them frees nothing.
+func (st *Store) pickVictim() (int64, bool) {
+	best := int64(-1)
+	var bestScore float64
+	for seg := int64(0); seg < st.log.Segments(); seg++ {
+		if st.log.State(seg) != vlog.SegSealed {
+			continue
+		}
+		live, used := st.log.SegLive(seg), st.log.SegUsed(seg)
+		if live > 0 && live >= used {
+			continue
+		}
+		var score float64
+		if used > 0 {
+			score = float64(live) / float64(used)
+		}
+		if best < 0 || score < bestScore {
+			best, bestScore = seg, score
+		}
+	}
+	return best, best >= 0
+}
+
+// relocate copies every still-referenced record out of seg and swings the
+// index to the copies. Ordering per record: copy committed to the log
+// first, then the index entry conditionally rewritten — a crash between
+// the two leaks only the copy, and a user write that races the rewrite
+// wins (the GC drops its copy and the segment keeps the record's liveness
+// until the user's own displacement retires it).
+func (st *Store) relocate(seg int64) error {
+	type rec struct {
+		addr, words int64
+		key         kv.Key
+	}
+	var live []rec
+	st.log.ScanSegment(st.gc.h, seg, func(addr, words int64, key kv.Key, _ []byte) bool {
+		live = append(live, rec{addr, words, key})
+		return true
+	})
+	for _, r := range live {
+		expect := packPointer(r.addr, r.words)
+		cur, ok := st.gc.sess.Get(r.key)
+		if !ok || cur != expect {
+			continue // dead: overwritten or deleted, its winner decrements
+		}
+		key, value, err := st.log.Read(st.gc.h, r.addr)
+		if err != nil || key != r.key {
+			continue // already overwritten by a racing reuse; not ours
+		}
+		addr, words, err := st.log.AppendGC(st.gc.h, r.key, value)
+		if err != nil {
+			return err
+		}
+		switch err := st.gc.sess.UpdateIf(r.key, expect, packPointer(addr, words)); {
+		case err == nil:
+			st.log.AddLive(r.addr, -r.words)
+			st.rec.GCRelocate(words)
+		case errors.Is(err, scheme.ErrConflict),
+			errors.Is(err, scheme.ErrNotFound),
+			errors.Is(err, scheme.ErrContended):
+			// Lost to a racing user write: our copy was never indexed.
+			st.log.AddLive(addr, -words)
+			st.rec.GCRaced()
+		default:
+			st.log.AddLive(addr, -words)
+			return err
+		}
+	}
+	return nil
+}

@@ -556,6 +556,32 @@ func (s *Session) Lookup(k kv.Key) (kv.Value, error) {
 // Budget-exhausted searches retry with capped backoff and then surface
 // ErrContended; ErrNotFound is returned only after a conclusive scan.
 func (s *Session) Update(k kv.Key, v kv.Value) error {
+	_, err := s.updateWith(k, v, nil)
+	return err
+}
+
+// UpdateExchange is Update returning the value it displaced. The read and
+// the replacement are atomic under the old slot's lock, so exactly one
+// concurrent writer observes any given value as its predecessor — the
+// hook bigkv's liveness accounting hangs exactly-once decrements on.
+func (s *Session) UpdateExchange(k kv.Key, v kv.Value) (kv.Value, error) {
+	return s.updateWith(k, v, nil)
+}
+
+// UpdateIf replaces the value only if the current value equals expect,
+// returning ErrConflict (with nothing changed) otherwise. The compare and
+// the replacement are atomic under the slot lock. This is the GC's
+// conditional index rewrite: a racing user update changes the value first
+// and the GC's rewrite then loses cleanly.
+func (s *Session) UpdateIf(k kv.Key, expect, v kv.Value) error {
+	_, err := s.updateWith(k, v, &expect)
+	return err
+}
+
+// updateWith is the shared out-of-place update: a nil expect updates
+// unconditionally, a non-nil one makes the replacement conditional on the
+// current value.
+func (s *Session) updateWith(k kv.Key, v kv.Value, expect *kv.Value) (kv.Value, error) {
 	h1, h2, fp := hashKV(k[:])
 	start := s.rec.Start()
 	transientRetries := 0
@@ -570,7 +596,7 @@ func (s *Session) Update(k kv.Key, v kv.Value) error {
 			ps.report(s.rec)
 			if res == lookupMissing {
 				s.rec.Op(obs.OpUpdate, obs.OutNotFound, start)
-				return scheme.ErrNotFound
+				return kv.Value{}, scheme.ErrNotFound
 			}
 			s.rec.Contended()
 			if contendedRounds < contendedRetryMax {
@@ -580,9 +606,17 @@ func (s *Session) Update(k kv.Key, v kv.Value) error {
 				continue
 			}
 			s.rec.Op(obs.OpUpdate, obs.OutContended, start)
-			return scheme.ErrContended
+			return kv.Value{}, scheme.ErrContended
 		}
 		ps.report(s.rec)
+		if expect != nil && old.val != *expect {
+			// Conditional update, wrong current value: put the old slot back
+			// untouched and report the value that won.
+			old.ref.lvl.ocfRelease(old.ref.b, old.ref.s, true, fp, ocfVer(old.ctrl))
+			s.t.resizeMu.RUnlock()
+			s.rec.Op(obs.OpUpdate, obs.OutConflict, start)
+			return old.val, scheme.ErrConflict
+		}
 		// Prefer the old record's own bucket only while it lives in the
 		// current structure: a record found in the drain level must move to
 		// top/bottom, never back into the level being emptied.
@@ -609,7 +643,7 @@ func (s *Session) Update(k kv.Key, v kv.Value) error {
 			}
 			if err := s.t.expand(gen); err != nil {
 				s.rec.Op(obs.OpUpdate, expandOutcome(err), start)
-				return err
+				return kv.Value{}, err
 			}
 			continue
 		}
@@ -631,10 +665,10 @@ func (s *Session) Update(k kv.Key, v kv.Value) error {
 		s.waitHotWrite(owed)
 		s.t.resizeMu.RUnlock()
 		s.rec.Op(obs.OpUpdate, obs.OutOK, start)
-		return nil
+		return old.val, nil
 	}
 	s.rec.Op(obs.OpUpdate, obs.OutFull, start)
-	return scheme.ErrFull
+	return kv.Value{}, scheme.ErrFull
 }
 
 // Delete invalidates the record with a single atomic persist of its final
@@ -642,6 +676,19 @@ func (s *Session) Update(k kv.Key, v kv.Value) error {
 // (budget-exhausted) search retries and then returns ErrContended rather
 // than masquerading as ErrNotFound.
 func (s *Session) Delete(k kv.Key) error {
+	_, err := s.deleteWith(k)
+	return err
+}
+
+// DeleteExchange is Delete returning the value it removed. Like
+// UpdateExchange, the read and the invalidation are atomic under the slot
+// lock, so exactly one writer observes any given value as the one it
+// destroyed.
+func (s *Session) DeleteExchange(k kv.Key) (kv.Value, error) {
+	return s.deleteWith(k)
+}
+
+func (s *Session) deleteWith(k kv.Key) (kv.Value, error) {
 	h1, h2, fp := hashKV(k[:])
 	start := s.rec.Start()
 	for round := 0; ; round++ {
@@ -653,7 +700,7 @@ func (s *Session) Delete(k kv.Key) error {
 			ps.report(s.rec)
 			if res == lookupMissing {
 				s.rec.Op(obs.OpDelete, obs.OutNotFound, start)
-				return scheme.ErrNotFound
+				return kv.Value{}, scheme.ErrNotFound
 			}
 			s.rec.Contended()
 			if round < contendedRetryMax {
@@ -661,7 +708,7 @@ func (s *Session) Delete(k kv.Key) error {
 				continue
 			}
 			s.rec.Op(obs.OpDelete, obs.OutContended, start)
-			return scheme.ErrContended
+			return kv.Value{}, scheme.ErrContended
 		}
 		ps.report(s.rec)
 		s.t.clearSlotCommit(s.h, old.ref, old.w3)
@@ -671,6 +718,6 @@ func (s *Session) Delete(k kv.Key) error {
 		s.waitHotWrite(owed)
 		s.t.resizeMu.RUnlock()
 		s.rec.Op(obs.OpDelete, obs.OutOK, start)
-		return nil
+		return old.val, nil
 	}
 }

@@ -16,7 +16,7 @@ func outcomesFor(op Op) []Outcome {
 	case OpInsert:
 		return []Outcome{OutOK, OutExists, OutFull, OutContended, OutError}
 	case OpUpdate:
-		return []Outcome{OutOK, OutNotFound, OutFull, OutContended, OutError}
+		return []Outcome{OutOK, OutNotFound, OutFull, OutContended, OutError, OutConflict}
 	case OpDelete:
 		return []Outcome{OutOK, OutNotFound, OutContended}
 	default:
@@ -98,6 +98,13 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 		p("hdnh_drain_chunk_nanoseconds_count %d\n", l.Sampled)
 	}
 
+	counter("hdnh_vlog_appends_total", "User value-log record appends.", s.VLogAppends)
+	counter("hdnh_vlog_append_words_total", "Words appended to the value log by users.", s.VLogAppendWords)
+	counter("hdnh_gc_relocations_total", "Live records copied out of GC victim segments.", s.GCRelocations)
+	counter("hdnh_gc_relocated_words_total", "Words the GC copied between segments.", s.GCRelocatedWords)
+	counter("hdnh_gc_raced_total", "GC index rewrites lost to racing user writes.", s.GCRaced)
+	counter("hdnh_gc_recycles_total", "Value-log segments recycled to the free list.", s.GCRecycles)
+
 	counter("hdnh_nvm_read_accesses_total", "Bridged device logical reads.", s.NVM.ReadAccesses)
 	counter("hdnh_nvm_read_words_total", "Bridged device words read.", s.NVM.ReadWords)
 	counter("hdnh_nvm_media_block_reads_total", "Bridged device 256B media blocks read.", s.NVM.MediaBlockReads)
@@ -122,6 +129,13 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 	gauge("hdnh_device_flushes", "Device-wide flush count.", "%d", s.Gauges.DeviceFlushes)
 	gauge("hdnh_resizing", "1 while an incremental rehash is in flight.", "%d", s.Gauges.Resizing)
 	gauge("hdnh_drain_buckets_remaining", "Drain-level buckets not yet durably rehashed.", "%d", s.Gauges.DrainBucketsRemaining)
+	if s.Gauges.VLogSegments > 0 {
+		gauge("hdnh_vlog_segments", "Value-log segment count.", "%d", s.Gauges.VLogSegments)
+		gauge("hdnh_vlog_free_segments", "Value-log segments on the free list.", "%d", s.Gauges.VLogFreeSegments)
+		gauge("hdnh_vlog_live_words", "Value-log words still referenced by the index.", "%d", s.Gauges.VLogLiveWords)
+		gauge("hdnh_vlog_used_words", "Value-log words appended into sealed and active segments.", "%d", s.Gauges.VLogUsedWords)
+		gauge("hdnh_gc_write_amplification", "Log words written per user-appended word.", "%g", s.GCWriteAmplification())
+	}
 	return err
 }
 
@@ -152,6 +166,14 @@ type jsonForm struct {
 	DrainRecordsMoved  uint64      `json:"drain_records_moved"`
 	DrainHelps         uint64      `json:"drain_helps"`
 	DrainChunkLatency  LatencyStat `json:"drain_chunk_latency_ns"`
+
+	VLogAppends      uint64  `json:"vlog_appends"`
+	VLogAppendWords  uint64  `json:"vlog_append_words"`
+	GCRelocations    uint64  `json:"gc_relocations"`
+	GCRelocatedWords uint64  `json:"gc_relocated_words"`
+	GCRaced          uint64  `json:"gc_raced"`
+	GCRecycles       uint64  `json:"gc_recycles"`
+	GCWriteAmp       float64 `json:"gc_write_amplification"`
 
 	HitRatio float64 `json:"hot_hit_ratio"`
 
@@ -192,6 +214,13 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 		DrainRecordsMoved:  s.DrainRecordsMoved,
 		DrainHelps:         s.DrainHelps,
 		DrainChunkLatency:  s.DrainChunkLatency,
+		VLogAppends:        s.VLogAppends,
+		VLogAppendWords:    s.VLogAppendWords,
+		GCRelocations:      s.GCRelocations,
+		GCRelocatedWords:   s.GCRelocatedWords,
+		GCRaced:            s.GCRaced,
+		GCRecycles:         s.GCRecycles,
+		GCWriteAmp:         s.GCWriteAmplification(),
 		HitRatio:           s.HitRatio(),
 		Gauges:             s.Gauges,
 	}

@@ -69,6 +69,10 @@ const (
 	OutFull
 	OutContended
 	OutError
+	// OutConflict is a conditional update (UpdateIf) that found the key
+	// bound to an unexpected value and aborted — the GC's losing side of a
+	// race with a foreground writer.
+	OutConflict
 	NumOutcomes
 )
 
@@ -93,6 +97,8 @@ func (o Outcome) String() string {
 		return "contended"
 	case OutError:
 		return "error"
+	case OutConflict:
+		return "conflict"
 	default:
 		return "unknown"
 	}
@@ -134,6 +140,18 @@ type Recorder interface {
 	DrainChunk(buckets, moved int64, d time.Duration)
 	// DrainHelp records a foreground writer pitching in on the drain.
 	DrainHelp()
+	// VLogAppend records one user value-log append of the given total
+	// record words (GC relocation copies go to GCRelocate instead, so
+	// write amplification is their ratio).
+	VLogAppend(words int64)
+	// GCRelocate records one live record the value-log GC copied out of a
+	// victim segment, with its total record words.
+	GCRelocate(words int64)
+	// GCRaced records a GC relocation whose conditional index rewrite lost
+	// to a racing user write — the copy became instant garbage.
+	GCRaced()
+	// GCRecycle records one value-log segment recycled to the free list.
+	GCRecycle()
 	// AddNVM merges a device-traffic delta bridged from nvm.Stats.
 	AddNVM(delta nvm.Stats)
 }
@@ -155,6 +173,10 @@ func (Nop) Expansion(time.Duration)                {}
 func (Nop) ExpansionSwap(time.Duration)            {}
 func (Nop) DrainChunk(int64, int64, time.Duration) {}
 func (Nop) DrainHelp()                             {}
+func (Nop) VLogAppend(int64)                       {}
+func (Nop) GCRelocate(int64)                       {}
+func (Nop) GCRaced()                               {}
+func (Nop) GCRecycle()                             {}
 func (Nop) AddNVM(nvm.Stats)                       {}
 
 // shardCount bounds counter contention: handles are dealt shards round-robin,
@@ -196,6 +218,13 @@ type shard struct {
 	drainBuckets       atomic.Uint64
 	drainMoved         atomic.Uint64
 	drainHelps         atomic.Uint64
+
+	vlogAppends      atomic.Uint64
+	vlogAppendWords  atomic.Uint64
+	gcRelocations    atomic.Uint64
+	gcRelocatedWords atomic.Uint64
+	gcRaced          atomic.Uint64
+	gcRecycles       atomic.Uint64
 
 	nvm [nvmFields]atomic.Uint64
 
@@ -309,6 +338,19 @@ func (h *Handle) DrainChunk(buckets, moved int64, d time.Duration) {
 }
 
 func (h *Handle) DrainHelp() { h.sh.drainHelps.Add(1) }
+
+func (h *Handle) VLogAppend(words int64) {
+	h.sh.vlogAppends.Add(1)
+	h.sh.vlogAppendWords.Add(uint64(words))
+}
+
+func (h *Handle) GCRelocate(words int64) {
+	h.sh.gcRelocations.Add(1)
+	h.sh.gcRelocatedWords.Add(uint64(words))
+}
+
+func (h *Handle) GCRaced()   { h.sh.gcRaced.Add(1) }
+func (h *Handle) GCRecycle() { h.sh.gcRecycles.Add(1) }
 
 func (h *Handle) AddNVM(delta nvm.Stats) {
 	n := &h.sh.nvm

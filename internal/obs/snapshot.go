@@ -31,6 +31,13 @@ type Gauges struct {
 	// DrainBucketsRemaining is its not-yet-durably-complete bucket count.
 	Resizing              int64 `json:"resizing"`
 	DrainBucketsRemaining int64 `json:"drain_buckets_remaining"`
+	// Value-log shape (zero unless the store runs one — see bigkv):
+	// segment counts plus the live/used word totals whose ratio is the
+	// log's garbage fraction.
+	VLogSegments     int64 `json:"vlog_segments"`
+	VLogFreeSegments int64 `json:"vlog_free_segments"`
+	VLogLiveWords    int64 `json:"vlog_live_words"`
+	VLogUsedWords    int64 `json:"vlog_used_words"`
 }
 
 // Snapshot is a point-in-time copy of every counter in a Metrics registry.
@@ -78,6 +85,16 @@ type Snapshot struct {
 	// resize lock (every chunk is recorded, not sampled).
 	DrainChunkLatency LatencyStat
 
+	// Value-log traffic: user appends vs GC relocation copies (their word
+	// ratio is the GC write amplification), rewrites the GC lost to racing
+	// user writes, and segments recycled.
+	VLogAppends      uint64
+	VLogAppendWords  uint64
+	GCRelocations    uint64
+	GCRelocatedWords uint64
+	GCRaced          uint64
+	GCRecycles       uint64
+
 	// NVM aggregates the device traffic sessions published via SyncObs.
 	NVM nvm.Stats
 
@@ -114,6 +131,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.DrainBuckets += sh.drainBuckets.Load()
 		s.DrainRecordsMoved += sh.drainMoved.Load()
 		s.DrainHelps += sh.drainHelps.Load()
+		s.VLogAppends += sh.vlogAppends.Load()
+		s.VLogAppendWords += sh.vlogAppendWords.Load()
+		s.GCRelocations += sh.gcRelocations.Load()
+		s.GCRelocatedWords += sh.gcRelocatedWords.Load()
+		s.GCRaced += sh.gcRaced.Load()
+		s.GCRecycles += sh.gcRecycles.Load()
 		s.NVM.Add(nvm.Stats{
 			ReadAccesses:    sh.nvm[nvmReadAccesses].Load(),
 			ReadWords:       sh.nvm[nvmReadWords].Load(),
@@ -181,8 +204,24 @@ func (s Snapshot) Sub(base Snapshot) Snapshot {
 	d.DrainBuckets -= base.DrainBuckets
 	d.DrainRecordsMoved -= base.DrainRecordsMoved
 	d.DrainHelps -= base.DrainHelps
+	d.VLogAppends -= base.VLogAppends
+	d.VLogAppendWords -= base.VLogAppendWords
+	d.GCRelocations -= base.GCRelocations
+	d.GCRelocatedWords -= base.GCRelocatedWords
+	d.GCRaced -= base.GCRaced
+	d.GCRecycles -= base.GCRecycles
 	d.NVM = s.NVM.Sub(base.NVM)
 	return d
+}
+
+// GCWriteAmplification returns total log words written per user-appended
+// word: 1 means the GC copied nothing, 2 means every user word was copied
+// once. 0 when no user appends happened.
+func (s Snapshot) GCWriteAmplification() float64 {
+	if s.VLogAppendWords == 0 {
+		return 0
+	}
+	return float64(s.VLogAppendWords+s.GCRelocatedWords) / float64(s.VLogAppendWords)
 }
 
 // OpTotal sums one op's count across all outcomes.

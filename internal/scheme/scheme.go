@@ -28,6 +28,10 @@ var (
 	// conclusive answer. It is distinct from ErrNotFound on purpose: the key
 	// may well exist. Callers should back off and retry.
 	ErrContended = errors.New("scheme: operation contended, retry")
+	// ErrConflict means a conditional update found the key bound to a value
+	// other than the expected one and changed nothing. The caller saw a
+	// stale value; re-read and decide again.
+	ErrConflict = errors.New("scheme: value changed, conditional update aborted")
 )
 
 // Store is a persistent hash table bound to an NVM device.

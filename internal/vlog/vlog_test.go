@@ -7,17 +7,42 @@ import (
 	"sync"
 	"testing"
 
+	"hdnh/internal/kv"
 	"hdnh/internal/nvm"
 )
 
-func logFixture(t *testing.T, words int64) (*nvm.Device, *nvm.Handle, *Log) {
+func testKey(i int) kv.Key {
+	k, err := kv.MakeKey([]byte(fmt.Sprintf("key-%08d", i)))
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+func logFixture(t *testing.T, segWords, numSegs int64) (*nvm.Device, *nvm.Handle, *Log) {
 	t.Helper()
-	dev, err := nvm.New(nvm.DefaultConfig(words + 4096))
+	dev, err := nvm.New(nvm.DefaultConfig(segWords*numSegs + 8192))
 	if err != nil {
 		t.Fatal(err)
 	}
 	h := dev.NewHandle()
-	l, err := Create(dev, h, words)
+	l, err := Create(dev, h, segWords, numSegs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, h, l
+}
+
+func strictLog(t *testing.T, segWords, numSegs int64) (*nvm.Device, *nvm.Handle, *Log) {
+	t.Helper()
+	cfg := nvm.StrictConfig(1 << 16)
+	cfg.EvictProb = 0
+	dev, err := nvm.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := dev.NewHandle()
+	l, err := Create(dev, h, segWords, numSegs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +50,7 @@ func logFixture(t *testing.T, words int64) (*nvm.Device, *nvm.Handle, *Log) {
 }
 
 func TestAppendReadRoundTrip(t *testing.T) {
-	_, h, l := logFixture(t, 4096)
+	_, h, l := logFixture(t, 512, 8)
 	payloads := [][]byte{
 		[]byte("x"),
 		[]byte("eight bb"),
@@ -34,16 +59,22 @@ func TestAppendReadRoundTrip(t *testing.T) {
 	}
 	addrs := make([]int64, len(payloads))
 	for i, p := range payloads {
-		addr, err := l.Append(h, p)
+		addr, words, err := l.Append(h, testKey(i), p)
 		if err != nil {
 			t.Fatalf("append %d: %v", i, err)
+		}
+		if want := RecordWords(len(p)); words != want {
+			t.Fatalf("append %d: %d words, want %d", i, words, want)
 		}
 		addrs[i] = addr
 	}
 	for i, p := range payloads {
-		got, err := l.Read(h, addrs[i])
+		key, got, err := l.Read(h, addrs[i])
 		if err != nil {
 			t.Fatalf("read %d: %v", i, err)
+		}
+		if key != testKey(i) {
+			t.Fatalf("record %d came back with the wrong key", i)
 		}
 		if !bytes.Equal(got, p) {
 			t.Fatalf("payload %d mangled", i)
@@ -51,60 +82,118 @@ func TestAppendReadRoundTrip(t *testing.T) {
 	}
 }
 
-func TestAppendRejectsEmptyAndFull(t *testing.T) {
-	_, h, l := logFixture(t, 256)
-	if _, err := l.Append(h, nil); err == nil {
+func TestAppendRejectsEmptyOversizedAndFull(t *testing.T) {
+	_, h, l := logFixture(t, 64, 4)
+	if _, _, err := l.Append(h, testKey(0), nil); err == nil {
 		t.Fatal("empty append accepted")
 	}
-	if _, err := l.Append(h, make([]byte, 1<<20)); !errors.Is(err, ErrLogFull) {
+	// A value that cannot fit any segment is an error, not ErrLogFull.
+	if _, _, err := l.Append(h, testKey(0), make([]byte, 1<<20)); err == nil || errors.Is(err, ErrLogFull) {
 		t.Fatalf("oversized append: %v", err)
 	}
-	// Fill to the brim.
+	// Fill every non-reserved segment to the brim.
+	var appends int
 	for {
-		if _, err := l.Append(h, make([]byte, 64)); err != nil {
+		if _, _, err := l.Append(h, testKey(appends), make([]byte, 64)); err != nil {
 			if !errors.Is(err, ErrLogFull) {
 				t.Fatalf("fill: %v", err)
 			}
 			break
 		}
+		appends++
+	}
+	if appends == 0 {
+		t.Fatal("no append landed before ErrLogFull")
+	}
+	// The user-append reserve must leave exactly one free segment for GC,
+	// and AppendGC must be able to take it.
+	if free := l.FreeSegments(); free != 1 {
+		t.Fatalf("ErrLogFull with %d free segments, want the 1 GC reserve", free)
+	}
+	if _, _, err := l.AppendGC(h, testKey(appends), make([]byte, 64)); err != nil {
+		t.Fatalf("AppendGC could not use the reserve: %v", err)
+	}
+}
+
+func TestSegmentLifecycleAndRecycle(t *testing.T) {
+	_, h, l := logFixture(t, 64, 4)
+	// Two records of 29 words each fill most of a 64-word segment.
+	val := make([]byte, 208)
+	var addrs []int64
+	for i := 0; i < 4; i++ {
+		addr, _, err := l.Append(h, testKey(i), val)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		addrs = append(addrs, addr)
+	}
+	seg0 := addrs[0] / l.SegmentWords()
+	if st := l.State(seg0); st != SegSealed {
+		t.Fatalf("first segment is %s, want sealed", st)
+	}
+	// Still live: Recycle must refuse.
+	if err := l.Recycle(h, seg0); !errors.Is(err, ErrSegmentLive) {
+		t.Fatalf("recycled a live segment: %v", err)
+	}
+	// Kill the two records in segment 0 and recycle it.
+	w := RecordWords(len(val))
+	l.AddLive(addrs[0], -w)
+	l.AddLive(addrs[1], -w)
+	if err := l.Recycle(h, seg0); err != nil {
+		t.Fatalf("recycle: %v", err)
+	}
+	if st := l.State(seg0); st != SegFree {
+		t.Fatalf("recycled segment is %s, want free", st)
+	}
+	if l.Recycles() != 1 {
+		t.Fatalf("recycles = %d, want 1", l.Recycles())
+	}
+	// Reads into the recycled segment fail instead of returning stale data.
+	if _, _, err := l.Read(h, addrs[0]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("read of recycled record: %v", err)
+	}
+	// The freed segment is reusable; later records still read back.
+	for i := 4; i < 6; i++ {
+		if _, _, err := l.Append(h, testKey(i), val); err != nil {
+			t.Fatalf("append after recycle: %v", err)
+		}
+	}
+	if _, got, err := l.Read(h, addrs[2]); err != nil || !bytes.Equal(got, val) {
+		t.Fatalf("surviving record mangled: %v", err)
 	}
 }
 
 func TestReadRejectsCorruption(t *testing.T) {
-	dev, h, l := logFixture(t, 1024)
-	addr, err := l.Append(h, []byte("precious bytes here"))
+	dev, h, l := logFixture(t, 512, 4)
+	addr, _, err := l.Append(h, testKey(1), []byte("precious bytes here"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := l.Read(h, -1); err == nil {
+	if _, _, err := l.Read(h, -1); err == nil {
 		t.Fatal("negative address accepted")
 	}
-	if _, err := l.Read(h, l.Capacity()); err == nil {
+	if _, _, err := l.Read(h, l.Capacity()); err == nil {
 		t.Fatal("out-of-range address accepted")
 	}
 	// Flip a payload bit: checksum must catch it.
-	off := l.dataOff(addr) + 1
+	off := l.dataOff(addr) + recordHeaderWords
 	dev.Store(off, dev.Load(off)^1)
-	if _, err := l.Read(h, addr); !errors.Is(err, ErrCorrupt) {
-		t.Fatalf("corrupt read: %v", err)
+	if _, _, err := l.Read(h, addr); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt payload read: %v", err)
+	}
+	// A flipped key bit must be caught too — the checksum covers the key.
+	dev.Store(off, dev.Load(off)^1) // restore payload
+	dev.Store(l.dataOff(addr)+1, dev.Load(l.dataOff(addr)+1)^1)
+	if _, _, err := l.Read(h, addr); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt key read: %v", err)
 	}
 }
 
 func TestOpenRecoversCommittedTail(t *testing.T) {
-	cfg := nvm.StrictConfig(1 << 16)
-	cfg.EvictProb = 0
-	dev, err := nvm.New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	h := dev.NewHandle()
-	l, err := Create(dev, h, 8192)
-	if err != nil {
-		t.Fatal(err)
-	}
+	dev, h, l := strictLog(t, 1024, 4)
 	var addrs []int64
 	for i := 0; i < 50; i++ {
-		addr, err := l.Append(h, []byte(fmt.Sprintf("record-%02d-with-some-padding", i)))
+		addr, _, err := l.Append(h, testKey(i), []byte(fmt.Sprintf("record-%02d-with-some-padding", i)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,37 +212,121 @@ func TestOpenRecoversCommittedTail(t *testing.T) {
 		t.Fatalf("recovered head %d, want %d", l2.UsedWords(), l.UsedWords())
 	}
 	for i, addr := range addrs {
-		got, err := l2.Read(h, addr)
+		key, got, err := l2.Read(h, addr)
 		if err != nil {
 			t.Fatalf("read %d after recovery: %v", i, err)
 		}
-		if string(got) != fmt.Sprintf("record-%02d-with-some-padding", i) {
+		if key != testKey(i) || string(got) != fmt.Sprintf("record-%02d-with-some-padding", i) {
 			t.Fatalf("record %d mangled after recovery", i)
 		}
 	}
 	// New appends must land after the recovered tail, not overwrite it.
-	addr, err := l2.Append(h, []byte("post-recovery"))
+	addr, _, err := l2.Append(h, testKey(999), []byte("post-recovery"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if addr < l.UsedWords() {
-		t.Fatalf("post-recovery append at %d overlaps recovered data", addr)
+	for _, old := range addrs {
+		if addr == old {
+			t.Fatalf("post-recovery append at %d overlaps recovered data", addr)
+		}
+	}
+}
+
+func TestOpenRecoversEveryState(t *testing.T) {
+	dev, h, l := strictLog(t, 64, 4)
+	val := make([]byte, 208) // 29 words: two per segment
+	// Segment A: sealed, fully dead, recycled → FREE.
+	a0, w, err := l.Append(h, testKey(0), val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _, err := l.Append(h, testKey(1), val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SealActive(h)
+	// Segment B: sealed with survivors.
+	b0, _, err := l.Append(h, testKey(2), val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SealActive(h)
+	// Segment C: active.
+	c0, _, err := l.Append(h, testKey(3), []byte("active tail"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recycle A last so no later append reuses it before the crash.
+	l.AddLive(a0, -w)
+	l.AddLive(a1, -w)
+	if err := l.Recycle(h, a0/l.SegmentWords()); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dev, h, l.Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := l2.State(a0 / l.SegmentWords()); st != SegFree {
+		t.Fatalf("recycled segment recovered as %s", st)
+	}
+	if st := l2.State(b0 / l.SegmentWords()); st != SegSealed {
+		t.Fatalf("sealed segment recovered as %s", st)
+	}
+	if st := l2.State(c0 / l.SegmentWords()); st != SegActive {
+		t.Fatalf("active segment recovered as %s", st)
+	}
+	if _, got, err := l2.Read(h, b0); err != nil || !bytes.Equal(got, val) {
+		t.Fatalf("sealed record lost: %v", err)
+	}
+	if _, got, err := l2.Read(h, c0); err != nil || string(got) != "active tail" {
+		t.Fatalf("active record lost: %v", err)
+	}
+	// Liveness starts at zero after Open; the owner rebuilds it.
+	if l2.LiveWords() != 0 {
+		t.Fatalf("liveness %d after Open, want 0", l2.LiveWords())
+	}
+}
+
+func TestOpenReZeroesFreeingSegment(t *testing.T) {
+	dev, h, l := strictLog(t, 64, 4)
+	val := make([]byte, 208)
+	a0, w, err := l.Append(h, testKey(0), val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _, err := l.Append(h, testKey(1), val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SealActive(h)
+	seg := a0 / l.SegmentWords()
+	l.AddLive(a0, -w)
+	l.AddLive(a1, -w)
+	// Simulate a crash mid-recycle: mark FREEING durably but leave the
+	// record bytes in place.
+	h.StorePersist(l.segStateOff(seg), uint64(SegFreeing))
+	if err := dev.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dev, h, l.Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := l2.State(seg); st != SegFree {
+		t.Fatalf("freeing segment recovered as %s, want free", st)
+	}
+	// The stale records must have been zeroed, not resurrected.
+	if _, _, err := l2.Read(h, a0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("stale record resurrected: %v", err)
 	}
 }
 
 func TestOpenAfterTornAppend(t *testing.T) {
-	cfg := nvm.StrictConfig(1 << 16)
-	cfg.EvictProb = 0
-	dev, err := nvm.New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	h := dev.NewHandle()
-	l, err := Create(dev, h, 4096)
-	if err != nil {
-		t.Fatal(err)
-	}
-	a0, err := l.Append(h, []byte("committed"))
+	dev, h, l := strictLog(t, 1024, 4)
+	a0, _, err := l.Append(h, testKey(0), []byte("committed"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +346,7 @@ func TestOpenAfterTornAppend(t *testing.T) {
 	if l2.UsedWords() != l.UsedWords() {
 		t.Fatalf("torn append advanced the head: %d vs %d", l2.UsedWords(), l.UsedWords())
 	}
-	if got, err := l2.Read(h, a0); err != nil || string(got) != "committed" {
+	if _, got, err := l2.Read(h, a0); err != nil || string(got) != "committed" {
 		t.Fatalf("committed record lost: %q, %v", got, err)
 	}
 }
@@ -189,8 +362,38 @@ func TestOpenBadMagic(t *testing.T) {
 	}
 }
 
+func TestScanSegmentWalksRecords(t *testing.T) {
+	_, h, l := logFixture(t, 256, 4)
+	want := map[int64]int{}
+	for i := 0; i < 10; i++ {
+		addr, _, err := l.Append(h, testKey(i), []byte(fmt.Sprintf("value-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[addr] = i
+	}
+	seen := 0
+	l.ScanAll(h, func(addr, words int64, key kv.Key, value []byte) bool {
+		i, ok := want[addr]
+		if !ok {
+			t.Fatalf("scan surfaced unknown address %d", addr)
+		}
+		if key != testKey(i) || string(value) != fmt.Sprintf("value-%d", i) {
+			t.Fatalf("scan mangled record %d", i)
+		}
+		if words != RecordWords(len(value)) {
+			t.Fatalf("scan reported %d words for record %d", words, i)
+		}
+		seen++
+		return true
+	})
+	if seen != len(want) {
+		t.Fatalf("scan saw %d records, want %d", seen, len(want))
+	}
+}
+
 func TestConcurrentAppends(t *testing.T) {
-	dev, _, l := logFixture(t, 1<<16)
+	dev, _, l := logFixture(t, 4096, 16)
 	var wg sync.WaitGroup
 	addrs := make([][]int64, 4)
 	for w := 0; w < 4; w++ {
@@ -199,7 +402,7 @@ func TestConcurrentAppends(t *testing.T) {
 			defer wg.Done()
 			h := dev.NewHandle()
 			for i := 0; i < 200; i++ {
-				addr, err := l.Append(h, []byte(fmt.Sprintf("w%d-i%03d", w, i)))
+				addr, _, err := l.Append(h, testKey(w*1000+i), []byte(fmt.Sprintf("w%d-i%03d", w, i)))
 				if err != nil {
 					t.Errorf("append: %v", err)
 					return
@@ -212,8 +415,8 @@ func TestConcurrentAppends(t *testing.T) {
 	h := dev.NewHandle()
 	for w := range addrs {
 		for i, addr := range addrs[w] {
-			got, err := l.Read(h, addr)
-			if err != nil || string(got) != fmt.Sprintf("w%d-i%03d", w, i) {
+			key, got, err := l.Read(h, addr)
+			if err != nil || key != testKey(w*1000+i) || string(got) != fmt.Sprintf("w%d-i%03d", w, i) {
 				t.Fatalf("worker %d record %d mangled: %q %v", w, i, got, err)
 			}
 		}
@@ -221,12 +424,14 @@ func TestConcurrentAppends(t *testing.T) {
 }
 
 func TestSyncAdvancesDurableHead(t *testing.T) {
-	dev, h, l := logFixture(t, 4096)
-	if _, err := l.Append(h, []byte("abc")); err != nil {
+	dev, h, l := logFixture(t, 512, 4)
+	addr, words, err := l.Append(h, testKey(0), []byte("abc"))
+	if err != nil {
 		t.Fatal(err)
 	}
 	l.Sync(h)
-	if got := int64(dev.Load(l.Base() + headWord)); got != l.UsedWords() {
-		t.Fatalf("durable head %d, want %d", got, l.UsedWords())
+	seg := addr / l.SegmentWords()
+	if got := int64(dev.Load(l.segHeadOff(seg))); got != addr%l.SegmentWords()+words {
+		t.Fatalf("durable head %d, want %d", got, addr%l.SegmentWords()+words)
 	}
 }
