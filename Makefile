@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples clean
+.PHONY: all build vet test race bench experiments examples flight-demo fuzz clean
 
 all: build vet test
 
@@ -33,3 +33,13 @@ examples:
 
 clean:
 	$(GO) clean ./...
+
+# Emit a Perfetto-loadable flight trace from a mixed churn/resize/GC/recovery
+# workload (open flight-demo.json at https://ui.perfetto.dev).
+flight-demo:
+	$(GO) run ./cmd/hdnhbench -fig flightdemo -records 20000 -ops 40000 -mode model -flight-out flight-demo.json
+
+# Short fuzz passes over the two binary readers (CI runs the same smoke).
+fuzz:
+	$(GO) test -fuzz=FuzzReader -fuzztime=30s ./internal/trace/
+	$(GO) test -fuzz=FuzzFlightReader -fuzztime=30s ./internal/flight/

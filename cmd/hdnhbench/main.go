@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"hdnh/internal/core"
+	"hdnh/internal/flight"
 	"hdnh/internal/harness"
 	"hdnh/internal/nvm"
 	"hdnh/internal/obs"
@@ -26,16 +27,17 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure to regenerate: 11a, 11b, 12, 13, 14, 15, ablation, loadfactor, hybrid, resize, vloggc")
-		table   = flag.String("table", "", "table to regenerate: 1")
-		all     = flag.Bool("all", false, "run every figure and table")
-		records = flag.Int64("records", 100_000, "preloaded record count")
-		ops     = flag.Int64("ops", 200_000, "operations per measurement")
-		threads = flag.Int("threads", 16, "maximum threads for concurrency sweeps")
-		mode    = flag.String("mode", "emulate", "device mode: model | emulate")
-		seed    = flag.Uint64("seed", 42, "workload seed")
-		csvDir  = flag.String("csv", "", "also write each experiment as <dir>/<id>.csv")
-		metrics = flag.Bool("metrics", false, "collect HDNH observability counters and print the Prometheus exposition after the runs")
+		fig       = flag.String("fig", "", "figure to regenerate: 11a, 11b, 12, 13, 14, 15, ablation, loadfactor, hybrid, resize, vloggc, flightdemo")
+		table     = flag.String("table", "", "table to regenerate: 1")
+		all       = flag.Bool("all", false, "run every figure and table")
+		records   = flag.Int64("records", 100_000, "preloaded record count")
+		ops       = flag.Int64("ops", 200_000, "operations per measurement")
+		threads   = flag.Int("threads", 16, "maximum threads for concurrency sweeps")
+		mode      = flag.String("mode", "emulate", "device mode: model | emulate")
+		seed      = flag.Uint64("seed", 42, "workload seed")
+		csvDir    = flag.String("csv", "", "also write each experiment as <dir>/<id>.csv")
+		metrics   = flag.Bool("metrics", false, "collect HDNH observability counters and print the Prometheus exposition after the runs")
+		flightOut = flag.String("flight-out", "", "record a flight trace across the runs and write it to this file (.json => Chrome/Perfetto trace events, else binary dump)")
 	)
 	flag.Parse()
 
@@ -71,6 +73,17 @@ func main() {
 		// all selected experiments.
 		reg = obs.New(obs.Config{})
 		core.SetDefaultMetrics(reg)
+	}
+
+	var fr *flight.Recorder
+	if *flightOut != "" {
+		// Like the metrics registry: one recorder shared by every table the
+		// harness builds, dumped once after the selected runs. Rings are sized
+		// well past the default: the dump is taken once at the end, so rare
+		// structural spans (resize, recovery) must survive the high-frequency
+		// hot-table traffic that lands in the same rings.
+		fr = flight.New(flight.Config{RingEvents: 1 << 17})
+		core.SetDefaultFlight(fr)
 	}
 
 	type job struct {
@@ -119,8 +132,9 @@ func main() {
 		"hybrid":     {"Hybrid related-work comparison (extension)", single(harness.HybridExperiment)},
 		"resize":     {"Resize latency: blocking vs incremental (extension)", single(harness.FigResize)},
 		"vloggc":     {"Value-log churn: GC off vs online GC (extension)", single(harness.FigVlogGC)},
+		"flightdemo": {"Flight-recorder demo: mixed churn with resize, GC, and recovery (extension)", single(harness.FigFlightDemo)},
 	}
-	order := []string{"fig11a", "fig11b", "fig12", "fig13", "fig14", "fig15", "table1", "ablation", "loadfactor", "hybrid", "resize", "vloggc"}
+	order := []string{"fig11a", "fig11b", "fig12", "fig13", "fig14", "fig15", "table1", "ablation", "loadfactor", "hybrid", "resize", "vloggc", "flightdemo"}
 
 	var selected []string
 	switch {
@@ -128,7 +142,7 @@ func main() {
 		selected = order
 	case *fig != "":
 		name := strings.ToLower(*fig)
-		if name != "ablation" && name != "loadfactor" && name != "hybrid" && name != "resize" && name != "vloggc" {
+		if name != "ablation" && name != "loadfactor" && name != "hybrid" && name != "resize" && name != "vloggc" && name != "flightdemo" {
 			name = "fig" + name
 		}
 		selected = []string{name}
@@ -160,6 +174,34 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	if fr != nil {
+		if err := writeFlight(*flightOut, fr); err != nil {
+			fmt.Fprintf(os.Stderr, "hdnhbench: writing flight trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n# flight trace written to %s\n", *flightOut)
+	}
+}
+
+// writeFlight dumps the recorder: Chrome trace-event JSON (load it in
+// Perfetto or chrome://tracing) for .json paths, the compact binary format
+// (read it back with `hdnhinspect flight`) otherwise.
+func writeFlight(path string, fr *flight.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	d := fr.Snapshot()
+	if strings.HasSuffix(path, ".json") {
+		err = flight.WriteChromeTrace(f, d)
+	} else {
+		err = flight.WriteBinary(f, d)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func usageErr(format string, args ...any) {

@@ -18,6 +18,17 @@
 //	GET    /stats         one-line table and value-log shape summary
 //	GET    /healthz       liveness probe
 //
+// With -debug the process also attaches a flight recorder to the store and
+// serves the live-debug surface:
+//
+//	GET    /debug/flight?format=text|json|bin   the current trace (plain
+//	       text, Chrome trace-event JSON for Perfetto, or the binary dump
+//	       hdnhinspect flight reads)
+//	/debug/pprof/...                            net/http/pprof
+//
+// and the structured log drops to debug level, which enables the
+// per-request access log (method, key hash, outcome, latency, bytes).
+//
 // Contended operations (retry budgets exhausted under sustained movement)
 // return 503 with a Retry-After header rather than a fabricated 404 — the
 // HTTP face of the ErrContended semantics. A value log full of live data
@@ -25,13 +36,15 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -40,6 +53,8 @@ import (
 	"time"
 
 	"hdnh/internal/bigkv"
+	"hdnh/internal/flight"
+	"hdnh/internal/hashfn"
 	"hdnh/internal/kv"
 	"hdnh/internal/nvm"
 	"hdnh/internal/obs"
@@ -57,6 +72,7 @@ func main() {
 		mode     = flag.String("mode", "model", "device mode: model | emulate")
 		sample   = flag.Uint64("sample", obs.DefaultSampleEvery, "latency-sample one in N operations (1 samples all)")
 		logMB    = flag.Int64("logmb", 8, "value-log capacity in MiB (fixed; the GC recycles within it)")
+		debug    = flag.Bool("debug", false, "attach a flight recorder and serve /debug/flight and /debug/pprof; log at debug level (per-request access log)")
 	)
 	flag.Parse()
 
@@ -70,9 +86,21 @@ func main() {
 		usageErr("-logmb %d must be positive", *logMB)
 	}
 
+	level := new(slog.LevelVar)
+	if *debug {
+		level.Set(slog.LevelDebug)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+
 	opts := bigkv.DefaultOptions()
 	opts.Table.InitBottomSegments = bottomSegments(*capacity, opts.Table.SegmentBuckets)
 	opts.Table.Metrics = obs.New(obs.Config{SampleEvery: *sample})
+	var fr *flight.Recorder
+	if *debug {
+		fr = flight.New(flight.Config{})
+		opts.Table.Flight = fr
+	}
 	opts.SegmentWords = 1 << 14
 	opts.Segments = *logMB << 20 / 8 / opts.SegmentWords
 	if opts.Segments < 2 {
@@ -99,7 +127,7 @@ func main() {
 		fatal("creating store: %v", err)
 	}
 
-	srv := &server{st: st}
+	srv := &server{st: st, log: logger, flight: fr}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/kv/", srv.kv)
 	mux.HandleFunc("/metrics", srv.metricsProm)
@@ -108,6 +136,14 @@ func main() {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if *debug {
+		mux.HandleFunc("/debug/flight", srv.debugFlight)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 
 	// A configured server, not the bare http.ListenAndServe default: without
 	// timeouts one slow-loris client pins a connection goroutine forever, and
@@ -115,7 +151,7 @@ func main() {
 	// table's clean-shutdown flag never written.
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           srv.accessLog(mux),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      15 * time.Second,
@@ -127,8 +163,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("hdnhserve: listening on %s (capacity %d, mode %s, log %d MiB)",
-			*addr, *capacity, *mode, *logMB)
+		logger.Info("listening", "addr", *addr, "capacity", *capacity,
+			"mode", *mode, "log_mib", *logMB, "debug", *debug)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -137,16 +173,16 @@ func main() {
 		st.Close()
 		fatal("%v", err)
 	case <-ctx.Done():
-		log.Printf("hdnhserve: signal received, draining connections")
+		logger.Info("signal received, draining connections")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
-			log.Printf("hdnhserve: shutdown: %v", err)
+			logger.Error("shutdown", "err", err)
 		}
 		if err := st.Close(); err != nil {
-			log.Printf("hdnhserve: closing store: %v", err)
+			logger.Error("closing store", "err", err)
 		}
-		log.Printf("hdnhserve: clean shutdown")
+		logger.Info("clean shutdown")
 	}
 }
 
@@ -179,6 +215,8 @@ func bottomSegments(hint int64, m int) int {
 // single-goroutine objects; the pool hands each in-flight request its own.
 type server struct {
 	st       *bigkv.Store
+	log      *slog.Logger
+	flight   *flight.Recorder // nil unless -debug
 	sessions sync.Pool
 }
 
@@ -194,6 +232,57 @@ func (s *server) release(sess *bigkv.Session) {
 	// the session; /metrics then needs no cross-goroutine stats reads.
 	sess.SyncObs()
 	s.sessions.Put(sess)
+}
+
+// statusWriter captures what the handler sent so the access log can report
+// outcome and size without buffering bodies.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// accessLog wraps the mux with the per-request debug-level log line. The
+// key is logged as a hash, not plaintext: keys are user data, and the hash
+// is exactly what correlates a request with the table's bucket-level events
+// in a flight trace.
+func (s *server) accessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.log.Enabled(r.Context(), slog.LevelDebug) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		attrs := []any{
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"dur", time.Since(start),
+			"bytes", sw.bytes,
+		}
+		if name := strings.TrimPrefix(r.URL.Path, "/kv/"); name != r.URL.Path && name != "" {
+			attrs = append(attrs, "key_hash", fmt.Sprintf("%016x", hashfn.Hash1([]byte(name))))
+		}
+		s.log.Debug("request", attrs...)
+	})
 }
 
 func (s *server) kv(w http.ResponseWriter, r *http.Request) {
@@ -275,17 +364,57 @@ func contended(w http.ResponseWriter) {
 	http.Error(w, "contended, retry", http.StatusServiceUnavailable)
 }
 
-func (s *server) metricsProm(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := s.st.MetricsSnapshot().WriteProm(w); err != nil {
-		log.Printf("hdnhserve: /metrics: %v", err)
+// writeBuffered renders an exposition into memory before touching the
+// response: a render error then becomes a clean 500, not a 200 with a
+// truncated body the scraper half-parses. (The old handlers streamed
+// straight into the ResponseWriter — by the time rendering failed, the
+// status line and part of the body were already on the wire, and the only
+// trace of the failure was a server-side log line.)
+func (s *server) writeBuffered(w http.ResponseWriter, name, contentType string, render func(io.Writer) error) {
+	var buf bytes.Buffer
+	if err := render(&buf); err != nil {
+		s.log.Error("exposition failed", "endpoint", name, "err", err)
+		http.Error(w, "exposition failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		// Past the first byte the client just went away; log and move on.
+		s.log.Debug("exposition write", "endpoint", name, "err", err)
 	}
 }
 
+func (s *server) metricsProm(w http.ResponseWriter, _ *http.Request) {
+	snap := s.st.MetricsSnapshot()
+	s.writeBuffered(w, "/metrics", "text/plain; version=0.0.4; charset=utf-8", snap.WriteProm)
+}
+
 func (s *server) metricsJSON(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := s.st.MetricsSnapshot().WriteJSON(w); err != nil {
-		log.Printf("hdnhserve: /metrics.json: %v", err)
+	snap := s.st.MetricsSnapshot()
+	s.writeBuffered(w, "/metrics.json", "application/json", snap.WriteJSON)
+}
+
+// debugFlight serves the current flight trace. format=text (default) is the
+// human rendering, format=json the Chrome trace-event file Perfetto loads,
+// format=bin the binary dump hdnhinspect flight reads.
+func (s *server) debugFlight(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		http.Error(w, "flight recorder disabled (run with -debug)", http.StatusNotFound)
+		return
+	}
+	d := s.flight.Snapshot()
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "text":
+		s.writeBuffered(w, "/debug/flight", "text/plain; charset=utf-8",
+			func(w io.Writer) error { return flight.WriteText(w, d) })
+	case "json":
+		s.writeBuffered(w, "/debug/flight", "application/json",
+			func(w io.Writer) error { return flight.WriteChromeTrace(w, d) })
+	case "bin":
+		s.writeBuffered(w, "/debug/flight", "application/octet-stream",
+			func(w io.Writer) error { return flight.WriteBinary(w, d) })
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (text|json|bin)", format), http.StatusBadRequest)
 	}
 }
 

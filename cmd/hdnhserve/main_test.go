@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hdnh/internal/bigkv"
+	"hdnh/internal/flight"
+	"hdnh/internal/nvm"
+	"hdnh/internal/obs"
+)
+
+// testServer builds a server over a small in-memory store, with the debug
+// log captured so the access-log assertions can read it back.
+func testServer(t *testing.T, withFlight bool) (*server, *bytes.Buffer) {
+	t.Helper()
+	dev, err := nvm.New(nvm.DefaultConfig(1 << 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := bigkv.DefaultOptions()
+	opts.Table.Metrics = obs.New(obs.Config{})
+	var fr *flight.Recorder
+	if withFlight {
+		fr = flight.New(flight.Config{})
+		opts.Table.Flight = fr
+	}
+	st, err := bigkv.Create(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	return &server{st: st, log: logger, flight: fr}, &logBuf
+}
+
+func TestKVRoundTripAndAccessLog(t *testing.T) {
+	srv, logBuf := testServer(t, false)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/kv/", srv.kv)
+	h := srv.accessLog(mux)
+
+	put := httptest.NewRequest(http.MethodPut, "/kv/alpha", strings.NewReader("value-bytes"))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, put)
+	if w.Code != http.StatusNoContent {
+		t.Fatalf("PUT = %d, want 204", w.Code)
+	}
+
+	get := httptest.NewRequest(http.MethodGet, "/kv/alpha", nil)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, get)
+	if w.Code != http.StatusOK || w.Body.String() != "value-bytes" {
+		t.Fatalf("GET = %d %q", w.Code, w.Body.String())
+	}
+
+	logs := logBuf.String()
+	for _, want := range []string{"method=PUT", "method=GET", "key_hash=", "status=200", "status=204", "bytes=11"} {
+		if !strings.Contains(logs, want) {
+			t.Fatalf("access log missing %q:\n%s", want, logs)
+		}
+	}
+}
+
+func TestMetricsEndpointsSetContentTypeAndStatus(t *testing.T) {
+	srv, _ := testServer(t, false)
+
+	w := httptest.NewRecorder()
+	srv.metricsProm(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	if !strings.Contains(w.Body.String(), "hdnh_") {
+		t.Fatal("/metrics body carries no hdnh_ series")
+	}
+
+	w = httptest.NewRecorder()
+	srv.metricsJSON(w, httptest.NewRequest(http.MethodGet, "/metrics.json", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics.json = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/metrics.json Content-Type = %q", ct)
+	}
+}
+
+// TestExpositionErrorIsCleanServerError is the regression test for the
+// partial-write bug: a failing render must produce a 500 with no exposition
+// bytes on the wire — before the fix the handler streamed into the
+// ResponseWriter, so by the time rendering failed the client already held a
+// 200 and a truncated body.
+func TestExpositionErrorIsCleanServerError(t *testing.T) {
+	srv, _ := testServer(t, false)
+	w := httptest.NewRecorder()
+	srv.writeBuffered(w, "/metrics", "text/plain",
+		func(out io.Writer) error {
+			io.WriteString(out, "hdnh_partial 1\n") // buffered, must never reach the client
+			return errors.New("boom")
+		})
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", w.Code)
+	}
+	if strings.Contains(w.Body.String(), "hdnh_partial") {
+		t.Fatalf("partial exposition leaked to the client: %q", w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); strings.HasPrefix(ct, "text/plain; version=") {
+		t.Fatalf("exposition Content-Type set on an error response: %q", ct)
+	}
+}
+
+func TestDebugFlightFormats(t *testing.T) {
+	srv, _ := testServer(t, true)
+	// Generate a little traffic so the trace is non-empty.
+	sess := srv.st.NewSession()
+	if err := sess.Put([]byte("k"), []byte("some value for the trace")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := sess.Get([]byte("k")); err != nil || !ok {
+		t.Fatalf("get: %v %v", ok, err)
+	}
+
+	cases := []struct {
+		query, contentType, needle string
+	}{
+		{"", "text/plain; charset=utf-8", "insert"},
+		{"?format=text", "text/plain; charset=utf-8", "insert"},
+		{"?format=json", "application/json", "traceEvents"},
+	}
+	for _, c := range cases {
+		w := httptest.NewRecorder()
+		srv.debugFlight(w, httptest.NewRequest(http.MethodGet, "/debug/flight"+c.query, nil))
+		if w.Code != http.StatusOK {
+			t.Fatalf("flight%s = %d", c.query, w.Code)
+		}
+		if ct := w.Header().Get("Content-Type"); ct != c.contentType {
+			t.Fatalf("flight%s Content-Type = %q, want %q", c.query, ct, c.contentType)
+		}
+		if !strings.Contains(w.Body.String(), c.needle) {
+			t.Fatalf("flight%s body has no %q", c.query, c.needle)
+		}
+	}
+
+	// The binary format must round-trip through the hardened reader.
+	w := httptest.NewRecorder()
+	srv.debugFlight(w, httptest.NewRequest(http.MethodGet, "/debug/flight?format=bin", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("flight bin = %d", w.Code)
+	}
+	if _, err := flight.ReadBinary(w.Body); err != nil {
+		t.Fatalf("binary dump does not parse: %v", err)
+	}
+
+	// Unknown formats are a 400, a disabled recorder a 404.
+	w = httptest.NewRecorder()
+	srv.debugFlight(w, httptest.NewRequest(http.MethodGet, "/debug/flight?format=weird", nil))
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown format = %d, want 400", w.Code)
+	}
+	off, _ := testServer(t, false)
+	w = httptest.NewRecorder()
+	off.debugFlight(w, httptest.NewRequest(http.MethodGet, "/debug/flight", nil))
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("disabled recorder = %d, want 404", w.Code)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"fmt"
 
 	"hdnh/internal/core"
+	"hdnh/internal/flight"
 	"hdnh/internal/kv"
 	"hdnh/internal/nvm"
 	"hdnh/internal/obs"
@@ -117,6 +118,7 @@ type Store struct {
 	dev   *nvm.Device
 	opts  Options
 	rec   obs.Recorder
+	fl    flight.Tracer // GC worker's tracer; flight.Nop when tracing is off
 
 	gc gcState
 }
@@ -166,13 +168,15 @@ func Open(dev *nvm.Device, opts Options) (*Store, error) {
 	return st, nil
 }
 
-// start wires the recorder and launches the GC worker.
+// start wires the recorder and tracers and launches the GC worker.
 func (st *Store) start() {
 	if m := st.table.Metrics(); m != nil {
 		st.rec = m.Handle()
 	} else {
 		st.rec = obs.Nop{}
 	}
+	st.fl = st.table.Flight().Handle("gc")
+	st.log.SetTracer(st.table.Flight().Handle("vlog"))
 	st.startGC()
 }
 

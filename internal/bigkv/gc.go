@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hdnh/internal/core"
+	"hdnh/internal/flight"
 	"hdnh/internal/kv"
 	"hdnh/internal/nvm"
 	"hdnh/internal/scheme"
@@ -20,6 +21,13 @@ type gcState struct {
 	mu   sync.Mutex
 	sess *core.Session // index access for relocation, guarded by mu
 	h    *nvm.Handle   // log access for relocation, guarded by mu
+
+	// nvmBase is the prefix of h's stats already published into the metrics
+	// registry. h carries the GC's log traffic (segment scans, record reads,
+	// copy appends, recycle zeroing), which sess.SyncObs does not cover —
+	// without this baseline the background reclaim traffic would be
+	// invisible in hdnh_nvm_*. Guarded by mu.
+	nvmBase nvm.Stats
 
 	kick   chan struct{}
 	stop   chan struct{}
@@ -106,6 +114,7 @@ func (st *Store) gcWorker() {
 func (st *Store) GCOnce() (bool, error) {
 	st.gc.mu.Lock()
 	defer st.gc.mu.Unlock()
+	defer st.syncGCObs()
 	seg, ok := st.pickVictim()
 	if !ok {
 		return false, nil
@@ -120,15 +129,26 @@ func (st *Store) GCOnce() (bool, error) {
 		// next pass rather than spin here.
 		return false, nil
 	}
+	recycleStart := time.Now()
 	if err := st.log.Recycle(st.gc.h, seg); err != nil {
 		if errors.Is(err, vlog.ErrSegmentLive) {
 			return false, nil
 		}
 		return false, err
 	}
+	st.fl.GCPhase(flight.GCRecycle, seg, time.Since(recycleStart), 1)
 	st.rec.GCRecycle()
-	st.gc.sess.SyncObs()
 	return true, nil
+}
+
+// syncGCObs publishes the GC's NVM traffic into the metrics registry: the
+// index session's via its own bridge, and the log handle's via the baseline
+// delta. Called with gc.mu held, at the end of every pass.
+func (st *Store) syncGCObs() {
+	st.gc.sess.SyncObs()
+	cur := st.gc.h.Stats()
+	st.rec.AddNVM(cur.Sub(st.gc.nvmBase))
+	st.gc.nvmBase = cur
 }
 
 // pickVictim selects the sealed segment with the lowest live fraction.
@@ -167,26 +187,39 @@ func (st *Store) relocate(seg int64) error {
 		key         kv.Key
 	}
 	var live []rec
+	scanStart := time.Now()
 	st.log.ScanSegment(st.gc.h, seg, func(addr, words int64, key kv.Key, _ []byte) bool {
 		live = append(live, rec{addr, words, key})
 		return true
 	})
+	st.fl.GCPhase(flight.GCCopy, seg, time.Since(scanStart), int64(len(live)))
+	var persistDur, rewriteDur time.Duration
+	var copiedWords, rewrites int64
 	for _, r := range live {
 		expect := packPointer(r.addr, r.words)
 		cur, ok := st.gc.sess.Get(r.key)
 		if !ok || cur != expect {
 			continue // dead: overwritten or deleted, its winner decrements
 		}
+		persistStart := time.Now()
 		key, value, err := st.log.Read(st.gc.h, r.addr)
 		if err != nil || key != r.key {
+			persistDur += time.Since(persistStart)
 			continue // already overwritten by a racing reuse; not ours
 		}
 		addr, words, err := st.log.AppendGC(st.gc.h, r.key, value)
+		persistDur += time.Since(persistStart)
 		if err != nil {
+			st.flushGCPhases(seg, persistDur, copiedWords, rewriteDur, rewrites)
 			return err
 		}
-		switch err := st.gc.sess.UpdateIf(r.key, expect, packPointer(addr, words)); {
+		copiedWords += words
+		rewriteStart := time.Now()
+		err = st.gc.sess.UpdateIf(r.key, expect, packPointer(addr, words))
+		rewriteDur += time.Since(rewriteStart)
+		switch {
 		case err == nil:
+			rewrites++
 			st.log.AddLive(r.addr, -r.words)
 			st.rec.GCRelocate(words)
 		case errors.Is(err, scheme.ErrConflict),
@@ -197,8 +230,18 @@ func (st *Store) relocate(seg int64) error {
 			st.rec.GCRaced()
 		default:
 			st.log.AddLive(addr, -words)
+			st.flushGCPhases(seg, persistDur, copiedWords, rewriteDur, rewrites)
 			return err
 		}
 	}
+	st.flushGCPhases(seg, persistDur, copiedWords, rewriteDur, rewrites)
 	return nil
+}
+
+// flushGCPhases emits the pass's aggregated copy-persist and index-rewrite
+// phase spans. Per-record spans would swamp the ring on big segments, so
+// relocate accumulates and emits once per pass.
+func (st *Store) flushGCPhases(seg int64, persistDur time.Duration, copiedWords int64, rewriteDur time.Duration, rewrites int64) {
+	st.fl.GCPhase(flight.GCPersist, seg, persistDur, copiedWords)
+	st.fl.GCPhase(flight.GCRewrite, seg, rewriteDur, rewrites)
 }

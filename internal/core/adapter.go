@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"hdnh/internal/flight"
 	"hdnh/internal/kv"
 	"hdnh/internal/nvm"
 	"hdnh/internal/obs"
@@ -22,6 +23,19 @@ func SetDefaultMetrics(m *obs.Metrics) { defaultMetrics.Store(m) }
 // DefaultMetrics returns the currently installed registry, nil when none.
 func DefaultMetrics() *obs.Metrics { return defaultMetrics.Load() }
 
+// defaultFlight mirrors defaultMetrics for the flight recorder: tools that
+// want tracing on factory-built tables (hdnhbench -flight-out) install one
+// here before opening the store.
+var defaultFlight atomic.Pointer[flight.Recorder]
+
+// SetDefaultFlight installs (or, with nil, removes) the flight recorder
+// future factory-built tables trace into. Tables already open are unaffected.
+func SetDefaultFlight(r *flight.Recorder) { defaultFlight.Store(r) }
+
+// DefaultFlight returns the currently installed flight recorder, nil when
+// none.
+func DefaultFlight() *flight.Recorder { return defaultFlight.Load() }
+
 // The scheme registry entries the benchmark harness sweeps. "HDNH" is the
 // paper's tuned configuration; the suffixed variants isolate one design
 // choice each for the sensitivity and ablation experiments.
@@ -31,6 +45,7 @@ func init() {
 			opts := DefaultOptions()
 			opts.InitBottomSegments = sizeBottomSegments(capacityHint, opts.SegmentBuckets)
 			opts.Metrics = defaultMetrics.Load()
+			opts.Flight = defaultFlight.Load()
 			if mutate != nil {
 				mutate(&opts)
 			}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"hdnh/internal/flight"
 	"hdnh/internal/kv"
 	"hdnh/internal/obs"
 	"hdnh/internal/rng"
@@ -143,14 +144,15 @@ func (l *hotLevel) findKey(b int64, kw0, kw1 uint64, fp uint8) int64 {
 type hotTable struct {
 	slotsPer int
 	replacer Replacer
-	rec      obs.Recorder // shared, atomic-only events (evictions, fills)
+	rec      obs.Recorder  // shared, atomic-only events (evictions, fills)
+	fl       flight.Tracer // table-level tracer (multi-writer safe)
 	top      atomic.Pointer[hotLevel]
 	bottom   atomic.Pointer[hotLevel]
 	clock    atomic.Uint64 // LRU recency source
 }
 
 func newHotTable(topSegs, bottomSegs, m int64, slotsPer int, replacer Replacer) *hotTable {
-	ht := &hotTable{slotsPer: slotsPer, replacer: replacer, rec: obs.Nop{}}
+	ht := &hotTable{slotsPer: slotsPer, replacer: replacer, rec: obs.Nop{}, fl: flight.Nop{}}
 	ht.top.Store(newHotLevel(topSegs, m, slotsPer, replacer == ReplacerLRU))
 	ht.bottom.Store(newHotLevel(bottomSegs, m, slotsPer, replacer == ReplacerLRU))
 	return ht
@@ -269,6 +271,7 @@ func (ht *hotTable) putLocked(top, bottom *hotLevel, tb, bb int64, kw0, kw1 uint
 // locked bucket.
 func (ht *hotTable) replaceLocked(l *hotLevel, b int64, k kv.Key, v kv.Value, fp uint8, r *rng.Xorshift128) {
 	ht.rec.HotEvict()
+	ht.fl.HotEvict()
 	switch ht.replacer {
 	case ReplacerRAFL:
 		// First choice: any cold (hotmap == 0) victim — Figure 6(a).
@@ -332,9 +335,11 @@ func (ht *hotTable) fill(k kv.Key, v kv.Value, h1 uint64, fp uint8, src *level, 
 	defer unlockBuckets(top, bottom, tb, bb)
 	if src.ocfLoad(srcBucket, srcSlot) != observed {
 		ht.rec.HotFill(true)
+		ht.fl.HotFill(true)
 		return // the record moved or changed since it was read; skip
 	}
 	ht.rec.HotFill(false)
+	ht.fl.HotFill(false)
 	ht.putLocked(top, bottom, tb, bb, kw0, kw1, k, v, fp, r)
 }
 

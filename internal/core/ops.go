@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"hdnh/internal/flight"
 	"hdnh/internal/kv"
 	"hdnh/internal/nvm"
 	"hdnh/internal/obs"
@@ -88,9 +89,19 @@ type probeStats struct {
 }
 
 // report publishes the walk's accounting (rescans are passes beyond the
-// first).
-func (ps *probeStats) report(rec obs.Recorder) {
+// first) to both recording surfaces. The flight tracer drops the events
+// unless the current op is trace-sampled.
+func (ps *probeStats) report(rec obs.Recorder, fl flight.Tracer) {
 	rec.Probe(ps.passes-1, ps.probes, ps.spins)
+	fl.Probe(ps.probes, ps.passes-1, ps.spins)
+}
+
+// opDone finishes one operation on both recording surfaces: the metrics
+// counter/latency pair and, when the op was trace-sampled, its flight span
+// (which also drives slow-op promotion).
+func (s *Session) opDone(op obs.Op, out obs.Outcome, start time.Time, ft int64) {
+	s.rec.Op(op, out, start)
+	s.fl.OpEnd(op, out, ft)
 }
 
 // lookupResult is the tri-state outcome of an NVT walk. The third state is
@@ -420,6 +431,7 @@ func (t *Table) lockEmptySlotExcluding(h1, h2 uint64, excl slotRef) (slotRef, ui
 func (s *Session) Insert(k kv.Key, v kv.Value) error {
 	h1, h2, fp := hashKV(k[:])
 	start := s.rec.Start()
+	ft := s.fl.OpBegin(obs.OpInsert)
 	contendedRounds := 0
 	for attempt := 0; attempt <= s.t.opts.MaxExpansions; attempt++ {
 		s.helpDrainStep()
@@ -428,9 +440,9 @@ func (s *Session) Insert(k kv.Key, v kv.Value) error {
 		_, res := s.t.lookup(s.h, k, h1, h2, fp, &ps)
 		if res != lookupMissing {
 			s.t.resizeMu.RUnlock()
-			ps.report(s.rec)
+			ps.report(s.rec, s.fl)
 			if res == lookupFound {
-				s.rec.Op(obs.OpInsert, obs.OutExists, start)
+				s.opDone(obs.OpInsert, obs.OutExists, start, ft)
 				return scheme.ErrExists
 			}
 			s.rec.Contended()
@@ -440,10 +452,10 @@ func (s *Session) Insert(k kv.Key, v kv.Value) error {
 				spinBackoff(spinYields + contendedRounds)
 				continue
 			}
-			s.rec.Op(obs.OpInsert, obs.OutContended, start)
+			s.opDone(obs.OpInsert, obs.OutContended, start, ft)
 			return scheme.ErrContended
 		}
-		ps.report(s.rec)
+		ps.report(s.rec, s.fl)
 		ref, c, ok := s.t.lockEmptySlot(h1, h2, nil)
 		if !ok && s.t.opts.DisplaceOnInsert && s.t.displaceOne(s.h, h1, h2) {
 			ref, c, ok = s.t.lockEmptySlot(h1, h2, nil)
@@ -463,10 +475,10 @@ func (s *Session) Insert(k kv.Key, v kv.Value) error {
 		s.t.count.Add(1)
 		s.waitHotWrite(owed)
 		s.t.resizeMu.RUnlock()
-		s.rec.Op(obs.OpInsert, obs.OutOK, start)
+		s.opDone(obs.OpInsert, obs.OutOK, start, ft)
 		return nil
 	}
-	s.rec.Op(obs.OpInsert, obs.OutFull, start)
+	s.opDone(obs.OpInsert, obs.OutFull, start, ft)
 	return scheme.ErrFull
 }
 
@@ -482,9 +494,10 @@ func (s *Session) Insert(k kv.Key, v kv.Value) error {
 func (s *Session) Get(k kv.Key) (kv.Value, bool) {
 	h1, h2, fp := hashKV(k[:])
 	start := s.rec.Start()
+	ft := s.fl.OpBegin(obs.OpGet)
 	if s.t.hot != nil {
 		if v, ok := s.t.hot.get(k, h1, fp); ok {
-			s.rec.Op(obs.OpGet, obs.OutHotHit, start)
+			s.opDone(obs.OpGet, obs.OutHotHit, start, ft)
 			return v, true
 		}
 	}
@@ -496,13 +509,13 @@ func (s *Session) Get(k kv.Key) (kv.Value, bool) {
 			s.fillHot(k, ht.val, h1, fp, ht.ref.lvl, ht.ref.b, ht.ref.s, ht.ctrl)
 		}
 		s.t.resizeMu.RUnlock()
-		ps.report(s.rec)
+		ps.report(s.rec, s.fl)
 		switch res {
 		case lookupFound:
-			s.rec.Op(obs.OpGet, obs.OutNVTHit, start)
+			s.opDone(obs.OpGet, obs.OutNVTHit, start, ft)
 			return ht.val, true
 		case lookupMissing:
-			s.rec.Op(obs.OpGet, obs.OutMiss, start)
+			s.opDone(obs.OpGet, obs.OutMiss, start, ft)
 			return kv.Value{}, false
 		}
 		s.rec.Contended()
@@ -519,9 +532,10 @@ func (s *Session) Get(k kv.Key) (kv.Value, bool) {
 func (s *Session) Lookup(k kv.Key) (kv.Value, error) {
 	h1, h2, fp := hashKV(k[:])
 	start := s.rec.Start()
+	ft := s.fl.OpBegin(obs.OpGet)
 	if s.t.hot != nil {
 		if v, ok := s.t.hot.get(k, h1, fp); ok {
-			s.rec.Op(obs.OpGet, obs.OutHotHit, start)
+			s.opDone(obs.OpGet, obs.OutHotHit, start, ft)
 			return v, nil
 		}
 	}
@@ -532,17 +546,17 @@ func (s *Session) Lookup(k kv.Key) (kv.Value, error) {
 		s.fillHot(k, ht.val, h1, fp, ht.ref.lvl, ht.ref.b, ht.ref.s, ht.ctrl)
 	}
 	s.t.resizeMu.RUnlock()
-	ps.report(s.rec)
+	ps.report(s.rec, s.fl)
 	switch res {
 	case lookupFound:
-		s.rec.Op(obs.OpGet, obs.OutNVTHit, start)
+		s.opDone(obs.OpGet, obs.OutNVTHit, start, ft)
 		return ht.val, nil
 	case lookupContended:
 		s.rec.Contended()
-		s.rec.Op(obs.OpGet, obs.OutContended, start)
+		s.opDone(obs.OpGet, obs.OutContended, start, ft)
 		return kv.Value{}, scheme.ErrContended
 	default:
-		s.rec.Op(obs.OpGet, obs.OutMiss, start)
+		s.opDone(obs.OpGet, obs.OutMiss, start, ft)
 		return kv.Value{}, scheme.ErrNotFound
 	}
 }
@@ -584,6 +598,7 @@ func (s *Session) UpdateIf(k kv.Key, expect, v kv.Value) error {
 func (s *Session) updateWith(k kv.Key, v kv.Value, expect *kv.Value) (kv.Value, error) {
 	h1, h2, fp := hashKV(k[:])
 	start := s.rec.Start()
+	ft := s.fl.OpBegin(obs.OpUpdate)
 	transientRetries := 0
 	contendedRounds := 0
 	for attempt := 0; attempt <= s.t.opts.MaxExpansions; attempt++ {
@@ -593,9 +608,9 @@ func (s *Session) updateWith(k kv.Key, v kv.Value, expect *kv.Value) (kv.Value, 
 		old, res := s.t.findAndLock(s.h, k, h1, h2, fp, &ps)
 		if res != lookupFound {
 			s.t.resizeMu.RUnlock()
-			ps.report(s.rec)
+			ps.report(s.rec, s.fl)
 			if res == lookupMissing {
-				s.rec.Op(obs.OpUpdate, obs.OutNotFound, start)
+				s.opDone(obs.OpUpdate, obs.OutNotFound, start, ft)
 				return kv.Value{}, scheme.ErrNotFound
 			}
 			s.rec.Contended()
@@ -605,16 +620,16 @@ func (s *Session) updateWith(k kv.Key, v kv.Value, expect *kv.Value) (kv.Value, 
 				spinBackoff(spinYields + contendedRounds)
 				continue
 			}
-			s.rec.Op(obs.OpUpdate, obs.OutContended, start)
+			s.opDone(obs.OpUpdate, obs.OutContended, start, ft)
 			return kv.Value{}, scheme.ErrContended
 		}
-		ps.report(s.rec)
+		ps.report(s.rec, s.fl)
 		if expect != nil && old.val != *expect {
 			// Conditional update, wrong current value: put the old slot back
 			// untouched and report the value that won.
 			old.ref.lvl.ocfRelease(old.ref.b, old.ref.s, true, fp, ocfVer(old.ctrl))
 			s.t.resizeMu.RUnlock()
-			s.rec.Op(obs.OpUpdate, obs.OutConflict, start)
+			s.opDone(obs.OpUpdate, obs.OutConflict, start, ft)
 			return old.val, scheme.ErrConflict
 		}
 		// Prefer the old record's own bucket only while it lives in the
@@ -664,10 +679,10 @@ func (s *Session) updateWith(k kv.Key, v kv.Value, expect *kv.Value) (kv.Value, 
 		owed := s.beginHotWrite(hotOpPut, k, v, h1, fp)
 		s.waitHotWrite(owed)
 		s.t.resizeMu.RUnlock()
-		s.rec.Op(obs.OpUpdate, obs.OutOK, start)
+		s.opDone(obs.OpUpdate, obs.OutOK, start, ft)
 		return old.val, nil
 	}
-	s.rec.Op(obs.OpUpdate, obs.OutFull, start)
+	s.opDone(obs.OpUpdate, obs.OutFull, start, ft)
 	return kv.Value{}, scheme.ErrFull
 }
 
@@ -691,15 +706,16 @@ func (s *Session) DeleteExchange(k kv.Key) (kv.Value, error) {
 func (s *Session) deleteWith(k kv.Key) (kv.Value, error) {
 	h1, h2, fp := hashKV(k[:])
 	start := s.rec.Start()
+	ft := s.fl.OpBegin(obs.OpDelete)
 	for round := 0; ; round++ {
 		s.t.resizeMu.RLock()
 		var ps probeStats
 		old, res := s.t.findAndLock(s.h, k, h1, h2, fp, &ps)
 		if res != lookupFound {
 			s.t.resizeMu.RUnlock()
-			ps.report(s.rec)
+			ps.report(s.rec, s.fl)
 			if res == lookupMissing {
-				s.rec.Op(obs.OpDelete, obs.OutNotFound, start)
+				s.opDone(obs.OpDelete, obs.OutNotFound, start, ft)
 				return kv.Value{}, scheme.ErrNotFound
 			}
 			s.rec.Contended()
@@ -707,17 +723,17 @@ func (s *Session) deleteWith(k kv.Key) (kv.Value, error) {
 				spinBackoff(spinYields + round)
 				continue
 			}
-			s.rec.Op(obs.OpDelete, obs.OutContended, start)
+			s.opDone(obs.OpDelete, obs.OutContended, start, ft)
 			return kv.Value{}, scheme.ErrContended
 		}
-		ps.report(s.rec)
+		ps.report(s.rec, s.fl)
 		s.t.clearSlotCommit(s.h, old.ref, old.w3)
 		old.ref.lvl.ocfRelease(old.ref.b, old.ref.s, false, 0, ocfVer(old.ctrl))
 		s.t.count.Add(-1)
 		owed := s.beginHotWrite(hotOpDel, k, kv.Value{}, h1, fp)
 		s.waitHotWrite(owed)
 		s.t.resizeMu.RUnlock()
-		s.rec.Op(obs.OpDelete, obs.OutOK, start)
+		s.opDone(obs.OpDelete, obs.OutOK, start, ft)
 		return old.val, nil
 	}
 }

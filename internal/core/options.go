@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"hdnh/internal/flight"
 	"hdnh/internal/obs"
 )
 
@@ -112,6 +113,12 @@ type Options struct {
 	// writers record into it (see internal/obs). nil compiles the accounting
 	// down to no-ops.
 	Metrics *obs.Metrics
+
+	// Flight, when non-nil, enables the flight recorder: sessions, the
+	// resize machinery, recovery, and the hot table trace typed events into
+	// per-handle ring buffers (see internal/flight). nil compiles the
+	// tracing down to no-ops.
+	Flight *flight.Recorder
 
 	// Seed makes replacement decisions and any sampling deterministic.
 	Seed uint64

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hdnh/internal/flight"
 	"hdnh/internal/hashfn"
 	"hdnh/internal/kv"
 	"hdnh/internal/nvm"
@@ -53,6 +54,7 @@ func (t *Table) recover() error {
 	// between requesting the new level and switching pointers: per the
 	// paper, apply for the new level again and point the top level at it.
 	if st.levelNumber == levelNumRequest {
+		replayStart := time.Now()
 		_, topSegs := t.levelDescriptor(st.top)
 		newSegs := 2 * topSegs
 		base, err := dev.Alloc(h, newSegs*m*BucketWords, nvm.BlockWords)
@@ -69,6 +71,7 @@ func (t *Table) recover() error {
 		t.clearDrainLayout(h)
 		st = tableState{levelNumber: levelNumRehash, top: st.drain, bottom: st.top, drain: st.bottom, generation: st.generation}
 		t.setState(h, st)
+		t.fl.RecoveryStep(flight.RecReplay, time.Since(replayStart), newSegs)
 	}
 
 	topBase, topSegs := t.levelDescriptor(st.top)
@@ -85,6 +88,7 @@ func (t *Table) recover() error {
 	ocfStart := time.Now()
 	t.rebuildOCF()
 	stats.OCFRebuild = time.Since(ocfStart)
+	t.fl.RecoveryStep(flight.RecOCF, stats.OCFRebuild, t.top.buckets()+t.bottom.buckets())
 
 	// Level number 3: resume draining the old bottom level from the
 	// persisted per-range progress words (or the legacy single-range word),
@@ -93,6 +97,7 @@ func (t *Table) recover() error {
 	// drain reads OCF validity, so the drain level's filter is rebuilt first.
 	if st.levelNumber == levelNumRehash {
 		stats.ResumedRehash = true
+		drainStart := time.Now()
 		drainBase, drainSegs := t.levelDescriptor(st.drain)
 		if drainSegs <= 0 {
 			return fmt.Errorf("core: corrupt drain descriptor (%d segments)", drainSegs)
@@ -112,12 +117,15 @@ func (t *Table) recover() error {
 		if task.err != nil {
 			return task.err
 		}
+		t.fl.RecoveryStep(flight.RecDrain, time.Since(drainStart), drainLvl.buckets())
 	}
 
 	// After an unclean shutdown a crashed out-of-place update may have left
 	// both record versions committed; resolve toward the newer stamp.
 	if !clean {
+		dedupStart := time.Now()
 		stats.DuplicatesResolved = t.dedupTornUpdates(h)
+		t.fl.RecoveryStep(flight.RecDedup, time.Since(dedupStart), stats.DuplicatesResolved)
 	}
 
 	t.count.Store(t.countFromOCF())
@@ -129,6 +137,7 @@ func (t *Table) recover() error {
 		t.hot = newHotTable(t.top.segments, t.bottom.segments, m, t.opts.HotSlotsPerBucket, t.opts.Replacer)
 		t.rebuildHot()
 		stats.HotRebuild = time.Since(hotStart)
+		t.fl.RecoveryStep(flight.RecHot, stats.HotRebuild, stats.Items)
 	}
 
 	stats.Total = time.Since(start)

@@ -198,6 +198,7 @@ func (t *Table) expandLocked(st tableState) error {
 	}
 	t.resizeMu.Unlock()
 	t.rec.ExpansionSwap(time.Since(began))
+	t.fl.ResizeSwap(st.generation, time.Since(began))
 
 	for w := 0; w < len(task.ranges); w++ {
 		go t.drainWorker(task, w)
@@ -443,6 +444,7 @@ func (t *Table) drainChunk(h *nvm.Handle, task *drainTask, r *drainRange, lo, hi
 		t.resizeMu.RUnlock()
 	}
 	t.rec.DrainChunk(hi-lo, moved, time.Since(start))
+	t.fl.DrainChunk(hi-lo, moved, time.Since(start))
 	t.completeChunk(h, task, r, lo, hi)
 }
 
@@ -484,6 +486,7 @@ func (t *Table) finishDrain(h *nvm.Handle, task *drainTask) {
 	t.clearDrainLayout(h)
 	t.draining.Store(nil)
 	t.rec.Expansion(time.Since(task.began))
+	t.fl.ResizeDone(task.finalState.generation, time.Since(task.began))
 	close(task.done)
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"hdnh/internal/flight"
 	"hdnh/internal/nvm"
 	"hdnh/internal/obs"
 	"hdnh/internal/rng"
@@ -19,19 +20,25 @@ type Session struct {
 	done chan struct{} // reusable sync_write_signal (one outstanding write)
 
 	rec     obs.Recorder
+	fl      flight.Tracer
 	nvmBase nvm.Stats // handle stats already published via SyncObs
 }
 
 // NewSession returns a fresh session on the table.
 func (t *Table) NewSession() *Session {
 	id := t.sessionSeq.Add(1)
-	return &Session{
+	s := &Session{
 		t:    t,
 		h:    t.dev.NewHandle(),
 		rng:  rng.New(t.opts.Seed ^ (id * 0x9E3779B97F4A7C15)),
 		done: make(chan struct{}, 1),
 		rec:  t.recorderHandle(),
+		fl:   t.flight.Handle("session"),
 	}
+	// Bind the session's device handle so traced ops carry their per-op NVM
+	// deltas as span args.
+	s.fl.BindNVM(s.h)
+	return s
 }
 
 // Table returns the session's table.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hdnh/internal/flight"
 	"hdnh/internal/nvm"
 	"hdnh/internal/obs"
 )
@@ -39,6 +40,14 @@ type Table struct {
 	// (expansions, hot-table traffic), Nop when metrics is nil.
 	metrics *obs.Metrics
 	rec     obs.Recorder
+
+	// flight is Options.Flight (nil when tracing is off); fl is the
+	// table-level tracer for events not tied to one session — recovery
+	// steps, resize swaps, drain chunks (multi-writer safe), hot-table
+	// traffic — flight.Nop when flight is nil. Set before recover() runs so
+	// recovery replay is traced.
+	flight *flight.Recorder
+	fl     flight.Tracer
 
 	count       atomic.Int64
 	sessionSeq  atomic.Uint64
@@ -118,6 +127,8 @@ func Create(dev *nvm.Device, opts Options) (*Table, error) {
 		return nil, errors.New("core: device already holds a table; use Open")
 	}
 	t := &Table{dev: dev, opts: opts.withDefaults(), rec: obs.Nop{}}
+	t.flight = t.opts.Flight
+	t.fl = t.flight.Handle("table")
 	h := dev.NewHandle()
 
 	metaOff, err := dev.Alloc(h, metaWords, nvm.BlockWords)
@@ -167,6 +178,8 @@ func Open(dev *nvm.Device, opts Options) (*Table, error) {
 		return nil, errors.New("core: device holds no table; use Create")
 	}
 	t := &Table{dev: dev, opts: opts.withDefaults(), rec: obs.Nop{}}
+	t.flight = t.opts.Flight
+	t.fl = t.flight.Handle("table")
 	t.metaOff = int64(dev.Root(rootSlot))
 	if dev.Load(t.metaOff+metaMagicWord) != tableMagic {
 		return nil, errors.New("core: table metadata magic mismatch")
@@ -194,6 +207,7 @@ func (t *Table) initVolatile() {
 			t.hot = newHotTable(t.top.segments, t.bottom.segments, t.top.m, t.opts.HotSlotsPerBucket, t.opts.Replacer)
 		}
 		t.hot.rec = t.rec
+		t.hot.fl = t.fl
 		if t.opts.SyncWrites {
 			t.pool = newWriterPool(t, t.opts.BackgroundWriters)
 		}
@@ -211,6 +225,11 @@ func (t *Table) recorderHandle() obs.Recorder {
 
 // Metrics returns the registry the table records into, nil when disabled.
 func (t *Table) Metrics() *obs.Metrics { return t.metrics }
+
+// Flight returns the flight recorder the table traces into, nil when
+// disabled. Layers above the table (bigkv's GC worker, the value log) hang
+// their own tracer handles off it.
+func (t *Table) Flight() *flight.Recorder { return t.flight }
 
 // MetricsSnapshot returns the current metrics counters with the table-shape
 // gauges filled in. Zero-valued when metrics are disabled.

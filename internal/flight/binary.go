@@ -1,0 +1,225 @@
+package flight
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"hdnh/internal/obs"
+)
+
+// Binary dump format (little-endian), mirroring internal/trace's reader
+// discipline: magic + version up front, fixed-size records, hard caps on
+// every count so a hostile dump cannot drive allocation, and ErrBadDump
+// (never a panic) on anything malformed.
+//
+//	header:   magic u64, version u32, reserved u32
+//	rings:    count u32, then per ring: id u32, labelLen u8, label bytes
+//	slow ops: count u32, then per op:
+//	          op u8, out u8, reserved u16, ring u32, start i64, dur i64,
+//	          eventCount u32, then eventCount event records
+//	events:   event records to EOF
+//
+// One event record is 48 bytes: kind u8, a u8, b u16, ring u32, ts i64,
+// args 4 x u64.
+const (
+	dumpMagic   = 0x48444e48464c5431 // "HDNHFLT1"
+	dumpVersion = 1
+
+	eventBytes = 48
+
+	maxRings      = 1 << 16
+	maxSlowOps    = 1 << 16
+	maxSlowEvents = 1 << 20
+	maxLabelLen   = 255
+)
+
+// ErrBadDump reports a malformed or truncated binary flight dump.
+var ErrBadDump = errors.New("flight: bad dump")
+
+func badDump(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadDump, fmt.Sprintf(format, args...))
+}
+
+func putEvent(buf []byte, ev Event) {
+	buf[0] = uint8(ev.Kind)
+	buf[1] = ev.A
+	binary.LittleEndian.PutUint16(buf[2:], ev.B)
+	binary.LittleEndian.PutUint32(buf[4:], ev.Ring)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(ev.TS))
+	for i, a := range ev.Args {
+		binary.LittleEndian.PutUint64(buf[16+8*i:], a)
+	}
+}
+
+func getEvent(buf []byte) (Event, error) {
+	if buf[0] >= uint8(numKinds) {
+		return Event{}, badDump("event kind %d out of range", buf[0])
+	}
+	ev := Event{
+		Kind: Kind(buf[0]),
+		A:    buf[1],
+		B:    binary.LittleEndian.Uint16(buf[2:]),
+		Ring: binary.LittleEndian.Uint32(buf[4:]),
+		TS:   int64(binary.LittleEndian.Uint64(buf[8:])),
+	}
+	for i := range ev.Args {
+		ev.Args[i] = binary.LittleEndian.Uint64(buf[16+8*i:])
+	}
+	return ev, nil
+}
+
+// WriteBinary writes the dump in the binary format.
+func WriteBinary(w io.Writer, d Dump) error {
+	bw := bufio.NewWriter(w)
+	var scratch [eventBytes]byte
+
+	binary.LittleEndian.PutUint64(scratch[:8], dumpMagic)
+	binary.LittleEndian.PutUint32(scratch[8:12], dumpVersion)
+	binary.LittleEndian.PutUint32(scratch[12:16], 0)
+	if _, err := bw.Write(scratch[:16]); err != nil {
+		return err
+	}
+
+	if len(d.Rings) > maxRings {
+		return badDump("too many rings to encode: %d", len(d.Rings))
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(d.Rings)))
+	bw.Write(scratch[:4])
+	for _, ri := range d.Rings {
+		label := ri.Label
+		if len(label) > maxLabelLen {
+			label = label[:maxLabelLen]
+		}
+		binary.LittleEndian.PutUint32(scratch[:4], ri.ID)
+		scratch[4] = uint8(len(label))
+		bw.Write(scratch[:5])
+		bw.WriteString(label)
+	}
+
+	if len(d.Slow) > maxSlowOps {
+		return badDump("too many slow ops to encode: %d", len(d.Slow))
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(d.Slow)))
+	bw.Write(scratch[:4])
+	for _, so := range d.Slow {
+		if len(so.Events) > maxSlowEvents {
+			return badDump("slow op window too large to encode: %d events", len(so.Events))
+		}
+		scratch[0] = uint8(so.Op)
+		scratch[1] = uint8(so.Out)
+		binary.LittleEndian.PutUint16(scratch[2:], 0)
+		binary.LittleEndian.PutUint32(scratch[4:], so.Ring)
+		binary.LittleEndian.PutUint64(scratch[8:], uint64(so.Start))
+		binary.LittleEndian.PutUint64(scratch[16:], uint64(so.Dur))
+		binary.LittleEndian.PutUint32(scratch[24:], uint32(len(so.Events)))
+		bw.Write(scratch[:28])
+		for _, ev := range so.Events {
+			putEvent(scratch[:], ev)
+			bw.Write(scratch[:])
+		}
+	}
+
+	for _, ev := range d.Events {
+		putEvent(scratch[:], ev)
+		if _, err := bw.Write(scratch[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a binary flight dump. It validates the magic, version,
+// every enum, and every count before allocating, returning errors wrapping
+// ErrBadDump for anything malformed — it never panics on hostile input
+// (FuzzFlightReader pins this).
+func ReadBinary(r io.Reader) (Dump, error) {
+	br := bufio.NewReader(r)
+	var d Dump
+	var buf [eventBytes]byte
+
+	if _, err := io.ReadFull(br, buf[:16]); err != nil {
+		return d, badDump("short header: %v", err)
+	}
+	if binary.LittleEndian.Uint64(buf[:8]) != dumpMagic {
+		return d, badDump("bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:12]); v != dumpVersion {
+		return d, badDump("unsupported version %d", v)
+	}
+
+	if _, err := io.ReadFull(br, buf[:4]); err != nil {
+		return d, badDump("short ring table: %v", err)
+	}
+	nRings := binary.LittleEndian.Uint32(buf[:4])
+	if nRings > maxRings {
+		return d, badDump("ring count %d exceeds limit", nRings)
+	}
+	for i := uint32(0); i < nRings; i++ {
+		if _, err := io.ReadFull(br, buf[:5]); err != nil {
+			return d, badDump("short ring entry %d: %v", i, err)
+		}
+		id := binary.LittleEndian.Uint32(buf[:4])
+		labelLen := int(buf[4])
+		label := make([]byte, labelLen)
+		if _, err := io.ReadFull(br, label); err != nil {
+			return d, badDump("short ring label %d: %v", i, err)
+		}
+		d.Rings = append(d.Rings, RingInfo{ID: id, Label: string(label)})
+	}
+
+	if _, err := io.ReadFull(br, buf[:4]); err != nil {
+		return d, badDump("short slow-op table: %v", err)
+	}
+	nSlow := binary.LittleEndian.Uint32(buf[:4])
+	if nSlow > maxSlowOps {
+		return d, badDump("slow-op count %d exceeds limit", nSlow)
+	}
+	for i := uint32(0); i < nSlow; i++ {
+		if _, err := io.ReadFull(br, buf[:28]); err != nil {
+			return d, badDump("short slow-op header %d: %v", i, err)
+		}
+		so := SlowOp{
+			Ring:  binary.LittleEndian.Uint32(buf[4:]),
+			Start: int64(binary.LittleEndian.Uint64(buf[8:])),
+			Dur:   int64(binary.LittleEndian.Uint64(buf[16:])),
+		}
+		if buf[0] >= uint8(obs.NumOps) || buf[1] >= uint8(obs.NumOutcomes) {
+			return d, badDump("slow-op %d op/outcome out of range", i)
+		}
+		so.Op = obs.Op(buf[0])
+		so.Out = obs.Outcome(buf[1])
+		nEv := binary.LittleEndian.Uint32(buf[24:])
+		if nEv > maxSlowEvents {
+			return d, badDump("slow-op %d window %d exceeds limit", i, nEv)
+		}
+		for j := uint32(0); j < nEv; j++ {
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return d, badDump("short slow-op %d event %d: %v", i, j, err)
+			}
+			ev, err := getEvent(buf[:])
+			if err != nil {
+				return d, err
+			}
+			so.Events = append(so.Events, ev)
+		}
+		d.Slow = append(d.Slow, so)
+	}
+
+	for {
+		n, err := io.ReadFull(br, buf[:])
+		if err == io.EOF {
+			return d, nil
+		}
+		if err != nil {
+			return d, badDump("torn event record (%d of %d bytes): %v", n, eventBytes, err)
+		}
+		ev, err := getEvent(buf[:])
+		if err != nil {
+			return d, err
+		}
+		d.Events = append(d.Events, ev)
+	}
+}

@@ -1,0 +1,348 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hdnh/internal/obs"
+)
+
+func TestRingRecordAndSnapshot(t *testing.T) {
+	r := New(Config{RingEvents: 64, SlowOpThreshold: -1})
+	tr := r.Handle("session")
+
+	begin := tr.OpBegin(obs.OpGet)
+	if begin == 0 {
+		t.Fatal("OpBegin returned 0 for a sampled op")
+	}
+	tr.Probe(7, 2, 3)
+	tr.OpEnd(obs.OpGet, obs.OutNVTHit, begin)
+	tr.HotFill(true)
+	tr.HotEvict()
+	tr.DrainChunk(128, 40, 5*time.Microsecond)
+	tr.ResizeSwap(3, time.Microsecond)
+	tr.ResizeDone(4, time.Millisecond)
+	tr.GCPhase(GCRewrite, 9, 2*time.Microsecond, 11)
+	tr.VLogSeg(2, 5)
+	tr.RecoveryStep(RecOCF, 3*time.Microsecond, 1000)
+
+	d := r.Snapshot()
+	if len(d.Rings) != 1 || d.Rings[0].Label != "session" {
+		t.Fatalf("rings = %+v", d.Rings)
+	}
+	want := []Kind{
+		KindOpBegin, KindProbe, KindRescan, KindLockSpin, KindOpEnd,
+		KindHotFill, KindHotEvict, KindDrainChunk, KindResizeSwap,
+		KindResizeDone, KindGCPhase, KindVLogSeg, KindRecoveryStep,
+	}
+	if len(d.Events) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(d.Events), len(want), d.Events)
+	}
+	for i, k := range want {
+		if d.Events[i].Kind != k {
+			t.Fatalf("event %d kind = %v, want %v", i, d.Events[i].Kind, k)
+		}
+	}
+	end := d.Events[4]
+	if obs.Op(end.A) != obs.OpGet || obs.Outcome(end.B) != obs.OutNVTHit {
+		t.Fatalf("op-end decoded as %v/%v", obs.Op(end.A), obs.Outcome(end.B))
+	}
+	if end.Args[0] == 0 {
+		t.Fatal("op-end carries no duration")
+	}
+	gc := d.Events[10]
+	if GCPhase(gc.A) != GCRewrite || gc.Args[1] != 9 || gc.Args[2] != 11 {
+		t.Fatalf("gc-phase decoded as %+v", gc)
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	r := New(Config{RingEvents: 16, SlowOpThreshold: -1})
+	tr := r.Handle("w")
+	for i := 0; i < 100; i++ {
+		tr.VLogSeg(1, int64(i))
+	}
+	d := r.Snapshot()
+	if len(d.Events) != 16 {
+		t.Fatalf("got %d events after wrap, want 16", len(d.Events))
+	}
+	for i, ev := range d.Events {
+		if want := uint64(100 - 16 + i); ev.Args[0] != want {
+			t.Fatalf("event %d segment = %d, want %d", i, ev.Args[0], want)
+		}
+	}
+}
+
+func TestSampling(t *testing.T) {
+	r := New(Config{RingEvents: 256, SampleEvery: 8, SlowOpThreshold: -1})
+	tr := r.Handle("s")
+	for i := 0; i < 64; i++ {
+		b := tr.OpBegin(obs.OpInsert)
+		tr.Probe(1, 1, 1) // must be dropped outside sampled ops
+		tr.OpEnd(obs.OpInsert, obs.OutOK, b)
+	}
+	d := r.Snapshot()
+	var begins, ends, probes int
+	for _, ev := range d.Events {
+		switch ev.Kind {
+		case KindOpBegin:
+			begins++
+		case KindOpEnd:
+			ends++
+		case KindProbe:
+			probes++
+		}
+	}
+	if begins != 8 || ends != 8 {
+		t.Fatalf("sampled %d begins / %d ends, want 8/8", begins, ends)
+	}
+	if probes != 8 {
+		t.Fatalf("probe events = %d, want 8 (only inside sampled ops)", probes)
+	}
+}
+
+func TestSlowOpCapturePromotesWindow(t *testing.T) {
+	r := New(Config{RingEvents: 64, SlowOpThreshold: 1, SlowOpKeep: 4})
+	tr := r.Handle("s")
+	// Background noise before the op must stay out of the window.
+	tr.VLogSeg(1, 99)
+	b := tr.OpBegin(obs.OpGet)
+	tr.Probe(5, 2, 0)
+	time.Sleep(50 * time.Microsecond) // guarantee dur >= 1ns threshold
+	tr.OpEnd(obs.OpGet, obs.OutMiss, b)
+
+	slow := r.SlowOps()
+	if len(slow) != 1 {
+		t.Fatalf("retained %d slow ops, want 1", len(slow))
+	}
+	so := slow[0]
+	if so.Op != obs.OpGet || so.Out != obs.OutMiss || so.Dur <= 0 {
+		t.Fatalf("slow op = %+v", so)
+	}
+	kinds := map[Kind]int{}
+	for _, ev := range so.Events {
+		kinds[ev.Kind]++
+		if ev.Kind == KindVLogSeg {
+			t.Fatal("pre-op event leaked into the slow-op window")
+		}
+	}
+	if kinds[KindOpBegin] != 1 || kinds[KindProbe] != 1 || kinds[KindRescan] != 1 || kinds[KindOpEnd] != 1 {
+		t.Fatalf("window kinds = %v", kinds)
+	}
+
+	// The buffer is bounded: overflow drops the oldest.
+	for i := 0; i < 10; i++ {
+		b := tr.OpBegin(obs.OpDelete)
+		tr.OpEnd(obs.OpDelete, obs.OutOK, b)
+	}
+	slow = r.SlowOps()
+	if len(slow) != 4 {
+		t.Fatalf("retained %d slow ops, want cap 4", len(slow))
+	}
+	for _, so := range slow {
+		if so.Op != obs.OpDelete {
+			t.Fatalf("oldest entries not dropped: %+v", so)
+		}
+	}
+	if r.SlowOpsSeen() != 11 {
+		t.Fatalf("SlowOpsSeen = %d, want 11", r.SlowOpsSeen())
+	}
+}
+
+func TestNilRecorderIsNop(t *testing.T) {
+	var r *Recorder
+	tr := r.Handle("x")
+	if _, ok := tr.(Nop); !ok {
+		t.Fatalf("nil recorder handle = %T, want Nop", tr)
+	}
+	if b := tr.OpBegin(obs.OpGet); b != 0 {
+		t.Fatalf("Nop OpBegin = %d", b)
+	}
+	if d := r.Snapshot(); len(d.Events) != 0 || len(d.Rings) != 0 {
+		t.Fatalf("nil recorder snapshot = %+v", d)
+	}
+	if r.SlowOps() != nil || r.SlowOpsSeen() != 0 {
+		t.Fatal("nil recorder retained slow ops")
+	}
+}
+
+// TestConcurrentEmitAndSnapshot hammers one shared ring from several writers
+// while a reader snapshots continuously: under -race this pins the seqlock
+// protocol, and the assertions pin that accepted events are never torn
+// (every accepted event must be internally consistent).
+func TestConcurrentEmitAndSnapshot(t *testing.T) {
+	r := New(Config{RingEvents: 128, SlowOpThreshold: -1})
+	tr := r.Handle("shared").(*Handle)
+
+	const writers = 4
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Args encode a checksum so a torn event is detectable.
+				v := uint64(w)<<32 | uint64(i)
+				tr.rg.emit(int64(v), KindVLogSeg, 1, 0, v, v^0xABCD, v+1, v^0x1234)
+			}
+		}(w)
+	}
+	var snapshots int
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			d := r.Snapshot()
+			snapshots++
+			for _, ev := range d.Events {
+				v := ev.Args[0]
+				if ev.Args[1] != v^0xABCD || ev.Args[2] != v+1 || ev.Args[3] != v^0x1234 || ev.TS != int64(v) {
+					t.Errorf("torn event accepted: %+v", ev)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	d := r.Snapshot()
+	if len(d.Events) != 128 {
+		t.Fatalf("final snapshot has %d events, want full ring 128", len(d.Events))
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	r := New(Config{RingEvents: 64, SlowOpThreshold: 1})
+	tr := r.Handle("session")
+	bg := r.Handle("table")
+	b := tr.OpBegin(obs.OpUpdate)
+	tr.Probe(3, 1, 2)
+	time.Sleep(10 * time.Microsecond)
+	tr.OpEnd(obs.OpUpdate, obs.OutOK, b)
+	bg.DrainChunk(64, 10, time.Microsecond)
+	bg.GCPhase(GCRecycle, 2, time.Microsecond, 1)
+
+	d := r.Snapshot()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rings) != len(d.Rings) || got.Rings[0] != d.Rings[0] || got.Rings[1] != d.Rings[1] {
+		t.Fatalf("rings round-trip: got %+v want %+v", got.Rings, d.Rings)
+	}
+	if len(got.Events) != len(d.Events) {
+		t.Fatalf("events round-trip: got %d want %d", len(got.Events), len(d.Events))
+	}
+	for i := range got.Events {
+		if got.Events[i] != d.Events[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, got.Events[i], d.Events[i])
+		}
+	}
+	if len(got.Slow) != len(d.Slow) {
+		t.Fatalf("slow round-trip: got %d want %d", len(got.Slow), len(d.Slow))
+	}
+	for i := range got.Slow {
+		g, w := got.Slow[i], d.Slow[i]
+		if g.Op != w.Op || g.Out != w.Out || g.Ring != w.Ring || g.Start != w.Start || g.Dur != w.Dur || len(g.Events) != len(w.Events) {
+			t.Fatalf("slow op %d: got %+v want %+v", i, g, w)
+		}
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		bytes.Repeat([]byte{0xFF}, 64),
+	}
+	// A valid header followed by a hostile ring count must not allocate.
+	var hostile bytes.Buffer
+	WriteBinary(&hostile, Dump{})
+	h := hostile.Bytes()
+	h[16], h[17], h[18], h[19] = 0xFF, 0xFF, 0xFF, 0xFF
+	cases = append(cases, h)
+
+	for i, c := range cases {
+		if _, err := ReadBinary(bytes.NewReader(c)); !errors.Is(err, ErrBadDump) {
+			t.Fatalf("case %d: err = %v, want ErrBadDump", i, err)
+		}
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	r := New(Config{RingEvents: 64, SlowOpThreshold: -1})
+	tr := r.Handle("session")
+	b := tr.OpBegin(obs.OpGet)
+	tr.OpEnd(obs.OpGet, obs.OutHotHit, b)
+	tr.GCPhase(GCCopy, 1, time.Microsecond, 5)
+	tr.RecoveryStep(RecReplay, time.Microsecond, 1)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var tr2 struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr2); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range tr2.TraceEvents {
+		names[ev["name"].(string)] = true
+	}
+	for _, want := range []string{"thread_name", "get", "gc-copy", "recovery-replay"} {
+		if !names[want] {
+			t.Fatalf("chrome trace missing %q (have %v)", want, names)
+		}
+	}
+	for _, ev := range tr2.TraceEvents {
+		if ev["name"] == "get" {
+			args := ev["args"].(map[string]any)
+			if args["outcome"] != "hot_hit" {
+				t.Fatalf("get span args = %v", args)
+			}
+		}
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := New(Config{RingEvents: 64, SlowOpThreshold: 1})
+	tr := r.Handle("session")
+	b := tr.OpBegin(obs.OpGet)
+	tr.Probe(0, 4, 0)
+	time.Sleep(10 * time.Microsecond)
+	tr.OpEnd(obs.OpGet, obs.OutMiss, b)
+	tr.DrainChunk(32, 8, time.Microsecond)
+
+	var buf bytes.Buffer
+	if err := WriteText(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"flight dump: 1 rings",
+		"get miss",
+		"movement-hazard rescans=4",
+		"drain chunk: 32 buckets",
+		"slow ops",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text dump missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package flight
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Ring slot layout: 6 atomic uint64 words per event.
+//
+//	w0 = seq(32) | kind(8) | a(8) | b(16)   — the commit word
+//	w1 = timestamp (ns since epoch)
+//	w2..w5 = args
+//
+// seq is the low 32 bits of the slot's claim position divided by capacity
+// (the "lap" counter), so a reader can tell a stale slot from a fresh one
+// and detect a writer lapping it mid-read.
+//
+// Publication is a two-phase seqlock: the writer first stores w0 with the
+// new seq and an invalid kind (kindTorn), then the payload words, then the
+// final w0. A reader accepts a slot only when w0 reads identically — with a
+// valid kind — before and after it copies the payload. The tombstone phase
+// is what makes the re-read sufficient: without it, a reader could copy new
+// payload words while w0 still holds the previous lap's value both times.
+const (
+	slotWords = 6
+	kindTorn  = 0xFF
+)
+
+type ring struct {
+	id    uint32
+	label string
+	mask  uint64
+	_     [64]byte // keep pos off the constructor goroutine's lines
+	pos   atomic.Uint64
+	_     [64]byte // and off the slot array's first line
+	slots []atomic.Uint64
+}
+
+func newRing(id uint32, label string, capacity int) *ring {
+	return &ring{
+		id:    id,
+		label: label,
+		mask:  uint64(capacity - 1),
+		slots: make([]atomic.Uint64, capacity*slotWords),
+	}
+}
+
+func packMeta(seq uint32, kind uint8, a uint8, b uint16) uint64 {
+	return uint64(seq)<<32 | uint64(kind)<<24 | uint64(a)<<16 | uint64(b)
+}
+
+func unpackMeta(w0 uint64) (seq uint32, kind uint8, a uint8, b uint16) {
+	return uint32(w0 >> 32), uint8(w0 >> 24), uint8(w0 >> 16), uint16(w0)
+}
+
+// emit claims the next slot and publishes one event. Safe for concurrent
+// writers: the claim is a single atomic add, and the two-phase commit means
+// concurrent readers skip the slot rather than observe a torn event.
+//
+// When the ring laps within one in-flight write (claims p and p+capacity
+// alive at once), the later claimant waits for the earlier one's commit
+// before touching the slot (Vyukov-style), so two writers never interleave
+// payload stores into the same slot and the reader's w0 re-read check is
+// sufficient. The wait only triggers under pathological contention on an
+// undersized ring and is bounded by one writer's seven stores.
+func (rg *ring) emit(ts int64, kind Kind, a uint8, b uint16, a0, a1, a2, a3 uint64) {
+	p := rg.pos.Add(1) - 1
+	lap := p / (rg.mask + 1)
+	// +1 so a zeroed (never-written) slot can never match any expected seq.
+	seq := uint32(lap) + 1
+	base := (p & rg.mask) * slotWords
+	s := rg.slots[base : base+slotWords : base+slotWords]
+	for {
+		sq, k, _, _ := unpackMeta(s[0].Load())
+		// A zeroed slot reads as (0, committed) — the expected state for
+		// lap 0 — so one check covers first use and every wrap.
+		if sq == uint32(lap) && k != kindTorn {
+			break
+		}
+		runtime.Gosched()
+	}
+	s[0].Store(packMeta(seq, kindTorn, 0, 0))
+	s[1].Store(uint64(ts))
+	s[2].Store(a0)
+	s[3].Store(a1)
+	s[4].Store(a2)
+	s[5].Store(a3)
+	s[0].Store(packMeta(seq, uint8(kind), a, b))
+}
+
+// snapshotFrom copies every committed event with claim position >= from,
+// oldest first, skipping slots a writer holds torn or has lapped mid-read.
+func (rg *ring) snapshotFrom(from uint64) []Event {
+	end := rg.pos.Load()
+	cap64 := rg.mask + 1
+	start := from
+	if end > cap64 && start < end-cap64 {
+		start = end - cap64 // older claims have been overwritten
+	}
+	if start >= end {
+		return nil
+	}
+	out := make([]Event, 0, end-start)
+	for p := start; p < end; p++ {
+		wantSeq := uint32(p/cap64) + 1
+		base := (p & rg.mask) * slotWords
+		s := rg.slots[base : base+slotWords : base+slotWords]
+		w0 := s[0].Load()
+		seq, kind, a, b := unpackMeta(w0)
+		if seq != wantSeq || kind >= uint8(numKinds) {
+			continue // torn, lapped, or not yet committed
+		}
+		ev := Event{
+			TS:   int64(s[1].Load()),
+			Ring: rg.id,
+			Kind: Kind(kind),
+			A:    a,
+			B:    b,
+		}
+		ev.Args[0] = s[2].Load()
+		ev.Args[1] = s[3].Load()
+		ev.Args[2] = s[4].Load()
+		ev.Args[3] = s[5].Load()
+		if s[0].Load() != w0 {
+			continue // a writer moved in while we copied
+		}
+		out = append(out, ev)
+	}
+	return out
+}

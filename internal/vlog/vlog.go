@@ -43,6 +43,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hdnh/internal/flight"
 	"hdnh/internal/hashfn"
 	"hdnh/internal/kv"
 	"hdnh/internal/nvm"
@@ -151,6 +152,22 @@ type Log struct {
 
 	appended atomic.Int64 // lifetime appended words, user + GC copies
 	recycles atomic.Int64 // segments recycled back to the free list
+
+	// fl traces segment lifecycle transitions; flight.Nop until the owner
+	// installs a real tracer via SetTracer. Guarded by mu on the mutating
+	// paths that emit (roll, SealActive, Recycle).
+	fl flight.Tracer
+}
+
+// SetTracer installs the flight tracer segment state transitions are traced
+// into. Call before the log sees traffic; the default is the no-op tracer.
+func (l *Log) SetTracer(fl flight.Tracer) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if fl == nil {
+		fl = flight.Nop{}
+	}
+	l.fl = fl
 }
 
 // Create allocates a log of numSegs segments of segWords data words each.
@@ -190,6 +207,7 @@ func newLog(dev *nvm.Device, base, segWords, numSegs, metaWords int64) *Log {
 		state:     make([]SegState, numSegs),
 		used:      make([]int64, numSegs),
 		live:      make([]atomic.Int64, numSegs),
+		fl:        flight.Nop{},
 	}
 }
 
@@ -427,6 +445,7 @@ func (l *Log) roll(h *nvm.Handle, reserve int) error {
 		h.StorePersist(l.segHeadOff(l.active), uint64(l.head))
 		h.StorePersist(l.segStateOff(l.active), uint64(SegSealed))
 		l.state[l.active] = SegSealed
+		l.fl.VLogSeg(uint8(SegSealed), l.active)
 		l.active = -1
 		l.head = 0
 	}
@@ -438,6 +457,7 @@ func (l *Log) roll(h *nvm.Handle, reserve int) error {
 	h.StorePersist(l.segHeadOff(seg), 0)
 	h.StorePersist(l.segStateOff(seg), uint64(SegActive))
 	l.state[seg] = SegActive
+	l.fl.VLogSeg(uint8(SegActive), seg)
 	l.active = seg
 	l.head = 0
 	l.used[seg] = 0
@@ -456,6 +476,7 @@ func (l *Log) SealActive(h *nvm.Handle) {
 	h.StorePersist(l.segHeadOff(l.active), uint64(l.head))
 	h.StorePersist(l.segStateOff(l.active), uint64(SegSealed))
 	l.state[l.active] = SegSealed
+	l.fl.VLogSeg(uint8(SegSealed), l.active)
 	l.active = -1
 	l.head = 0
 	l.sinceSync = 0
@@ -572,6 +593,7 @@ func (l *Log) Recycle(h *nvm.Handle, seg int64) error {
 	}
 	h.StorePersist(l.segStateOff(seg), uint64(SegFreeing))
 	l.state[seg] = SegFreeing
+	l.fl.VLogSeg(uint8(SegFreeing), seg)
 	end := l.used[seg]
 	l.mu.Unlock()
 
@@ -585,6 +607,7 @@ func (l *Log) Recycle(h *nvm.Handle, seg int64) error {
 	h.StorePersist(l.segHeadOff(seg), 0)
 	h.StorePersist(l.segStateOff(seg), uint64(SegFree))
 	l.state[seg] = SegFree
+	l.fl.VLogSeg(uint8(SegFree), seg)
 	l.used[seg] = 0
 	l.free = append(l.free, seg)
 	l.recycles.Add(1)
