@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,15 +28,17 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "", "figure to regenerate: 11a, 11b, 12, 13, 14, 15, ablation, loadfactor, hybrid, resize, vloggc, flightdemo")
+		fig       = flag.String("fig", "", "figure to regenerate: 11a, 11b, 12, 13, 14, 15, ablation, loadfactor, hybrid, resize, vloggc, flightdemo, batchscale")
 		table     = flag.String("table", "", "table to regenerate: 1")
 		all       = flag.Bool("all", false, "run every figure and table")
 		records   = flag.Int64("records", 100_000, "preloaded record count")
 		ops       = flag.Int64("ops", 200_000, "operations per measurement")
 		threads   = flag.Int("threads", 16, "maximum threads for concurrency sweeps")
+		batch     = flag.Int("batch", 0, "drive reads and deletes through the scheme batch ops, this many keys per call (0 = per-key ops)")
 		mode      = flag.String("mode", "emulate", "device mode: model | emulate")
 		seed      = flag.Uint64("seed", 42, "workload seed")
 		csvDir    = flag.String("csv", "", "also write each experiment as <dir>/<id>.csv")
+		jsonOut   = flag.String("json", "", "also write every selected experiment to this file as one JSON document")
 		metrics   = flag.Bool("metrics", false, "collect HDNH observability counters and print the Prometheus exposition after the runs")
 		flightOut = flag.String("flight-out", "", "record a flight trace across the runs and write it to this file (.json => Chrome/Perfetto trace events, else binary dump)")
 	)
@@ -51,11 +54,16 @@ func main() {
 		usageErr("-threads %d must be positive", *threads)
 	}
 
+	if *batch < 0 {
+		usageErr("-batch %d must not be negative", *batch)
+	}
+
 	sc := harness.Scale{
-		Records: *records,
-		Ops:     *ops,
-		Threads: *threads,
-		Seed:    *seed,
+		Records:   *records,
+		Ops:       *ops,
+		Threads:   *threads,
+		BatchSize: *batch,
+		Seed:      *seed,
 	}
 	switch *mode {
 	case "model":
@@ -90,12 +98,16 @@ func main() {
 		name string
 		run  func() error
 	}
+	var collected []*harness.Experiment
 	emit := func(exp *harness.Experiment) error {
 		if *csvDir != "" {
 			path := fmt.Sprintf("%s/%s.csv", *csvDir, exp.ID)
 			if err := os.WriteFile(path, []byte(exp.CSV()), 0o644); err != nil {
 				return fmt.Errorf("writing %s: %w", path, err)
 			}
+		}
+		if *jsonOut != "" {
+			collected = append(collected, exp)
 		}
 		return exp.Render(os.Stdout)
 	}
@@ -133,8 +145,9 @@ func main() {
 		"resize":     {"Resize latency: blocking vs incremental (extension)", single(harness.FigResize)},
 		"vloggc":     {"Value-log churn: GC off vs online GC (extension)", single(harness.FigVlogGC)},
 		"flightdemo": {"Flight-recorder demo: mixed churn with resize, GC, and recovery (extension)", single(harness.FigFlightDemo)},
+		"batchscale": {"Batched reads: throughput vs MultiGet batch size (extension)", single(harness.FigBatchScale)},
 	}
-	order := []string{"fig11a", "fig11b", "fig12", "fig13", "fig14", "fig15", "table1", "ablation", "loadfactor", "hybrid", "resize", "vloggc", "flightdemo"}
+	order := []string{"fig11a", "fig11b", "fig12", "fig13", "fig14", "fig15", "table1", "ablation", "loadfactor", "hybrid", "resize", "vloggc", "flightdemo", "batchscale"}
 
 	var selected []string
 	switch {
@@ -142,7 +155,9 @@ func main() {
 		selected = order
 	case *fig != "":
 		name := strings.ToLower(*fig)
-		if name != "ablation" && name != "loadfactor" && name != "hybrid" && name != "resize" && name != "vloggc" && name != "flightdemo" {
+		switch name {
+		case "ablation", "loadfactor", "hybrid", "resize", "vloggc", "flightdemo", "batchscale":
+		default:
 			name = "fig" + name
 		}
 		selected = []string{name}
@@ -182,6 +197,34 @@ func main() {
 		}
 		fmt.Printf("\n# flight trace written to %s\n", *flightOut)
 	}
+
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, sc, collected); err != nil {
+			fmt.Fprintf(os.Stderr, "hdnhbench: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n# JSON results written to %s\n", *jsonOut)
+	}
+}
+
+// writeJSON dumps the selected experiments as one machine-readable document
+// (the before/after comparisons in BENCH_*.json are built from these).
+func writeJSON(path string, sc harness.Scale, exps []*harness.Experiment) error {
+	doc := struct {
+		Records    int64                 `json:"records"`
+		Ops        int64                 `json:"ops"`
+		Threads    int                   `json:"threads"`
+		BatchSize  int                   `json:"batch_size,omitempty"`
+		Mode       string                `json:"mode"`
+		Seed       uint64                `json:"seed"`
+		GOMAXPROCS int                   `json:"gomaxprocs"`
+		Results    []*harness.Experiment `json:"results"`
+	}{sc.Records, sc.Ops, sc.Threads, sc.BatchSize, sc.Mode.String(), sc.Seed, gomaxprocs(), exps}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // writeFlight dumps the recorder: Chrome trace-event JSON (load it in

@@ -13,6 +13,9 @@
 //	GET    /kv/<key>      value bytes, or 404
 //	PUT    /kv/<key>      body is the value (≤64 KiB); upsert
 //	DELETE /kv/<key>      remove the record
+//	POST   /batch         JSON batch of get/put/delete ops; runs of
+//	       consecutive same-kind ops drain through the store's MultiGet/
+//	       MultiPut/MultiDelete, one response entry per op
 //	GET    /metrics       Prometheus text exposition
 //	GET    /metrics.json  the same counters as indented JSON
 //	GET    /stats         one-line table and value-log shape summary
@@ -38,6 +41,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -130,6 +134,7 @@ func main() {
 	srv := &server{st: st, log: logger, flight: fr}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/kv/", srv.kv)
+	mux.HandleFunc("/batch", srv.batch)
 	mux.HandleFunc("/metrics", srv.metricsProm)
 	mux.HandleFunc("/metrics.json", srv.metricsJSON)
 	mux.HandleFunc("/stats", srv.stats)
@@ -354,6 +359,153 @@ func (s *server) kv(w http.ResponseWriter, r *http.Request) {
 
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// maxBatchOps bounds one /batch request; past this the client should send
+// more requests, not bigger ones — one giant batch holds its session (and
+// its response buffer) for the whole walk.
+const maxBatchOps = 4096
+
+// batchOp is one entry in a POST /batch request. Values are base64 in the
+// JSON (encoding/json's []byte convention); keys are plain strings, the
+// same bytes a /kv/<key> path would carry.
+type batchOp struct {
+	Op    string `json:"op"` // get | put | delete
+	Key   string `json:"key"`
+	Value []byte `json:"value,omitempty"`
+}
+
+// batchResult is the per-op verdict: status ok | not_found | contended |
+// full | error, mirroring the HTTP codes the /kv/ handlers answer with.
+type batchResult struct {
+	Status string `json:"status"`
+	Value  []byte `json:"value,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// batch runs a JSON list of operations through the store's batch entry
+// points: runs of consecutive same-kind ops become one MultiGet/MultiPut/
+// MultiDelete call, so a read-heavy batch gets the up-front hashing and
+// epoch-chunked table walks the batch path exists for. The request is
+// validated whole before any op executes — a malformed op late in the list
+// must not leave earlier ops half-applied.
+func (s *server) batch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		Ops []batchOp `json:"ops"`
+	}
+	dec := json.NewDecoder(io.LimitReader(r.Body, int64(maxBatchOps)*(maxValueBytes+256)))
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Ops) == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+	if len(req.Ops) > maxBatchOps {
+		http.Error(w, fmt.Sprintf("batch larger than %d ops", maxBatchOps), http.StatusBadRequest)
+		return
+	}
+	for i, op := range req.Ops {
+		if op.Key == "" {
+			http.Error(w, fmt.Sprintf("op %d: missing key", i), http.StatusBadRequest)
+			return
+		}
+		if len(op.Key) > kv.KeySize {
+			http.Error(w, fmt.Sprintf("op %d: key longer than %d bytes", i, kv.KeySize), http.StatusBadRequest)
+			return
+		}
+		switch op.Op {
+		case "get", "delete":
+		case "put":
+			if len(op.Value) == 0 {
+				http.Error(w, fmt.Sprintf("op %d: put with empty value", i), http.StatusBadRequest)
+				return
+			}
+			if len(op.Value) > maxValueBytes {
+				http.Error(w, fmt.Sprintf("op %d: value larger than %d bytes", i, maxValueBytes), http.StatusBadRequest)
+				return
+			}
+		default:
+			http.Error(w, fmt.Sprintf("op %d: unknown op %q (get|put|delete)", i, op.Op), http.StatusBadRequest)
+			return
+		}
+	}
+
+	sess := s.session()
+	defer s.release(sess)
+
+	results := make([]batchResult, len(req.Ops))
+	for lo := 0; lo < len(req.Ops); {
+		kind := req.Ops[lo].Op
+		hi := lo + 1
+		for hi < len(req.Ops) && req.Ops[hi].Op == kind {
+			hi++
+		}
+		keys := make([][]byte, hi-lo)
+		for i := range keys {
+			keys[i] = []byte(req.Ops[lo+i].Key)
+		}
+		switch kind {
+		case "get":
+			vals, found, errs := sess.MultiGet(keys)
+			for i := range keys {
+				switch {
+				case errs[i] != nil:
+					results[lo+i] = opVerdict(errs[i])
+				case found[i]:
+					results[lo+i] = batchResult{Status: "ok", Value: vals[i]}
+				default:
+					results[lo+i] = batchResult{Status: "not_found"}
+				}
+			}
+		case "put":
+			vals := make([][]byte, hi-lo)
+			for i := range vals {
+				vals[i] = req.Ops[lo+i].Value
+			}
+			for i, err := range sess.MultiPut(keys, vals) {
+				if err != nil {
+					results[lo+i] = opVerdict(err)
+				} else {
+					results[lo+i] = batchResult{Status: "ok"}
+				}
+			}
+		case "delete":
+			for i, err := range sess.MultiDelete(keys) {
+				if err != nil {
+					results[lo+i] = opVerdict(err)
+				} else {
+					results[lo+i] = batchResult{Status: "ok"}
+				}
+			}
+		}
+		lo = hi
+	}
+
+	s.writeBuffered(w, "/batch", "application/json", func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(struct {
+			Results []batchResult `json:"results"`
+		}{results})
+	})
+}
+
+// opVerdict maps a store error onto the per-op wire statuses.
+func opVerdict(err error) batchResult {
+	switch {
+	case errors.Is(err, scheme.ErrNotFound):
+		return batchResult{Status: "not_found"}
+	case errors.Is(err, scheme.ErrContended):
+		return batchResult{Status: "contended"}
+	case errors.Is(err, scheme.ErrFull), errors.Is(err, vlog.ErrLogFull):
+		return batchResult{Status: "full"}
+	default:
+		return batchResult{Status: "error", Error: err.Error()}
 	}
 }
 

@@ -30,6 +30,7 @@ func main() {
 		update     = flag.Float64("update", 0, "proportion of updates")
 		insert     = flag.Float64("insert", 0, "proportion of inserts")
 		del        = flag.Float64("delete", 0, "proportion of deletes")
+		batch      = flag.Int("batch", 0, "group reads and deletes into scheme batch ops, this many keys per call (0 = per-key ops; implies -latency off)")
 		dist       = flag.String("dist", "uniform", "distribution: uniform | zipfian | scrambled | latest")
 		theta      = flag.Float64("theta", 0.99, "zipfian skew")
 		seed       = flag.Uint64("seed", 42, "workload seed")
@@ -64,6 +65,12 @@ func main() {
 	}
 	if *theta <= 0 || *theta >= 1 {
 		usageErr("-theta %g outside (0,1)", *theta)
+	}
+	if *batch < 0 {
+		usageErr("-batch %d must not be negative", *batch)
+	}
+	if *batch > 1 && *latency {
+		usageErr("-latency records per-op timings; it cannot be combined with -batch")
 	}
 
 	var d ycsb.Distribution
@@ -120,6 +127,7 @@ func main() {
 		Seed:          *seed,
 		DeviceMode:    devMode,
 		RecordLatency: *latency,
+		BatchSize:     *batch,
 	}
 	var st scheme.Store
 	if dev != nil {

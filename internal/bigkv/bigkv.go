@@ -422,6 +422,16 @@ func (s *Session) Get(key []byte) ([]byte, bool, error) {
 	if !ok {
 		return nil, false, nil
 	}
+	return s.decodeRetrying(k, sv)
+}
+
+// decodeRetrying resolves an index entry read moments ago, absorbing the
+// race with the online GC: the GC may have moved the record and recycled
+// its segment between the index read and the log read. On a stale read it
+// re-reads the index — a changed entry is the relocation (retry with it);
+// an unchanged entry (the GC frees segments only after rewriting the index)
+// is genuine corruption.
+func (s *Session) decodeRetrying(k kv.Key, sv kv.Value) ([]byte, bool, error) {
 	for attempt := 0; ; attempt++ {
 		v, err := s.decode(k, sv)
 		if err == nil {
@@ -430,11 +440,6 @@ func (s *Session) Get(key []byte) ([]byte, bool, error) {
 		if !errors.Is(err, vlog.ErrCorrupt) {
 			return nil, false, err
 		}
-		// The GC may have moved the record and recycled its segment between
-		// our index read and the log read. Re-read the index: a changed
-		// entry is the relocation — retry with it; an unchanged entry (the
-		// GC frees segments only after rewriting the index) is genuine
-		// corruption.
 		sv2, ok2 := s.ts.Get(k)
 		if !ok2 {
 			return nil, false, nil // deleted meanwhile
@@ -444,6 +449,55 @@ func (s *Session) Get(key []byte) ([]byte, bool, error) {
 		}
 		sv = sv2
 	}
+}
+
+// MultiGet batch-reads: one index MultiGet resolves every key's slot value
+// (amortising the epoch and hot-table traffic in the HDNH core), then each
+// hit runs the same decode/retry protocol as Get. vals[i] is nil when
+// found[i] is false; errs[i] is non-nil only for decode failures.
+func (s *Session) MultiGet(keys [][]byte) (vals [][]byte, found []bool, errs []error) {
+	n := len(keys)
+	vals, found, errs = make([][]byte, n), make([]bool, n), make([]error, n)
+	kks := make([]kv.Key, n)
+	svs := make([]kv.Value, n)
+	hit := make([]bool, n)
+	for i, key := range keys {
+		k, err := kv.MakeKey(key)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		kks[i] = k
+	}
+	s.ts.MultiGet(kks, svs, hit)
+	for i := range kks {
+		if errs[i] != nil || !hit[i] {
+			continue
+		}
+		vals[i], found[i], errs[i] = s.decodeRetrying(kks[i], svs[i])
+	}
+	return vals, found, errs
+}
+
+// MultiPut upserts every key with Put's semantics (log commit before index
+// write), returning one verdict per key. The log appends are inherently
+// per-record; the batching buys the caller one call across an RPC boundary.
+func (s *Session) MultiPut(keys, values [][]byte) []error {
+	errs := make([]error, len(keys))
+	for i := range keys {
+		errs[i] = s.Put(keys[i], values[i])
+	}
+	return errs
+}
+
+// MultiDelete removes every key with Delete's semantics, returning one
+// verdict per key (scheme.ErrNotFound for absent keys).
+func (s *Session) MultiDelete(keys [][]byte) []error {
+	errs := make([]error, len(keys))
+	for i := range keys {
+		errs[i] = s.Delete(keys[i])
+	}
+	return errs
 }
 
 // Delete removes key; the log record's space is reclaimed by the GC.

@@ -559,3 +559,139 @@ func TestCrashMidPutNeverDangles(t *testing.T) {
 		})
 	}
 }
+
+// TestBatchGetDuringGCChurn points MultiGet readers at a store whose value
+// log is being rewritten underneath them: churn writers force continuous GC
+// segment recycling while batch readers sweep every key. The decode-retry
+// loop inside the batch path must absorb relocations exactly like the
+// single-key Get — a reader may see a key present or (briefly) deleted, but
+// never a foreign or torn value. The epoch-chunked table walk is also in
+// play here against the table growth the churn causes.
+func TestBatchGetDuringGCChurn(t *testing.T) {
+	st := smallLogStore(t, 1024, 16, true)
+	const keys = 48
+	keyName := func(i int) []byte { return []byte(fmt.Sprintf("bg-%03d", i)) }
+
+	boot := st.NewSession()
+	for i := 0; i < keys; i++ {
+		if err := boot.Put(keyName(i), bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var stop atomic.Bool
+	var writers, readers sync.WaitGroup
+
+	// Churn writers: overwrite and occasionally delete, keeping the GC busy.
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			s := st.NewSession()
+			rng := rand.New(rand.NewSource(int64(w)*1299709 + 7))
+			for i := 0; i < 600; i++ {
+				k := rng.Intn(keys)
+				if rng.Intn(12) == 0 {
+					if err := s.Delete(keyName(k)); err != nil && !isNotFound(err) {
+						t.Errorf("delete: %v", err)
+						return
+					}
+					continue
+				}
+				if err := s.Put(keyName(k), bytes.Repeat([]byte{byte(k)}, 100)); err != nil {
+					t.Errorf("put key %d: %v", k, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Batch readers: full-key MultiGet sweeps for as long as the churn runs.
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			s := st.NewSession()
+			names := make([][]byte, keys)
+			for i := range names {
+				names[i] = keyName(i)
+			}
+			for !stop.Load() {
+				vals, found, errs := s.MultiGet(names)
+				for i := 0; i < keys; i++ {
+					if errs[i] != nil {
+						t.Errorf("MultiGet key %d: %v", i, errs[i])
+						return
+					}
+					if found[i] && (len(vals[i]) != 100 || vals[i][0] != byte(i)) {
+						t.Errorf("MultiGet key %d read foreign value (%d bytes)", i, len(vals[i]))
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	writers.Wait()
+	stop.Store(true)
+	readers.Wait()
+
+	st.stopGC()
+	drainGC(t, st)
+	if err := st.AuditLiveness(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiOpsRoundTrip covers the byte-slice batch API across both value
+// encodings (inline ≤13 bytes, pointer into the log) plus per-key verdicts
+// for absent keys and bad input.
+func TestMultiOpsRoundTrip(t *testing.T) {
+	st := storeFixture(t)
+	s := st.NewSession()
+
+	keys := [][]byte{[]byte("inline"), []byte("pointer"), []byte("big")}
+	vals := [][]byte{
+		[]byte("tiny"),                          // inline encoding
+		bytes.Repeat([]byte{0xAB}, 100),         // log pointer
+		bytes.Repeat([]byte("payload-"), 1<<10), // multi-KiB log pointer
+	}
+	if errs := s.MultiPut(keys, vals); firstBatchErr(errs) != nil {
+		t.Fatalf("MultiPut: %v", firstBatchErr(errs))
+	}
+
+	qk := append([][]byte{[]byte("absent")}, keys...)
+	got, found, errs := s.MultiGet(qk)
+	if firstBatchErr(errs) != nil {
+		t.Fatalf("MultiGet: %v", firstBatchErr(errs))
+	}
+	if found[0] {
+		t.Fatal("phantom hit on absent key")
+	}
+	for i, want := range vals {
+		if !found[i+1] || !bytes.Equal(got[i+1], want) {
+			t.Fatalf("key %q: found=%v len=%d want len=%d", qk[i+1], found[i+1], len(got[i+1]), len(want))
+		}
+	}
+
+	dErrs := s.MultiDelete([][]byte{[]byte("inline"), []byte("absent"), []byte("big")})
+	if dErrs[0] != nil || dErrs[2] != nil {
+		t.Fatalf("present-key deletes failed: %v %v", dErrs[0], dErrs[2])
+	}
+	if !isNotFound(dErrs[1]) {
+		t.Fatalf("absent-key delete verdict = %v", dErrs[1])
+	}
+	_, found, _ = s.MultiGet(keys)
+	if found[0] || !found[1] || found[2] {
+		t.Fatalf("post-delete presence = %v, want [false true false]", found)
+	}
+}
+
+func firstBatchErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

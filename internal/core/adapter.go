@@ -100,12 +100,25 @@ func (a *storeAdapter) Table() *Table { return a.t }
 
 type sessionAdapter struct{ s *Session }
 
-var _ scheme.Session = (*sessionAdapter)(nil)
+var (
+	_ scheme.Session      = (*sessionAdapter)(nil)
+	_ scheme.BatchSession = (*sessionAdapter)(nil)
+)
 
 func (sa *sessionAdapter) Insert(k kv.Key, v kv.Value) error { return sa.s.Insert(k, v) }
 func (sa *sessionAdapter) Get(k kv.Key) (kv.Value, bool)     { return sa.s.Get(k) }
 func (sa *sessionAdapter) Update(k kv.Key, v kv.Value) error { return sa.s.Update(k, v) }
 func (sa *sessionAdapter) Delete(k kv.Key) error             { return sa.s.Delete(k) }
+
+func (sa *sessionAdapter) MultiGet(keys []kv.Key, vals []kv.Value, found []bool) int {
+	return sa.s.MultiGet(keys, vals, found)
+}
+func (sa *sessionAdapter) MultiPut(keys []kv.Key, vals []kv.Value, errs []error) int {
+	return sa.s.MultiPut(keys, vals, errs)
+}
+func (sa *sessionAdapter) MultiDelete(keys []kv.Key, errs []error) int {
+	return sa.s.MultiDelete(keys, errs)
+}
 
 // Lookup exposes the contention-surfacing read for callers that type-assert
 // past the scheme interface.

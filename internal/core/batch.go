@@ -1,0 +1,281 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"hdnh/internal/kv"
+	"hdnh/internal/obs"
+	"hdnh/internal/scheme"
+)
+
+// Batched operations. The point of a batch is amortisation, in descending
+// order of value:
+//
+//   - MultiGet hashes every key up front, probes the hot table for the whole
+//     batch lock-free, then walks the NVT for the remaining keys inside
+//     epoch critical sections of Options.BatchEpochChunk keys each — one
+//     enter/exit pair per chunk instead of per key — and reports one merged
+//     probeStats for the whole walk. Hot-table re-caches are not applied
+//     one bucket-lock acquisition per key: they are collected, grouped by
+//     hot bucket pair, and each group is applied under a single
+//     lockBuckets/unlockBuckets round trip.
+//   - MultiPut and MultiDelete hash up front and run the same per-key commit
+//     protocol as Insert/Update/Delete (the NVM persists dominate writes, so
+//     there is no lock traffic left to amortise); their value is one call
+//     across an RPC boundary (hdnhserve's POST /batch) and the shared
+//     session scratch.
+//
+// Results are written into caller-provided slices so a steady-state caller
+// allocates nothing; the session's scratch is reused across calls.
+
+// batchKey is the per-key precomputed hash state for one batch entry.
+type batchKey struct {
+	k         kv.Key
+	h1, h2    uint64
+	fp        uint8
+	done      bool // resolved by an earlier pass
+	contended bool // needs the blocking fallback
+}
+
+// pendingFill is one deferred hot-table re-cache from a MultiGet NVT hit.
+// The control word observed at read time travels with it so the fill is
+// validated (and skipped if stale) under the hot bucket lock, exactly like
+// the single-key fill path.
+type pendingFill struct {
+	k    kv.Key
+	v    kv.Value
+	h1   uint64
+	fp   uint8
+	src  *level
+	b    int64
+	sl   int
+	ctrl uint32
+}
+
+// batchScratch is the session-held reusable batch state. Batches allocate
+// only when they outgrow the previous high-water mark.
+type batchScratch struct {
+	keys  []batchKey
+	fills []pendingFill
+}
+
+func (bs *batchScratch) ensure(n int) {
+	if cap(bs.keys) < n {
+		bs.keys = make([]batchKey, n)
+	}
+	bs.keys = bs.keys[:n]
+	bs.fills = bs.fills[:0]
+}
+
+// MultiGet looks up every key, writing vals[i]/found[i] for each and
+// returning the number found. vals and found must have the same length as
+// keys. Per-key semantics are identical to Get — including the
+// never-report-a-present-key-absent guarantee: a key whose walk exhausts its
+// rescan budget under sustained movement falls back to Get's blocking retry
+// after the batch pass.
+func (s *Session) MultiGet(keys []kv.Key, vals []kv.Value, found []bool) int {
+	n := len(keys)
+	if len(vals) != n || len(found) != n {
+		panic("core: MultiGet output slice lengths must match len(keys)")
+	}
+	if n == 0 {
+		return 0
+	}
+	bs := &s.batch
+	bs.ensure(n)
+	for i := range keys {
+		bk := &bs.keys[i]
+		bk.k = keys[i]
+		bk.h1, bk.h2, bk.fp = hashKV(keys[i][:])
+		bk.done, bk.contended = false, false
+	}
+	ft := s.fl.OpBegin(obs.OpGet)
+	hits := 0
+
+	// Pass 1: hot-table probes for the whole batch, lock-free, no epoch.
+	if ht := s.t.hot; ht != nil {
+		for i := range bs.keys {
+			bk := &bs.keys[i]
+			start := s.rec.Start()
+			if v, ok := ht.get(bk.k, bk.h1, bk.fp); ok {
+				vals[i], found[i] = v, true
+				bk.done = true
+				hits++
+				s.rec.Op(obs.OpGet, obs.OutHotHit, start)
+			}
+		}
+	}
+
+	// Pass 2: NVT walks, BatchEpochChunk keys per critical section so a
+	// large batch never extends a concurrent resize's grace period by more
+	// than one chunk.
+	var ps probeStats
+	chunk := s.t.opts.BatchEpochChunk
+	if chunk <= 0 {
+		chunk = DefaultBatchEpochChunk
+	}
+	pending := 0
+	for i := 0; i < n; {
+		budget := chunk
+		s.enterCritical()
+		for i < n && budget > 0 {
+			bk := &bs.keys[i]
+			if bk.done {
+				i++
+				continue
+			}
+			budget--
+			start := s.rec.Start()
+			h, res := s.t.lookup(s.h, bk.k, bk.h1, bk.h2, bk.fp, &ps)
+			switch res {
+			case lookupFound:
+				vals[i], found[i] = h.val, true
+				hits++
+				s.rec.Op(obs.OpGet, obs.OutNVTHit, start)
+				if s.t.hot != nil {
+					bs.fills = append(bs.fills, pendingFill{
+						k: bk.k, v: h.val, h1: bk.h1, fp: bk.fp,
+						src: h.ref.lvl, b: h.ref.b, sl: h.ref.s, ctrl: h.ctrl,
+					})
+				}
+			case lookupMissing:
+				found[i] = false
+				s.rec.Op(obs.OpGet, obs.OutMiss, start)
+			default:
+				bk.contended = true
+				pending++
+			}
+			i++
+		}
+		s.exitCritical()
+	}
+	ps.report(s.rec, s.fl)
+	s.applyFills()
+
+	// Pass 3 (rare): keys that kept moving behind the scan take Get's
+	// blocking retry loop, which records its own per-key metrics.
+	if pending > 0 {
+		for i := range bs.keys {
+			bk := &bs.keys[i]
+			if !bk.contended {
+				continue
+			}
+			v, ok := s.Get(bk.k)
+			vals[i], found[i] = v, ok
+			if ok {
+				hits++
+			}
+		}
+	}
+	s.fl.OpEnd(obs.OpGet, obs.OutOK, ft)
+	return hits
+}
+
+// applyFills drains the batch's pending hot re-caches: fills are sorted by
+// their hot bucket pair and each run of same-bucket fills is applied under
+// one lockBuckets acquisition. Validation against the observed source OCF
+// word happens under the lock, same as hotTable.fill.
+func (s *Session) applyFills() {
+	bs := &s.batch
+	ht := s.t.hot
+	fills := bs.fills
+	bs.fills = bs.fills[:0]
+	if ht == nil || len(fills) == 0 {
+		return
+	}
+	top, bottom := ht.top.Load(), ht.bottom.Load()
+	sort.Slice(fills, func(a, b int) bool {
+		ta, tb := top.bucket(fills[a].h1), top.bucket(fills[b].h1)
+		if ta != tb {
+			return ta < tb
+		}
+		return bottom.bucket(fills[a].h1) < bottom.bucket(fills[b].h1)
+	})
+	var leftover []pendingFill
+	for g := 0; g < len(fills); {
+		end := g + 1
+		gtb, gbb := top.bucket(fills[g].h1), bottom.bucket(fills[g].h1)
+		for end < len(fills) && top.bucket(fills[end].h1) == gtb && bottom.bucket(fills[end].h1) == gbb {
+			end++
+		}
+		ltop, lbottom, tb, bb := ht.lockBuckets(fills[g].h1)
+		for _, f := range fills[g:end] {
+			if ltop.bucket(f.h1) != tb || lbottom.bucket(f.h1) != bb {
+				// A resize promoted the hot levels between grouping and
+				// locking; this fill's buckets moved. Take the singleton
+				// path for it after the group.
+				leftover = append(leftover, f)
+				continue
+			}
+			if f.src.ocfLoad(f.b, f.sl) != f.ctrl {
+				ht.rec.HotFill(true)
+				ht.fl.HotFill(true)
+				continue // record moved or changed since it was read
+			}
+			ht.rec.HotFill(false)
+			ht.fl.HotFill(false)
+			kw0, kw1 := f.k.Pack()
+			ht.putLocked(ltop, lbottom, tb, bb, kw0, kw1, f.k, f.v, f.fp, s.rng)
+		}
+		unlockBuckets(ltop, lbottom, tb, bb)
+		g = end
+	}
+	for _, f := range leftover {
+		ht.fill(f.k, f.v, f.h1, f.fp, f.src, f.b, f.sl, f.ctrl, s.rng)
+	}
+}
+
+// MultiPut upserts every key (update when present, insert when absent),
+// recording a per-key verdict in errs and returning the number of failures.
+// vals and errs must have the same length as keys.
+func (s *Session) MultiPut(keys []kv.Key, vals []kv.Value, errs []error) int {
+	n := len(keys)
+	if len(vals) != n || len(errs) != n {
+		panic("core: MultiPut slice lengths must match len(keys)")
+	}
+	fails := 0
+	for i := range keys {
+		h1, h2, fp := hashKV(keys[i][:])
+		errs[i] = s.putHashed(keys[i], vals[i], h1, h2, fp)
+		if errs[i] != nil {
+			fails++
+		}
+	}
+	return fails
+}
+
+// putHashed is the upsert: update-else-insert, retrying the (rare) window
+// where a concurrent writer flips the key's existence between the two.
+func (s *Session) putHashed(k kv.Key, v kv.Value, h1, h2 uint64, fp uint8) error {
+	for {
+		_, err := s.updateHashed(k, v, nil, h1, h2, fp)
+		if !errors.Is(err, scheme.ErrNotFound) {
+			return err
+		}
+		err = s.insertHashed(k, v, h1, h2, fp)
+		if !errors.Is(err, scheme.ErrExists) {
+			return err
+		}
+	}
+}
+
+// MultiDelete deletes every key, recording a per-key verdict in errs
+// (scheme.ErrNotFound for absent keys) and returning the number of
+// failures. errs must have the same length as keys.
+func (s *Session) MultiDelete(keys []kv.Key, errs []error) int {
+	n := len(keys)
+	if len(errs) != n {
+		panic("core: MultiDelete slice lengths must match len(keys)")
+	}
+	fails := 0
+	for i := range keys {
+		h1, h2, fp := hashKV(keys[i][:])
+		_, err := s.deleteHashed(keys[i], h1, h2, fp)
+		errs[i] = err
+		if err != nil {
+			fails++
+		}
+	}
+	return fails
+}

@@ -27,10 +27,24 @@ func (t *Table) CheckInvariants() []error {
 	// Let any in-flight incremental rehash settle first: mid-drain the
 	// audit's quiescence assumptions (no slot locks held, stable count)
 	// do not hold. A failed drain returns immediately with its level still
-	// installed; the audit then covers it as a third level.
-	t.waitDrain()
-	t.resizeMu.Lock()
+	// installed; the audit then covers it as a third level. The wait and the
+	// lock acquisition race a fresh expansion (drain workers are not epoch
+	// participants, so the gate alone cannot stop them) — loop until the
+	// table is observed drained-or-failed with the mutator lock held.
+	for {
+		t.waitDrain()
+		t.resizeMu.Lock()
+		if task := t.draining.Load(); task == nil || task.failed.Load() {
+			break
+		}
+		t.resizeMu.Unlock()
+	}
 	defer t.resizeMu.Unlock()
+	// Park every session: the audit reads slot words non-atomically with
+	// respect to the commit protocol and counts live records against the
+	// counter, neither of which tolerates concurrent ops.
+	t.epochExclude()
+	defer t.epochRelease()
 
 	var errs []error
 	h := t.dev.NewHandle()
@@ -53,6 +67,16 @@ func (t *Table) CheckInvariants() []error {
 				if ocfIsValid(c) != nvtValid {
 					errs = append(errs, fmt.Errorf("level %d bucket %d slot %d: OCF valid=%v but NVT valid=%v", li, b, s, ocfIsValid(c), nvtValid))
 					continue
+				}
+				// SWAR word coherence: the packed fingerprint byte must mirror
+				// the OCF entry (fp when valid, 0 when empty) or the probe
+				// pre-filter could fabricate misses.
+				wantFPW := uint8(0)
+				if ocfIsValid(c) {
+					wantFPW = ocfFP(c)
+				}
+				if got := uint8(lvl.fpwLoad(b) >> (uint(s) * 8)); got != wantFPW {
+					errs = append(errs, fmt.Errorf("level %d bucket %d slot %d: SWAR fingerprint byte %#x, want %#x", li, b, s, got, wantFPW))
 				}
 				if !nvtValid {
 					continue

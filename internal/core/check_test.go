@@ -138,10 +138,11 @@ func TestCheckDetectsCorruption(t *testing.T) {
 	}
 	// Corrupt: clear an NVT valid bit behind the OCF's back.
 	found := false
-	for b := int64(0); b < tbl.top.buckets() && !found; b++ {
+	top := tbl.pair().top
+	for b := int64(0); b < top.buckets() && !found; b++ {
 		for slot := 0; slot < SlotsPerBucket && !found; slot++ {
-			if ocfIsValid(tbl.top.ocfLoad(b, slot)) {
-				off := tbl.top.slotWord(b, slot)
+			if ocfIsValid(top.ocfLoad(b, slot)) {
+				off := top.slotWord(b, slot)
 				w3 := tbl.dev.Load(off + 3)
 				tbl.dev.Store(off+3, w3&^(uint64(1)<<56))
 				found = true

@@ -186,7 +186,7 @@ func TestGetNeverFalseMissesUnderMovement(t *testing.T) {
 // must sleep, not burn a core at full tilt) and reports its spin count.
 func TestWaitUnlockedBackoffReturnsFreshWord(t *testing.T) {
 	tbl := newTable(t, nil)
-	lvl := tbl.top
+	lvl := tbl.pair().top
 	c := lvl.ocfLoad(0, 0)
 	if !lvl.ocfTryLock(0, 0, c) {
 		t.Fatal("could not lock a fresh slot")

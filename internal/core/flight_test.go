@@ -130,9 +130,9 @@ func TestSlowOpCaptureExplainsTail(t *testing.T) {
 	// waitUnlocked until the release.
 	h1, h2, fp := hashKV(k[:])
 	var ps probeStats
-	tbl.resizeMu.RLock()
+	s.enterCritical()
 	ht, res := tbl.lookup(s.h, k, h1, h2, fp, &ps)
-	tbl.resizeMu.RUnlock()
+	s.exitCritical()
 	if res != lookupFound {
 		t.Fatalf("lookup of the inserted key = %v", res)
 	}
@@ -228,6 +228,69 @@ func TestFlightRecordsResizeAndRecovery(t *testing.T) {
 	}
 	if !steps[flight.RecOCF] || !steps[flight.RecHot] {
 		t.Fatalf("recovery steps missing from trace: %v", steps)
+	}
+}
+
+// TestFlightSpansBalanceAcrossFailedExpansion is the regression test for
+// the leaked op spans on the expansion-failure exits: Insert and Update
+// returned through a path that recorded the metrics counter directly
+// instead of closing the flight span, so every failed expansion left a
+// dangling OpBegin. Fill a tiny device until expansion fails, update into
+// the full table for good measure, and assert every sampled begin has a
+// matching end.
+func TestFlightSpansBalanceAcrossFailedExpansion(t *testing.T) {
+	fr := flight.New(flight.Config{SampleEvery: 1, RingEvents: 1 << 16})
+	dev := newDev(t, 2048)
+	opts := DefaultOptions()
+	opts.SegmentBuckets = 4
+	opts.MaxExpansions = 2
+	opts.Flight = fr
+	tbl, err := Create(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	s := tbl.NewSession()
+	inserted := 0
+	sawFull := false
+	for i := 0; i < 100000; i++ {
+		if err := s.Insert(key(i), value(i)); err != nil {
+			sawFull = true
+			break
+		}
+		inserted++
+	}
+	if !sawFull {
+		t.Fatal("tiny device never filled; the failed-expansion path was not exercised")
+	}
+	// Out-of-place updates against a saturated candidate set walk the same
+	// expansion-failure exit on the update path.
+	for i := 0; i < inserted; i++ {
+		s.Update(key(i), value(i+3)) // ErrFull is fine; the span must close either way
+	}
+
+	d := fr.Snapshot()
+	begins, ends := 0, 0
+	fullEnds := 0
+	for _, e := range d.Events {
+		switch e.Kind {
+		case flight.KindOpBegin:
+			begins++
+		case flight.KindOpEnd:
+			ends++
+			if obs.Outcome(e.B) == obs.OutFull {
+				fullEnds++
+			}
+		}
+	}
+	if begins == 0 {
+		t.Fatal("no sampled op begins in the dump")
+	}
+	if begins != ends {
+		t.Fatalf("flight spans leak: %d OpBegin vs %d OpEnd", begins, ends)
+	}
+	if fullEnds == 0 {
+		t.Fatal("no op closed with OutFull; the failure exits were not hit")
 	}
 }
 

@@ -7,12 +7,15 @@ import (
 )
 
 // level is the in-DRAM view of one NVT level: the NVM base address plus the
-// level's OCF — one control word per slot.
+// level's OCF — one control word per slot — and the packed per-bucket SWAR
+// fingerprint words the probe loops use to find candidate slots with one
+// load instead of SlotsPerBucket scattered uint32 loads.
 type level struct {
 	base     int64 // NVM word offset of the first bucket
 	segments int64
 	m        int64    // buckets per segment
 	ocf      []uint32 // one control word per slot, indexed bucket*8+slot
+	fpw      []uint64 // one packed fingerprint word per bucket (8 fp bytes)
 }
 
 func newLevel(base, segments, m int64) *level {
@@ -21,6 +24,7 @@ func newLevel(base, segments, m int64) *level {
 		segments: segments,
 		m:        m,
 		ocf:      make([]uint32, segments*m*SlotsPerBucket),
+		fpw:      make([]uint64, segments*m),
 	}
 }
 
@@ -82,14 +86,69 @@ func (l *level) ocfTryLock(b int64, s int, old uint32) bool {
 // ocfRelease publishes the slot's new state: op cleared, version bumped.
 // A plain store is safe because only the lock holder may write the word
 // while op is set (readers only ever CAS hot bits in the hot table, not
-// here).
+// here). The SWAR fingerprint byte is maintained alongside, with the
+// ordering that makes the pre-filter free of false negatives: the byte is
+// written BEFORE a valid word is published (a probe that can see the valid
+// OCF entry can see the byte) and cleared only AFTER an invalid word is
+// published (a probe that skips on the cleared byte would have found the
+// slot invalid anyway).
 func (l *level) ocfRelease(b int64, s int, valid bool, fp uint8, prevVer uint32) {
-	atomic.StoreUint32(&l.ocf[b*SlotsPerBucket+int64(s)], ocfWord(valid, fp, prevVer+1))
+	if valid {
+		l.fpwSet(b, s, fp)
+		atomic.StoreUint32(&l.ocf[b*SlotsPerBucket+int64(s)], ocfWord(true, fp, prevVer+1))
+		return
+	}
+	atomic.StoreUint32(&l.ocf[b*SlotsPerBucket+int64(s)], ocfWord(false, 0, prevVer+1))
+	l.fpwSet(b, s, 0)
 }
 
 // ocfSet writes a control word directly; recovery-only (single-writer).
+// It keeps the SWAR word coherent, which is how recovery's OCF rebuild gets
+// the fingerprint words rebuilt for free.
 func (l *level) ocfSet(b int64, s int, w uint32) {
+	if ocfIsValid(w) {
+		l.fpwSet(b, s, ocfFP(w))
+	} else {
+		l.fpwSet(b, s, 0)
+	}
 	atomic.StoreUint32(&l.ocf[b*SlotsPerBucket+int64(s)], w)
+}
+
+// fpwLoad reads bucket b's packed fingerprint word.
+func (l *level) fpwLoad(b int64) uint64 { return atomic.LoadUint64(&l.fpw[b]) }
+
+// fpwSet writes slot s's fingerprint byte in bucket b's packed word. CAS
+// loop: the per-slot OCF lock does not cover the bucket-shared word, so
+// concurrent writers of sibling slots compose through the CAS.
+func (l *level) fpwSet(b int64, s int, fp uint8) {
+	addr := &l.fpw[b]
+	shift := uint(s) * 8
+	for {
+		old := atomic.LoadUint64(addr)
+		nw := old&^(uint64(0xff)<<shift) | uint64(fp)<<shift
+		if nw == old || atomic.CompareAndSwapUint64(addr, old, nw) {
+			return
+		}
+	}
+}
+
+// SWAR lane constants for the packed fingerprint words.
+const (
+	fpwLanes = 0x0101010101010101
+	fpwHigh  = 0x8080808080808080
+)
+
+// swarMatch returns a mask with bit 8s+7 set for every slot s whose packed
+// fingerprint byte MAY equal fp (the classic haszero trick on w XOR
+// broadcast(fp)). No false negatives: a lane equal to fp XORs to zero and
+// is always flagged, borrow-in or not. False positives are possible (a lane
+// 0x01 above a zero lane inherits its borrow) and harmless — every
+// candidate is re-verified against the authoritative OCF word. Iterate with
+// bits.TrailingZeros64(m)>>3 and m &= m-1: each lane carries exactly one
+// marker bit.
+func swarMatch(w uint64, fp uint8) uint64 {
+	x := w ^ (fpwLanes * uint64(fp))
+	return (x - fpwLanes) &^ x & fpwHigh
 }
 
 // candidates computes the paper's candidate buckets in this level: the two
@@ -108,9 +167,19 @@ func (l *level) candidates(h1, h2 uint64) [4]int64 {
 		int64(h2 >> 32 % m),
 		int64(h2 >> 48 % m),
 	}
-	var c [4]int64
+	c := [4]int64{
+		segs[0]*l.m + bs[0],
+		segs[1]*l.m + bs[1],
+		segs[2]*l.m + bs[2],
+		segs[3]*l.m + bs[3],
+	}
+	// Fast path: the hash bits almost always pick four distinct buckets
+	// already, and this function sits on every probe of the read path.
+	if c[0] != c[1] && c[0] != c[2] && c[0] != c[3] &&
+		c[1] != c[2] && c[1] != c[3] && c[2] != c[3] {
+		return c
+	}
 	for i := 0; i < 4; i++ {
-		c[i] = segs[i]*l.m + bs[i]
 		// Distinctify by linear probing within the segment. Whenever the
 		// geometry allows four distinct buckets (m >= 4, or m >= 2 across
 		// two segments) this terminates with no duplicates; degenerate

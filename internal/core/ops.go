@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"math/bits"
 	"runtime"
 	"time"
 
@@ -66,11 +67,26 @@ func expandOutcome(err error) obs.Outcome {
 // starved scheduler this keeps the drain deterministically ahead of table
 // growth — without it a tight insert loop can refill the table to its next
 // trigger point while the old bottom still holds records, and those records
-// would then genuinely find no slot. Must be called WITHOUT the resize lock
-// (drainChunk takes it shared).
+// would then genuinely find no slot. Must be called OUTSIDE an epoch
+// critical section, and only helps tasks whose grace period has elapsed —
+// touching the drain level before every pre-swap placement has landed would
+// let the drain scan past a bucket that still gains a record.
+//
+// The wait for the grace period is deliberately blocking, not a skip: the
+// "drain stays ahead of growth" guarantee holds only if no writer consumes
+// new-structure slots while claimable drain work exists, and on a starved
+// scheduler the goroutine that ends the grace may not run for several
+// milliseconds — long enough for an unthrottled insert loop to eat every
+// slot the undrained records need. A writer parked here only accelerates
+// the grace (its epoch slot is idle), so the wait cannot deadlock.
 func (s *Session) helpDrainStep() {
 	task := s.t.draining.Load()
 	if task == nil || task.blocking || task.failed.Load() {
+		return
+	}
+	select {
+	case <-task.ready:
+	case <-task.done:
 		return
 	}
 	if r, lo, hi, ok := task.claim(0); ok {
@@ -155,7 +171,8 @@ type hit struct {
 // observed a matching-fingerprint slot transition under a writer lock, the
 // scan restarts — the record may have moved behind us. The restart count is
 // capped by Options.LookupRetryBudget; exhausting it returns
-// lookupContended, never lookupMissing. Caller holds the resize lock shared.
+// lookupContended, never lookupMissing. Caller must be inside an epoch
+// critical section (enterCritical).
 func (t *Table) lookup(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8, ps *probeStats) (hit, lookupResult) {
 	kw0, kw1 := k.Pack()
 	for pass := 0; pass < t.opts.LookupRetryBudget; pass++ {
@@ -168,11 +185,18 @@ func (t *Table) lookup(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8, ps *pro
 		var lv [3]*level
 		for _, lvl := range lv[:t.walkLevels(&lv)] {
 			for _, b := range lvl.candidates(h1, h2) {
-				for s := 0; s < SlotsPerBucket; s++ {
+				// SWAR pre-filter: one load of the bucket's packed fingerprint
+				// word replaces eight scattered OCF loads. A slot that gains
+				// the fingerprint after this load is missed by this pass, but
+				// that is the same record-movement hazard the move-counter
+				// rescan already covers (fpwSet precedes the valid publish, and
+				// movers bump the shard between publish and retire).
+				for m := swarMatch(lvl.fpwLoad(b), fp); m != 0; m &= m - 1 {
+					s := bits.TrailingZeros64(m) >> 3
 				retrySlot:
 					c := lvl.ocfLoad(b, s)
 					if ocfFP(c) != fp {
-						continue // covers empty slots: their fingerprint is 0
+						continue // SWAR false positive, or the slot changed since the word load
 					}
 					if ocfIsLocked(c) {
 						c = waitUnlocked(lvl, b, s, ps)
@@ -227,7 +251,9 @@ func (t *Table) findAndLock(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8, ps
 		var lv [3]*level
 		for _, lvl := range lv[:t.walkLevels(&lv)] {
 			for _, b := range lvl.candidates(h1, h2) {
-				for s := 0; s < SlotsPerBucket; s++ {
+				// Same SWAR pre-filter as lookup; see the comment there.
+				for m := swarMatch(lvl.fpwLoad(b), fp); m != 0; m &= m - 1 {
+					s := bits.TrailingZeros64(m) >> 3
 					c := lvl.ocfLoad(b, s)
 					if ocfFP(c) != fp {
 						continue
@@ -277,17 +303,22 @@ func (t *Table) findAndLock(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8, ps
 
 // lockEmptySlot claims a free slot among the key's eight candidate buckets.
 // prefer, when non-nil, is scanned first (updates prefer the old record's
-// bucket so a crash leaves the duplicate bucket-local). Placement never
-// targets a level being drained — only top and bottom — so the drain level
-// monotonically empties. Returns the locked slot and the pre-lock control
-// word.
+// bucket so a crash leaves the duplicate bucket-local). Placement targets
+// the current level pair, never the drain level — except transiently: a
+// critical section that entered before a swap may still hold the old pair
+// and place into the old bottom, which has just become the drain level.
+// That is exactly what the resize grace period absorbs: the drain does not
+// start scanning until every such section has exited, so the straggler's
+// record is moved like any other. Returns the locked slot and the pre-lock
+// control word.
 func (t *Table) lockEmptySlot(h1, h2 uint64, prefer *slotRef) (slotRef, uint32, bool) {
 	if prefer != nil {
 		if ref, c, ok := lockEmptyIn(prefer.lvl, prefer.b); ok {
 			return ref, c, true
 		}
 	}
-	for _, lvl := range [2]*level{t.top, t.bottom} {
+	pr := t.pair()
+	for _, lvl := range [2]*level{pr.top, pr.bottom} {
 		for _, b := range lvl.candidates(h1, h2) {
 			if prefer != nil && lvl == prefer.lvl && b == prefer.b {
 				continue
@@ -351,10 +382,12 @@ func readSlot(h *nvm.Handle, ref slotRef) (k kv.Key, v kv.Value, meta uint8) {
 
 // displaceOne relocates one record out of the key's candidate buckets to
 // the record's own alternate bucket, PFHT-style (a single move, never a
-// cascade). Returns true if a slot was freed. Caller holds the resize lock
-// shared; the optional insert extension and the resize drain both use it.
+// cascade). Returns true if a slot was freed. Callers run inside an epoch
+// critical section (insert extension) or as drain workers (pointers pinned
+// by the in-flight task).
 func (t *Table) displaceOne(h *nvm.Handle, h1, h2 uint64) bool {
-	for _, lvl := range [2]*level{t.top, t.bottom} {
+	pr := t.pair()
+	for _, lvl := range [2]*level{pr.top, pr.bottom} {
 		for _, b := range lvl.candidates(h1, h2) {
 			for s := 0; s < SlotsPerBucket; s++ {
 				c := lvl.ocfLoad(b, s)
@@ -399,7 +432,8 @@ func packW3(v kv.Value, meta uint8) uint64 {
 // lockEmptySlotExcluding is lockEmptySlot skipping one position (the
 // displacement victim's own slot, which is locked by the caller).
 func (t *Table) lockEmptySlotExcluding(h1, h2 uint64, excl slotRef) (slotRef, uint32, bool) {
-	for _, lvl := range [2]*level{t.top, t.bottom} {
+	pr := t.pair()
+	for _, lvl := range [2]*level{pr.top, pr.bottom} {
 		for _, b := range lvl.candidates(h1, h2) {
 			for s := 0; s < SlotsPerBucket; s++ {
 				if lvl == excl.lvl && b == excl.b && s == excl.s {
@@ -430,16 +464,22 @@ func (t *Table) lockEmptySlotExcluding(h1, h2 uint64, excl slotRef) (slotRef, ui
 // a second copy of a live key.
 func (s *Session) Insert(k kv.Key, v kv.Value) error {
 	h1, h2, fp := hashKV(k[:])
+	return s.insertHashed(k, v, h1, h2, fp)
+}
+
+// insertHashed is Insert with the hashing hoisted out — the batch paths
+// hash every key up front and call the hashed cores directly.
+func (s *Session) insertHashed(k kv.Key, v kv.Value, h1, h2 uint64, fp uint8) error {
 	start := s.rec.Start()
 	ft := s.fl.OpBegin(obs.OpInsert)
 	contendedRounds := 0
 	for attempt := 0; attempt <= s.t.opts.MaxExpansions; attempt++ {
 		s.helpDrainStep()
-		s.t.resizeMu.RLock()
+		s.enterCritical()
 		var ps probeStats
 		_, res := s.t.lookup(s.h, k, h1, h2, fp, &ps)
 		if res != lookupMissing {
-			s.t.resizeMu.RUnlock()
+			s.exitCritical()
 			ps.report(s.rec, s.fl)
 			if res == lookupFound {
 				s.opDone(obs.OpInsert, obs.OutExists, start, ft)
@@ -462,9 +502,9 @@ func (s *Session) Insert(k kv.Key, v kv.Value) error {
 		}
 		if !ok {
 			gen := s.t.state().generation
-			s.t.resizeMu.RUnlock()
+			s.exitCritical()
 			if err := s.t.expand(gen); err != nil {
-				s.rec.Op(obs.OpInsert, expandOutcome(err), start)
+				s.opDone(obs.OpInsert, expandOutcome(err), start, ft)
 				return err
 			}
 			continue
@@ -474,7 +514,7 @@ func (s *Session) Insert(k kv.Key, v kv.Value) error {
 		ref.lvl.ocfRelease(ref.b, ref.s, true, fp, ocfVer(c))
 		s.t.count.Add(1)
 		s.waitHotWrite(owed)
-		s.t.resizeMu.RUnlock()
+		s.exitCritical()
 		s.opDone(obs.OpInsert, obs.OutOK, start, ft)
 		return nil
 	}
@@ -502,13 +542,13 @@ func (s *Session) Get(k kv.Key) (kv.Value, bool) {
 		}
 	}
 	for round := 0; ; round++ {
-		s.t.resizeMu.RLock()
+		s.enterCritical()
 		var ps probeStats
 		ht, res := s.t.lookup(s.h, k, h1, h2, fp, &ps)
 		if res == lookupFound {
 			s.fillHot(k, ht.val, h1, fp, ht.ref.lvl, ht.ref.b, ht.ref.s, ht.ctrl)
 		}
-		s.t.resizeMu.RUnlock()
+		s.exitCritical()
 		ps.report(s.rec, s.fl)
 		switch res {
 		case lookupFound:
@@ -539,13 +579,13 @@ func (s *Session) Lookup(k kv.Key) (kv.Value, error) {
 			return v, nil
 		}
 	}
-	s.t.resizeMu.RLock()
+	s.enterCritical()
 	var ps probeStats
 	ht, res := s.t.lookup(s.h, k, h1, h2, fp, &ps)
 	if res == lookupFound {
 		s.fillHot(k, ht.val, h1, fp, ht.ref.lvl, ht.ref.b, ht.ref.s, ht.ctrl)
 	}
-	s.t.resizeMu.RUnlock()
+	s.exitCritical()
 	ps.report(s.rec, s.fl)
 	switch res {
 	case lookupFound:
@@ -597,17 +637,22 @@ func (s *Session) UpdateIf(k kv.Key, expect, v kv.Value) error {
 // current value.
 func (s *Session) updateWith(k kv.Key, v kv.Value, expect *kv.Value) (kv.Value, error) {
 	h1, h2, fp := hashKV(k[:])
+	return s.updateHashed(k, v, expect, h1, h2, fp)
+}
+
+// updateHashed is updateWith with the hashing hoisted out (see insertHashed).
+func (s *Session) updateHashed(k kv.Key, v kv.Value, expect *kv.Value, h1, h2 uint64, fp uint8) (kv.Value, error) {
 	start := s.rec.Start()
 	ft := s.fl.OpBegin(obs.OpUpdate)
 	transientRetries := 0
 	contendedRounds := 0
 	for attempt := 0; attempt <= s.t.opts.MaxExpansions; attempt++ {
 		s.helpDrainStep()
-		s.t.resizeMu.RLock()
+		s.enterCritical()
 		var ps probeStats
 		old, res := s.t.findAndLock(s.h, k, h1, h2, fp, &ps)
 		if res != lookupFound {
-			s.t.resizeMu.RUnlock()
+			s.exitCritical()
 			ps.report(s.rec, s.fl)
 			if res == lookupMissing {
 				s.opDone(obs.OpUpdate, obs.OutNotFound, start, ft)
@@ -628,15 +673,16 @@ func (s *Session) updateWith(k kv.Key, v kv.Value, expect *kv.Value) (kv.Value, 
 			// Conditional update, wrong current value: put the old slot back
 			// untouched and report the value that won.
 			old.ref.lvl.ocfRelease(old.ref.b, old.ref.s, true, fp, ocfVer(old.ctrl))
-			s.t.resizeMu.RUnlock()
+			s.exitCritical()
 			s.opDone(obs.OpUpdate, obs.OutConflict, start, ft)
 			return old.val, scheme.ErrConflict
 		}
 		// Prefer the old record's own bucket only while it lives in the
 		// current structure: a record found in the drain level must move to
 		// top/bottom, never back into the level being emptied.
+		pr := s.t.pair()
 		prefer := &old.ref
-		if old.ref.lvl != s.t.top && old.ref.lvl != s.t.bottom {
+		if old.ref.lvl != pr.top && old.ref.lvl != pr.bottom {
 			prefer = nil
 		}
 		ref, c, okEmpty := s.t.lockEmptySlot(h1, h2, prefer)
@@ -644,8 +690,8 @@ func (s *Session) updateWith(k kv.Key, v kv.Value, expect *kv.Value) (kv.Value, 
 			// Put the old slot back.
 			old.ref.lvl.ocfRelease(old.ref.b, old.ref.s, true, fp, ocfVer(old.ctrl))
 			gen := s.t.state().generation
-			lf := float64(s.t.count.Load()) / float64(s.t.top.slots()+s.t.bottom.slots())
-			s.t.resizeMu.RUnlock()
+			lf := float64(s.t.count.Load()) / float64(pr.top.slots()+pr.bottom.slots())
+			s.exitCritical()
 			// A full candidate set at moderate load is usually transient —
 			// concurrent updaters of nearby (skewed) keys each hold one
 			// extra slot mid-move. Retry before paying for an expansion,
@@ -657,7 +703,7 @@ func (s *Session) updateWith(k kv.Key, v kv.Value, expect *kv.Value) (kv.Value, 
 				continue
 			}
 			if err := s.t.expand(gen); err != nil {
-				s.rec.Op(obs.OpUpdate, expandOutcome(err), start)
+				s.opDone(obs.OpUpdate, expandOutcome(err), start, ft)
 				return kv.Value{}, err
 			}
 			continue
@@ -678,7 +724,7 @@ func (s *Session) updateWith(k kv.Key, v kv.Value, expect *kv.Value) (kv.Value, 
 		// Mirror into the cache after the commit so stale fills lose.
 		owed := s.beginHotWrite(hotOpPut, k, v, h1, fp)
 		s.waitHotWrite(owed)
-		s.t.resizeMu.RUnlock()
+		s.exitCritical()
 		s.opDone(obs.OpUpdate, obs.OutOK, start, ft)
 		return old.val, nil
 	}
@@ -705,14 +751,19 @@ func (s *Session) DeleteExchange(k kv.Key) (kv.Value, error) {
 
 func (s *Session) deleteWith(k kv.Key) (kv.Value, error) {
 	h1, h2, fp := hashKV(k[:])
+	return s.deleteHashed(k, h1, h2, fp)
+}
+
+// deleteHashed is deleteWith with the hashing hoisted out (see insertHashed).
+func (s *Session) deleteHashed(k kv.Key, h1, h2 uint64, fp uint8) (kv.Value, error) {
 	start := s.rec.Start()
 	ft := s.fl.OpBegin(obs.OpDelete)
 	for round := 0; ; round++ {
-		s.t.resizeMu.RLock()
+		s.enterCritical()
 		var ps probeStats
 		old, res := s.t.findAndLock(s.h, k, h1, h2, fp, &ps)
 		if res != lookupFound {
-			s.t.resizeMu.RUnlock()
+			s.exitCritical()
 			ps.report(s.rec, s.fl)
 			if res == lookupMissing {
 				s.opDone(obs.OpDelete, obs.OutNotFound, start, ft)
@@ -732,7 +783,7 @@ func (s *Session) deleteWith(k kv.Key) (kv.Value, error) {
 		s.t.count.Add(-1)
 		owed := s.beginHotWrite(hotOpDel, k, kv.Value{}, h1, fp)
 		s.waitHotWrite(owed)
-		s.t.resizeMu.RUnlock()
+		s.exitCritical()
 		s.opDone(obs.OpDelete, obs.OutOK, start, ft)
 		return old.val, nil
 	}

@@ -109,6 +109,13 @@ type Options struct {
 	// contended paths deterministically.
 	LookupRetryBudget int
 
+	// BatchEpochChunk bounds how many keys of one MultiGet/MultiPut/
+	// MultiDelete are processed per epoch critical section. Between chunks
+	// the batch exits and re-enters, so an arbitrarily large batch never
+	// extends a concurrent resize's grace period by more than one chunk's
+	// work. 0 picks the default (DefaultBatchEpochChunk).
+	BatchEpochChunk int
+
 	// Metrics, when non-nil, enables observability: sessions and background
 	// writers record into it (see internal/obs). nil compiles the accounting
 	// down to no-ops.
@@ -133,6 +140,12 @@ const DefaultDrainWorkers = 4
 // acquisition: large enough that progress persists are amortised, small
 // enough that a pointer-swapping expansion never waits long behind a chunk.
 const DefaultDrainChunkBuckets = 64
+
+// DefaultBatchEpochChunk is how many batch keys run per epoch critical
+// section when BatchEpochChunk is zero: large enough to amortise the
+// enter/exit pair to noise, small enough that a batch never stalls a resize
+// grace period for long.
+const DefaultBatchEpochChunk = 64
 
 // DefaultLookupRetryBudget is the rescan cap a zero LookupRetryBudget means.
 // A conclusive pass needs no rescans at all unless a record the walk raced
@@ -160,6 +173,7 @@ func DefaultOptions() Options {
 		DrainChunkBuckets:  DefaultDrainChunkBuckets,
 		RecoveryWorkers:    4,
 		LookupRetryBudget:  DefaultLookupRetryBudget,
+		BatchEpochChunk:    DefaultBatchEpochChunk,
 		Seed:               1,
 	}
 }
@@ -178,6 +192,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DrainChunkBuckets == 0 {
 		o.DrainChunkBuckets = DefaultDrainChunkBuckets
+	}
+	if o.BatchEpochChunk == 0 {
+		o.BatchEpochChunk = DefaultBatchEpochChunk
 	}
 	return o
 }
@@ -213,6 +230,9 @@ func (o Options) Validate() error {
 	}
 	if o.LookupRetryBudget < 0 {
 		return fmt.Errorf("core: LookupRetryBudget %d must not be negative", o.LookupRetryBudget)
+	}
+	if o.BatchEpochChunk < 0 {
+		return fmt.Errorf("core: BatchEpochChunk %d must not be negative", o.BatchEpochChunk)
 	}
 	return nil
 }

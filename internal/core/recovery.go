@@ -79,8 +79,10 @@ func (t *Table) recover() error {
 	if topSegs <= 0 || bottomSegs <= 0 {
 		return fmt.Errorf("core: corrupt level descriptors (%d, %d segments)", topSegs, bottomSegs)
 	}
-	t.top = newLevel(topBase, topSegs, m)
-	t.bottom = newLevel(bottomBase, bottomSegs, m)
+	t.lv.Store(&tablePair{
+		top:    newLevel(topBase, topSegs, m),
+		bottom: newLevel(bottomBase, bottomSegs, m),
+	})
 
 	// Rebuild the OCF: one parallel traversal of the NVT, computing each
 	// live record's fingerprint from its key (bitmaps are persisted in the
@@ -88,7 +90,8 @@ func (t *Table) recover() error {
 	ocfStart := time.Now()
 	t.rebuildOCF()
 	stats.OCFRebuild = time.Since(ocfStart)
-	t.fl.RecoveryStep(flight.RecOCF, stats.OCFRebuild, t.top.buckets()+t.bottom.buckets())
+	pr := t.pair()
+	t.fl.RecoveryStep(flight.RecOCF, stats.OCFRebuild, pr.top.buckets()+pr.bottom.buckets())
 
 	// Level number 3: resume draining the old bottom level from the
 	// persisted per-range progress words (or the legacy single-range word),
@@ -134,7 +137,7 @@ func (t *Table) recover() error {
 	// Rebuild the hot table with a second parallel traversal.
 	if t.opts.HotSlotsPerBucket > 0 {
 		hotStart := time.Now()
-		t.hot = newHotTable(t.top.segments, t.bottom.segments, m, t.opts.HotSlotsPerBucket, t.opts.Replacer)
+		t.hot = newHotTable(pr.top.segments, pr.bottom.segments, m, t.opts.HotSlotsPerBucket, t.opts.Replacer)
 		t.rebuildHot()
 		stats.HotRebuild = time.Since(hotStart)
 		t.fl.RecoveryStep(flight.RecHot, stats.HotRebuild, stats.Items)
@@ -148,7 +151,8 @@ func (t *Table) recover() error {
 // rebuildOCF scans both levels with RecoveryWorkers goroutines, each
 // handling an independent batch of buckets (the paper's parallel recovery).
 func (t *Table) rebuildOCF() {
-	for _, lvl := range [2]*level{t.top, t.bottom} {
+	pr := t.pair()
+	for _, lvl := range [2]*level{pr.top, pr.bottom} {
 		t.rebuildOCFLevel(lvl)
 	}
 }
@@ -174,7 +178,8 @@ func (t *Table) rebuildOCFLevel(lvl *level) {
 // as after any other insert; the workload's own searches re-warm them.
 func (t *Table) rebuildHot() {
 	var seq atomic.Uint64
-	for _, lvl := range [2]*level{t.top, t.bottom} {
+	pr := t.pair()
+	for _, lvl := range [2]*level{pr.top, pr.bottom} {
 		t.parallelBuckets(lvl, func(h *nvm.Handle, lvl *level, b int64) {
 			r := rng.New(t.opts.Seed ^ seq.Add(1)<<13)
 			h.ReadAccess(lvl.bucketWord(b), BucketWords)
@@ -259,7 +264,8 @@ func (t *Table) dedupTornUpdates(h *nvm.Handle) int64 {
 		removed.Add(1)
 	}
 
-	for _, lvl := range [2]*level{t.top, t.bottom} {
+	pr := t.pair()
+	for _, lvl := range [2]*level{pr.top, pr.bottom} {
 		t.parallelBuckets(lvl, func(wh *nvm.Handle, lvl *level, b int64) {
 			for s := 0; s < SlotsPerBucket; s++ {
 				if !ocfIsValid(lvl.ocfLoad(b, s)) {
@@ -305,7 +311,8 @@ func posLess(a, b slotRef) bool {
 // countFromOCF counts valid bits across both levels (DRAM-only).
 func (t *Table) countFromOCF() int64 {
 	var n int64
-	for _, lvl := range [2]*level{t.top, t.bottom} {
+	pr := t.pair()
+	for _, lvl := range [2]*level{pr.top, pr.bottom} {
 		for i := range lvl.ocf {
 			if atomic.LoadUint32(&lvl.ocf[i])&ocfValid != 0 {
 				n++

@@ -510,7 +510,7 @@ func TestStateTwoCrashIgnoresStaleDrainLayout(t *testing.T) {
 	if st.levelNumber != levelNumStable {
 		t.Fatalf("table not stable after StopBackground (level number %d)", st.levelNumber)
 	}
-	drainBuckets := tbl.bottom.buckets() // the next expansion drains this level
+	drainBuckets := tbl.pair().bottom.buckets() // the next expansion drains this level
 	nr := int64(4)
 	per := (drainBuckets + nr - 1) / nr
 	h.StorePersist(tbl.metaOff+metaDrainRanges, uint64(nr))

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,17 +20,23 @@ import (
 // requested, 3 while rehashing — with each transition committed by one
 // atomic 8-byte persist of the state word.
 //
-// The drain itself is incremental and parallel: the resize lock is held
-// exclusively only for the pointer swap (state 2→3); the old bottom is then
-// rehashed by Options.DrainWorkers goroutines, each owning a disjoint bucket
-// range with its own NVM handle and its own persisted progress word, working
-// in DrainChunkBuckets-sized chunks under the shared lock plus per-slot OCF
-// locks. Foreground operations therefore proceed throughout state 3 — they
-// walk the drain level as a third lookup level until it empties — and
-// foreground writers that run out of space during state 3 help drain before
-// retrying. A crash mid-drain resumes from the per-range progress words,
-// which only ever under-report: re-draining a bucket is idempotent because
-// the per-record move is copy-then-invalidate behind an existence check.
+// The drain itself is incremental and parallel: the pointer swap (state
+// 2→3) is an atomic level-pair publication — no reader is excluded, not
+// even briefly. The swap publishes the drain task, then the new pair, then
+// bumps the global epoch and waits one grace period (every session slot
+// idle or past the bump, see epoch.go) before the drain starts; the grace
+// exists solely so that a straggler critical section still holding the old
+// pair finishes any placement into the old bottom before a drain worker can
+// scan past it. The old bottom is then rehashed by Options.DrainWorkers
+// goroutines, each owning a disjoint bucket range with its own NVM handle
+// and its own persisted progress word, working in DrainChunkBuckets-sized
+// chunks under per-slot OCF locks only. Foreground operations proceed
+// throughout state 3 — they walk the drain level as a third lookup level
+// until it empties — and foreground writers that run out of space during
+// state 3 help drain before retrying. A crash mid-drain resumes from the
+// per-range progress words, which only ever under-report: re-draining a
+// bucket is idempotent because the per-record move is copy-then-invalidate
+// behind an existence check.
 
 // drainRange is one worker's share of the drain level's buckets. Claiming is
 // in-memory (the chunk cursor); completion is durable (the progress word
@@ -61,6 +68,14 @@ type drainTask struct {
 	began      time.Time
 	finalState tableState // stable state persisted at completion
 	blocking   bool       // drained inline under the exclusive resize lock
+
+	// ready is closed when the drain may start scanning the source level:
+	// for a live expansion, once the post-swap grace period has elapsed (so
+	// every straggler critical section that could still place a record into
+	// the old bottom has exited); immediately for blocking/recovery tasks,
+	// whose exclusivity makes stragglers impossible. Workers and helpers
+	// must not claim chunks before ready.
+	ready chan struct{}
 
 	failed   atomic.Bool
 	failOnce sync.Once
@@ -163,8 +178,9 @@ func (t *Table) expandLocked(st tableState) error {
 	// Paper state 2: new level requested.
 	t.setState(h, tableState{levelNumber: levelNumRequest, top: st.top, bottom: st.bottom, drain: free, generation: st.generation})
 
-	m := t.top.m
-	newSegs := 2 * t.top.segments
+	pr := t.pair()
+	m := pr.top.m
+	newSegs := 2 * pr.top.segments
 	base, err := t.dev.Alloc(h, newSegs*m*BucketWords, nvm.BlockWords)
 	if err != nil {
 		// Roll back to stable; the table is full for real.
@@ -174,35 +190,60 @@ func (t *Table) expandLocked(st tableState) error {
 	}
 	t.writeLevelDescriptor(h, free, base, newSegs)
 
-	drainLvl := t.bottom
+	drainLvl := pr.bottom
 	task := t.newDrainTask(drainLvl, began, t.opts.BlockingResize,
 		tableState{levelNumber: levelNumStable, top: free, bottom: st.top, drain: levelSlotUnused, generation: st.generation + 1})
 	t.persistDrainProgress(h, task)
 
 	// Paper state 3: pointers switched, rehash in progress. From here the
 	// drain level is reachable through the persisted descriptor and the
-	// progress words, so the swap is the last exclusive-section step.
+	// progress words.
 	t.setState(h, tableState{levelNumber: levelNumRehash, top: free, bottom: st.top, drain: st.bottom, generation: st.generation})
 
-	t.bottom = t.top
-	t.top = newLevel(base, newSegs, m)
-	if t.hot != nil {
-		t.hot.promote(newSegs, m)
-	}
-	t.draining.Store(task)
 	if task.blocking {
-		// Baseline mode: drain to completion before releasing the lock.
+		// Baseline mode: quiesce every session, swap, drain to completion,
+		// then let sessions back in — the stop-the-world behaviour the
+		// BlockingResize experiments measure.
+		t.epochExclude()
+		t.draining.Store(task)
+		t.lv.Store(&tablePair{top: newLevel(base, newSegs, m), bottom: pr.top})
+		if t.hot != nil {
+			t.hot.promote(newSegs, m)
+		}
+		t.epochGlobal.Add(1)
 		t.runDrainWorkers(task)
+		t.epochRelease()
 		t.resizeMu.Unlock()
 		return task.err
 	}
+
+	// Live swap. Publication order matters: the drain task must be visible
+	// before the new pair is (walkLevels loads the pair first, then the
+	// task), so a reader that observes the new pair always also observes the
+	// drain level — the old bottom would otherwise silently vanish from its
+	// walk while still holding records.
+	t.draining.Store(task)
+	t.lv.Store(&tablePair{top: newLevel(base, newSegs, m), bottom: pr.top})
+	if t.hot != nil {
+		// promote already composes with concurrent hot readers/writers (the
+		// background writer pool races it today); no exclusivity needed.
+		t.hot.promote(newSegs, m)
+	}
+	target := t.epochGlobal.Add(1)
 	t.resizeMu.Unlock()
 	t.rec.ExpansionSwap(time.Since(began))
 	t.fl.ResizeSwap(st.generation, time.Since(began))
 
-	for w := 0; w < len(task.ranges); w++ {
-		go t.drainWorker(task, w)
-	}
+	// The swap is done and the caller may retry against the new top
+	// immediately; only the drain start waits for the grace period, off the
+	// caller's path.
+	go func() {
+		t.waitGrace(target)
+		close(task.ready)
+		for w := 0; w < len(task.ranges); w++ {
+			go t.drainWorker(task, w)
+		}
+	}()
 	return nil
 }
 
@@ -211,6 +252,13 @@ func (t *Table) expandLocked(st tableState) error {
 // chunk to complete. The generation bumps at completion, so the caller's
 // retry observes the finished doubling.
 func (t *Table) helpDrain(task *drainTask) error {
+	// Don't touch the source level before the post-swap grace period ends —
+	// same rule as the background workers (who are only started after it).
+	select {
+	case <-task.ready:
+	case <-task.done:
+		return task.err
+	}
 	h := t.dev.NewHandle()
 	base := h.Stats()
 	for !task.failed.Load() {
@@ -283,7 +331,11 @@ func (t *Table) newDrainTask(src *level, began time.Time, blocking bool, final t
 		began:      began,
 		finalState: final,
 		blocking:   blocking,
+		ready:      make(chan struct{}),
 		done:       make(chan struct{}),
+	}
+	if blocking {
+		close(task.ready) // exclusive section: no grace period to wait out
 	}
 	per := (buckets + nr - 1) / nr
 	for i := int64(0); i < nr; i++ {
@@ -419,29 +471,22 @@ func (t *Table) drainWorker(task *drainTask, worker int) {
 	rec.AddNVM(h.Stats().Sub(base))
 }
 
-// drainChunk rehashes buckets [lo, hi) of one range under the shared resize
-// lock (unless the task runs inside the exclusive section), then durably
-// completes them. A failed bucket fails the whole task; its records stay
-// committed and readable in the drain level.
+// drainChunk rehashes buckets [lo, hi) of one range, then durably completes
+// them. No table-wide lock is needed: the level pointers cannot change while
+// the task is installed (expansion is gated on draining being nil), the
+// device words are individually atomic, and record movement is covered by
+// the per-slot OCF locks. A failed bucket fails the whole task; its records
+// stay committed and readable in the drain level.
 func (t *Table) drainChunk(h *nvm.Handle, task *drainTask, r *drainRange, lo, hi int64) {
 	start := time.Now()
 	var moved int64
-	if !task.blocking {
-		t.resizeMu.RLock()
-	}
 	for b := lo; b < hi; b++ {
 		n, err := t.drainBucket(h, task, b)
 		if err != nil {
-			if !task.blocking {
-				t.resizeMu.RUnlock()
-			}
 			task.fail(err)
 			return
 		}
 		moved += n
-	}
-	if !task.blocking {
-		t.resizeMu.RUnlock()
 	}
 	t.rec.DrainChunk(hi-lo, moved, time.Since(start))
 	t.fl.DrainChunk(hi-lo, moved, time.Since(start))
@@ -590,9 +635,11 @@ func (t *Table) committedInNew(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8)
 	for round := 0; ; round++ {
 		moveSnapshot := t.moveShard(h1).Load()
 		mayHaveMoved := false
-		for _, lvl := range [2]*level{t.top, t.bottom} {
+		pr := t.pair()
+		for _, lvl := range [2]*level{pr.top, pr.bottom} {
 			for _, b := range lvl.candidates(h1, h2) {
-				for s := 0; s < SlotsPerBucket; s++ {
+				for m := swarMatch(lvl.fpwLoad(b), fp); m != 0; m &= m - 1 {
+					s := bits.TrailingZeros64(m) >> 3
 				retrySlot:
 					c := lvl.ocfLoad(b, s)
 					if ocfFP(c) != fp {

@@ -18,10 +18,16 @@ type Session struct {
 	h    *nvm.Handle
 	rng  *rng.Xorshift128
 	done chan struct{} // reusable sync_write_signal (one outstanding write)
+	ep   *epochSlot    // this session's padded resize-protection slot
 
 	rec     obs.Recorder
 	fl      flight.Tracer
 	nvmBase nvm.Stats // handle stats already published via SyncObs
+
+	// batch is the MultiGet/MultiPut/MultiDelete scratch, reused across
+	// calls so batches allocate only when they outgrow the previous high
+	// water mark (see batch.go).
+	batch batchScratch
 }
 
 // NewSession returns a fresh session on the table.
@@ -32,6 +38,7 @@ func (t *Table) NewSession() *Session {
 		h:    t.dev.NewHandle(),
 		rng:  rng.New(t.opts.Seed ^ (id * 0x9E3779B97F4A7C15)),
 		done: make(chan struct{}, 1),
+		ep:   t.registerEpochSlot(),
 		rec:  t.recorderHandle(),
 		fl:   t.flight.Handle("session"),
 	}

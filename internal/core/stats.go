@@ -43,16 +43,18 @@ func (s TableStats) String() string {
 		s.HotEntries, s.HotCapacity, s.DeviceWordsUsed, s.DeviceWords)
 }
 
-// Stats returns a snapshot of the table's shape.
+// Stats returns a snapshot of the table's shape. Lock-free: the level pair
+// is one atomic pointer, and the remaining fields are individually atomic
+// (the snapshot is internally consistent about the geometry, approximate
+// about the rest — same as before, when only the geometry was lock-covered).
 func (t *Table) Stats() TableStats {
-	t.resizeMu.RLock()
-	defer t.resizeMu.RUnlock()
+	pr := t.pair()
 	st := TableStats{
 		Items:                 t.count.Load(),
-		Capacity:              t.top.slots() + t.bottom.slots(),
-		TopSegments:           t.top.segments,
-		BottomSegments:        t.bottom.segments,
-		SegmentBuckets:        t.top.m,
+		Capacity:              pr.top.slots() + pr.bottom.slots(),
+		TopSegments:           pr.top.segments,
+		BottomSegments:        pr.bottom.segments,
+		SegmentBuckets:        pr.top.m,
 		Generation:            t.state().generation,
 		Resizing:              t.Resizing(),
 		DrainBucketsRemaining: t.DrainBucketsRemaining(),
@@ -74,14 +76,16 @@ func (t *Table) Stats() TableStats {
 // Scan visits every committed record once and calls fn; returning false
 // stops the scan early. Scan returns the number of records visited.
 //
-// Scan runs under the shared resize lock with the same lock-free per-slot
-// validation as Get, so it can race concurrent writers: each record it
-// yields was committed at the moment it was read, but the scan as a whole
-// is not a snapshot. Useful for backups, audits and debugging.
+// Scan runs inside one epoch critical section with the same lock-free
+// per-slot validation as Get, so it can race concurrent writers: each record
+// it yields was committed at the moment it was read, but the scan as a whole
+// is not a snapshot. Useful for backups, audits and debugging. Note a long
+// scan extends any concurrent resize's grace period (it delays the drain
+// start, not the swap).
 func (s *Session) Scan(fn func(k kv.Key, v kv.Value) bool) int64 {
 	t := s.t
-	t.resizeMu.RLock()
-	defer t.resizeMu.RUnlock()
+	s.enterCritical()
+	defer s.exitCritical()
 	var visited int64
 	var lv [3]*level
 	for _, lvl := range lv[:t.walkLevels(&lv)] {
@@ -127,8 +131,7 @@ func (s *Session) Scan(fn func(k kv.Key, v kv.Value) bool) int64 {
 // hist[k] = number of buckets holding exactly k valid records. Computed
 // from the OCF (DRAM only), so it is cheap enough for monitoring.
 func (t *Table) OccupancyHistogram() (top, bottom [SlotsPerBucket + 1]int64) {
-	t.resizeMu.RLock()
-	defer t.resizeMu.RUnlock()
+	pr := t.pair()
 	fill := func(lvl *level, out *[SlotsPerBucket + 1]int64) {
 		for b := int64(0); b < lvl.buckets(); b++ {
 			n := 0
@@ -140,7 +143,7 @@ func (t *Table) OccupancyHistogram() (top, bottom [SlotsPerBucket + 1]int64) {
 			out[n]++
 		}
 	}
-	fill(t.top, &top)
-	fill(t.bottom, &bottom)
+	fill(pr.top, &top)
+	fill(pr.bottom, &bottom)
 	return top, bottom
 }

@@ -18,14 +18,25 @@ type Table struct {
 	opts    Options
 	metaOff int64
 
-	// resizeMu is held shared by every operation and exclusively by the
-	// pointer-swapping prologue of an expansion. Per-slot optimistic
-	// concurrency happens inside the shared section; the rehash itself runs
-	// incrementally under the shared lock (see resize.go), so the exclusive
-	// section is a few metadata writes, not a full drain.
-	resizeMu sync.RWMutex
-	top      *level
-	bottom   *level
+	// resizeMu serialises the structural mutators — expansion prologues,
+	// failed-drain retries, the invariant checker, the blocking-resize
+	// baseline. Operations do NOT take it: the hot path is protected by the
+	// per-session epoch slots below (see epoch.go), so no global lock word
+	// is written by Get/Insert/Update/Delete at all.
+	resizeMu sync.Mutex
+
+	// lv is the current two-level structure, swapped atomically by the
+	// resize. Readers load the pair once per pass, which yields a consistent
+	// (top, bottom) view; an old pair observed across a swap stays valid —
+	// its levels remain allocated, and the old bottom is reachable as the
+	// drain level until it empties.
+	lv atomic.Pointer[tablePair]
+
+	// Epoch-based resize protection state; see epoch.go.
+	epochGlobal atomic.Uint64
+	epochGate   atomic.Uint32
+	epochMu     sync.Mutex
+	epochSlots  atomic.Pointer[[]*epochSlot]
 
 	// draining, when non-nil, is the in-progress incremental rehash. Ops
 	// walk its source level as a third lookup level until the drain empties
@@ -78,13 +89,24 @@ func (t *Table) moveShard(h1 uint64) *atomic.Uint64 {
 	return &t.moves[(h1>>20)%moveShards]
 }
 
+// tablePair is the atomically published two-level structure.
+type tablePair struct {
+	top, bottom *level
+}
+
+// pair loads the current level pair. The load is one atomic pointer read;
+// the pair itself is immutable once published.
+func (t *Table) pair() *tablePair { return t.lv.Load() }
+
 // walkLevels fills dst with the levels a lookup must visit — top, bottom,
 // and the drain level while an incremental rehash is in flight — returning
-// how many are live. Callers hold the resize lock shared, which pins the
-// top/bottom pointers; the drain level is published via the atomic task
-// pointer before the swap's exclusive section ends.
+// how many are live. The pair MUST be loaded before the drain task: the
+// resize publishes the task before swapping the pair, so a walker that
+// observes the new pair always observes the task too (a walker holding the
+// old pair scans the drain level as its bottom, which is equivalent).
 func (t *Table) walkLevels(dst *[3]*level) int {
-	dst[0], dst[1] = t.top, t.bottom
+	pr := t.pair()
+	dst[0], dst[1] = pr.top, pr.bottom
 	if task := t.draining.Load(); task != nil {
 		dst[2] = task.src
 		return 3
@@ -159,8 +181,7 @@ func Create(dev *nvm.Device, opts Options) (*Table, error) {
 	h.StorePersist(metaOff+metaMagicWord, tableMagic)
 	dev.SetRoot(h, rootSlot, uint64(metaOff))
 
-	t.top = newLevel(topBase, topSegs, m)
-	t.bottom = newLevel(bottomBase, bottomSegs, m)
+	t.lv.Store(&tablePair{top: newLevel(topBase, topSegs, m), bottom: newLevel(bottomBase, bottomSegs, m)})
 	t.initVolatile()
 	return t, nil
 }
@@ -202,9 +223,12 @@ func OpenOrCreate(dev *nvm.Device, opts Options) (*Table, error) {
 func (t *Table) initVolatile() {
 	t.metrics = t.opts.Metrics
 	t.rec = t.recorderHandle()
+	// Epoch 0 is reserved to mean "idle" in the session slots; start at 1.
+	t.epochGlobal.Store(1)
 	if t.opts.HotSlotsPerBucket > 0 {
 		if t.hot == nil { // recovery may have built it already
-			t.hot = newHotTable(t.top.segments, t.bottom.segments, t.top.m, t.opts.HotSlotsPerBucket, t.opts.Replacer)
+			pr := t.pair()
+			t.hot = newHotTable(pr.top.segments, pr.bottom.segments, pr.top.m, t.opts.HotSlotsPerBucket, t.opts.Replacer)
 		}
 		t.hot.rec = t.rec
 		t.hot.fl = t.fl
@@ -274,11 +298,11 @@ func (t *Table) setState(h *nvm.Handle, s tableState) {
 // Count returns the number of live records.
 func (t *Table) Count() int64 { return t.count.Load() }
 
-// Capacity returns the total NVT slot count.
+// Capacity returns the total NVT slot count. The pair load is atomic, so
+// the sum is always internally consistent even against a racing swap.
 func (t *Table) Capacity() int64 {
-	t.resizeMu.RLock()
-	defer t.resizeMu.RUnlock()
-	return t.top.slots() + t.bottom.slots()
+	pr := t.pair()
+	return pr.top.slots() + pr.bottom.slots()
 }
 
 // LoadFactor returns live records over capacity.

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"fmt"
+
+	"hdnh/internal/ycsb"
+)
+
+// FigBatchScale measures what batching buys the read path (extension; no
+// paper counterpart): a 100% search workload swept over MultiGet batch
+// sizes, for HDNH (native BatchSession: up-front hashing, epoch-chunked NVT
+// walks, grouped hot-cache fills) against LEVEL (no batch path, so the
+// scheme helpers fall back to a per-key loop — the control that separates
+// batching proper from call-overhead noise). Expected shape: HDNH rises
+// with batch size and flattens once the per-op amortisable costs are gone;
+// LEVEL stays flat at its singleton throughput.
+func FigBatchScale(sc Scale) (*Experiment, error) {
+	exp := &Experiment{
+		ID:      "batchscale",
+		Title:   "Read throughput vs MultiGet batch size",
+		XLabel:  "batch size",
+		Columns: []string{"HDNH", "HDNH speedup", "LEVEL (fallback)"},
+		Notes: []string{
+			"HDNH batches natively; LEVEL runs the per-key fallback helper",
+			"speedup is HDNH at this batch size over HDNH at batch=1",
+		},
+	}
+	var base float64
+	for _, batch := range []int{1, 4, 16, 64, 256} {
+		row := make([]Cell, 0, 3)
+		var hdnh float64
+		for _, name := range []string{"HDNH", "LEVEL"} {
+			res, err := Run(Options{
+				Scheme:     name,
+				Records:    sc.Records,
+				Ops:        sc.Ops,
+				Threads:    sc.Threads,
+				Mix:        ycsb.ReadOnly,
+				Dist:       ycsb.Uniform,
+				Seed:       sc.Seed,
+				DeviceMode: sc.Mode,
+				BatchSize:  batch,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("batchscale %s batch=%d: %w", name, batch, err)
+			}
+			if name == "HDNH" {
+				hdnh = res.ThroughputMops
+				row = append(row, mops("HDNH", hdnh))
+			} else {
+				row = append(row, mops("LEVEL (fallback)", res.ThroughputMops))
+			}
+		}
+		if base == 0 {
+			base = hdnh
+		}
+		speedup := 0.0
+		if base > 0 {
+			speedup = hdnh / base
+		}
+		// Keep column order stable: HDNH, speedup, LEVEL.
+		row = []Cell{row[0], {Label: "HDNH speedup", Value: speedup}, row[1]}
+		exp.addRow(fmt.Sprintf("%d", batch), row...)
+	}
+	return exp, nil
+}

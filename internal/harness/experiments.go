@@ -23,6 +23,10 @@ type Scale struct {
 	Threads int
 	// Mode selects the device emulation level for throughput runs.
 	Mode nvm.Mode
+	// BatchSize, when > 1, drives reads and deletes through the scheme
+	// batch operations (see Options.BatchSize) in the experiments that run
+	// plain workloads; the batchscale experiment sweeps its own sizes.
+	BatchSize int
 	// Seed makes all workloads reproducible.
 	Seed uint64
 }
@@ -261,6 +265,7 @@ func Fig12(sc Scale) (*Experiment, error) {
 				Theta:      s,
 				Seed:       sc.Seed,
 				DeviceMode: sc.Mode,
+				BatchSize:  sc.BatchSize,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("fig12 %s s=%v: %w", sch.name, s, err)
@@ -316,6 +321,7 @@ func Fig13(sc Scale) (*Experiment, error) {
 				Dist:       dist,
 				Seed:       sc.Seed,
 				DeviceMode: sc.Mode,
+				BatchSize:  sc.BatchSize,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("fig13 %s %s: %w", name, ph.label, err)
@@ -375,6 +381,7 @@ func Fig14(sc Scale) ([]*Experiment, error) {
 					Dist:       ycsb.Uniform,
 					Seed:       sc.Seed,
 					DeviceMode: sc.Mode,
+					BatchSize:  sc.BatchSize,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("%s %s t=%d: %w", wl.id, name, threads, err)

@@ -50,7 +50,17 @@ type Options struct {
 	// DeviceWords overrides automatic device sizing.
 	DeviceWords int64
 	// RecordLatency enables per-op latency histograms (Figure 15).
+	// Ignored when BatchSize > 1: a batch completes as a unit, so per-op
+	// latencies inside it are not individually meaningful.
 	RecordLatency bool
+	// BatchSize, when > 1, drives the workload through the scheme's batch
+	// operations: runs of consecutive reads drain through scheme.MultiGet
+	// and runs of deletes through scheme.MultiDelete, up to BatchSize keys
+	// per call. Schemes without a native BatchSession fall back to per-key
+	// loops inside the scheme helpers, so the sweep is uniform. Inserts,
+	// updates and read-modify-writes keep their per-op semantics and flush
+	// any accumulated batch first.
+	BatchSize int
 	// CapacityHint overrides the scheme sizing hint (default: Records plus
 	// the expected insert volume).
 	CapacityHint int64
@@ -190,6 +200,23 @@ func Run(o Options) (*Result, error) {
 			if ti == 0 {
 				n += o.Ops % int64(o.Threads)
 			}
+			count := func(err error) {
+				switch {
+				case err == nil:
+				case errors.Is(err, scheme.ErrNotFound), errors.Is(err, scheme.ErrExists):
+					misses.Add(1)
+				default:
+					failures.Add(1)
+				}
+			}
+			if o.BatchSize > 1 {
+				br := newBatchRunner(s, o.BatchSize)
+				for i := int64(0); i < n; i++ {
+					br.do(w.Next(), count)
+				}
+				br.flush(count)
+				return
+			}
 			for i := int64(0); i < n; i++ {
 				op := w.Next()
 				var opStart time.Time
@@ -200,13 +227,7 @@ func Run(o Options) (*Result, error) {
 				if o.RecordLatency {
 					h.RecordDuration(time.Since(opStart))
 				}
-				switch {
-				case err == nil:
-				case errors.Is(err, scheme.ErrNotFound), errors.Is(err, scheme.ErrExists):
-					misses.Add(1)
-				default:
-					failures.Add(1)
-				}
+				count(err)
 			}
 		}(ti)
 	}
@@ -253,6 +274,97 @@ func applyOp(s scheme.Session, op ycsb.Op) error {
 	default:
 		return fmt.Errorf("harness: unknown op kind %d", int(op.Kind))
 	}
+}
+
+// batchRunner groups a YCSB op stream into scheme batch calls. Consecutive
+// reads (positive and negative alike) accumulate into one MultiGet;
+// consecutive deletes into one MultiDelete. Any other op kind — and a full
+// buffer — flushes first, so observable per-op semantics match the
+// singleton path exactly: a found negative key is a failure, an absent
+// positive key a miss, a deleted-absent key a miss.
+type batchRunner struct {
+	s    scheme.Session
+	size int
+
+	kind  ycsb.OpKind // kind accumulated in keys; OpInsert means "empty"
+	keys  []kv.Key
+	neg   []bool // per queued read: true when absence is the success case
+	vals  []kv.Value
+	found []bool
+	errs  []error
+}
+
+func newBatchRunner(s scheme.Session, size int) *batchRunner {
+	return &batchRunner{
+		s: s, size: size, kind: ycsb.OpInsert,
+		keys:  make([]kv.Key, 0, size),
+		neg:   make([]bool, 0, size),
+		vals:  make([]kv.Value, size),
+		found: make([]bool, size),
+		errs:  make([]error, size),
+	}
+}
+
+// do feeds one op, flushing whenever the accumulated run cannot absorb it.
+func (br *batchRunner) do(op ycsb.Op, count func(error)) {
+	batchable := op.Kind == ycsb.OpRead || op.Kind == ycsb.OpReadNegative || op.Kind == ycsb.OpDelete
+	if !batchable {
+		br.flush(count)
+		count(applyOp(br.s, op))
+		return
+	}
+	// Reads of both polarities share a MultiGet; a delete run is its own.
+	group := op.Kind
+	if group == ycsb.OpReadNegative {
+		group = ycsb.OpRead
+	}
+	if len(br.keys) > 0 && br.kind != group {
+		br.flush(count)
+	}
+	br.kind = group
+	switch op.Kind {
+	case ycsb.OpRead:
+		br.keys = append(br.keys, ycsb.RecordKey(op.Index))
+		br.neg = append(br.neg, false)
+	case ycsb.OpReadNegative:
+		br.keys = append(br.keys, ycsb.NegativeKey(op.Index))
+		br.neg = append(br.neg, true)
+	case ycsb.OpDelete:
+		br.keys = append(br.keys, ycsb.RecordKey(op.Index))
+	}
+	if len(br.keys) >= br.size {
+		br.flush(count)
+	}
+}
+
+// flush drains the accumulated run through the scheme batch call.
+func (br *batchRunner) flush(count func(error)) {
+	n := len(br.keys)
+	if n == 0 {
+		return
+	}
+	switch br.kind {
+	case ycsb.OpRead:
+		scheme.MultiGet(br.s, br.keys, br.vals[:n], br.found[:n])
+		for i := 0; i < n; i++ {
+			switch {
+			case br.neg[i] && br.found[i]:
+				count(fmt.Errorf("harness: negative key found"))
+			case !br.neg[i] && !br.found[i]:
+				count(scheme.ErrNotFound)
+			default:
+				count(nil)
+			}
+		}
+	case ycsb.OpDelete:
+		scheme.MultiDelete(br.s, br.keys, br.errs[:n])
+		for i := 0; i < n; i++ {
+			count(br.errs[i])
+		}
+	}
+	br.keys = br.keys[:0]
+	br.neg = br.neg[:0]
+	br.kind = ycsb.OpInsert
 }
 
 // maxProcs reports the scheduler parallelism available to the run.

@@ -66,6 +66,86 @@ type Session interface {
 	NVMStats() nvm.Stats
 }
 
+// BatchSession is the optional batched extension of Session. Schemes that
+// can amortise per-operation overhead across a batch (HDNH hashes all keys
+// up front, chunks its epoch critical sections and groups its hot-cache
+// fills) implement it; callers that hold only a Session use the package
+// helpers MultiGet/MultiPut/MultiDelete, which type-assert and fall back to
+// per-key loops so every scheme benchmarks under the same driver.
+type BatchSession interface {
+	Session
+	// MultiGet looks up all keys, writing vals[i]/found[i] per key and
+	// returning how many were found. vals and found must be len(keys).
+	MultiGet(keys []kv.Key, vals []kv.Value, found []bool) int
+	// MultiPut upserts all keys (update-else-insert), writing a per-key
+	// verdict into errs and returning the number of failures.
+	MultiPut(keys []kv.Key, vals []kv.Value, errs []error) int
+	// MultiDelete removes all keys, writing a per-key verdict into errs
+	// (ErrNotFound for absent keys) and returning the number of failures.
+	MultiDelete(keys []kv.Key, errs []error) int
+}
+
+// MultiGet batch-reads through s, using the scheme's native batch path when
+// it has one and a per-key fallback otherwise.
+func MultiGet(s Session, keys []kv.Key, vals []kv.Value, found []bool) int {
+	if bs, ok := s.(BatchSession); ok {
+		return bs.MultiGet(keys, vals, found)
+	}
+	hits := 0
+	for i := range keys {
+		vals[i], found[i] = s.Get(keys[i])
+		if found[i] {
+			hits++
+		}
+	}
+	return hits
+}
+
+// MultiPut batch-upserts through s, falling back to per-key
+// update-else-insert for schemes without a native batch path.
+func MultiPut(s Session, keys []kv.Key, vals []kv.Value, errs []error) int {
+	if bs, ok := s.(BatchSession); ok {
+		return bs.MultiPut(keys, vals, errs)
+	}
+	fails := 0
+	for i := range keys {
+		errs[i] = putFallback(s, keys[i], vals[i])
+		if errs[i] != nil {
+			fails++
+		}
+	}
+	return fails
+}
+
+func putFallback(s Session, k kv.Key, v kv.Value) error {
+	for {
+		err := s.Update(k, v)
+		if !errors.Is(err, ErrNotFound) {
+			return err
+		}
+		err = s.Insert(k, v)
+		if !errors.Is(err, ErrExists) {
+			return err
+		}
+	}
+}
+
+// MultiDelete batch-deletes through s, falling back to per-key Delete for
+// schemes without a native batch path.
+func MultiDelete(s Session, keys []kv.Key, errs []error) int {
+	if bs, ok := s.(BatchSession); ok {
+		return bs.MultiDelete(keys, errs)
+	}
+	fails := 0
+	for i := range keys {
+		errs[i] = s.Delete(keys[i])
+		if errs[i] != nil {
+			fails++
+		}
+	}
+	return fails
+}
+
 // Factory builds a Store on the given device. capacityHint is the number of
 // records the caller plans to load; schemes size their initial structures
 // from it (static PATH sizes its whole table from it).
