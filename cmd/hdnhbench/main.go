@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "", "figure to regenerate: 11a, 11b, 12, 13, 14, 15, ablation, loadfactor, hybrid, resize, vloggc, flightdemo, batchscale")
+		fig       = flag.String("fig", "", "figure to regenerate: 11a, 11b, 12, 13, 14, 15, ablation, loadfactor, hybrid, resize, vloggc, flightdemo, batchscale, shardscale")
 		table     = flag.String("table", "", "table to regenerate: 1")
 		all       = flag.Bool("all", false, "run every figure and table")
 		records   = flag.Int64("records", 100_000, "preloaded record count")
@@ -146,8 +146,9 @@ func main() {
 		"vloggc":     {"Value-log churn: GC off vs online GC (extension)", single(harness.FigVlogGC)},
 		"flightdemo": {"Flight-recorder demo: mixed churn with resize, GC, and recovery (extension)", single(harness.FigFlightDemo)},
 		"batchscale": {"Batched reads: throughput vs MultiGet batch size (extension)", single(harness.FigBatchScale)},
+		"shardscale": {"Shard router: mixed throughput vs shard count (extension)", single(harness.FigShardScale)},
 	}
-	order := []string{"fig11a", "fig11b", "fig12", "fig13", "fig14", "fig15", "table1", "ablation", "loadfactor", "hybrid", "resize", "vloggc", "flightdemo", "batchscale"}
+	order := []string{"fig11a", "fig11b", "fig12", "fig13", "fig14", "fig15", "table1", "ablation", "loadfactor", "hybrid", "resize", "vloggc", "flightdemo", "batchscale", "shardscale"}
 
 	var selected []string
 	switch {
@@ -156,7 +157,7 @@ func main() {
 	case *fig != "":
 		name := strings.ToLower(*fig)
 		switch name {
-		case "ablation", "loadfactor", "hybrid", "resize", "vloggc", "flightdemo", "batchscale":
+		case "ablation", "loadfactor", "hybrid", "resize", "vloggc", "flightdemo", "batchscale", "shardscale":
 		default:
 			name = "fig" + name
 		}

@@ -52,7 +52,6 @@ import (
 	"os"
 	"os/signal"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
@@ -76,6 +75,7 @@ func main() {
 		mode     = flag.String("mode", "model", "device mode: model | emulate")
 		sample   = flag.Uint64("sample", obs.DefaultSampleEvery, "latency-sample one in N operations (1 samples all)")
 		logMB    = flag.Int64("logmb", 8, "value-log capacity in MiB (fixed; the GC recycles within it)")
+		shards   = flag.Int("shards", 1, "hash-router shard count (power of two; each shard gets its own table, value log and GC worker)")
 		debug    = flag.Bool("debug", false, "attach a flight recorder and serve /debug/flight and /debug/pprof; log at debug level (per-request access log)")
 	)
 	flag.Parse()
@@ -89,6 +89,9 @@ func main() {
 	if *logMB <= 0 {
 		usageErr("-logmb %d must be positive", *logMB)
 	}
+	if *shards < 1 || *shards&(*shards-1) != 0 {
+		usageErr("-shards %d must be a power of two", *shards)
+	}
 
 	level := new(slog.LevelVar)
 	if *debug {
@@ -98,6 +101,7 @@ func main() {
 	slog.SetDefault(logger)
 
 	opts := bigkv.DefaultOptions()
+	opts.Table.Shards = *shards
 	opts.Table.InitBottomSegments = bottomSegments(*capacity, opts.Table.SegmentBuckets)
 	opts.Table.Metrics = obs.New(obs.Config{SampleEvery: *sample})
 	var fr *flight.Recorder
@@ -131,7 +135,8 @@ func main() {
 		fatal("creating store: %v", err)
 	}
 
-	srv := &server{st: st, log: logger, flight: fr}
+	srv := &server{st: st, log: logger, flight: fr,
+		sessions: make(chan *bigkv.Session, sessionPoolSize)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/kv/", srv.kv)
 	mux.HandleFunc("/batch", srv.batch)
@@ -169,7 +174,7 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() {
 		logger.Info("listening", "addr", *addr, "capacity", *capacity,
-			"mode", *mode, "log_mib", *logMB, "debug", *debug)
+			"mode", *mode, "log_mib", *logMB, "shards", *shards, "debug", *debug)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -216,27 +221,42 @@ func bottomSegments(hint int64, m int) int {
 	return int(segs)
 }
 
-// server owns the store and a pool of per-request sessions. Sessions are
-// single-goroutine objects; the pool hands each in-flight request its own.
+// sessionPoolSize bounds the idle-session free list. A request burst beyond
+// it still gets sessions (session() falls back to NewSession); the overflow
+// is Closed on release, so the pool — not the burst — bounds how many epoch
+// slots the server holds long-term.
+const sessionPoolSize = 64
+
+// server owns the store and a bounded free list of per-request sessions.
+// Sessions are single-goroutine objects; each in-flight request gets its
+// own. A sync.Pool would drop idle sessions without calling Close, leaking
+// their epoch-registry slots; the channel free list releases what it
+// doesn't keep.
 type server struct {
 	st       *bigkv.Store
 	log      *slog.Logger
 	flight   *flight.Recorder // nil unless -debug
-	sessions sync.Pool
+	sessions chan *bigkv.Session
 }
 
 func (s *server) session() *bigkv.Session {
-	if v := s.sessions.Get(); v != nil {
-		return v.(*bigkv.Session)
+	select {
+	case sess := <-s.sessions:
+		return sess
+	default:
+		return s.st.NewSession()
 	}
-	return s.st.NewSession()
 }
 
 func (s *server) release(sess *bigkv.Session) {
 	// Bridge this session's NVM traffic into the registry while we still own
 	// the session; /metrics then needs no cross-goroutine stats reads.
 	sess.SyncObs()
-	s.sessions.Put(sess)
+	select {
+	case s.sessions <- sess:
+	default:
+		sess.Close() // free list full: return the epoch slot instead of parking it
+	}
 }
 
 // statusWriter captures what the handler sent so the access log can report
@@ -571,10 +591,17 @@ func (s *server) debugFlight(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
-	lg := s.st.Log()
-	fmt.Fprintln(w, s.st.Table().Stats())
-	fmt.Fprintf(w, "vlog: %d/%d words live, %d/%d segments free, %d recycles\n",
-		lg.LiveWords(), lg.Capacity(), lg.FreeSegments(), lg.Segments(), lg.Recycles())
+	idx := s.st.Index()
+	logs := s.st.Logs()
+	for i, tbl := range idx.Stats() {
+		if idx.NumShards() > 1 {
+			fmt.Fprintf(w, "shard %d: ", i)
+		}
+		fmt.Fprintln(w, tbl)
+		lg := logs[i]
+		fmt.Fprintf(w, "vlog: %d/%d words live, %d/%d segments free, %d recycles\n",
+			lg.LiveWords(), lg.Capacity(), lg.FreeSegments(), lg.Segments(), lg.Recycles())
+	}
 }
 
 func fatal(format string, args ...any) {

@@ -13,6 +13,7 @@ import (
 	"os"
 	"time"
 
+	"hdnh/internal/core"
 	"hdnh/internal/harness"
 	"hdnh/internal/nvm"
 	"hdnh/internal/scheme"
@@ -37,6 +38,7 @@ func main() {
 		mode       = flag.String("mode", "emulate", "device mode: model | emulate")
 		latency    = flag.Bool("latency", false, "record and print the latency distribution")
 		wear       = flag.Bool("wear", false, "track and print the NVM write (wear) distribution")
+		shards     = flag.Int("shards", 1, "HDNH hash-router shard count (power of two; HDNH scheme only)")
 	)
 	flag.Parse()
 
@@ -72,6 +74,12 @@ func main() {
 	if *batch > 1 && *latency {
 		usageErr("-latency records per-op timings; it cannot be combined with -batch")
 	}
+	if *shards < 1 || *shards&(*shards-1) != 0 {
+		usageErr("-shards %d must be a power of two", *shards)
+	}
+	if *shards > 1 && *schemeName != "HDNH" {
+		usageErr("-shards applies only to the HDNH scheme, not %q", *schemeName)
+	}
 
 	var d ycsb.Distribution
 	switch *dist {
@@ -94,9 +102,10 @@ func main() {
 	}
 
 	var dev *nvm.Device
-	if *wear {
+	if *wear || *shards > 1 {
 		// Build the device here so the wear counters are reachable after
-		// the run; mirror the harness's auto-sizing.
+		// the run (and so the router store below has one); mirror the
+		// harness's auto-sizing.
 		words := (*records + *ops + 1024) * 4 * 24
 		if words < 1<<20 {
 			words = 1 << 20
@@ -108,7 +117,7 @@ func main() {
 		if devMode == nvm.ModeModel {
 			cfg = nvm.DefaultConfig(words)
 		}
-		cfg.TrackWear = true
+		cfg.TrackWear = *wear
 		var err error
 		dev, err = nvm.New(cfg)
 		if err != nil {
@@ -130,7 +139,22 @@ func main() {
 		BatchSize:     *batch,
 	}
 	var st scheme.Store
-	if dev != nil {
+	switch {
+	case *shards > 1:
+		// A sharded HDNH store: the registry factory cannot carry a shard
+		// count, so build the router directly with the registry's sizing rule.
+		topts := core.DefaultOptions()
+		topts.Shards = *shards
+		topts.InitBottomSegments = core.SizeBottomSegments(*records+*ops, topts.SegmentBuckets)
+		r, err := core.CreateRouter(dev, topts)
+		if err != nil {
+			fatal("%v", err)
+		}
+		st = core.NewRouterStore(r)
+		defer st.Close()
+		runOpts.Store = st
+		runOpts.Scheme = st.Name() // report HDNH-S<n>, not the flag default
+	case dev != nil:
 		var err error
 		st, err = scheme.Open(*schemeName, dev, *records+*ops)
 		if err != nil {
@@ -155,7 +179,7 @@ func main() {
 		fmt.Printf("latency     %s\n", res.Latency)
 		fmt.Printf("\n%s", res.Latency.Table(30))
 	}
-	if dev != nil {
+	if *wear {
 		fmt.Printf("%s\n", dev.WearStats())
 		for _, hb := range dev.HottestBlocks(5) {
 			fmt.Printf("  hot block %8d: %d line writes\n", hb.Block, hb.Writes)

@@ -39,6 +39,12 @@ type (
 	Table = core.Table
 	// Session is a per-goroutine handle on a Table.
 	Session = core.Session
+	// Router splits the keyspace across Options.Shards independent tables;
+	// create one with CreateRouter when a single table's resize and lock
+	// domains become the bottleneck.
+	Router = core.Router
+	// RouterSession is a per-goroutine handle on a Router.
+	RouterSession = core.RouterSession
 	// Options configures a Table.
 	Options = core.Options
 	// Replacer selects the hot-table replacement strategy.
@@ -115,6 +121,21 @@ func Open(dev *Device, opts Options) (*Table, error) { return core.Open(dev, opt
 
 // OpenOrCreate opens an existing table or creates a fresh one.
 func OpenOrCreate(dev *Device, opts Options) (*Table, error) { return core.OpenOrCreate(dev, opts) }
+
+// CreateRouter formats Options.Shards independent tables behind a hash
+// router. Shards=0 or 1 lays the device out byte-identically to Create.
+func CreateRouter(dev *Device, opts Options) (*Router, error) { return core.CreateRouter(dev, opts) }
+
+// OpenRouter recovers a table or sharded router from the device. The
+// persisted shard count is authoritative: Options.Shards=0 adopts it, any
+// other mismatch fails with a clear error.
+func OpenRouter(dev *Device, opts Options) (*Router, error) { return core.OpenRouter(dev, opts) }
+
+// OpenOrCreateRouter opens the router stored on the device or creates a
+// fresh one.
+func OpenOrCreateRouter(dev *Device, opts Options) (*Router, error) {
+	return core.OpenOrCreateRouter(dev, opts)
+}
 
 // Key builds a fixed-size key from a string of at most 16 bytes; longer
 // input panics (use kv.MakeKey for the error-returning form).

@@ -20,6 +20,15 @@
 // recycles them in place — copy → persist → conditional index rewrite →
 // segment free, so any crash point again leaks at most one benign copy.
 //
+// Sharding: when the index runs Options.Table.Shards > 1 tables behind the
+// core hash router, the store runs one value log — and one GC worker — per
+// shard. A key's records always live in its index shard's log (the router's
+// ShardForKey routes both), so log addresses never need a shard tag, every
+// GC pass touches exactly one shard's index and log, and reclamation
+// parallelises with the rest of the write path. The per-shard log bases are
+// persisted in a directory under root slot 7; the unsharded layout (root
+// slot 5, single log) is byte-identical to what it always was.
+//
 // Liveness accounting protocol (the invariant: at quiescence each
 // segment's live counter equals the words of its records the index still
 // references):
@@ -56,7 +65,14 @@ const (
 	tagPointer = 0x02
 	maxInline  = kv.ValueSize - 2
 
-	logRootSlot = 5
+	// logRootSlot holds the single log's base in the unsharded layout;
+	// logDirRootSlot holds the per-shard log directory when the index is
+	// sharded (word 0 magic, word 1 shard count, word 2+i shard i's base).
+	logRootSlot     = 5
+	logDirRootSlot  = 7
+	logDirMagic     = uint64(0x48444e48564c4f47) // "HDNHVLOG"
+	logDirCountWord = 1
+	logDirShardBase = 2
 
 	// decodeRetries bounds Get's stale-pointer loop. Each retry means the
 	// GC recycled the segment under us after we read the index; re-reading
@@ -71,18 +87,21 @@ var errStale = fmt.Errorf("%w: address recycled", vlog.ErrCorrupt)
 
 // Options configures a Store.
 type Options struct {
-	// Table configures the underlying HDNH index.
+	// Table configures the underlying HDNH index; Table.Shards > 1 shards
+	// the index AND the value log (one log + GC worker per shard).
 	Table core.Options
 	// SegmentWords is the value-log segment size in 8-byte words.
 	// 0 picks 1<<14 (128 KB).
 	SegmentWords int64
-	// Segments is the segment count; total log capacity is
+	// Segments is the TOTAL segment count across all shards (split evenly,
+	// rounded up, minimum 2 per shard); total log capacity is roughly
 	// Segments*SegmentWords and never grows. 0 picks 64.
 	Segments int64
-	// GCTriggerFreeSegments kicks the background GC when the free-segment
-	// count drops to this value or below. 0 picks max(2, Segments/8).
+	// GCTriggerFreeSegments kicks a shard's background GC when that shard's
+	// free-segment count drops to this value or below. 0 picks
+	// max(2, per-shard segments / 8).
 	GCTriggerFreeSegments int
-	// DisableAutoGC turns off the background worker and the foreground
+	// DisableAutoGC turns off the background workers and the foreground
 	// ErrLogFull fallback; space is then reclaimed only by explicit GCOnce
 	// calls. For deterministic tests.
 	DisableAutoGC bool
@@ -94,13 +113,20 @@ func DefaultOptions() Options {
 	return Options{Table: core.DefaultOptions()}
 }
 
-// withDefaults fills zero fields.
-func (o Options) withDefaults() Options {
+// withDefaults fills zero fields. shards is the index shard count the log
+// geometry divides across.
+func (o Options) withDefaults(shards int) Options {
 	if o.SegmentWords == 0 {
 		o.SegmentWords = 1 << 14
 	}
 	if o.Segments == 0 {
 		o.Segments = 64
+	}
+	if shards > 1 {
+		o.Segments = (o.Segments + int64(shards) - 1) / int64(shards)
+	}
+	if o.Segments < 2 {
+		o.Segments = 2 // one to fill, one to relocate into
 	}
 	if o.GCTriggerFreeSegments == 0 {
 		o.GCTriggerFreeSegments = int(o.Segments / 8)
@@ -113,142 +139,229 @@ func (o Options) withDefaults() Options {
 
 // Store is an HDNH-indexed key-value store with arbitrary-size values.
 type Store struct {
-	table *core.Table
-	log   *vlog.Log
-	dev   *nvm.Device
-	opts  Options
-	rec   obs.Recorder
-	fl    flight.Tracer // GC worker's tracer; flight.Nop when tracing is off
+	idx  *core.Router
+	logs []*vlog.Log // one per index shard
+	dev  *nvm.Device
+	opts Options // withDefaults applied; Segments is PER SHARD
+	rec  obs.Recorder
+	fl   flight.Tracer // GC tracer; flight.Nop when tracing is off
 
-	gc gcState
+	gcs    []*gcShard // one GC state (and worker) per shard
+	gcLife gcLifecycle
 }
 
 // Create formats a fresh store on the device.
 func Create(dev *nvm.Device, opts Options) (*Store, error) {
-	opts = opts.withDefaults()
-	table, err := core.Create(dev, opts.Table)
+	idx, err := core.CreateRouter(dev, opts.Table)
 	if err != nil {
 		return nil, err
 	}
+	n := idx.NumShards()
+	opts = opts.withDefaults(n)
 	h := dev.NewHandle()
-	log, err := vlog.Create(dev, h, opts.SegmentWords, opts.Segments)
-	if err != nil {
-		table.Close()
-		return nil, err
+	logs := make([]*vlog.Log, n)
+	if n == 1 {
+		log, err := vlog.Create(dev, h, opts.SegmentWords, opts.Segments)
+		if err != nil {
+			idx.Close()
+			return nil, err
+		}
+		dev.SetRoot(h, logRootSlot, uint64(log.Base()))
+		logs[0] = log
+	} else {
+		dirOff, err := dev.Alloc(h, logDirShardBase+int64(n), nvm.BlockWords)
+		if err != nil {
+			idx.Close()
+			return nil, fmt.Errorf("bigkv: allocating log directory: %w", err)
+		}
+		for i := range logs {
+			log, err := vlog.Create(dev, h, opts.SegmentWords, opts.Segments)
+			if err != nil {
+				idx.Close()
+				return nil, fmt.Errorf("bigkv: creating shard %d log: %w", i, err)
+			}
+			logs[i] = log
+			h.StorePersist(dirOff+logDirShardBase+int64(i), uint64(log.Base()))
+		}
+		h.StorePersist(dirOff+logDirCountWord, uint64(n))
+		h.StorePersist(dirOff, logDirMagic)
+		dev.SetRoot(h, logDirRootSlot, uint64(dirOff))
 	}
-	dev.SetRoot(h, logRootSlot, uint64(log.Base()))
-	st := &Store{table: table, log: log, dev: dev, opts: opts}
+	st := &Store{idx: idx, logs: logs, dev: dev, opts: opts}
 	st.start()
 	return st, nil
 }
 
-// Open recovers the store: the HDNH table replays its own recovery, the
-// log recovers its segment states and committed tails, and the liveness
-// counters are rebuilt by checking every log record against the index.
+// Open recovers the store: the HDNH index replays its own recovery (per
+// shard), each shard's log recovers its segment states and committed tails,
+// and the liveness counters are rebuilt by checking every log record
+// against its shard's index.
 func Open(dev *nvm.Device, opts Options) (*Store, error) {
-	opts = opts.withDefaults()
-	table, err := core.Open(dev, opts.Table)
+	idx, err := core.OpenRouter(dev, opts.Table)
 	if err != nil {
 		return nil, err
 	}
-	base := int64(dev.Root(logRootSlot))
-	if base == 0 {
-		table.Close()
-		return nil, errors.New("bigkv: device has no value log")
-	}
+	n := idx.NumShards()
+	opts = opts.withDefaults(n)
 	h := dev.NewHandle()
-	log, err := vlog.Open(dev, h, base)
-	if err != nil {
-		table.Close()
-		return nil, err
+	logs := make([]*vlog.Log, n)
+	if n == 1 {
+		base := int64(dev.Root(logRootSlot))
+		if base == 0 {
+			idx.Close()
+			return nil, errors.New("bigkv: device has no value log")
+		}
+		log, err := vlog.Open(dev, h, base)
+		if err != nil {
+			idx.Close()
+			return nil, err
+		}
+		logs[0] = log
+	} else {
+		dirOff := int64(dev.Root(logDirRootSlot))
+		if dirOff == 0 {
+			idx.Close()
+			return nil, errors.New("bigkv: sharded index but no value-log directory")
+		}
+		if dev.Load(dirOff) != logDirMagic {
+			idx.Close()
+			return nil, errors.New("bigkv: value-log directory magic mismatch")
+		}
+		if c := int(dev.Load(dirOff + logDirCountWord)); c != n {
+			idx.Close()
+			return nil, fmt.Errorf("bigkv: value-log directory holds %d shards, index holds %d", c, n)
+		}
+		for i := range logs {
+			base := int64(dev.Load(dirOff + logDirShardBase + int64(i)))
+			log, err := vlog.Open(dev, h, base)
+			if err != nil {
+				idx.Close()
+				return nil, fmt.Errorf("bigkv: opening shard %d log: %w", i, err)
+			}
+			logs[i] = log
+		}
 	}
-	st := &Store{table: table, log: log, dev: dev, opts: opts}
+	st := &Store{idx: idx, logs: logs, dev: dev, opts: opts}
 	st.rebuildLiveness(h)
 	st.start()
 	return st, nil
 }
 
-// start wires the recorder and tracers and launches the GC worker.
+// start wires the recorder and tracers and launches the GC workers.
 func (st *Store) start() {
-	if m := st.table.Metrics(); m != nil {
+	if m := st.idx.Metrics(); m != nil {
 		st.rec = m.Handle()
 	} else {
 		st.rec = obs.Nop{}
 	}
-	st.fl = st.table.Flight().Handle("gc")
-	st.log.SetTracer(st.table.Flight().Handle("vlog"))
+	st.fl = st.idx.Flight().Handle("gc")
+	for _, log := range st.logs {
+		log.SetTracer(st.idx.Flight().Handle("vlog"))
+	}
 	st.startGC()
 }
 
 // rebuildLiveness recomputes every segment's live-word counter after a
-// recovery: a record is live iff the index still points at its address.
+// recovery, one shard at a time: a record is live iff its shard's index
+// still points at its address. Shard i's log holds only shard i's keys, so
+// each pass needs only that shard's session.
 func (st *Store) rebuildLiveness(h *nvm.Handle) {
-	s := st.table.NewSession()
-	st.log.ScanAll(h, func(addr, words int64, key kv.Key, _ []byte) bool {
-		if sv, ok := s.Get(key); ok && sv == packPointer(addr, words) {
-			st.log.AddLive(addr, words)
-		}
-		return true
-	})
+	for i, log := range st.logs {
+		s := st.idx.Shard(i).NewSession()
+		log.ScanAll(h, func(addr, words int64, key kv.Key, _ []byte) bool {
+			if sv, ok := s.Get(key); ok && sv == packPointer(addr, words) {
+				log.AddLive(addr, words)
+			}
+			return true
+		})
+		s.Close()
+	}
 }
 
-// Table exposes the underlying index (stats, invariants).
-func (st *Store) Table() *core.Table { return st.table }
+// Index exposes the underlying sharded index (stats, invariants,
+// per-shard inspection).
+func (st *Store) Index() *core.Router { return st.idx }
 
-// Log exposes the underlying value log.
-func (st *Store) Log() *vlog.Log { return st.log }
+// Log exposes the value log — shard 0's when sharded; unsharded stores
+// (the default) have exactly one. Multi-shard callers use Logs.
+func (st *Store) Log() *vlog.Log { return st.logs[0] }
+
+// Logs exposes every shard's value log, in shard order.
+func (st *Store) Logs() []*vlog.Log { return st.logs }
 
 // Count returns the number of live keys.
-func (st *Store) Count() int64 { return st.table.Count() }
+func (st *Store) Count() int64 { return st.idx.Count() }
 
-// MetricsSnapshot returns the table's snapshot with the value-log gauges
-// filled in.
+// MetricsSnapshot returns the index's snapshot (with per-shard table
+// gauges) and the value-log gauges filled in — aggregated across shards,
+// plus per-shard fill in Gauges.PerShard.
 func (st *Store) MetricsSnapshot() obs.Snapshot {
-	s := st.table.MetricsSnapshot()
-	s.Gauges.VLogSegments = st.log.Segments()
-	s.Gauges.VLogFreeSegments = int64(st.log.FreeSegments())
-	s.Gauges.VLogLiveWords = st.log.LiveWords()
-	s.Gauges.VLogUsedWords = st.log.UsedWords()
+	s := st.idx.MetricsSnapshot()
+	for i, log := range st.logs {
+		segs := log.Segments()
+		free := int64(log.FreeSegments())
+		live := log.LiveWords()
+		used := log.UsedWords()
+		s.Gauges.VLogSegments += segs
+		s.Gauges.VLogFreeSegments += free
+		s.Gauges.VLogLiveWords += live
+		s.Gauges.VLogUsedWords += used
+		if i < len(s.Gauges.PerShard) {
+			s.Gauges.PerShard[i].VLogSegments = segs
+			s.Gauges.PerShard[i].VLogFreeSegments = free
+			s.Gauges.PerShard[i].VLogLiveWords = live
+			s.Gauges.PerShard[i].VLogUsedWords = used
+		}
+	}
 	return s
 }
 
 // AuditLiveness recounts every segment's live words from the index and
-// compares against the maintained counters. Valid only while the store is
-// quiesced (no concurrent sessions, no GC pass in flight).
+// compares against the maintained counters, shard by shard. Valid only
+// while the store is quiesced (no concurrent sessions, no GC pass in
+// flight).
 func (st *Store) AuditLiveness() error {
-	want := make([]int64, st.log.Segments())
-	s := st.table.NewSession()
-	s.Scan(func(_ kv.Key, sv kv.Value) bool {
-		if sv[0] == tagPointer {
-			addr, words := unpackPointer(sv)
-			want[addr/st.log.SegmentWords()] += words
-		}
-		return true
-	})
 	var firstErr error
-	for seg := range want {
-		if got := st.log.SegLive(int64(seg)); got != want[seg] {
-			err := fmt.Errorf("bigkv: segment %d live counter %d, index says %d", seg, got, want[seg])
-			if firstErr == nil {
-				firstErr = err
+	for si, log := range st.logs {
+		want := make([]int64, log.Segments())
+		s := st.idx.Shard(si).NewSession()
+		s.Scan(func(_ kv.Key, sv kv.Value) bool {
+			if sv[0] == tagPointer {
+				addr, words := unpackPointer(sv)
+				want[addr/log.SegmentWords()] += words
+			}
+			return true
+		})
+		s.Close()
+		for seg := range want {
+			if got := log.SegLive(int64(seg)); got != want[seg] {
+				err := fmt.Errorf("bigkv: shard %d segment %d live counter %d, index says %d", si, seg, got, want[seg])
+				if firstErr == nil {
+					firstErr = err
+				}
 			}
 		}
 	}
 	return firstErr
 }
 
-// Close stops the GC worker and shuts the store down cleanly.
+// Close stops the GC workers and shuts the store down cleanly.
 func (st *Store) Close() error {
 	st.stopGC()
+	for _, g := range st.gcs {
+		g.sess.Close()
+	}
 	h := st.dev.NewHandle()
-	st.log.Sync(h)
-	return st.table.Close()
+	for _, log := range st.logs {
+		log.Sync(h)
+	}
+	return st.idx.Close()
 }
 
 // Session is the per-goroutine handle.
 type Session struct {
 	st      *Store
-	ts      *core.Session
+	ts      *core.RouterSession
 	h       *nvm.Handle
 	rec     obs.Recorder
 	nvmBase nvm.Stats
@@ -257,10 +370,17 @@ type Session struct {
 // NewSession returns a session.
 func (st *Store) NewSession() *Session {
 	var rec obs.Recorder = obs.Nop{}
-	if m := st.table.Metrics(); m != nil {
+	if m := st.idx.Metrics(); m != nil {
 		rec = m.Handle()
 	}
-	return &Session{st: st, ts: st.table.NewSession(), h: st.dev.NewHandle(), rec: rec}
+	return &Session{st: st, ts: st.idx.NewSession(), h: st.dev.NewHandle(), rec: rec}
+}
+
+// Close flushes the session's metrics and returns its index sessions' epoch
+// slots for reuse. Idempotent; use after Close panics.
+func (s *Session) Close() error {
+	s.SyncObs()
+	return s.ts.Close()
 }
 
 // NVMStats returns the session's NVM traffic (index + log).
@@ -302,31 +422,38 @@ func unpackPointer(sv kv.Value) (addr, words int64) {
 	return int64(a), int64(w)
 }
 
-// retire decrements the liveness of the record a displaced index entry
-// pointed at; inline entries carry no log record.
-func (s *Session) retire(sv kv.Value) {
+// shardOf routes a key to its shard index (and hence its log).
+func (s *Session) shardOf(k kv.Key) int { return s.st.idx.ShardForKey(k) }
+
+// retire decrements the liveness of the record a displaced index entry for
+// k pointed at; inline entries carry no log record. Addresses are
+// log-relative, so the owning shard's log must be named by the key.
+func (s *Session) retire(k kv.Key, sv kv.Value) {
 	if sv[0] == tagPointer {
 		addr, words := unpackPointer(sv)
-		s.st.log.AddLive(addr, -words)
+		s.st.logs[s.shardOf(k)].AddLive(addr, -words)
 	}
 }
 
-// appendRecord commits value to the log, running foreground GC passes when
-// the log is out of free segments.
+// appendRecord commits value to k's shard log, running foreground GC
+// passes on that shard when its log is out of free segments.
 func (s *Session) appendRecord(k kv.Key, value []byte) (kv.Value, error) {
+	sh := s.shardOf(k)
+	log := s.st.logs[sh]
 	for tries := 0; ; tries++ {
-		addr, words, err := s.st.log.Append(s.h, k, value)
+		addr, words, err := log.Append(s.h, k, value)
 		if err == nil {
 			s.rec.VLogAppend(words)
-			s.st.maybeKickGC()
+			s.st.maybeKickGC(sh)
 			return packPointer(addr, words), nil
 		}
 		if !errors.Is(err, vlog.ErrLogFull) || s.st.opts.DisableAutoGC || tries >= 4 {
 			return kv.Value{}, err
 		}
-		// Help the GC instead of failing: each pass recycles at most one
-		// segment. No progress means the log is genuinely full of live data.
-		progress, gcErr := s.st.GCOnce()
+		// Help the shard's GC instead of failing: each pass recycles at most
+		// one segment. No progress means the log is genuinely full of live
+		// data.
+		progress, gcErr := s.st.gcs[sh].gcOnce()
 		if gcErr != nil {
 			return kv.Value{}, gcErr
 		}
@@ -362,7 +489,7 @@ func (s *Session) decode(k kv.Key, sv kv.Value) ([]byte, error) {
 		return out, nil
 	case tagPointer:
 		addr, _ := unpackPointer(sv)
-		rk, v, err := s.st.log.Read(s.h, addr)
+		rk, v, err := s.st.logs[s.shardOf(k)].Read(s.h, addr)
 		if err != nil {
 			return nil, err
 		}
@@ -394,11 +521,11 @@ func (s *Session) Put(key, value []byte) error {
 	for {
 		old, err := s.ts.UpdateExchange(k, sv)
 		if err == nil {
-			s.retire(old)
+			s.retire(k, old)
 			return nil
 		}
 		if !errors.Is(err, scheme.ErrNotFound) {
-			s.retire(sv) // the appended record never got indexed
+			s.retire(k, sv) // the appended record never got indexed
 			return err
 		}
 		err = s.ts.Insert(k, sv)
@@ -406,7 +533,7 @@ func (s *Session) Put(key, value []byte) error {
 			return nil
 		}
 		if !errors.Is(err, scheme.ErrExists) {
-			s.retire(sv)
+			s.retire(k, sv)
 			return err
 		}
 	}
@@ -452,9 +579,9 @@ func (s *Session) decodeRetrying(k kv.Key, sv kv.Value) ([]byte, bool, error) {
 }
 
 // MultiGet batch-reads: one index MultiGet resolves every key's slot value
-// (amortising the epoch and hot-table traffic in the HDNH core), then each
-// hit runs the same decode/retry protocol as Get. vals[i] is nil when
-// found[i] is false; errs[i] is non-nil only for decode failures.
+// (amortising the epoch and hot-table traffic per shard in the HDNH core),
+// then each hit runs the same decode/retry protocol as Get. vals[i] is nil
+// when found[i] is false; errs[i] is non-nil only for decode failures.
 func (s *Session) MultiGet(keys [][]byte) (vals [][]byte, found []bool, errs []error) {
 	n := len(keys)
 	vals, found, errs = make([][]byte, n), make([]bool, n), make([]error, n)
@@ -510,6 +637,6 @@ func (s *Session) Delete(key []byte) error {
 	if err != nil {
 		return err
 	}
-	s.retire(old)
+	s.retire(k, old)
 	return nil
 }

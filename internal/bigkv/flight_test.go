@@ -52,7 +52,7 @@ func fillAndKill(t *testing.T, st *Store, n int) {
 			}
 		}
 	}
-	st.log.SealActive(st.dev.NewHandle())
+	st.logs[0].SealActive(st.dev.NewHandle())
 }
 
 // TestObsCountsBackgroundNVM is the regression test for the background-NVM
@@ -72,7 +72,7 @@ func TestObsCountsBackgroundNVM(t *testing.T) {
 
 	base := m.Snapshot()
 	drainGC(t, st)
-	if st.log.Recycles() == 0 {
+	if st.logs[0].Recycles() == 0 {
 		t.Fatal("fixture did not make the GC recycle anything")
 	}
 	delta := m.Snapshot().NVM.Sub(base.NVM)
@@ -92,7 +92,7 @@ func TestFlightRecordsGCAndVlog(t *testing.T) {
 	st := instrumentedSmallLogStore(t, 1024, 8, nil, fr)
 	fillAndKill(t, st, 64)
 	drainGC(t, st)
-	if st.log.Recycles() == 0 {
+	if st.logs[0].Recycles() == 0 {
 		t.Fatal("fixture did not make the GC recycle anything")
 	}
 

@@ -14,12 +14,20 @@ import (
 	"hdnh/internal/vlog"
 )
 
-// gcState bundles the online garbage collector. Passes are serialised by
-// mu — the background worker and foreground helpers (appendRecord on
-// ErrLogFull, explicit GCOnce calls) all funnel through gcOnceLocked.
-type gcState struct {
+// gcShard is one shard's online garbage collector. Shard i's log holds only
+// shard i's keys (appendRecord routes by the index router's ShardForKey), so
+// a pass relocates within a single (log, table-shard) pair and shards reclaim
+// independently — including in parallel with each other. Passes within a
+// shard are serialised by mu: the shard's background worker and foreground
+// helpers (appendRecord on ErrLogFull, explicit GCOnce calls) all funnel
+// through gcOnce.
+type gcShard struct {
+	st    *Store
+	shard int
+	log   *vlog.Log
+
 	mu   sync.Mutex
-	sess *core.Session // index access for relocation, guarded by mu
+	sess *core.Session // shard-table access for relocation, guarded by mu
 	h    *nvm.Handle   // log access for relocation, guarded by mu
 
 	// nvmBase is the prefix of h's stats already published into the metrics
@@ -29,77 +37,94 @@ type gcState struct {
 	// invisible in hdnh_nvm_*. Guarded by mu.
 	nvmBase nvm.Stats
 
-	kick   chan struct{}
+	kick chan struct{}
+}
+
+// gcPollInterval backstops the kick channels so garbage created while the
+// logs are far from full is still reclaimed eventually.
+const gcPollInterval = 100 * time.Millisecond
+
+// Shared worker lifecycle (one worker per shard, one stop signal).
+type gcLifecycle struct {
 	stop   chan struct{}
 	wg     sync.WaitGroup
 	closed atomic.Bool
 }
 
-// gcPollInterval backstops the kick channel so garbage created while the
-// log is far from full is still reclaimed eventually.
-const gcPollInterval = 100 * time.Millisecond
-
 func (st *Store) startGC() {
-	st.gc.sess = st.table.NewSession()
-	st.gc.h = st.dev.NewHandle()
-	st.gc.kick = make(chan struct{}, 1)
-	st.gc.stop = make(chan struct{})
-	if st.opts.DisableAutoGC {
-		return
+	st.gcLife.stop = make(chan struct{})
+	st.gcs = make([]*gcShard, len(st.logs))
+	for i, log := range st.logs {
+		g := &gcShard{
+			st:    st,
+			shard: i,
+			log:   log,
+			sess:  st.idx.Shard(i).NewSession(),
+			h:     st.dev.NewHandle(),
+			kick:  make(chan struct{}, 1),
+		}
+		st.gcs[i] = g
+		if !st.opts.DisableAutoGC {
+			st.gcLife.wg.Add(1)
+			go g.worker()
+		}
 	}
-	st.gc.wg.Add(1)
-	go st.gcWorker()
 }
 
+// stopGC halts the background workers. The per-shard GC state stays usable
+// so explicit GCOnce calls keep working (tests quiesce this way); Close
+// returns the GC sessions' epoch slots.
 func (st *Store) stopGC() {
-	if st.gc.closed.Swap(true) {
+	if st.gcLife.closed.Swap(true) {
 		return
 	}
-	close(st.gc.stop)
-	st.gc.wg.Wait()
+	close(st.gcLife.stop)
+	st.gcLife.wg.Wait()
 }
 
-// maybeKickGC nudges the worker when free segments run low. Called after
-// every log append; the send is non-blocking so the fast path never waits.
-func (st *Store) maybeKickGC() {
+// maybeKickGC nudges a shard's worker when its free segments run low.
+// Called after every log append; the send is non-blocking so the fast path
+// never waits.
+func (st *Store) maybeKickGC(shard int) {
 	if st.opts.DisableAutoGC {
 		return
 	}
-	if st.log.FreeSegments() > st.opts.GCTriggerFreeSegments {
+	g := st.gcs[shard]
+	if g.log.FreeSegments() > st.opts.GCTriggerFreeSegments {
 		return
 	}
 	select {
-	case st.gc.kick <- struct{}{}:
+	case g.kick <- struct{}{}:
 	default:
 	}
 }
 
-func (st *Store) gcWorker() {
-	defer st.gc.wg.Done()
+func (g *gcShard) worker() {
+	defer g.st.gcLife.wg.Done()
 	ticker := time.NewTicker(gcPollInterval)
 	defer ticker.Stop()
 	for {
 		select {
-		case <-st.gc.stop:
+		case <-g.st.gcLife.stop:
 			return
-		case <-st.gc.kick:
+		case <-g.kick:
 		case <-ticker.C:
 			// Idle reclamation only chases real garbage; skip when the log
 			// has plenty of room and nothing dead.
-			if st.log.FreeSegments() > st.opts.GCTriggerFreeSegments &&
-				st.log.LiveWords() == st.log.UsedWords() {
+			if g.log.FreeSegments() > g.st.opts.GCTriggerFreeSegments &&
+				g.log.LiveWords() == g.log.UsedWords() {
 				continue
 			}
 		}
 		// Reclaim until the pressure is gone or a pass stops progressing
 		// (residual in-flight liveness resolves by the next kick/tick).
-		for st.log.FreeSegments() <= st.opts.GCTriggerFreeSegments {
+		for g.log.FreeSegments() <= g.st.opts.GCTriggerFreeSegments {
 			select {
-			case <-st.gc.stop:
+			case <-g.st.gcLife.stop:
 				return
 			default:
 			}
-			progress, err := st.GCOnce()
+			progress, err := g.gcOnce()
 			if err != nil || !progress {
 				break
 			}
@@ -107,22 +132,36 @@ func (st *Store) gcWorker() {
 	}
 }
 
-// GCOnce runs one garbage-collection pass: pick the sealed segment with
-// the lowest live fraction, relocate its live records, and recycle it.
-// Returns whether a segment was freed. Safe to call concurrently with all
-// store operations; passes themselves are serialised.
+// GCOnce runs one garbage-collection pass per shard: each pass picks that
+// shard's sealed segment with the lowest live fraction, relocates its live
+// records, and recycles it. Returns whether any shard freed a segment. Safe
+// to call concurrently with all store operations; per-shard passes are
+// serialised.
 func (st *Store) GCOnce() (bool, error) {
-	st.gc.mu.Lock()
-	defer st.gc.mu.Unlock()
-	defer st.syncGCObs()
-	seg, ok := st.pickVictim()
+	var any bool
+	for _, g := range st.gcs {
+		progress, err := g.gcOnce()
+		if err != nil {
+			return any, err
+		}
+		any = any || progress
+	}
+	return any, nil
+}
+
+// gcOnce runs one pass on this shard. Returns whether a segment was freed.
+func (g *gcShard) gcOnce() (bool, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	defer g.syncGCObs()
+	seg, ok := g.pickVictim()
 	if !ok {
 		return false, nil
 	}
-	if err := st.relocate(seg); err != nil {
+	if err := g.relocate(seg); err != nil {
 		return false, err
 	}
-	if st.log.SegLive(seg) != 0 {
+	if g.log.SegLive(seg) != 0 {
 		// A racing update displaced a record we relocated but has not
 		// decremented it yet, or skipped records are still being retired.
 		// The segment is safe to recycle once those land; leave it for the
@@ -130,37 +169,37 @@ func (st *Store) GCOnce() (bool, error) {
 		return false, nil
 	}
 	recycleStart := time.Now()
-	if err := st.log.Recycle(st.gc.h, seg); err != nil {
+	if err := g.log.Recycle(g.h, seg); err != nil {
 		if errors.Is(err, vlog.ErrSegmentLive) {
 			return false, nil
 		}
 		return false, err
 	}
-	st.fl.GCPhase(flight.GCRecycle, seg, time.Since(recycleStart), 1)
-	st.rec.GCRecycle()
+	g.st.fl.GCPhase(flight.GCRecycle, seg, time.Since(recycleStart), 1)
+	g.st.rec.GCRecycle()
 	return true, nil
 }
 
 // syncGCObs publishes the GC's NVM traffic into the metrics registry: the
 // index session's via its own bridge, and the log handle's via the baseline
-// delta. Called with gc.mu held, at the end of every pass.
-func (st *Store) syncGCObs() {
-	st.gc.sess.SyncObs()
-	cur := st.gc.h.Stats()
-	st.rec.AddNVM(cur.Sub(st.gc.nvmBase))
-	st.gc.nvmBase = cur
+// delta. Called with mu held, at the end of every pass.
+func (g *gcShard) syncGCObs() {
+	g.sess.SyncObs()
+	cur := g.h.Stats()
+	g.st.rec.AddNVM(cur.Sub(g.nvmBase))
+	g.nvmBase = cur
 }
 
-// pickVictim selects the sealed segment with the lowest live fraction.
-// Fully-live segments are skipped — relocating them frees nothing.
-func (st *Store) pickVictim() (int64, bool) {
+// pickVictim selects the shard's sealed segment with the lowest live
+// fraction. Fully-live segments are skipped — relocating them frees nothing.
+func (g *gcShard) pickVictim() (int64, bool) {
 	best := int64(-1)
 	var bestScore float64
-	for seg := int64(0); seg < st.log.Segments(); seg++ {
-		if st.log.State(seg) != vlog.SegSealed {
+	for seg := int64(0); seg < g.log.Segments(); seg++ {
+		if g.log.State(seg) != vlog.SegSealed {
 			continue
 		}
-		live, used := st.log.SegLive(seg), st.log.SegUsed(seg)
+		live, used := g.log.SegLive(seg), g.log.SegUsed(seg)
 		if live > 0 && live >= used {
 			continue
 		}
@@ -181,67 +220,67 @@ func (st *Store) pickVictim() (int64, bool) {
 // the two leaks only the copy, and a user write that races the rewrite
 // wins (the GC drops its copy and the segment keeps the record's liveness
 // until the user's own displacement retires it).
-func (st *Store) relocate(seg int64) error {
+func (g *gcShard) relocate(seg int64) error {
 	type rec struct {
 		addr, words int64
 		key         kv.Key
 	}
 	var live []rec
 	scanStart := time.Now()
-	st.log.ScanSegment(st.gc.h, seg, func(addr, words int64, key kv.Key, _ []byte) bool {
+	g.log.ScanSegment(g.h, seg, func(addr, words int64, key kv.Key, _ []byte) bool {
 		live = append(live, rec{addr, words, key})
 		return true
 	})
-	st.fl.GCPhase(flight.GCCopy, seg, time.Since(scanStart), int64(len(live)))
+	g.st.fl.GCPhase(flight.GCCopy, seg, time.Since(scanStart), int64(len(live)))
 	var persistDur, rewriteDur time.Duration
 	var copiedWords, rewrites int64
 	for _, r := range live {
 		expect := packPointer(r.addr, r.words)
-		cur, ok := st.gc.sess.Get(r.key)
+		cur, ok := g.sess.Get(r.key)
 		if !ok || cur != expect {
 			continue // dead: overwritten or deleted, its winner decrements
 		}
 		persistStart := time.Now()
-		key, value, err := st.log.Read(st.gc.h, r.addr)
+		key, value, err := g.log.Read(g.h, r.addr)
 		if err != nil || key != r.key {
 			persistDur += time.Since(persistStart)
 			continue // already overwritten by a racing reuse; not ours
 		}
-		addr, words, err := st.log.AppendGC(st.gc.h, r.key, value)
+		addr, words, err := g.log.AppendGC(g.h, r.key, value)
 		persistDur += time.Since(persistStart)
 		if err != nil {
-			st.flushGCPhases(seg, persistDur, copiedWords, rewriteDur, rewrites)
+			g.flushGCPhases(seg, persistDur, copiedWords, rewriteDur, rewrites)
 			return err
 		}
 		copiedWords += words
 		rewriteStart := time.Now()
-		err = st.gc.sess.UpdateIf(r.key, expect, packPointer(addr, words))
+		err = g.sess.UpdateIf(r.key, expect, packPointer(addr, words))
 		rewriteDur += time.Since(rewriteStart)
 		switch {
 		case err == nil:
 			rewrites++
-			st.log.AddLive(r.addr, -r.words)
-			st.rec.GCRelocate(words)
+			g.log.AddLive(r.addr, -r.words)
+			g.st.rec.GCRelocate(words)
 		case errors.Is(err, scheme.ErrConflict),
 			errors.Is(err, scheme.ErrNotFound),
 			errors.Is(err, scheme.ErrContended):
 			// Lost to a racing user write: our copy was never indexed.
-			st.log.AddLive(addr, -words)
-			st.rec.GCRaced()
+			g.log.AddLive(addr, -words)
+			g.st.rec.GCRaced()
 		default:
-			st.log.AddLive(addr, -words)
-			st.flushGCPhases(seg, persistDur, copiedWords, rewriteDur, rewrites)
+			g.log.AddLive(addr, -words)
+			g.flushGCPhases(seg, persistDur, copiedWords, rewriteDur, rewrites)
 			return err
 		}
 	}
-	st.flushGCPhases(seg, persistDur, copiedWords, rewriteDur, rewrites)
+	g.flushGCPhases(seg, persistDur, copiedWords, rewriteDur, rewrites)
 	return nil
 }
 
 // flushGCPhases emits the pass's aggregated copy-persist and index-rewrite
 // phase spans. Per-record spans would swamp the ring on big segments, so
 // relocate accumulates and emits once per pass.
-func (st *Store) flushGCPhases(seg int64, persistDur time.Duration, copiedWords int64, rewriteDur time.Duration, rewrites int64) {
-	st.fl.GCPhase(flight.GCPersist, seg, persistDur, copiedWords)
-	st.fl.GCPhase(flight.GCRewrite, seg, rewriteDur, rewrites)
+func (g *gcShard) flushGCPhases(seg int64, persistDur time.Duration, copiedWords int64, rewriteDur time.Duration, rewrites int64) {
+	g.st.fl.GCPhase(flight.GCPersist, seg, persistDur, copiedWords)
+	g.st.fl.GCPhase(flight.GCRewrite, seg, rewriteDur, rewrites)
 }

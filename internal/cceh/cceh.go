@@ -272,6 +272,9 @@ func (t *Table) NewSession() *Session { return &Session{t: t, h: t.dev.NewHandle
 // NVMStats returns session traffic.
 func (s *Session) NVMStats() nvm.Stats { return s.h.Stats() }
 
+// Close is a no-op: sessions hold no table-side resources.
+func (s *Session) Close() error { return nil }
+
 // probe visits the home bucket and its linear-probe successors, calling fn
 // for each slot until it returns true.
 func probe(h *nvm.Handle, segBase int64, home int64, fn func(b int64, s int, off int64, w3 uint64) bool) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"hdnh/internal/flight"
@@ -78,9 +79,70 @@ func sizeBottomSegments(hint int64, m int) int {
 	return int(segs)
 }
 
+// SizeBottomSegments picks the paper's M for a planned record count the way
+// the scheme registry does (~60% load factor without resizing) — exported so
+// tools that build tables or routers directly (cmd/hdnhycsb -shards,
+// cmd/hdnhserve) size them consistently with factory-built stores.
+func SizeBottomSegments(hint int64, m int) int { return sizeBottomSegments(hint, m) }
+
 // NewStore wraps an existing Table in the scheme interface; the sensitivity
 // experiments use it to sweep HDNH-specific options the registry fixes.
 func NewStore(t *Table) scheme.Store { return &storeAdapter{t: t} }
+
+// NewRouterStore wraps a Router in the scheme interface, so the harness can
+// sweep shard counts like any other scheme axis.
+func NewRouterStore(r *Router) scheme.Store { return &routerAdapter{r: r} }
+
+// routerAdapter exposes a Router through the scheme interface.
+type routerAdapter struct{ r *Router }
+
+var _ scheme.Store = (*routerAdapter)(nil)
+
+func (a *routerAdapter) Name() string {
+	if n := a.r.NumShards(); n > 1 {
+		return fmt.Sprintf("HDNH-S%d", n)
+	}
+	return "HDNH"
+}
+func (a *routerAdapter) NewSession() scheme.Session {
+	return &routerSessionAdapter{s: a.r.NewSession()}
+}
+func (a *routerAdapter) Count() int64        { return a.r.Count() }
+func (a *routerAdapter) Capacity() int64     { return a.r.Capacity() }
+func (a *routerAdapter) LoadFactor() float64 { return a.r.LoadFactor() }
+func (a *routerAdapter) Close() error        { return a.r.Close() }
+
+// Router returns the underlying router (for experiments that inspect
+// per-shard state).
+func (a *routerAdapter) Router() *Router { return a.r }
+
+type routerSessionAdapter struct{ s *RouterSession }
+
+var (
+	_ scheme.Session      = (*routerSessionAdapter)(nil)
+	_ scheme.BatchSession = (*routerSessionAdapter)(nil)
+)
+
+func (sa *routerSessionAdapter) Insert(k kv.Key, v kv.Value) error { return sa.s.Insert(k, v) }
+func (sa *routerSessionAdapter) Get(k kv.Key) (kv.Value, bool)     { return sa.s.Get(k) }
+func (sa *routerSessionAdapter) Update(k kv.Key, v kv.Value) error { return sa.s.Update(k, v) }
+func (sa *routerSessionAdapter) Delete(k kv.Key) error             { return sa.s.Delete(k) }
+func (sa *routerSessionAdapter) Close() error                      { return sa.s.Close() }
+
+func (sa *routerSessionAdapter) MultiGet(keys []kv.Key, vals []kv.Value, found []bool) int {
+	return sa.s.MultiGet(keys, vals, found)
+}
+func (sa *routerSessionAdapter) MultiPut(keys []kv.Key, vals []kv.Value, errs []error) int {
+	return sa.s.MultiPut(keys, vals, errs)
+}
+func (sa *routerSessionAdapter) MultiDelete(keys []kv.Key, errs []error) int {
+	return sa.s.MultiDelete(keys, errs)
+}
+
+func (sa *routerSessionAdapter) NVMStats() nvm.Stats {
+	sa.s.SyncObs()
+	return sa.s.NVMStats()
+}
 
 // storeAdapter exposes a Table through the scheme interface.
 type storeAdapter struct{ t *Table }
@@ -109,6 +171,7 @@ func (sa *sessionAdapter) Insert(k kv.Key, v kv.Value) error { return sa.s.Inser
 func (sa *sessionAdapter) Get(k kv.Key) (kv.Value, bool)     { return sa.s.Get(k) }
 func (sa *sessionAdapter) Update(k kv.Key, v kv.Value) error { return sa.s.Update(k, v) }
 func (sa *sessionAdapter) Delete(k kv.Key) error             { return sa.s.Delete(k) }
+func (sa *sessionAdapter) Close() error                      { return sa.s.Close() }
 
 func (sa *sessionAdapter) MultiGet(keys []kv.Key, vals []kv.Value, found []bool) int {
 	return sa.s.MultiGet(keys, vals, found)

@@ -58,6 +58,11 @@ type pendingFill struct {
 type batchScratch struct {
 	keys  []batchKey
 	fills []pendingFill
+	// leftover holds fills whose hot buckets moved under a racing hot-level
+	// promotion (see applyFills). Session-held like the others: allocating
+	// it per batch broke the zero-allocation steady state whenever a batch
+	// raced a promotion.
+	leftover []pendingFill
 }
 
 func (bs *batchScratch) ensure(n int) {
@@ -66,6 +71,7 @@ func (bs *batchScratch) ensure(n int) {
 	}
 	bs.keys = bs.keys[:n]
 	bs.fills = bs.fills[:0]
+	bs.leftover = bs.leftover[:0]
 }
 
 // MultiGet looks up every key, writing vals[i]/found[i] for each and
@@ -153,8 +159,20 @@ func (s *Session) MultiGet(keys []kv.Key, vals []kv.Value, found []bool) int {
 	ps.report(s.rec, s.fl)
 	s.applyFills()
 
+	// The batch span ends here, with the walk's real outcome — before the
+	// fallback loop below, whose Get calls open their own spans. Ending it
+	// after (the old behaviour) both misreported contended batches as OutOK
+	// and nested a second OpGet begin inside the still-open batch span,
+	// unbalancing begin/end counts exactly like PR 5's expansion-failure
+	// leak.
+	if pending > 0 {
+		s.fl.OpEnd(obs.OpGet, obs.OutContended, ft)
+	} else {
+		s.fl.OpEnd(obs.OpGet, obs.OutOK, ft)
+	}
+
 	// Pass 3 (rare): keys that kept moving behind the scan take Get's
-	// blocking retry loop, which records its own per-key metrics.
+	// blocking retry loop, which records its own per-key metrics and spans.
 	if pending > 0 {
 		for i := range bs.keys {
 			bk := &bs.keys[i]
@@ -168,7 +186,6 @@ func (s *Session) MultiGet(keys []kv.Key, vals []kv.Value, found []bool) int {
 			}
 		}
 	}
-	s.fl.OpEnd(obs.OpGet, obs.OutOK, ft)
 	return hits
 }
 
@@ -192,7 +209,7 @@ func (s *Session) applyFills() {
 		}
 		return bottom.bucket(fills[a].h1) < bottom.bucket(fills[b].h1)
 	})
-	var leftover []pendingFill
+	leftover := bs.leftover[:0]
 	for g := 0; g < len(fills); {
 		end := g + 1
 		gtb, gbb := top.bucket(fills[g].h1), bottom.bucket(fills[g].h1)
@@ -221,6 +238,7 @@ func (s *Session) applyFills() {
 		unlockBuckets(ltop, lbottom, tb, bb)
 		g = end
 	}
+	bs.leftover = leftover // keep any growth for the next batch
 	for _, f := range leftover {
 		ht.fill(f.k, f.v, f.h1, f.fp, f.src, f.b, f.sl, f.ctrl, s.rng)
 	}

@@ -6,7 +6,9 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"hdnh/internal/flight"
 	"hdnh/internal/kv"
+	"hdnh/internal/obs"
 	"hdnh/internal/scheme"
 )
 
@@ -363,4 +365,104 @@ func BenchmarkReadPathBatching(b *testing.B) {
 			}
 		}
 	})
+}
+
+// TestMultiGetSpanBalanceUnderContention is the regression test for the
+// batch-path span leak: MultiGet used to close its flight span after the
+// Pass-3 fallback loop, so the fallback Gets' own spans nested inside the
+// still-open batch span and the batch was reported OutOK even when keys
+// went contended. Force a key through Pass 3 with a movement burst and
+// assert every sampled begin has a matching end, with the batch span
+// closed OutContended.
+func TestMultiGetSpanBalanceUnderContention(t *testing.T) {
+	fr := flight.New(flight.Config{SampleEvery: 1, RingEvents: 1 << 16})
+	tbl := newTable(t, func(o *Options) {
+		o.HotSlotsPerBucket = 0 // force the NVT walk for every key
+		o.LookupRetryBudget = 2
+		o.Flight = fr
+	})
+	s := tbl.NewSession()
+	if err := s.Insert(key(1), value(1)); err != nil {
+		t.Fatal(err)
+	}
+	// A bounded movement burst on the absent key's bucket neighbourhood (the
+	// contention_test.go stand-in for a racing update): the budget-2 batch
+	// walk exhausts its rescans and hands the key to the Pass-3 fallback,
+	// whose blocking Get outlasts the burst.
+	absent := key(424242)
+	h1a, _, _ := hashKV(absent[:])
+	var passes int64
+	sh := tbl.moveShard(h1a)
+	tbl.testHookLookupPass = func() {
+		if passes++; passes < 300 {
+			sh.Add(1)
+		}
+	}
+	keys := []kv.Key{key(1), absent}
+	vals := make([]kv.Value, 2)
+	found := make([]bool, 2)
+	hits := s.MultiGet(keys, vals, found)
+	tbl.testHookLookupPass = nil
+	if hits != 1 || !found[0] || found[1] {
+		t.Fatalf("MultiGet under contention = hits %d, found %v", hits, found)
+	}
+
+	d := fr.Snapshot()
+	begins, ends, contendedEnds := 0, 0, 0
+	for _, e := range d.Events {
+		switch e.Kind {
+		case flight.KindOpBegin:
+			begins++
+		case flight.KindOpEnd:
+			ends++
+			if obs.Outcome(e.B) == obs.OutContended {
+				contendedEnds++
+			}
+		}
+	}
+	if begins == 0 {
+		t.Fatal("no sampled op begins in the dump")
+	}
+	if begins != ends {
+		t.Fatalf("batch flight spans leak: %d OpBegin vs %d OpEnd", begins, ends)
+	}
+	if contendedEnds == 0 {
+		t.Fatal("no span closed OutContended; the batch outcome was misreported")
+	}
+}
+
+// TestMultiGetSteadyStateAllocs guards the zero-allocation steady state the
+// session scratch exists for: once the batch's keys are hot-cached and the
+// scratch has hit its high-water mark, repeated MultiGets must not allocate.
+// (A cold batch with NVT hits allocates in sort.Slice via applyFills — this
+// guard is specifically about the warm path, where applyFills early-returns
+// on an empty fill list. The leftover slice moving into batchScratch is what
+// keeps the occasional promotion race from breaking this.)
+func TestMultiGetSteadyStateAllocs(t *testing.T) {
+	tbl := newTable(t, nil)
+	s := tbl.NewSession()
+	const n = 16
+	keys := make([]kv.Key, n)
+	vals := make([]kv.Value, n)
+	found := make([]bool, n)
+	for i := 0; i < n; i++ {
+		keys[i] = key(i)
+		if err := s.Insert(keys[i], value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm: populate the hot table and grow the scratch to its final size.
+	for w := 0; w < 3; w++ {
+		if hits := s.MultiGet(keys, vals, found); hits != n {
+			t.Fatalf("warm pass %d: hits %d of %d", w, hits, n)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if hits := s.MultiGet(keys, vals, found); hits != n {
+			t.Fatalf("hits %d of %d", hits, n)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm MultiGet allocates %.1f times per batch, want 0", allocs)
+	}
 }

@@ -50,13 +50,22 @@ type epochSlot struct {
 	_   [120]byte
 }
 
-// registerEpochSlot adds a slot to the table's copy-on-write registry.
-// Slots are never unregistered: a Session's slot outlives it (idle forever
-// after the last op), costing 128 bytes per session ever created — an
-// accepted trade for a lock-free registry scan on every grace period.
+// registerEpochSlot hands out a slot from the table's copy-on-write
+// registry, preferring a slot a closed session returned (see
+// releaseEpochSlot) and growing the registry only when the free list is
+// empty. Slots stay registered for the table's lifetime — grace periods keep
+// scanning them lock-free — but the registry length is bounded by the peak
+// number of concurrently open sessions, not by every session ever created.
 func (t *Table) registerEpochSlot() *epochSlot {
-	sl := &epochSlot{}
 	t.epochMu.Lock()
+	if n := len(t.epochFree); n > 0 {
+		sl := t.epochFree[n-1]
+		t.epochFree[n-1] = nil
+		t.epochFree = t.epochFree[:n-1]
+		t.epochMu.Unlock()
+		return sl
+	}
+	sl := &epochSlot{}
 	var cur []*epochSlot
 	if p := t.epochSlots.Load(); p != nil {
 		cur = *p
@@ -67,6 +76,27 @@ func (t *Table) registerEpochSlot() *epochSlot {
 	t.epochSlots.Store(&next)
 	t.epochMu.Unlock()
 	return sl
+}
+
+// releaseEpochSlot returns a session's slot to the free list for the next
+// NewSession to reuse. The slot stays in the registry (removing it would
+// race the lock-free grace-period scans), but it is idle — the owning
+// session published 0 on its last exitCritical and will never touch it
+// again — so scans skip it at the cost of one load.
+func (t *Table) releaseEpochSlot(sl *epochSlot) {
+	t.epochMu.Lock()
+	t.epochFree = append(t.epochFree, sl)
+	t.epochMu.Unlock()
+}
+
+// epochRegistryLen reports the current registry length (for the leak
+// regression test: it must stay bounded by peak concurrency, not total
+// sessions created).
+func (t *Table) epochRegistryLen() int {
+	if p := t.epochSlots.Load(); p != nil {
+		return len(*p)
+	}
+	return 0
 }
 
 // enterCritical begins an operation's resize-protected section: publish the

@@ -533,6 +533,12 @@ func (s *Session) insertHashed(k kv.Key, v kv.Value, h1, h2 uint64, fp uint8) er
 // the contention than wait it out use Lookup.
 func (s *Session) Get(k kv.Key) (kv.Value, bool) {
 	h1, h2, fp := hashKV(k[:])
+	return s.getHashed(k, h1, h2, fp)
+}
+
+// getHashed is Get with the hashing hoisted out (see insertHashed) — the
+// router hashes once to pick a shard and reuses h1/h2/fp here.
+func (s *Session) getHashed(k kv.Key, h1, h2 uint64, fp uint8) (kv.Value, bool) {
 	start := s.rec.Start()
 	ft := s.fl.OpBegin(obs.OpGet)
 	if s.t.hot != nil {
@@ -571,6 +577,11 @@ func (s *Session) Get(k kv.Key) (kv.Value, bool) {
 // on a hit.
 func (s *Session) Lookup(k kv.Key) (kv.Value, error) {
 	h1, h2, fp := hashKV(k[:])
+	return s.lookupHashed(k, h1, h2, fp)
+}
+
+// lookupHashed is Lookup with the hashing hoisted out (see insertHashed).
+func (s *Session) lookupHashed(k kv.Key, h1, h2 uint64, fp uint8) (kv.Value, error) {
 	start := s.rec.Start()
 	ft := s.fl.OpBegin(obs.OpGet)
 	if s.t.hot != nil {

@@ -109,6 +109,18 @@ type Options struct {
 	// contended paths deterministically.
 	LookupRetryBudget int
 
+	// Shards splits the keyspace across that many independent tables behind
+	// a hash router (CreateRouter/OpenRouter): each shard owns its epoch
+	// registry, resize state, writer pool and hot table, so resizes, drains
+	// and slot-lock traffic parallelise across shards. Must be a power of
+	// two (the router routes on the high bits of h1, leaving the bits every
+	// in-shard placement uses untouched), at most MaxShards. 0 and 1 both
+	// mean unsharded — the single-table on-device layout is byte-identical
+	// to a table created without the option, so existing images keep
+	// opening. Table.Create/Open ignore the field; only the router consumes
+	// it.
+	Shards int
+
 	// BatchEpochChunk bounds how many keys of one MultiGet/MultiPut/
 	// MultiDelete are processed per epoch critical section. Between chunks
 	// the batch exits and re-enters, so an arbitrarily large batch never
@@ -233,6 +245,12 @@ func (o Options) Validate() error {
 	}
 	if o.BatchEpochChunk < 0 {
 		return fmt.Errorf("core: BatchEpochChunk %d must not be negative", o.BatchEpochChunk)
+	}
+	if o.Shards < 0 || o.Shards > MaxShards {
+		return fmt.Errorf("core: Shards %d outside [0,%d]", o.Shards, MaxShards)
+	}
+	if o.Shards&(o.Shards-1) != 0 {
+		return fmt.Errorf("core: Shards %d must be a power of two", o.Shards)
 	}
 	return nil
 }

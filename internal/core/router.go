@@ -1,0 +1,619 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"hdnh/internal/flight"
+	"hdnh/internal/kv"
+	"hdnh/internal/nvm"
+	"hdnh/internal/obs"
+)
+
+// The hash router splits the keyspace across Options.Shards independent
+// tables, the structural-partitioning move Dash uses for PM-hash
+// scalability: each shard owns its epoch registry, resize state, writer
+// pool and hot table, so resizes, drains and slot-lock traffic that used to
+// serialise on one table now run in parallel across shards.
+//
+// Routing uses the TOP bits of h1 (shard = h1 >> (64 - log2(shards))).
+// Every in-shard placement decision uses other bits — segment choice takes
+// h1 mod the segment count, bucket choices take bits 32.. and 48.., and the
+// movement-counter shard takes bits 20.. — so a key's h1/h2/fp and its
+// in-table position are identical whether the table stands alone or behind
+// a router. Shards=1 therefore needs no routing at all, and the on-device
+// layout of a 1-shard router is byte-identical to a plain Create.
+//
+// Persistence: a sharded image stores a shard directory in root slot 6
+// (slot 0, the single-table root, stays empty):
+//
+//	word 0      magic "HDNHSHRD"
+//	word 1      shard count (power of two, ≤ MaxShards)
+//	word 2+i    metaOff of shard i's table (the block root slot 0 would
+//	            have pointed at in a single-table image)
+//
+// The directory is fully written, then the root is set — the root write is
+// the commit point, exactly like the single-table Create. Opening a sharded
+// image with the wrong Options.Shards (or a single-table image with
+// Shards>1) fails with a clear mismatch error; Options.Shards=0 adopts
+// whatever the device holds.
+const (
+	shardDirRootSlot  = 6
+	shardDirMagic     = uint64(0x48444e4853485244) // "HDNHSHRD"
+	shardDirCountWord = 1
+	shardDirShardBase = 2
+)
+
+// MaxShards caps Options.Shards. 256 shards of the minimum geometry are
+// still small; the cap mostly guards against nonsense values.
+const MaxShards = 256
+
+// normalizeShards maps the option (0 = default) to a concrete count.
+func normalizeShards(o Options) int {
+	if o.Shards <= 1 {
+		return 1
+	}
+	return o.Shards
+}
+
+// perShardOptions derives one shard's table options: the initial capacity is
+// split across shards (rounded up, so total capacity never shrinks), each
+// shard gets its own deterministic RNG stream, and the inner tables are
+// plain unsharded tables. Metrics and Flight pointers are shared — counters
+// aggregate naturally and per-shard shape is exposed through gauges.
+func perShardOptions(o Options, n, shard int) Options {
+	o.Shards = 0
+	o.InitBottomSegments = (o.InitBottomSegments + n - 1) / n
+	if o.InitBottomSegments < 1 {
+		o.InitBottomSegments = 1
+	}
+	o.Seed ^= uint64(shard+1) * 0x9E3779B97F4A7C15
+	return o
+}
+
+// shardDirCount reads the persisted shard count, 0 when the device holds no
+// shard directory.
+func shardDirCount(dev *nvm.Device) int {
+	dirRoot := dev.Root(shardDirRootSlot)
+	if dirRoot == 0 {
+		return 0
+	}
+	if dev.Load(int64(dirRoot)) != shardDirMagic {
+		return 0
+	}
+	return int(dev.Load(int64(dirRoot) + shardDirCountWord))
+}
+
+// Router fans operations out across shard tables by the high bits of h1.
+// Like Table, a Router is safe for concurrent use through per-goroutine
+// RouterSessions.
+type Router struct {
+	dev    *nvm.Device
+	opts   Options
+	shards []*Table
+	shift  uint // shard index = h1 >> shift; 64 (result 0) when unsharded
+}
+
+func newRouter(dev *nvm.Device, opts Options, shards []*Table) *Router {
+	return &Router{
+		dev:    dev,
+		opts:   opts.withDefaults(),
+		shards: shards,
+		shift:  uint(64 - bits.TrailingZeros(uint(len(shards)))),
+	}
+}
+
+// CreateRouter formats a fresh table split across opts.Shards shards. With
+// Shards ≤ 1 it is exactly Create: one table, linked through root slot 0,
+// byte-identical on the device to an unsharded image.
+func CreateRouter(dev *nvm.Device, opts Options) (*Router, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	n := normalizeShards(opts)
+	if n == 1 {
+		t, err := Create(dev, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newRouter(dev, opts, []*Table{t}), nil
+	}
+	if dev.Root(rootSlot) != 0 {
+		return nil, errors.New("core: device already holds an unsharded table; use Open")
+	}
+	if dev.Root(shardDirRootSlot) != 0 {
+		return nil, errors.New("core: device already holds a sharded table; use OpenRouter")
+	}
+	h := dev.NewHandle()
+	dirOff, err := dev.Alloc(h, shardDirShardBase+int64(n), nvm.BlockWords)
+	if err != nil {
+		return nil, fmt.Errorf("core: allocating shard directory: %w", err)
+	}
+	shards := make([]*Table, n)
+	for i := range shards {
+		t, err := createDetached(dev, perShardOptions(opts, n, i))
+		if err != nil {
+			return nil, fmt.Errorf("core: creating shard %d/%d: %w", i, n, err)
+		}
+		shards[i] = t
+		h.StorePersist(dirOff+shardDirShardBase+int64(i), uint64(t.metaOff))
+	}
+	h.StorePersist(dirOff+shardDirCountWord, uint64(n))
+	h.StorePersist(dirOff, shardDirMagic)
+	dev.SetRoot(h, shardDirRootSlot, uint64(dirOff))
+	return newRouter(dev, opts, shards), nil
+}
+
+// OpenRouter recovers the table(s) stored on the device. The persisted
+// shard count is authoritative: Options.Shards=0 adopts it; any other value
+// must match it (a clear mismatch error beats silently re-routing keys into
+// the wrong shard). Each shard replays its own recovery, in shard order.
+func OpenRouter(dev *nvm.Device, opts Options) (*Router, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	dirRoot := dev.Root(shardDirRootSlot)
+	if dirRoot == 0 {
+		if n := normalizeShards(opts); n != 1 {
+			if dev.Root(rootSlot) != 0 {
+				return nil, fmt.Errorf("core: shard count mismatch: device holds an unsharded table, Options.Shards=%d", opts.Shards)
+			}
+			return nil, errors.New("core: device holds no table; use CreateRouter")
+		}
+		t, err := Open(dev, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newRouter(dev, opts, []*Table{t}), nil
+	}
+	dirOff := int64(dirRoot)
+	if dev.Load(dirOff) != shardDirMagic {
+		return nil, errors.New("core: shard directory magic mismatch")
+	}
+	n := int(dev.Load(dirOff + shardDirCountWord))
+	if n < 2 || n > MaxShards || n&(n-1) != 0 {
+		return nil, fmt.Errorf("core: corrupt shard directory count %d", n)
+	}
+	if opts.Shards != 0 && normalizeShards(opts) != n {
+		return nil, fmt.Errorf("core: shard count mismatch: device holds %d shards, Options.Shards=%d", n, opts.Shards)
+	}
+	shards := make([]*Table, n)
+	for i := range shards {
+		metaOff := int64(dev.Load(dirOff + shardDirShardBase + int64(i)))
+		t, err := openAt(dev, perShardOptions(opts, n, i), metaOff)
+		if err != nil {
+			return nil, fmt.Errorf("core: opening shard %d/%d: %w", i, n, err)
+		}
+		shards[i] = t
+	}
+	opts.Shards = n
+	return newRouter(dev, opts, shards), nil
+}
+
+// OpenOrCreateRouter opens an existing (sharded or unsharded) table or
+// creates a fresh one.
+func OpenOrCreateRouter(dev *nvm.Device, opts Options) (*Router, error) {
+	if dev.Root(rootSlot) == 0 && dev.Root(shardDirRootSlot) == 0 {
+		return CreateRouter(dev, opts)
+	}
+	return OpenRouter(dev, opts)
+}
+
+// NumShards returns the shard count.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// Shard returns shard i's table (tests, tooling, per-shard stats).
+func (r *Router) Shard(i int) *Table { return r.shards[i] }
+
+// shardFor routes a primary hash to its shard index.
+func (r *Router) shardFor(h1 uint64) int { return int(h1 >> r.shift) }
+
+// ShardForKey returns the shard index k routes to — layers that keep
+// per-shard side structures (bigkv's value logs) route with it.
+func (r *Router) ShardForKey(k kv.Key) int {
+	h1, _, _ := hashKV(k[:])
+	return r.shardFor(h1)
+}
+
+// Device returns the underlying NVM device.
+func (r *Router) Device() *nvm.Device { return r.dev }
+
+// Options returns the router's options (Shards reflects the actual count).
+func (r *Router) Options() Options { return r.opts }
+
+// Count sums live records across shards.
+func (r *Router) Count() int64 {
+	var n int64
+	for _, t := range r.shards {
+		n += t.Count()
+	}
+	return n
+}
+
+// Capacity sums NVT slots across shards.
+func (r *Router) Capacity() int64 {
+	var n int64
+	for _, t := range r.shards {
+		n += t.Capacity()
+	}
+	return n
+}
+
+// LoadFactor returns live records over total capacity.
+func (r *Router) LoadFactor() float64 {
+	c := r.Capacity()
+	if c == 0 {
+		return 0
+	}
+	return float64(r.Count()) / float64(c)
+}
+
+// HotEntries sums hot-table occupancy across shards.
+func (r *Router) HotEntries() int64 {
+	var n int64
+	for _, t := range r.shards {
+		n += t.HotEntries()
+	}
+	return n
+}
+
+// Resizing reports whether any shard has an incremental rehash in flight.
+func (r *Router) Resizing() bool {
+	for _, t := range r.shards {
+		if t.Resizing() {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns each shard's shape snapshot, in shard order.
+func (r *Router) Stats() []TableStats {
+	out := make([]TableStats, len(r.shards))
+	for i, t := range r.shards {
+		out[i] = t.Stats()
+	}
+	return out
+}
+
+// Metrics returns the shared metrics registry (all shards record into the
+// same one), nil when disabled.
+func (r *Router) Metrics() *obs.Metrics { return r.shards[0].Metrics() }
+
+// Flight returns the shared flight recorder (all shards trace into the same
+// one), flight.Nop-backed when tracing is off.
+func (r *Router) Flight() *flight.Recorder { return r.shards[0].Flight() }
+
+// MetricsSnapshot returns the shared counters with gauges aggregated across
+// shards and a per-shard breakdown in Gauges.PerShard. Zero-valued when
+// metrics are disabled.
+func (r *Router) MetricsSnapshot() obs.Snapshot {
+	m := r.Metrics()
+	if m == nil {
+		return obs.Snapshot{}
+	}
+	s := m.Snapshot()
+	s.Gauges = r.gauges()
+	return s
+}
+
+// gauges aggregates shard shapes: additive fields sum, Generation takes the
+// max, Resizing is any, and device-wide readings are taken once.
+func (r *Router) gauges() obs.Gauges {
+	var g obs.Gauges
+	g.Shards = int64(len(r.shards))
+	g.PerShard = make([]obs.ShardGauges, len(r.shards))
+	for i, t := range r.shards {
+		ts := t.Stats()
+		sg := obs.ShardGauges{
+			Shard:                 int64(i),
+			Items:                 ts.Items,
+			Capacity:              ts.Capacity,
+			LoadFactor:            ts.LoadFactor,
+			Generation:            ts.Generation,
+			DrainBucketsRemaining: ts.DrainBucketsRemaining,
+			HotEntries:            ts.HotEntries,
+		}
+		if ts.Resizing {
+			sg.Resizing = 1
+		}
+		g.PerShard[i] = sg
+		g.Items += ts.Items
+		g.Capacity += ts.Capacity
+		g.HotEntries += ts.HotEntries
+		g.HotCapacity += ts.HotCapacity
+		g.DrainBucketsRemaining += ts.DrainBucketsRemaining
+		g.Resizing |= sg.Resizing
+		if ts.Generation > g.Generation {
+			g.Generation = ts.Generation
+		}
+	}
+	if g.Capacity > 0 {
+		g.LoadFactor = float64(g.Items) / float64(g.Capacity)
+	}
+	if g.HotCapacity > 0 {
+		g.HotFillRatio = float64(g.HotEntries) / float64(g.HotCapacity)
+	}
+	g.DeviceWords = r.dev.Words()
+	g.DeviceWordsUsed = r.dev.Words() - r.dev.FreeWords()
+	g.DeviceFlushes = r.dev.TotalFlushes()
+	return g
+}
+
+// CheckInvariants runs every shard's invariant checker, returning all
+// violations with the offending shard named.
+func (r *Router) CheckInvariants() []error {
+	var errs []error
+	for i, t := range r.shards {
+		for _, err := range t.CheckInvariants() {
+			errs = append(errs, fmt.Errorf("core: shard %d/%d: %w", i, len(r.shards), err))
+		}
+	}
+	return errs
+}
+
+// Close closes every shard (clean-shutdown mark + background teardown),
+// returning the first error.
+func (r *Router) Close() error {
+	var firstErr error
+	for _, t := range r.shards {
+		if err := t.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// StopBackground halts every shard's background machinery without marking a
+// clean shutdown (the crash-recovery benchmarks' power-cord stand-in).
+func (r *Router) StopBackground() {
+	for _, t := range r.shards {
+		t.StopBackground()
+	}
+}
+
+// RouterSession is the per-goroutine handle on a Router: one inner Session
+// per shard, so each operation runs in its key's shard under that shard's
+// epoch protection. Like Session, not safe for concurrent use.
+type RouterSession struct {
+	r  *Router
+	ss []*Session
+	sc routerScratch
+}
+
+// routerScratch holds the MultiGet scatter/gather state, per shard, reused
+// across batches so the steady state allocates nothing (slices keep their
+// high-water-mark capacity).
+type routerScratch struct {
+	keys  [][]kv.Key
+	idx   [][]int32
+	vals  [][]kv.Value
+	found [][]bool
+}
+
+// NewSession returns a fresh session on every shard.
+func (r *Router) NewSession() *RouterSession {
+	ss := make([]*Session, len(r.shards))
+	for i, t := range r.shards {
+		ss[i] = t.NewSession()
+	}
+	return &RouterSession{r: r, ss: ss}
+}
+
+// Close closes every shard session, returning each epoch slot to its
+// shard's free list. Idempotent.
+func (s *RouterSession) Close() error {
+	for _, ts := range s.ss {
+		ts.Close()
+	}
+	return nil
+}
+
+// shard returns the inner session h1 routes to.
+func (s *RouterSession) shard(h1 uint64) *Session { return s.ss[h1>>s.r.shift] }
+
+// Insert adds a new record to its key's shard.
+func (s *RouterSession) Insert(k kv.Key, v kv.Value) error {
+	h1, h2, fp := hashKV(k[:])
+	return s.shard(h1).insertHashed(k, v, h1, h2, fp)
+}
+
+// Get reads a key from its shard (Get semantics: blocking retry, never a
+// false miss).
+func (s *RouterSession) Get(k kv.Key) (kv.Value, bool) {
+	h1, h2, fp := hashKV(k[:])
+	return s.shard(h1).getHashed(k, h1, h2, fp)
+}
+
+// Lookup is Get with contention surfaced as scheme.ErrContended.
+func (s *RouterSession) Lookup(k kv.Key) (kv.Value, error) {
+	h1, h2, fp := hashKV(k[:])
+	return s.shard(h1).lookupHashed(k, h1, h2, fp)
+}
+
+// Update replaces an existing record's value in its shard.
+func (s *RouterSession) Update(k kv.Key, v kv.Value) error {
+	h1, h2, fp := hashKV(k[:])
+	_, err := s.shard(h1).updateHashed(k, v, nil, h1, h2, fp)
+	return err
+}
+
+// UpdateExchange is Update returning the displaced value.
+func (s *RouterSession) UpdateExchange(k kv.Key, v kv.Value) (kv.Value, error) {
+	h1, h2, fp := hashKV(k[:])
+	return s.shard(h1).updateHashed(k, v, nil, h1, h2, fp)
+}
+
+// UpdateIf replaces the value only if it currently equals expect.
+func (s *RouterSession) UpdateIf(k kv.Key, expect, v kv.Value) error {
+	h1, h2, fp := hashKV(k[:])
+	_, err := s.shard(h1).updateHashed(k, v, &expect, h1, h2, fp)
+	return err
+}
+
+// Delete removes a record from its shard.
+func (s *RouterSession) Delete(k kv.Key) error {
+	h1, h2, fp := hashKV(k[:])
+	_, err := s.shard(h1).deleteHashed(k, h1, h2, fp)
+	return err
+}
+
+// DeleteExchange is Delete returning the removed value.
+func (s *RouterSession) DeleteExchange(k kv.Key) (kv.Value, error) {
+	h1, h2, fp := hashKV(k[:])
+	return s.shard(h1).deleteHashed(k, h1, h2, fp)
+}
+
+// Put upserts (update-else-insert) into the key's shard.
+func (s *RouterSession) Put(k kv.Key, v kv.Value) error {
+	h1, h2, fp := hashKV(k[:])
+	return s.shard(h1).putHashed(k, v, h1, h2, fp)
+}
+
+// MultiGet partitions the batch by shard, runs each shard's native MultiGet
+// (hot pass, chunked epoch sections, grouped hot fills — all per shard),
+// and scatters results back into the caller's slices in input order.
+// Unsharded routers delegate straight through.
+func (s *RouterSession) MultiGet(keys []kv.Key, vals []kv.Value, found []bool) int {
+	if len(s.ss) == 1 {
+		return s.ss[0].MultiGet(keys, vals, found)
+	}
+	n := len(keys)
+	if len(vals) != n || len(found) != n {
+		panic("core: MultiGet output slice lengths must match len(keys)")
+	}
+	sc := &s.sc
+	sc.reset(len(s.ss))
+	for i := range keys {
+		h1, _, _ := hashKV(keys[i][:])
+		sh := int(h1 >> s.r.shift)
+		sc.keys[sh] = append(sc.keys[sh], keys[i])
+		sc.idx[sh] = append(sc.idx[sh], int32(i))
+	}
+	hits := 0
+	for sh := range s.ss {
+		ks := sc.keys[sh]
+		if len(ks) == 0 {
+			continue
+		}
+		sc.vals[sh] = sizeVals(sc.vals[sh], len(ks))
+		sc.found[sh] = sizeFound(sc.found[sh], len(ks))
+		hits += s.ss[sh].MultiGet(ks, sc.vals[sh], sc.found[sh])
+		for j, oi := range sc.idx[sh] {
+			vals[oi] = sc.vals[sh][j]
+			found[oi] = sc.found[sh][j]
+		}
+	}
+	return hits
+}
+
+// MultiPut upserts every key into its shard, one putHashed per key (the NVM
+// persists dominate; there is no cross-key work to amortise beyond the
+// single hash). Per-key verdicts land in errs; returns the failure count.
+func (s *RouterSession) MultiPut(keys []kv.Key, vals []kv.Value, errs []error) int {
+	n := len(keys)
+	if len(vals) != n || len(errs) != n {
+		panic("core: MultiPut slice lengths must match len(keys)")
+	}
+	fails := 0
+	for i := range keys {
+		h1, h2, fp := hashKV(keys[i][:])
+		errs[i] = s.shard(h1).putHashed(keys[i], vals[i], h1, h2, fp)
+		if errs[i] != nil {
+			fails++
+		}
+	}
+	return fails
+}
+
+// MultiDelete deletes every key from its shard, recording per-key verdicts
+// in errs and returning the failure count.
+func (s *RouterSession) MultiDelete(keys []kv.Key, errs []error) int {
+	n := len(keys)
+	if len(errs) != n {
+		panic("core: MultiDelete slice lengths must match len(keys)")
+	}
+	fails := 0
+	for i := range keys {
+		h1, h2, fp := hashKV(keys[i][:])
+		_, err := s.shard(h1).deleteHashed(keys[i], h1, h2, fp)
+		errs[i] = err
+		if err != nil {
+			fails++
+		}
+	}
+	return fails
+}
+
+// Scan visits every committed record across all shards (shard-major order,
+// same per-record guarantees as Session.Scan), returning the number
+// visited.
+func (s *RouterSession) Scan(fn func(k kv.Key, v kv.Value) bool) int64 {
+	var visited int64
+	for _, ts := range s.ss {
+		stop := false
+		visited += ts.Scan(func(k kv.Key, v kv.Value) bool {
+			if !fn(k, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			break
+		}
+	}
+	return visited
+}
+
+// NVMStats sums the NVM traffic generated through every shard session.
+func (s *RouterSession) NVMStats() nvm.Stats {
+	var st nvm.Stats
+	for _, ts := range s.ss {
+		st.Add(ts.NVMStats())
+	}
+	return st
+}
+
+// ResetNVMStats zeroes every shard session's NVM counters.
+func (s *RouterSession) ResetNVMStats() {
+	for _, ts := range s.ss {
+		ts.ResetNVMStats()
+	}
+}
+
+// SyncObs publishes every shard session's NVM traffic into the metrics
+// registry.
+func (s *RouterSession) SyncObs() {
+	for _, ts := range s.ss {
+		ts.SyncObs()
+	}
+}
+
+func (sc *routerScratch) reset(n int) {
+	if len(sc.keys) != n {
+		sc.keys = make([][]kv.Key, n)
+		sc.idx = make([][]int32, n)
+		sc.vals = make([][]kv.Value, n)
+		sc.found = make([][]bool, n)
+	}
+	for i := range sc.keys {
+		sc.keys[i] = sc.keys[i][:0]
+		sc.idx[i] = sc.idx[i][:0]
+	}
+}
+
+func sizeVals(s []kv.Value, n int) []kv.Value {
+	if cap(s) < n {
+		return make([]kv.Value, n)
+	}
+	return s[:n]
+}
+
+func sizeFound(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}

@@ -51,6 +51,22 @@ func (t *Table) NewSession() *Session {
 // Table returns the session's table.
 func (s *Session) Table() *Table { return s.t }
 
+// Close returns the session's epoch slot to the table's free list so the
+// next NewSession reuses it instead of growing the registry. Without it a
+// create-session-per-request server grows the registry without bound and
+// every resize grace period scans every slot ever registered. Close is
+// idempotent; using the session after Close panics. Pending metrics are
+// flushed via SyncObs first so a closed session's traffic is not lost.
+func (s *Session) Close() error {
+	if s.ep == nil {
+		return nil
+	}
+	s.SyncObs()
+	s.t.releaseEpochSlot(s.ep)
+	s.ep = nil
+	return nil
+}
+
 // NVMStats returns the NVM traffic generated through this session.
 func (s *Session) NVMStats() nvm.Stats { return s.h.Stats() }
 

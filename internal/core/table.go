@@ -32,11 +32,13 @@ type Table struct {
 	// drain level until it empties.
 	lv atomic.Pointer[tablePair]
 
-	// Epoch-based resize protection state; see epoch.go.
+	// Epoch-based resize protection state; see epoch.go. epochFree holds
+	// slots returned by closed sessions for reuse (guarded by epochMu).
 	epochGlobal atomic.Uint64
 	epochGate   atomic.Uint32
 	epochMu     sync.Mutex
 	epochSlots  atomic.Pointer[[]*epochSlot]
+	epochFree   []*epochSlot
 
 	// draining, when non-nil, is the in-progress incremental rehash. Ops
 	// walk its source level as a third lookup level until the drain empties
@@ -148,6 +150,26 @@ func Create(dev *nvm.Device, opts Options) (*Table, error) {
 	if dev.Root(rootSlot) != 0 {
 		return nil, errors.New("core: device already holds a table; use Open")
 	}
+	if dev.Root(shardDirRootSlot) != 0 {
+		return nil, errors.New("core: device already holds a sharded table; use OpenRouter")
+	}
+	t, err := createDetached(dev, opts)
+	if err != nil {
+		return nil, err
+	}
+	h := dev.NewHandle()
+	dev.SetRoot(h, rootSlot, uint64(t.metaOff))
+	return t, nil
+}
+
+// createDetached formats a fresh table on the device without linking it into
+// root slot 0 — the caller owns publication. Create links the single-table
+// root; the router links each shard's metaOff into its shard directory
+// instead, leaving root slot 0 untouched.
+func createDetached(dev *nvm.Device, opts Options) (*Table, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	t := &Table{dev: dev, opts: opts.withDefaults(), rec: obs.Nop{}}
 	t.flight = t.opts.Flight
 	t.fl = t.flight.Handle("table")
@@ -179,7 +201,6 @@ func Create(dev *nvm.Device, opts Options) (*Table, error) {
 	h.StorePersist(metaOff+metaCleanWord, 0)
 	t.setState(h, tableState{levelNumber: levelNumStable, top: 0, bottom: 1, drain: levelSlotUnused, generation: 1})
 	h.StorePersist(metaOff+metaMagicWord, tableMagic)
-	dev.SetRoot(h, rootSlot, uint64(metaOff))
 
 	t.lv.Store(&tablePair{top: newLevel(topBase, topSegs, m), bottom: newLevel(bottomBase, bottomSegs, m)})
 	t.initVolatile()
@@ -192,16 +213,26 @@ func Create(dev *nvm.Device, opts Options) (*Table, error) {
 // out-of-place update. RecoveryStats are available afterwards via
 // LastRecovery.
 func Open(dev *nvm.Device, opts Options) (*Table, error) {
+	if dev.Root(rootSlot) == 0 {
+		if n := shardDirCount(dev); n > 1 {
+			return nil, fmt.Errorf("core: device holds a sharded table (%d shards); use OpenRouter with Options.Shards=%d", n, n)
+		}
+		return nil, errors.New("core: device holds no table; use Create")
+	}
+	return openAt(dev, opts, int64(dev.Root(rootSlot)))
+}
+
+// openAt recovers the table whose metadata block lives at metaOff. Open
+// resolves metaOff through root slot 0; the router resolves each shard's
+// through the shard directory.
+func openAt(dev *nvm.Device, opts Options, metaOff int64) (*Table, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
-	}
-	if dev.Root(rootSlot) == 0 {
-		return nil, errors.New("core: device holds no table; use Create")
 	}
 	t := &Table{dev: dev, opts: opts.withDefaults(), rec: obs.Nop{}}
 	t.flight = t.opts.Flight
 	t.fl = t.flight.Handle("table")
-	t.metaOff = int64(dev.Root(rootSlot))
+	t.metaOff = metaOff
 	if dev.Load(t.metaOff+metaMagicWord) != tableMagic {
 		return nil, errors.New("core: table metadata magic mismatch")
 	}
@@ -214,7 +245,7 @@ func Open(dev *nvm.Device, opts Options) (*Table, error) {
 
 // OpenOrCreate opens an existing table or creates a fresh one.
 func OpenOrCreate(dev *nvm.Device, opts Options) (*Table, error) {
-	if dev.Root(rootSlot) == 0 {
+	if dev.Root(rootSlot) == 0 && shardDirCount(dev) == 0 {
 		return Create(dev, opts)
 	}
 	return Open(dev, opts)

@@ -238,6 +238,7 @@ func Run(o Options) (*Result, error) {
 	res.Failures = failures.Load()
 	for i, s := range sessions {
 		res.NVM.Add(s.NVMStats().Sub(before[i]))
+		s.Close()
 	}
 	if o.RecordLatency {
 		res.Latency = histogram.MergeAll(hists)
@@ -391,6 +392,7 @@ func Preload(st scheme.Store, n int64, threads int) error {
 		go func(lo, hi int64) {
 			defer wg.Done()
 			s := st.NewSession()
+			defer s.Close()
 			for i := lo; i < hi; i++ {
 				if err := s.Insert(ycsb.RecordKey(i), ycsb.ValueFor(i)); err != nil {
 					errCh <- fmt.Errorf("preload %d: %w", i, err)

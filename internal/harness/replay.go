@@ -82,6 +82,7 @@ func ReplayTrace(st scheme.Store, ops []ycsb.Op, threads int, recordLatency bool
 	res.Failures = failures.Load()
 	for i, s := range sessions {
 		res.NVM.Add(s.NVMStats().Sub(before[i]))
+		s.Close()
 	}
 	if recordLatency {
 		res.Latency = histogram.MergeAll(hists)

@@ -285,6 +285,9 @@ func (t *Table) NewSession() *Session { return &Session{t: t, h: t.dev.NewHandle
 // NVMStats returns session traffic.
 func (s *Session) NVMStats() nvm.Stats { return s.h.Stats() }
 
+// Close is a no-op: sessions hold no table-side resources.
+func (s *Session) Close() error { return nil }
+
 // Get searches both levels' candidate buckets, slot by slot, taking (and
 // paying for) a read lock per slot probed — Level Hashing has no filter, so
 // every probe is an NVM read.

@@ -136,6 +136,29 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 		gauge("hdnh_vlog_used_words", "Value-log words appended into sealed and active segments.", "%d", s.Gauges.VLogUsedWords)
 		gauge("hdnh_gc_write_amplification", "Log words written per user-appended word.", "%g", s.GCWriteAmplification())
 	}
+	if len(s.Gauges.PerShard) > 0 {
+		gauge("hdnh_shards", "Hash-router shard count.", "%d", s.Gauges.Shards)
+		shardGauge := func(name, help string, pick func(ShardGauges) any) {
+			p("# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+			for _, sh := range s.Gauges.PerShard {
+				switch v := pick(sh).(type) {
+				case int64:
+					p("%s{shard=\"%d\"} %d\n", name, sh.Shard, v)
+				case float64:
+					p("%s{shard=\"%d\"} %g\n", name, sh.Shard, v)
+				}
+			}
+		}
+		shardGauge("hdnh_shard_items", "Live records per shard.", func(sh ShardGauges) any { return sh.Items })
+		shardGauge("hdnh_shard_load_factor", "Items over capacity per shard.", func(sh ShardGauges) any { return sh.LoadFactor })
+		shardGauge("hdnh_shard_resizing", "1 while the shard's incremental rehash is in flight.", func(sh ShardGauges) any { return sh.Resizing })
+		shardGauge("hdnh_shard_drain_buckets_remaining", "Shard drain-level buckets not yet durably rehashed.", func(sh ShardGauges) any { return sh.DrainBucketsRemaining })
+		shardGauge("hdnh_shard_hot_entries", "Hot-table cached records per shard.", func(sh ShardGauges) any { return sh.HotEntries })
+		if s.Gauges.VLogSegments > 0 {
+			shardGauge("hdnh_shard_vlog_free_segments", "Value-log segments on the shard's free list.", func(sh ShardGauges) any { return sh.VLogFreeSegments })
+			shardGauge("hdnh_shard_vlog_live_words", "Value-log words the shard's index still references.", func(sh ShardGauges) any { return sh.VLogLiveWords })
+		}
+	}
 	return err
 }
 

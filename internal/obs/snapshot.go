@@ -38,6 +38,29 @@ type Gauges struct {
 	VLogFreeSegments int64 `json:"vlog_free_segments"`
 	VLogLiveWords    int64 `json:"vlog_live_words"`
 	VLogUsedWords    int64 `json:"vlog_used_words"`
+	// Shards is the hash-router shard count (0 for an unsharded table) and
+	// PerShard the per-shard shape breakdown the aggregate fields above sum
+	// over. Counters are shared across shards; only shape is per-shard.
+	Shards   int64         `json:"shards,omitempty"`
+	PerShard []ShardGauges `json:"per_shard,omitempty"`
+}
+
+// ShardGauges is one router shard's shape reading: which shard is resizing,
+// how its load is balanced, and (for bigkv) its value log's fill — the
+// per-shard visibility that makes a stuck shard diagnosable.
+type ShardGauges struct {
+	Shard                 int64   `json:"shard"`
+	Items                 int64   `json:"items"`
+	Capacity              int64   `json:"capacity"`
+	LoadFactor            float64 `json:"load_factor"`
+	Generation            uint64  `json:"generation"`
+	Resizing              int64   `json:"resizing"`
+	DrainBucketsRemaining int64   `json:"drain_buckets_remaining"`
+	HotEntries            int64   `json:"hot_entries"`
+	VLogSegments          int64   `json:"vlog_segments,omitempty"`
+	VLogFreeSegments      int64   `json:"vlog_free_segments,omitempty"`
+	VLogLiveWords         int64   `json:"vlog_live_words,omitempty"`
+	VLogUsedWords         int64   `json:"vlog_used_words,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of every counter in a Metrics registry.

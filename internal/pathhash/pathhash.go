@@ -182,6 +182,9 @@ func (t *Table) NewSession() *Session { return &Session{t: t, h: t.dev.NewHandle
 // NVMStats returns session traffic.
 func (s *Session) NVMStats() nvm.Stats { return s.h.Stats() }
 
+// Close is a no-op: sessions hold no table-side resources.
+func (s *Session) Close() error { return nil }
+
 func lockCharge(h *nvm.Handle, off int64) {
 	h.WriteAccess(off, 1)
 	h.Flush(off, 1)

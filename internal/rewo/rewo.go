@@ -282,6 +282,9 @@ func (t *Table) NewSession() *Session { return &Session{t: t, h: t.dev.NewHandle
 // NVMStats returns session traffic.
 func (s *Session) NVMStats() nvm.Stats { return s.h.Stats() }
 
+// Close is a no-op: sessions hold no table-side resources.
+func (s *Session) Close() error { return nil }
+
 // Get serves reads from the cached table when possible; a miss reads the
 // persistent table and promotes the record into the cache (evicting the
 // global LRU victim).

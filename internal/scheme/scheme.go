@@ -64,6 +64,11 @@ type Session interface {
 	Delete(k kv.Key) error
 	// NVMStats returns the NVM traffic generated through this session.
 	NVMStats() nvm.Stats
+	// Close releases per-session resources held in the Store (HDNH returns
+	// the session's epoch slot for reuse, bounding the epoch registry under
+	// session churn; the baselines hold none and no-op). Callers that
+	// create sessions per worker or per request must close them.
+	Close() error
 }
 
 // BatchSession is the optional batched extension of Session. Schemes that
