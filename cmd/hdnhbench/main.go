@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "", "figure to regenerate: 11a, 11b, 12, 13, 14, 15, ablation, loadfactor, hybrid, resize, vloggc, flightdemo, batchscale, shardscale")
+		fig       = flag.String("fig", "", "figure to regenerate: 11a, 11b, 12, 13, 14, 15, ablation, loadfactor, hybrid, resize, vloggc, flightdemo, batchscale, shardscale, pipescale")
 		table     = flag.String("table", "", "table to regenerate: 1")
 		all       = flag.Bool("all", false, "run every figure and table")
 		records   = flag.Int64("records", 100_000, "preloaded record count")
@@ -147,8 +147,9 @@ func main() {
 		"flightdemo": {"Flight-recorder demo: mixed churn with resize, GC, and recovery (extension)", single(harness.FigFlightDemo)},
 		"batchscale": {"Batched reads: throughput vs MultiGet batch size (extension)", single(harness.FigBatchScale)},
 		"shardscale": {"Shard router: mixed throughput vs shard count (extension)", single(harness.FigShardScale)},
+		"pipescale":  {"Wire protocol: HTTP /kv/ vs RESP pipeline depth (extension)", single(harness.FigPipeScale)},
 	}
-	order := []string{"fig11a", "fig11b", "fig12", "fig13", "fig14", "fig15", "table1", "ablation", "loadfactor", "hybrid", "resize", "vloggc", "flightdemo", "batchscale", "shardscale"}
+	order := []string{"fig11a", "fig11b", "fig12", "fig13", "fig14", "fig15", "table1", "ablation", "loadfactor", "hybrid", "resize", "vloggc", "flightdemo", "batchscale", "shardscale", "pipescale"}
 
 	var selected []string
 	switch {
@@ -157,7 +158,7 @@ func main() {
 	case *fig != "":
 		name := strings.ToLower(*fig)
 		switch name {
-		case "ablation", "loadfactor", "hybrid", "resize", "vloggc", "flightdemo", "batchscale", "shardscale":
+		case "ablation", "loadfactor", "hybrid", "resize", "vloggc", "flightdemo", "batchscale", "shardscale", "pipescale":
 		default:
 			name = "fig" + name
 		}

@@ -1,0 +1,179 @@
+// Command hdnhrespsmoke drives a running hdnhserve -resp listener through a
+// short conformance-and-throughput pass, the check CI runs against a freshly
+// booted server. It exits non-zero if any reply is malformed or unexpected,
+// or if pipelining at -depth fails to beat depth 1 by at least -min-speedup
+// (the structural win the protocol exists for; the default 2x is deliberately
+// far below the typical gain so only a real regression trips it).
+//
+//	hdnhrespsmoke -addr 127.0.0.1:6380 -ops 20000 -depth 64
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hdnh/internal/resp/client"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:6380", "hdnhserve -resp listener address")
+		ops     = flag.Int("ops", 20_000, "operations per timed pass")
+		depth   = flag.Int("depth", 64, "pipeline depth for the deep pass")
+		minGain = flag.Float64("min-speedup", 2, "fail if deep-pass ops/s < this multiple of depth-1")
+	)
+	flag.Parse()
+	if *ops <= 0 || *depth <= 1 {
+		fatal("-ops must be positive and -depth > 1")
+	}
+
+	cn, err := client.Dial(*addr, 5*time.Second)
+	if err != nil {
+		fatal("dial %s: %v", *addr, err)
+	}
+	defer cn.Close()
+
+	if err := conformance(cn); err != nil {
+		fatal("conformance: %v", err)
+	}
+	fmt.Println("conformance ok (ping, binary round-trip, mget, del, typed errors)")
+
+	// Preload the keyspace the timed passes read, through the wire.
+	keys := make([][]byte, 1024)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("smoke%06d", i))
+	}
+	if err := runPass(cn, keys, *ops, *depth, true); err != nil {
+		fatal("preload: %v", err)
+	}
+
+	shallow, err := timePass(cn, keys, *ops, 1)
+	if err != nil {
+		fatal("depth-1 pass: %v", err)
+	}
+	deep, err := timePass(cn, keys, *ops, *depth)
+	if err != nil {
+		fatal("depth-%d pass: %v", *depth, err)
+	}
+	speedup := deep / shallow
+	fmt.Printf("depth 1:   %10.0f ops/s\ndepth %-3d: %10.0f ops/s\nspeedup:   %.2fx (floor %.1fx)\n",
+		shallow, *depth, deep, speedup, *minGain)
+	if speedup < *minGain {
+		fatal("pipelining speedup %.2fx below the %.1fx floor", speedup, *minGain)
+	}
+}
+
+// conformance checks one of everything the smoke run relies on.
+func conformance(cn *client.Conn) error {
+	r, err := cn.Do([]byte("PING"))
+	if err != nil {
+		return err
+	}
+	if r.Kind != client.ReplySimple || r.Str != "PONG" {
+		return fmt.Errorf("PING = %+v", r)
+	}
+
+	key := []byte("smoke\x00bin\r\nkey")
+	val := []byte("smoke\x00bin\r\nval")
+	if r, err = cn.Do([]byte("SET"), key, val); err != nil {
+		return err
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("SET: %w", err)
+	}
+	if r, err = cn.Do([]byte("GET"), key); err != nil {
+		return err
+	}
+	if r.Kind != client.ReplyBulk || !bytes.Equal(r.Bulk, val) {
+		return fmt.Errorf("binary GET = %+v, want %q", r, val)
+	}
+	if r, err = cn.Do([]byte("MGET"), key, []byte("smoke-absent")); err != nil {
+		return err
+	}
+	if r.Kind != client.ReplyArray || len(r.Array) != 2 ||
+		r.Array[0].Kind != client.ReplyBulk || r.Array[1].Kind != client.ReplyNil {
+		return fmt.Errorf("MGET = %+v", r)
+	}
+	if r, err = cn.Do([]byte("DEL"), key); err != nil {
+		return err
+	}
+	if r.Kind != client.ReplyInt || r.Int != 1 {
+		return fmt.Errorf("DEL = %+v", r)
+	}
+
+	// A protocol-level rejection must come back as -ERR, not a hang or a
+	// dropped connection.
+	if r, err = cn.Do([]byte("SET"), bytes.Repeat([]byte("k"), 64), []byte("v")); err != nil {
+		return err
+	}
+	if r.Kind != client.ReplyError {
+		return fmt.Errorf("oversized key = %+v, want error reply", r)
+	}
+	// ... and the connection must still be usable afterwards.
+	if r, err = cn.Do([]byte("PING")); err != nil || r.Str != "PONG" {
+		return fmt.Errorf("ping after error reply = %+v, %v", r, err)
+	}
+	return nil
+}
+
+// runPass pushes ops commands through the connection at the given depth:
+// all SETs when loading, else a 7:1 GET:SET mix over the keyspace. Every
+// reply is checked, so a protocol error anywhere fails the run.
+func runPass(cn *client.Conn, keys [][]byte, ops, depth int, load bool) error {
+	val := []byte("smoke-value-0123")
+	if load {
+		ops = len(keys)
+	}
+	for lo := 0; lo < ops; lo += depth {
+		hi := lo + depth
+		if hi > ops {
+			hi = ops
+		}
+		for i := lo; i < hi; i++ {
+			k := keys[i%len(keys)]
+			var err error
+			if load || i%8 == 7 {
+				err = cn.Send([]byte("SET"), k, val)
+			} else {
+				err = cn.Send([]byte("GET"), k)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if err := cn.Flush(); err != nil {
+			return err
+		}
+		for i := lo; i < hi; i++ {
+			r, err := cn.Recv()
+			if err != nil {
+				return err
+			}
+			switch {
+			case r.Kind == client.ReplyError:
+				return fmt.Errorf("op %d: %s", i, r.Str)
+			case (load || i%8 == 7) && r.Kind != client.ReplySimple:
+				return fmt.Errorf("SET reply %d = %+v", i, r)
+			case !load && i%8 != 7 && r.Kind != client.ReplyBulk:
+				return fmt.Errorf("GET reply %d = %+v", i, r)
+			}
+		}
+	}
+	return nil
+}
+
+func timePass(cn *client.Conn, keys [][]byte, ops, depth int) (opsPerSec float64, err error) {
+	start := time.Now()
+	if err := runPass(cn, keys, ops, depth, false); err != nil {
+		return 0, err
+	}
+	return float64(ops) / time.Since(start).Seconds(), nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hdnhrespsmoke: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,14 +1,12 @@
-// Command hdnhserve runs an HDNH-indexed store behind a small HTTP server:
-// a key-value API plus the observability endpoints (Prometheus text and
-// JSON exposition of the internal/obs counters). The store is bigkv — the
-// HDNH table as index over a segmented value log with online GC — so
-// values are no longer capped at 15 bytes and the GC counters can be
-// watched live: point a browser or Prometheus scraper at /metrics while
-// load runs against /kv/.
+// Command hdnhserve runs an HDNH-indexed store behind two protocol faces:
+// an HTTP server (the key-value API plus the observability endpoints) and,
+// with -resp, a RESP2-compatible binary listener with per-connection
+// pipelining (see docs/PROTOCOL.md) that redis-cli, redis-benchmark and
+// existing Redis clients speak unmodified.
 //
-//	hdnhserve -addr :8080 -capacity 100000 -mode model
+//	hdnhserve -addr :8080 -resp :6380 -capacity 100000 -mode model
 //
-// Endpoints:
+// HTTP endpoints (handlers live in internal/serve):
 //
 //	GET    /kv/<key>      value bytes, or 404
 //	PUT    /kv/<key>      body is the value (≤64 KiB); upsert
@@ -16,61 +14,52 @@
 //	POST   /batch         JSON batch of get/put/delete ops; runs of
 //	       consecutive same-kind ops drain through the store's MultiGet/
 //	       MultiPut/MultiDelete, one response entry per op
-//	GET    /metrics       Prometheus text exposition
+//	GET    /metrics       Prometheus text exposition (includes the RESP
+//	       listener's counters when -resp is set)
 //	GET    /metrics.json  the same counters as indented JSON
 //	GET    /stats         one-line table and value-log shape summary
 //	GET    /healthz       liveness probe
 //
+// Keys on the /kv/ path are percent-decoded from the escaped request path,
+// so URL-hostile keys ("a/b", "..", "%41") round-trip exactly; keys over
+// the RESP listener are binary-safe bulk strings and need no escaping.
+//
 // With -debug the process also attaches a flight recorder to the store and
-// serves the live-debug surface:
-//
-//	GET    /debug/flight?format=text|json|bin   the current trace (plain
-//	       text, Chrome trace-event JSON for Perfetto, or the binary dump
-//	       hdnhinspect flight reads)
-//	/debug/pprof/...                            net/http/pprof
-//
-// and the structured log drops to debug level, which enables the
-// per-request access log (method, key hash, outcome, latency, bytes).
+// serves the live-debug surface (/debug/flight in text, Perfetto-JSON and
+// binary formats, plus net/http/pprof), and the structured log drops to
+// debug level, which enables the per-request access log.
 //
 // Contended operations (retry budgets exhausted under sustained movement)
-// return 503 with a Retry-After header rather than a fabricated 404 — the
-// HTTP face of the ErrContended semantics. A value log full of live data
-// returns 507.
+// return 503 with a Retry-After header on HTTP and -CONTENDED on RESP; a
+// value log full of live data returns 507 / -FULL.
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log/slog"
+	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
 	"hdnh/internal/bigkv"
 	"hdnh/internal/flight"
-	"hdnh/internal/hashfn"
 	"hdnh/internal/kv"
 	"hdnh/internal/nvm"
 	"hdnh/internal/obs"
-	"hdnh/internal/scheme"
-	"hdnh/internal/vlog"
+	"hdnh/internal/resp"
+	"hdnh/internal/serve"
 )
-
-// maxValueBytes bounds PUT bodies; the value log stores them whole.
-const maxValueBytes = 64 << 10
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		respAddr = flag.String("resp", "", "RESP (binary wire protocol) listen address, e.g. :6380; empty disables")
+		pipeline = flag.Int("pipeline-depth", 128, "RESP per-connection in-flight command queue depth (coalescing window)")
 		capacity = flag.Int64("capacity", 100_000, "record capacity the device is sized for")
 		mode     = flag.String("mode", "model", "device mode: model | emulate")
 		sample   = flag.Uint64("sample", obs.DefaultSampleEvery, "latency-sample one in N operations (1 samples all)")
@@ -91,6 +80,9 @@ func main() {
 	}
 	if *shards < 1 || *shards&(*shards-1) != 0 {
 		usageErr("-shards %d must be a power of two", *shards)
+	}
+	if *pipeline <= 0 {
+		usageErr("-pipeline-depth %d must be positive", *pipeline)
 	}
 
 	level := new(slog.LevelVar)
@@ -135,25 +127,17 @@ func main() {
 		fatal("creating store: %v", err)
 	}
 
-	srv := &server{st: st, log: logger, flight: fr,
-		sessions: make(chan *bigkv.Session, sessionPoolSize)}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/kv/", srv.kv)
-	mux.HandleFunc("/batch", srv.batch)
-	mux.HandleFunc("/metrics", srv.metricsProm)
-	mux.HandleFunc("/metrics.json", srv.metricsJSON)
-	mux.HandleFunc("/stats", srv.stats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	if *debug {
-		mux.HandleFunc("/debug/flight", srv.debugFlight)
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	var respMetrics *obs.RESPMetrics
+	if *respAddr != "" {
+		respMetrics = obs.NewRESPMetrics()
 	}
+	srv := serve.New(serve.Options{
+		Store:       st,
+		Log:         logger,
+		Flight:      fr,
+		Debug:       *debug,
+		RESPMetrics: respMetrics,
+	})
 
 	// A configured server, not the bare http.ListenAndServe default: without
 	// timeouts one slow-loris client pins a connection goroutine forever, and
@@ -161,7 +145,7 @@ func main() {
 	// table's clean-shutdown flag never written.
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.accessLog(mux),
+		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      15 * time.Second,
@@ -171,12 +155,33 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errCh := make(chan error, 1)
+	errCh := make(chan error, 2)
 	go func() {
 		logger.Info("listening", "addr", *addr, "capacity", *capacity,
 			"mode", *mode, "log_mib", *logMB, "shards", *shards, "debug", *debug)
 		errCh <- httpSrv.ListenAndServe()
 	}()
+
+	var respSrv *resp.Server
+	if *respAddr != "" {
+		respSrv = resp.NewServer(resp.StoreBackend{St: st}, resp.Options{
+			PipelineDepth: *pipeline,
+			MaxValueBytes: serve.MaxValueBytes,
+			MaxKeyBytes:   kv.KeySize,
+			Metrics:       respMetrics,
+			Flight:        fr,
+			Log:           logger,
+		})
+		l, err := net.Listen("tcp", *respAddr)
+		if err != nil {
+			st.Close()
+			fatal("resp listen: %v", err)
+		}
+		go func() {
+			logger.Info("resp listening", "addr", *respAddr, "pipeline_depth", *pipeline)
+			errCh <- respSrv.Serve(l)
+		}()
+	}
 
 	select {
 	case err := <-errCh:
@@ -184,10 +189,24 @@ func main() {
 		fatal("%v", err)
 	case <-ctx.Done():
 		logger.Info("signal received, draining connections")
+		// Teardown order matters: stop both listeners first (requests and
+		// pipelines finish, their sessions re-park), then drain the HTTP
+		// session pool, then close the store — Close asserts the epoch
+		// registry sees every session returned.
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			logger.Error("shutdown", "err", err)
+		}
+		if respSrv != nil {
+			respCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			if err := respSrv.Shutdown(respCtx); err != nil {
+				logger.Info("resp shutdown force-closed idle connections", "err", err)
+			}
+			cancel()
+		}
+		if err := srv.Close(); err != nil {
+			logger.Error("closing session pool", "err", err)
 		}
 		if err := st.Close(); err != nil {
 			logger.Error("closing store", "err", err)
@@ -219,389 +238,6 @@ func bottomSegments(hint int64, m int) int {
 		segs = 1
 	}
 	return int(segs)
-}
-
-// sessionPoolSize bounds the idle-session free list. A request burst beyond
-// it still gets sessions (session() falls back to NewSession); the overflow
-// is Closed on release, so the pool — not the burst — bounds how many epoch
-// slots the server holds long-term.
-const sessionPoolSize = 64
-
-// server owns the store and a bounded free list of per-request sessions.
-// Sessions are single-goroutine objects; each in-flight request gets its
-// own. A sync.Pool would drop idle sessions without calling Close, leaking
-// their epoch-registry slots; the channel free list releases what it
-// doesn't keep.
-type server struct {
-	st       *bigkv.Store
-	log      *slog.Logger
-	flight   *flight.Recorder // nil unless -debug
-	sessions chan *bigkv.Session
-}
-
-func (s *server) session() *bigkv.Session {
-	select {
-	case sess := <-s.sessions:
-		return sess
-	default:
-		return s.st.NewSession()
-	}
-}
-
-func (s *server) release(sess *bigkv.Session) {
-	// Bridge this session's NVM traffic into the registry while we still own
-	// the session; /metrics then needs no cross-goroutine stats reads.
-	sess.SyncObs()
-	select {
-	case s.sessions <- sess:
-	default:
-		sess.Close() // free list full: return the epoch slot instead of parking it
-	}
-}
-
-// statusWriter captures what the handler sent so the access log can report
-// outcome and size without buffering bodies.
-type statusWriter struct {
-	http.ResponseWriter
-	status int
-	bytes  int64
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	if w.status == 0 {
-		w.status = code
-	}
-	w.ResponseWriter.WriteHeader(code)
-}
-
-func (w *statusWriter) Write(p []byte) (int, error) {
-	if w.status == 0 {
-		w.status = http.StatusOK
-	}
-	n, err := w.ResponseWriter.Write(p)
-	w.bytes += int64(n)
-	return n, err
-}
-
-// accessLog wraps the mux with the per-request debug-level log line. The
-// key is logged as a hash, not plaintext: keys are user data, and the hash
-// is exactly what correlates a request with the table's bucket-level events
-// in a flight trace.
-func (s *server) accessLog(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if !s.log.Enabled(r.Context(), slog.LevelDebug) {
-			next.ServeHTTP(w, r)
-			return
-		}
-		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w}
-		next.ServeHTTP(sw, r)
-		attrs := []any{
-			"method", r.Method,
-			"path", r.URL.Path,
-			"status", sw.status,
-			"dur", time.Since(start),
-			"bytes", sw.bytes,
-		}
-		if name := strings.TrimPrefix(r.URL.Path, "/kv/"); name != r.URL.Path && name != "" {
-			attrs = append(attrs, "key_hash", fmt.Sprintf("%016x", hashfn.Hash1([]byte(name))))
-		}
-		s.log.Debug("request", attrs...)
-	})
-}
-
-func (s *server) kv(w http.ResponseWriter, r *http.Request) {
-	name := strings.TrimPrefix(r.URL.Path, "/kv/")
-	if name == "" {
-		http.Error(w, "missing key", http.StatusBadRequest)
-		return
-	}
-	key := []byte(name)
-	if len(key) > kv.KeySize {
-		http.Error(w, fmt.Sprintf("key longer than %d bytes", kv.KeySize), http.StatusBadRequest)
-		return
-	}
-	sess := s.session()
-	defer s.release(sess)
-
-	switch r.Method {
-	case http.MethodGet:
-		v, ok, err := sess.Get(key)
-		switch {
-		case err == nil && ok:
-			w.Write(v)
-		case err == nil:
-			http.Error(w, "not found", http.StatusNotFound)
-		case errors.Is(err, scheme.ErrContended):
-			contended(w)
-		default:
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-
-	case http.MethodPut, http.MethodPost:
-		body, err := io.ReadAll(io.LimitReader(r.Body, maxValueBytes+1))
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		if len(body) > maxValueBytes {
-			http.Error(w, "value too large", http.StatusRequestEntityTooLarge)
-			return
-		}
-		if len(body) == 0 {
-			http.Error(w, "empty value", http.StatusBadRequest)
-			return
-		}
-		err = sess.Put(key, body)
-		switch {
-		case err == nil:
-			w.WriteHeader(http.StatusNoContent)
-		case errors.Is(err, scheme.ErrContended):
-			contended(w)
-		case errors.Is(err, scheme.ErrFull), errors.Is(err, vlog.ErrLogFull):
-			http.Error(w, "store full", http.StatusInsufficientStorage)
-		default:
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-
-	case http.MethodDelete:
-		err := sess.Delete(key)
-		switch {
-		case err == nil:
-			w.WriteHeader(http.StatusNoContent)
-		case errors.Is(err, scheme.ErrContended):
-			contended(w)
-		case errors.Is(err, scheme.ErrNotFound):
-			http.Error(w, "not found", http.StatusNotFound)
-		default:
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-
-	default:
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-	}
-}
-
-// maxBatchOps bounds one /batch request; past this the client should send
-// more requests, not bigger ones — one giant batch holds its session (and
-// its response buffer) for the whole walk.
-const maxBatchOps = 4096
-
-// batchOp is one entry in a POST /batch request. Values are base64 in the
-// JSON (encoding/json's []byte convention); keys are plain strings, the
-// same bytes a /kv/<key> path would carry.
-type batchOp struct {
-	Op    string `json:"op"` // get | put | delete
-	Key   string `json:"key"`
-	Value []byte `json:"value,omitempty"`
-}
-
-// batchResult is the per-op verdict: status ok | not_found | contended |
-// full | error, mirroring the HTTP codes the /kv/ handlers answer with.
-type batchResult struct {
-	Status string `json:"status"`
-	Value  []byte `json:"value,omitempty"`
-	Error  string `json:"error,omitempty"`
-}
-
-// batch runs a JSON list of operations through the store's batch entry
-// points: runs of consecutive same-kind ops become one MultiGet/MultiPut/
-// MultiDelete call, so a read-heavy batch gets the up-front hashing and
-// epoch-chunked table walks the batch path exists for. The request is
-// validated whole before any op executes — a malformed op late in the list
-// must not leave earlier ops half-applied.
-func (s *server) batch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
-	var req struct {
-		Ops []batchOp `json:"ops"`
-	}
-	dec := json.NewDecoder(io.LimitReader(r.Body, int64(maxBatchOps)*(maxValueBytes+256)))
-	if err := dec.Decode(&req); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	if len(req.Ops) == 0 {
-		http.Error(w, "empty batch", http.StatusBadRequest)
-		return
-	}
-	if len(req.Ops) > maxBatchOps {
-		http.Error(w, fmt.Sprintf("batch larger than %d ops", maxBatchOps), http.StatusBadRequest)
-		return
-	}
-	for i, op := range req.Ops {
-		if op.Key == "" {
-			http.Error(w, fmt.Sprintf("op %d: missing key", i), http.StatusBadRequest)
-			return
-		}
-		if len(op.Key) > kv.KeySize {
-			http.Error(w, fmt.Sprintf("op %d: key longer than %d bytes", i, kv.KeySize), http.StatusBadRequest)
-			return
-		}
-		switch op.Op {
-		case "get", "delete":
-		case "put":
-			if len(op.Value) == 0 {
-				http.Error(w, fmt.Sprintf("op %d: put with empty value", i), http.StatusBadRequest)
-				return
-			}
-			if len(op.Value) > maxValueBytes {
-				http.Error(w, fmt.Sprintf("op %d: value larger than %d bytes", i, maxValueBytes), http.StatusBadRequest)
-				return
-			}
-		default:
-			http.Error(w, fmt.Sprintf("op %d: unknown op %q (get|put|delete)", i, op.Op), http.StatusBadRequest)
-			return
-		}
-	}
-
-	sess := s.session()
-	defer s.release(sess)
-
-	results := make([]batchResult, len(req.Ops))
-	for lo := 0; lo < len(req.Ops); {
-		kind := req.Ops[lo].Op
-		hi := lo + 1
-		for hi < len(req.Ops) && req.Ops[hi].Op == kind {
-			hi++
-		}
-		keys := make([][]byte, hi-lo)
-		for i := range keys {
-			keys[i] = []byte(req.Ops[lo+i].Key)
-		}
-		switch kind {
-		case "get":
-			vals, found, errs := sess.MultiGet(keys)
-			for i := range keys {
-				switch {
-				case errs[i] != nil:
-					results[lo+i] = opVerdict(errs[i])
-				case found[i]:
-					results[lo+i] = batchResult{Status: "ok", Value: vals[i]}
-				default:
-					results[lo+i] = batchResult{Status: "not_found"}
-				}
-			}
-		case "put":
-			vals := make([][]byte, hi-lo)
-			for i := range vals {
-				vals[i] = req.Ops[lo+i].Value
-			}
-			for i, err := range sess.MultiPut(keys, vals) {
-				if err != nil {
-					results[lo+i] = opVerdict(err)
-				} else {
-					results[lo+i] = batchResult{Status: "ok"}
-				}
-			}
-		case "delete":
-			for i, err := range sess.MultiDelete(keys) {
-				if err != nil {
-					results[lo+i] = opVerdict(err)
-				} else {
-					results[lo+i] = batchResult{Status: "ok"}
-				}
-			}
-		}
-		lo = hi
-	}
-
-	s.writeBuffered(w, "/batch", "application/json", func(w io.Writer) error {
-		return json.NewEncoder(w).Encode(struct {
-			Results []batchResult `json:"results"`
-		}{results})
-	})
-}
-
-// opVerdict maps a store error onto the per-op wire statuses.
-func opVerdict(err error) batchResult {
-	switch {
-	case errors.Is(err, scheme.ErrNotFound):
-		return batchResult{Status: "not_found"}
-	case errors.Is(err, scheme.ErrContended):
-		return batchResult{Status: "contended"}
-	case errors.Is(err, scheme.ErrFull), errors.Is(err, vlog.ErrLogFull):
-		return batchResult{Status: "full"}
-	default:
-		return batchResult{Status: "error", Error: err.Error()}
-	}
-}
-
-// contended answers a budget-exhausted operation: the request may succeed on
-// retry once the movement burst passes, so say exactly that.
-func contended(w http.ResponseWriter) {
-	w.Header().Set("Retry-After", "1")
-	http.Error(w, "contended, retry", http.StatusServiceUnavailable)
-}
-
-// writeBuffered renders an exposition into memory before touching the
-// response: a render error then becomes a clean 500, not a 200 with a
-// truncated body the scraper half-parses. (The old handlers streamed
-// straight into the ResponseWriter — by the time rendering failed, the
-// status line and part of the body were already on the wire, and the only
-// trace of the failure was a server-side log line.)
-func (s *server) writeBuffered(w http.ResponseWriter, name, contentType string, render func(io.Writer) error) {
-	var buf bytes.Buffer
-	if err := render(&buf); err != nil {
-		s.log.Error("exposition failed", "endpoint", name, "err", err)
-		http.Error(w, "exposition failed", http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", contentType)
-	if _, err := w.Write(buf.Bytes()); err != nil {
-		// Past the first byte the client just went away; log and move on.
-		s.log.Debug("exposition write", "endpoint", name, "err", err)
-	}
-}
-
-func (s *server) metricsProm(w http.ResponseWriter, _ *http.Request) {
-	snap := s.st.MetricsSnapshot()
-	s.writeBuffered(w, "/metrics", "text/plain; version=0.0.4; charset=utf-8", snap.WriteProm)
-}
-
-func (s *server) metricsJSON(w http.ResponseWriter, _ *http.Request) {
-	snap := s.st.MetricsSnapshot()
-	s.writeBuffered(w, "/metrics.json", "application/json", snap.WriteJSON)
-}
-
-// debugFlight serves the current flight trace. format=text (default) is the
-// human rendering, format=json the Chrome trace-event file Perfetto loads,
-// format=bin the binary dump hdnhinspect flight reads.
-func (s *server) debugFlight(w http.ResponseWriter, r *http.Request) {
-	if s.flight == nil {
-		http.Error(w, "flight recorder disabled (run with -debug)", http.StatusNotFound)
-		return
-	}
-	d := s.flight.Snapshot()
-	switch format := r.URL.Query().Get("format"); format {
-	case "", "text":
-		s.writeBuffered(w, "/debug/flight", "text/plain; charset=utf-8",
-			func(w io.Writer) error { return flight.WriteText(w, d) })
-	case "json":
-		s.writeBuffered(w, "/debug/flight", "application/json",
-			func(w io.Writer) error { return flight.WriteChromeTrace(w, d) })
-	case "bin":
-		s.writeBuffered(w, "/debug/flight", "application/octet-stream",
-			func(w io.Writer) error { return flight.WriteBinary(w, d) })
-	default:
-		http.Error(w, fmt.Sprintf("unknown format %q (text|json|bin)", format), http.StatusBadRequest)
-	}
-}
-
-func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
-	idx := s.st.Index()
-	logs := s.st.Logs()
-	for i, tbl := range idx.Stats() {
-		if idx.NumShards() > 1 {
-			fmt.Fprintf(w, "shard %d: ", i)
-		}
-		fmt.Fprintln(w, tbl)
-		lg := logs[i]
-		fmt.Fprintf(w, "vlog: %d/%d words live, %d/%d segments free, %d recycles\n",
-			lg.LiveWords(), lg.Capacity(), lg.FreeSegments(), lg.Segments(), lg.Recycles())
-	}
 }
 
 func fatal(format string, args ...any) {

@@ -16,6 +16,7 @@ import (
 	"hdnh/internal/core"
 	"hdnh/internal/harness"
 	"hdnh/internal/nvm"
+	"hdnh/internal/resp/client"
 	"hdnh/internal/scheme"
 	"hdnh/internal/ycsb"
 )
@@ -39,6 +40,7 @@ func main() {
 		latency    = flag.Bool("latency", false, "record and print the latency distribution")
 		wear       = flag.Bool("wear", false, "track and print the NVM write (wear) distribution")
 		shards     = flag.Int("shards", 1, "HDNH hash-router shard count (power of two; HDNH scheme only)")
+		respAddr   = flag.String("resp", "", "drive a running hdnhserve -resp listener at this address instead of an in-process store (e.g. 127.0.0.1:6380)")
 	)
 	flag.Parse()
 
@@ -79,6 +81,9 @@ func main() {
 	}
 	if *shards > 1 && *schemeName != "HDNH" {
 		usageErr("-shards applies only to the HDNH scheme, not %q", *schemeName)
+	}
+	if *respAddr != "" && (*wear || *shards > 1) {
+		usageErr("-resp drives a remote server; -wear and -shards configure an in-process store")
 	}
 
 	var d ycsb.Distribution
@@ -140,6 +145,15 @@ func main() {
 	}
 	var st scheme.Store
 	switch {
+	case *respAddr != "":
+		// Over-the-wire mode: every worker gets its own connection, batch
+		// ops pipeline whole bursts, and writes are upserts (the wire
+		// protocol has no insert/update distinction). NVM counters read
+		// zero here — scrape the server's /metrics for the device story.
+		st = client.NewSchemeStore(client.New(*respAddr, client.Options{}))
+		defer st.Close()
+		runOpts.Store = st
+		runOpts.Scheme = st.Name()
 	case *shards > 1:
 		// A sharded HDNH store: the registry factory cannot carry a shard
 		// count, so build the router directly with the registry's sizing rule.

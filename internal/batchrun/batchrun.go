@@ -1,0 +1,112 @@
+// Package batchrun groups an ordered stream of key-value operations into
+// runs of consecutive same-kind operations and drains each run through the
+// store's batch entry points (MultiGet/MultiPut/MultiDelete), preserving
+// per-operation results in submission order.
+//
+// Two protocol boundaries share this logic: the HTTP POST /batch handler
+// (internal/serve) and the RESP executor's pipeline coalescing
+// (internal/resp). Both receive arbitrary interleavings of gets, puts and
+// deletes and want the batch path's amortisation — up-front hashing,
+// epoch-chunked NVT walks, grouped hot fills — wherever the stream happens
+// to run same-kind. Keeping the grouping here means the two boundaries
+// cannot drift in how they split runs or map results back to operations.
+package batchrun
+
+// Kind is the operation kind of one Op.
+type Kind uint8
+
+const (
+	Get Kind = iota
+	Put
+	Delete
+)
+
+// String returns the lowercase wire name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Get:
+		return "get"
+	case Put:
+		return "put"
+	case Delete:
+		return "delete"
+	default:
+		return "unknown"
+	}
+}
+
+// Op is one operation in a stream. Value is used only by Put.
+type Op struct {
+	Kind  Kind
+	Key   []byte
+	Value []byte
+}
+
+// Result is one operation's outcome, in the same position as its Op.
+// Value/Found are meaningful only for Get; Err carries the store verdict
+// (scheme.ErrNotFound, scheme.ErrContended, scheme.ErrFull, ...) untouched,
+// so callers map it onto their own wire taxonomy.
+type Result struct {
+	Value []byte
+	Found bool
+	Err   error
+}
+
+// Executor is the batch surface a store session exposes. *bigkv.Session
+// satisfies it directly.
+type Executor interface {
+	// MultiGet resolves every key; vals[i]/found[i]/errs[i] line up with
+	// keys[i], and errs[i] is non-nil only for per-key failures.
+	MultiGet(keys [][]byte) (vals [][]byte, found []bool, errs []error)
+	// MultiPut upserts every key, one verdict per key.
+	MultiPut(keys, values [][]byte) []error
+	// MultiDelete removes every key, one verdict per key (ErrNotFound for
+	// absent keys).
+	MultiDelete(keys [][]byte) []error
+}
+
+// RunVisitor observes each coalesced run as it executes — the hook the RESP
+// listener uses to record run-length metrics and per-run flight spans.
+// kind is the run's operation kind, n its length.
+type RunVisitor func(kind Kind, n int)
+
+// Execute runs ops through x, coalescing consecutive same-kind operations
+// into one batch call each, and writes results[i] for ops[i]. results must
+// be at least len(ops) long. visit, when non-nil, is called once per run
+// before it executes.
+func Execute(x Executor, ops []Op, results []Result, visit RunVisitor) {
+	for lo := 0; lo < len(ops); {
+		kind := ops[lo].Kind
+		hi := lo + 1
+		for hi < len(ops) && ops[hi].Kind == kind {
+			hi++
+		}
+		if visit != nil {
+			visit(kind, hi-lo)
+		}
+		keys := make([][]byte, hi-lo)
+		for i := range keys {
+			keys[i] = ops[lo+i].Key
+		}
+		switch kind {
+		case Get:
+			vals, found, errs := x.MultiGet(keys)
+			for i := range keys {
+				results[lo+i] = Result{Value: vals[i], Found: found[i], Err: errs[i]}
+			}
+		case Put:
+			vals := make([][]byte, hi-lo)
+			for i := range vals {
+				vals[i] = ops[lo+i].Value
+			}
+			for i, err := range x.MultiPut(keys, vals) {
+				results[lo+i] = Result{Err: err}
+			}
+		case Delete:
+			for i, err := range x.MultiDelete(keys) {
+				results[lo+i] = Result{Err: err}
+			}
+		}
+		lo = hi
+	}
+}

@@ -1,0 +1,115 @@
+package batchrun
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// fakeExec records the batch calls it receives and serves canned data: keys
+// prefixed "miss" are absent, keys prefixed "bad" fail with errBad.
+type fakeExec struct {
+	calls []string
+}
+
+var errBad = errors.New("bad key")
+
+func (f *fakeExec) MultiGet(keys [][]byte) ([][]byte, []bool, []error) {
+	f.calls = append(f.calls, fmt.Sprintf("get:%d", len(keys)))
+	vals := make([][]byte, len(keys))
+	found := make([]bool, len(keys))
+	errs := make([]error, len(keys))
+	for i, k := range keys {
+		switch {
+		case bytes.HasPrefix(k, []byte("bad")):
+			errs[i] = errBad
+		case bytes.HasPrefix(k, []byte("miss")):
+		default:
+			vals[i] = append([]byte("v-"), k...)
+			found[i] = true
+		}
+	}
+	return vals, found, errs
+}
+
+func (f *fakeExec) MultiPut(keys, values [][]byte) []error {
+	f.calls = append(f.calls, fmt.Sprintf("put:%d", len(keys)))
+	errs := make([]error, len(keys))
+	for i, k := range keys {
+		if bytes.HasPrefix(k, []byte("bad")) {
+			errs[i] = errBad
+		}
+	}
+	return errs
+}
+
+func (f *fakeExec) MultiDelete(keys [][]byte) []error {
+	f.calls = append(f.calls, fmt.Sprintf("del:%d", len(keys)))
+	errs := make([]error, len(keys))
+	for i, k := range keys {
+		if bytes.HasPrefix(k, []byte("bad")) {
+			errs[i] = errBad
+		}
+	}
+	return errs
+}
+
+func TestExecuteCoalescesRunsAndPreservesOrder(t *testing.T) {
+	ops := []Op{
+		{Kind: Get, Key: []byte("a")},
+		{Kind: Get, Key: []byte("miss1")},
+		{Kind: Put, Key: []byte("p1"), Value: []byte("x")},
+		{Kind: Put, Key: []byte("bad2"), Value: []byte("y")},
+		{Kind: Put, Key: []byte("p3"), Value: []byte("z")},
+		{Kind: Delete, Key: []byte("d1")},
+		{Kind: Get, Key: []byte("bad3")},
+	}
+	x := &fakeExec{}
+	results := make([]Result, len(ops))
+	var runs []string
+	Execute(x, ops, results, func(k Kind, n int) {
+		runs = append(runs, fmt.Sprintf("%s:%d", k, n))
+	})
+
+	wantCalls := []string{"get:2", "put:3", "del:1", "get:1"}
+	if fmt.Sprint(x.calls) != fmt.Sprint(wantCalls) {
+		t.Fatalf("calls = %v, want %v", x.calls, wantCalls)
+	}
+	wantRuns := []string{"get:2", "put:3", "delete:1", "get:1"}
+	if fmt.Sprint(runs) != fmt.Sprint(wantRuns) {
+		t.Fatalf("visited runs = %v, want %v", runs, wantRuns)
+	}
+
+	if !results[0].Found || string(results[0].Value) != "v-a" {
+		t.Fatalf("results[0] = %+v", results[0])
+	}
+	if results[1].Found || results[1].Err != nil {
+		t.Fatalf("results[1] = %+v, want clean miss", results[1])
+	}
+	if results[2].Err != nil || results[4].Err != nil {
+		t.Fatalf("good puts failed: %v %v", results[2].Err, results[4].Err)
+	}
+	if !errors.Is(results[3].Err, errBad) {
+		t.Fatalf("results[3].Err = %v, want errBad", results[3].Err)
+	}
+	if results[5].Err != nil {
+		t.Fatalf("delete failed: %v", results[5].Err)
+	}
+	if !errors.Is(results[6].Err, errBad) {
+		t.Fatalf("results[6].Err = %v, want errBad", results[6].Err)
+	}
+}
+
+func TestExecuteEmptyAndSingle(t *testing.T) {
+	x := &fakeExec{}
+	Execute(x, nil, nil, nil)
+	if len(x.calls) != 0 {
+		t.Fatalf("calls on empty stream: %v", x.calls)
+	}
+	results := make([]Result, 1)
+	Execute(x, []Op{{Kind: Delete, Key: []byte("k")}}, results, nil)
+	if len(x.calls) != 1 || x.calls[0] != "del:1" {
+		t.Fatalf("calls = %v", x.calls)
+	}
+}

@@ -292,6 +292,12 @@ func (st *Store) Logs() []*vlog.Log { return st.logs }
 // Count returns the number of live keys.
 func (st *Store) Count() int64 { return st.idx.Count() }
 
+// EpochSlotsLive reports epoch slots owned by sessions not yet Closed,
+// summed across shards. The store's own GC workers hold one session each,
+// so a quiesced store reads NumShards here, not zero; serving layers assert
+// against the baseline they measured at startup.
+func (st *Store) EpochSlotsLive() int { return st.idx.EpochSlotsLive() }
+
 // MetricsSnapshot returns the index's snapshot (with per-shard table
 // gauges) and the value-log gauges filled in — aggregated across shards,
 // plus per-shard fill in Gauges.PerShard.

@@ -99,6 +99,21 @@ func (t *Table) epochRegistryLen() int {
 	return 0
 }
 
+// EpochSlotsLive reports how many epoch slots are currently owned by open
+// sessions (registered minus free-listed) — the number of Sessions created
+// and not yet Closed. Serving layers assert this hits their baseline on
+// shutdown: a parked-but-never-Closed session pool shows up here as a
+// nonzero residue while the store goes down.
+func (t *Table) EpochSlotsLive() int {
+	t.epochMu.Lock()
+	defer t.epochMu.Unlock()
+	n := 0
+	if p := t.epochSlots.Load(); p != nil {
+		n = len(*p)
+	}
+	return n - len(t.epochFree)
+}
+
 // enterCritical begins an operation's resize-protected section: publish the
 // current epoch in the session's slot, park if an exclusive barrier is up,
 // and re-check the epoch so a swap racing the entry is never missed. On the

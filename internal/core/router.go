@@ -365,6 +365,16 @@ func (r *Router) Close() error {
 	return firstErr
 }
 
+// EpochSlotsLive sums every shard's live epoch-slot count (sessions created
+// and not yet Closed; a RouterSession holds one slot per shard).
+func (r *Router) EpochSlotsLive() int {
+	n := 0
+	for _, t := range r.shards {
+		n += t.EpochSlotsLive()
+	}
+	return n
+}
+
 // StopBackground halts every shard's background machinery without marking a
 // clean shutdown (the crash-recovery benchmarks' power-cord stand-in).
 func (r *Router) StopBackground() {

@@ -159,6 +159,48 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 			shardGauge("hdnh_shard_vlog_live_words", "Value-log words the shard's index still references.", func(sh ShardGauges) any { return sh.VLogLiveWords })
 		}
 	}
+
+	if r := s.RESP; r != nil {
+		counter("hdnh_resp_connections_total", "RESP connections accepted.", r.ConnsTotal)
+		gauge("hdnh_resp_connections_open", "RESP connections currently open.", "%d", r.ConnsOpen)
+		gauge("hdnh_resp_inflight_commands", "Parsed RESP commands queued or executing (pipeline depth across connections).", "%d", r.InFlight)
+		counter("hdnh_resp_proto_errors_total", "RESP framing errors (connection closed).", r.ProtoErrors)
+		p("# HELP hdnh_resp_commands_total Served RESP commands by command.\n# TYPE hdnh_resp_commands_total counter\n")
+		for c := RESPCmd(0); c < NumRESPCmds; c++ {
+			p("hdnh_resp_commands_total{cmd=%q} %d\n", c.String(), r.cmds[c])
+		}
+		p("# HELP hdnh_resp_command_errors_total RESP commands answered with an error reply.\n# TYPE hdnh_resp_command_errors_total counter\n")
+		for c := RESPCmd(0); c < NumRESPCmds; c++ {
+			if r.cmdErrs[c] != 0 {
+				p("hdnh_resp_command_errors_total{cmd=%q} %d\n", c.String(), r.cmdErrs[c])
+			}
+		}
+		p("# HELP hdnh_resp_command_latency_nanoseconds Served RESP command latency (parse to reply written, queueing included).\n")
+		p("# TYPE hdnh_resp_command_latency_nanoseconds summary\n")
+		for c := RESPCmd(0); c < NumRESPCmds; c++ {
+			l := r.lat[c]
+			if l.Sampled == 0 {
+				continue
+			}
+			lbl := fmt.Sprintf("cmd=%q", c.String())
+			p("hdnh_resp_command_latency_nanoseconds{%s,quantile=\"0.5\"} %d\n", lbl, l.P50Ns)
+			p("hdnh_resp_command_latency_nanoseconds{%s,quantile=\"0.99\"} %d\n", lbl, l.P99Ns)
+			p("hdnh_resp_command_latency_nanoseconds{%s,quantile=\"0.999\"} %d\n", lbl, l.P999Ns)
+			p("hdnh_resp_command_latency_nanoseconds_sum{%s} %.0f\n", lbl, l.MeanNs*float64(l.Sampled))
+			p("hdnh_resp_command_latency_nanoseconds_count{%s} %d\n", lbl, l.Sampled)
+		}
+		counter("hdnh_resp_runs_total", "Coalesced batch runs executed by the RESP pipeline.", r.Runs)
+		counter("hdnh_resp_run_ops_total", "Commands drained through coalesced batch runs.", r.RunOps)
+		counter("hdnh_resp_flushes_total", "Reply-buffer flushes (one per drained pipeline burst).", r.Flushes)
+		if l := r.RunLength; l.Sampled > 0 {
+			p("# HELP hdnh_resp_run_length Commands per coalesced run (a length, not a duration).\n")
+			p("# TYPE hdnh_resp_run_length summary\n")
+			p("hdnh_resp_run_length{quantile=\"0.5\"} %d\n", l.P50Ns)
+			p("hdnh_resp_run_length{quantile=\"0.99\"} %d\n", l.P99Ns)
+			p("hdnh_resp_run_length_sum %.0f\n", l.MeanNs*float64(l.Sampled))
+			p("hdnh_resp_run_length_count %d\n", l.Sampled)
+		}
+	}
 	return err
 }
 
@@ -212,6 +254,8 @@ type jsonForm struct {
 	} `json:"nvm"`
 
 	Gauges Gauges `json:"gauges"`
+
+	RESP *RESPSnapshot `json:"resp,omitempty"`
 }
 
 // WriteJSON renders the snapshot as indented JSON.
@@ -246,6 +290,7 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 		GCWriteAmp:         s.GCWriteAmplification(),
 		HitRatio:           s.HitRatio(),
 		Gauges:             s.Gauges,
+		RESP:               s.RESP,
 	}
 	for op := Op(0); op < NumOps; op++ {
 		outs := map[string]uint64{}

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// RESPCmd enumerates the commands the RESP listener serves; Other covers
+// unknown commands (answered with -ERR, counted so abuse is visible).
+type RESPCmd uint8
+
+const (
+	RESPGet RESPCmd = iota
+	RESPSet
+	RESPDel
+	RESPMGet
+	RESPMSet
+	RESPPing
+	RESPQuit
+	RESPOther
+	NumRESPCmds
+)
+
+// String returns the Prometheus label value for the command.
+func (c RESPCmd) String() string {
+	switch c {
+	case RESPGet:
+		return "get"
+	case RESPSet:
+		return "set"
+	case RESPDel:
+		return "del"
+	case RESPMGet:
+		return "mget"
+	case RESPMSet:
+		return "mset"
+	case RESPPing:
+		return "ping"
+	case RESPQuit:
+		return "quit"
+	default:
+		return "other"
+	}
+}
+
+// RESPMetrics instruments the binary wire listener: connection lifecycle,
+// the in-flight pipeline depth, how well the executor coalesces commands
+// into batch runs, and the served per-command latency (parse to reply
+// written — queueing included, which is what a pipelined client observes).
+//
+// Unlike the table counters these are plain shared atomics, not per-session
+// shards: every command already crosses a syscall boundary, so one
+// uncontended-in-practice cache line per counter is noise there.
+type RESPMetrics struct {
+	connsTotal atomic.Uint64
+	connsOpen  atomic.Int64
+	inFlight   atomic.Int64
+	protoErrs  atomic.Uint64
+
+	cmds    [NumRESPCmds]atomic.Uint64
+	cmdErrs [NumRESPCmds]atomic.Uint64
+	lat     [NumRESPCmds]AtomicHist
+
+	runs    atomic.Uint64
+	runOps  atomic.Uint64
+	flushes atomic.Uint64
+	runLen  AtomicHist // run length in ops (the histogram is unit-agnostic)
+}
+
+// NewRESPMetrics returns a fresh registry for one listener.
+func NewRESPMetrics() *RESPMetrics { return &RESPMetrics{} }
+
+// ConnOpened records an accepted connection. Nil-safe, like every method.
+func (m *RESPMetrics) ConnOpened() {
+	if m == nil {
+		return
+	}
+	m.connsTotal.Add(1)
+	m.connsOpen.Add(1)
+}
+
+// ConnClosed records a connection teardown.
+func (m *RESPMetrics) ConnClosed() {
+	if m == nil {
+		return
+	}
+	m.connsOpen.Add(-1)
+}
+
+// Enqueued records a parsed command entering the in-flight queue.
+func (m *RESPMetrics) Enqueued() {
+	if m == nil {
+		return
+	}
+	m.inFlight.Add(1)
+}
+
+// Dropped records n enqueued commands discarded unserved (connection torn
+// down with a pipeline still in flight); it only rebalances the gauge.
+func (m *RESPMetrics) Dropped(n int) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.inFlight.Add(int64(-n))
+}
+
+// Served records one command's reply hitting the write buffer: the command,
+// whether it answered with an error reply, and its served latency (enqueue
+// to reply written).
+func (m *RESPMetrics) Served(cmd RESPCmd, isErr bool, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.inFlight.Add(-1)
+	m.cmds[cmd].Add(1)
+	if isErr {
+		m.cmdErrs[cmd].Add(1)
+	}
+	m.lat[cmd].Record(d.Nanoseconds())
+}
+
+// Run records one coalesced batch run of n same-kind commands.
+func (m *RESPMetrics) Run(n int) {
+	if m == nil {
+		return
+	}
+	m.runs.Add(1)
+	m.runOps.Add(uint64(n))
+	m.runLen.Record(int64(n))
+}
+
+// Flush records one buffered-writer flush (at most one syscall per drained
+// pipeline burst is the whole point; flushes/runs tells you if that holds).
+func (m *RESPMetrics) Flush() {
+	if m == nil {
+		return
+	}
+	m.flushes.Add(1)
+}
+
+// ProtoError records a framing-level protocol error (connection is closed).
+func (m *RESPMetrics) ProtoError() {
+	if m == nil {
+		return
+	}
+	m.protoErrs.Add(1)
+}
+
+// RESPSnapshot is a point-in-time copy of a listener's counters.
+type RESPSnapshot struct {
+	ConnsTotal  uint64 `json:"connections_total"`
+	ConnsOpen   int64  `json:"connections_open"`
+	InFlight    int64  `json:"in_flight"`
+	ProtoErrors uint64 `json:"proto_errors"`
+
+	Commands      map[string]uint64      `json:"commands"`
+	CommandErrors map[string]uint64      `json:"command_errors,omitempty"`
+	Latency       map[string]LatencyStat `json:"latency_ns,omitempty"`
+
+	Runs      uint64      `json:"runs"`
+	RunOps    uint64      `json:"run_ops"`
+	Flushes   uint64      `json:"flushes"`
+	RunLength LatencyStat `json:"run_length"` // ops per run, not nanoseconds
+
+	// internal positional copies the Prometheus writer iterates.
+	cmds    [NumRESPCmds]uint64
+	cmdErrs [NumRESPCmds]uint64
+	lat     [NumRESPCmds]LatencyStat
+}
+
+// Snapshot copies the counters. Nil-safe: a nil registry returns nil, which
+// the expositions render as "no RESP listener".
+func (m *RESPMetrics) Snapshot() *RESPSnapshot {
+	if m == nil {
+		return nil
+	}
+	s := &RESPSnapshot{
+		ConnsTotal:  m.connsTotal.Load(),
+		ConnsOpen:   m.connsOpen.Load(),
+		InFlight:    m.inFlight.Load(),
+		ProtoErrors: m.protoErrs.Load(),
+		Commands:    map[string]uint64{},
+		Runs:        m.runs.Load(),
+		RunOps:      m.runOps.Load(),
+		Flushes:     m.flushes.Load(),
+	}
+	for c := RESPCmd(0); c < NumRESPCmds; c++ {
+		s.cmds[c] = m.cmds[c].Load()
+		s.cmdErrs[c] = m.cmdErrs[c].Load()
+		s.Commands[c.String()] = s.cmds[c]
+		if s.cmdErrs[c] != 0 {
+			if s.CommandErrors == nil {
+				s.CommandErrors = map[string]uint64{}
+			}
+			s.CommandErrors[c.String()] = s.cmdErrs[c]
+		}
+		if h := m.lat[c].Snapshot(); h.Count() > 0 {
+			ls := LatencyStat{
+				Sampled: h.Count(),
+				MeanNs:  h.Mean(),
+				P50Ns:   h.Percentile(50),
+				P99Ns:   h.Percentile(99),
+				P999Ns:  h.Percentile(99.9),
+				MaxNs:   h.Max(),
+			}
+			s.lat[c] = ls
+			if s.Latency == nil {
+				s.Latency = map[string]LatencyStat{}
+			}
+			s.Latency[c.String()] = ls
+		}
+	}
+	if h := m.runLen.Snapshot(); h.Count() > 0 {
+		s.RunLength = LatencyStat{
+			Sampled: h.Count(),
+			MeanNs:  h.Mean(),
+			P50Ns:   h.Percentile(50),
+			P99Ns:   h.Percentile(99),
+			P999Ns:  h.Percentile(99.9),
+			MaxNs:   h.Max(),
+		}
+	}
+	return s
+}

@@ -123,6 +123,11 @@ type Snapshot struct {
 
 	// Gauges are table-shape readings taken with the snapshot.
 	Gauges Gauges
+
+	// RESP, when non-nil, carries the binary wire listener's counters so
+	// the served-protocol series ride the same exposition as the table's
+	// (hdnhserve fills it when -resp is set).
+	RESP *RESPSnapshot
 }
 
 // Snapshot sums every shard into a consistent-enough point-in-time copy

@@ -1,0 +1,444 @@
+// Package client is a minimal RESP2 client for the hdnhserve binary wire
+// listener: a connection pool, typed single-command helpers, and an explicit
+// Pipeline for the depth-N batching the server's executor coalesces.
+//
+// The client speaks the protocol subset docs/PROTOCOL.md defines and maps
+// the server's typed error replies (-CONTENDED, -FULL) back onto the
+// scheme sentinels, so callers retry/back off exactly as they would against
+// the in-process store.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"hdnh/internal/scheme"
+)
+
+// ReplyKind discriminates a Reply.
+type ReplyKind uint8
+
+const (
+	ReplySimple ReplyKind = iota
+	ReplyError
+	ReplyInt
+	ReplyBulk
+	ReplyNil
+	ReplyArray
+)
+
+// Reply is one decoded server reply.
+type Reply struct {
+	Kind  ReplyKind
+	Str   string  // simple string or error text
+	Int   int64   // integer reply
+	Bulk  []byte  // bulk payload (nil-distinct from ReplyNil)
+	Array []Reply // array elements
+}
+
+// Err converts an error reply into a Go error, mapping the typed prefixes
+// back onto the scheme sentinels; non-error replies return nil.
+func (r Reply) Err() error {
+	if r.Kind != ReplyError {
+		return nil
+	}
+	switch {
+	case hasWord(r.Str, "CONTENDED"):
+		return fmt.Errorf("%s: %w", r.Str, scheme.ErrContended)
+	case hasWord(r.Str, "FULL"):
+		return fmt.Errorf("%s: %w", r.Str, scheme.ErrFull)
+	default:
+		return errors.New(r.Str)
+	}
+}
+
+func hasWord(s, word string) bool {
+	return len(s) >= len(word) && s[:len(word)] == word &&
+		(len(s) == len(word) || s[len(word)] == ' ')
+}
+
+// Conn is one client connection. Not safe for concurrent use; the pooled
+// Client hands each caller a private Conn.
+type Conn struct {
+	nc  net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+	err error // sticky: any I/O or framing error poisons the conn
+}
+
+// Dial connects to a RESP listener.
+func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &Conn{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 16<<10),
+		bw: bufio.NewWriterSize(nc, 16<<10),
+	}, nil
+}
+
+// Close closes the underlying connection.
+func (cn *Conn) Close() error { return cn.nc.Close() }
+
+func (cn *Conn) fail(err error) error {
+	if cn.err == nil {
+		cn.err = err
+	}
+	return err
+}
+
+// Send buffers one command (array of bulk strings) without flushing, the
+// pipelining primitive.
+func (cn *Conn) Send(args ...[]byte) error {
+	if cn.err != nil {
+		return cn.err
+	}
+	bw := cn.bw
+	bw.WriteByte('*')
+	bw.WriteString(strconv.Itoa(len(args)))
+	bw.WriteString("\r\n")
+	for _, a := range args {
+		bw.WriteByte('$')
+		bw.WriteString(strconv.Itoa(len(a)))
+		bw.WriteString("\r\n")
+		bw.Write(a)
+		bw.WriteString("\r\n")
+	}
+	return nil
+}
+
+// Flush writes all buffered commands to the wire.
+func (cn *Conn) Flush() error {
+	if cn.err != nil {
+		return cn.err
+	}
+	if err := cn.bw.Flush(); err != nil {
+		return cn.fail(err)
+	}
+	return nil
+}
+
+// Recv reads one reply.
+func (cn *Conn) Recv() (Reply, error) {
+	if cn.err != nil {
+		return Reply{}, cn.err
+	}
+	r, err := readReply(cn.br)
+	if err != nil {
+		return Reply{}, cn.fail(err)
+	}
+	return r, nil
+}
+
+// Do sends one command, flushes, and reads its reply.
+func (cn *Conn) Do(args ...[]byte) (Reply, error) {
+	if err := cn.Send(args...); err != nil {
+		return Reply{}, err
+	}
+	if err := cn.Flush(); err != nil {
+		return Reply{}, err
+	}
+	return cn.Recv()
+}
+
+func readReply(br *bufio.Reader) (Reply, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return Reply{}, err
+	}
+	if len(line) < 3 || line[len(line)-2] != '\r' {
+		return Reply{}, fmt.Errorf("resp client: malformed reply line %q", line)
+	}
+	body := line[1 : len(line)-2]
+	switch line[0] {
+	case '+':
+		return Reply{Kind: ReplySimple, Str: body}, nil
+	case '-':
+		return Reply{Kind: ReplyError, Str: body}, nil
+	case ':':
+		n, err := strconv.ParseInt(body, 10, 64)
+		if err != nil {
+			return Reply{}, fmt.Errorf("resp client: bad integer reply %q", body)
+		}
+		return Reply{Kind: ReplyInt, Int: n}, nil
+	case '$':
+		ln, err := strconv.Atoi(body)
+		if err != nil {
+			return Reply{}, fmt.Errorf("resp client: bad bulk length %q", body)
+		}
+		if ln < 0 {
+			return Reply{Kind: ReplyNil}, nil
+		}
+		buf := make([]byte, ln+2)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return Reply{}, err
+		}
+		if buf[ln] != '\r' || buf[ln+1] != '\n' {
+			return Reply{}, errors.New("resp client: bulk reply not CRLF-terminated")
+		}
+		return Reply{Kind: ReplyBulk, Bulk: buf[:ln]}, nil
+	case '*':
+		n, err := strconv.Atoi(body)
+		if err != nil {
+			return Reply{}, fmt.Errorf("resp client: bad array length %q", body)
+		}
+		if n < 0 {
+			return Reply{Kind: ReplyNil}, nil
+		}
+		arr := make([]Reply, n)
+		for i := range arr {
+			arr[i], err = readReply(br)
+			if err != nil {
+				return Reply{}, err
+			}
+		}
+		return Reply{Kind: ReplyArray, Array: arr}, nil
+	default:
+		return Reply{}, fmt.Errorf("resp client: unknown reply type %q", line[0])
+	}
+}
+
+// Options tunes a pooled Client.
+type Options struct {
+	// PoolSize caps idle connections kept for reuse (not a concurrency
+	// limit: checkouts beyond it dial fresh). Default 16.
+	PoolSize int
+	// DialTimeout bounds connection establishment. Default 5s.
+	DialTimeout time.Duration
+}
+
+// Client is a connection-pooled RESP client, safe for concurrent use.
+type Client struct {
+	addr string
+	opts Options
+
+	mu     sync.Mutex
+	free   []*Conn
+	closed bool
+}
+
+// New builds a pooled client for addr. It does not dial eagerly; the first
+// operation does.
+func New(addr string, opts Options) *Client {
+	if opts.PoolSize <= 0 {
+		opts.PoolSize = 16
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	return &Client{addr: addr, opts: opts}
+}
+
+// getConn checks a connection out of the pool, dialing when empty.
+func (c *Client) getConn() (*Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("resp client: closed")
+	}
+	if n := len(c.free); n > 0 {
+		cn := c.free[n-1]
+		c.free = c.free[:n-1]
+		c.mu.Unlock()
+		return cn, nil
+	}
+	c.mu.Unlock()
+	return Dial(c.addr, c.opts.DialTimeout)
+}
+
+// putConn returns a healthy connection to the pool; poisoned or surplus
+// connections are closed instead.
+func (c *Client) putConn(cn *Conn) {
+	if cn.err != nil {
+		cn.Close()
+		return
+	}
+	c.mu.Lock()
+	if c.closed || len(c.free) >= c.opts.PoolSize {
+		c.mu.Unlock()
+		cn.Close()
+		return
+	}
+	c.free = append(c.free, cn)
+	c.mu.Unlock()
+}
+
+// Close closes all pooled connections; in-flight checkouts close on return.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	free := c.free
+	c.free = nil
+	c.mu.Unlock()
+	for _, cn := range free {
+		cn.Close()
+	}
+	return nil
+}
+
+// Do runs one command on a pooled connection.
+func (c *Client) Do(args ...[]byte) (Reply, error) {
+	cn, err := c.getConn()
+	if err != nil {
+		return Reply{}, err
+	}
+	r, err := cn.Do(args...)
+	c.putConn(cn)
+	return r, err
+}
+
+// Get fetches a key; found is false on the $-1 miss reply.
+func (c *Client) Get(key []byte) (val []byte, found bool, err error) {
+	r, err := c.Do([]byte("GET"), key)
+	if err != nil {
+		return nil, false, err
+	}
+	switch r.Kind {
+	case ReplyNil:
+		return nil, false, nil
+	case ReplyBulk:
+		return r.Bulk, true, nil
+	default:
+		return nil, false, r.Err()
+	}
+}
+
+// Set upserts a key.
+func (c *Client) Set(key, val []byte) error {
+	r, err := c.Do([]byte("SET"), key, val)
+	if err != nil {
+		return err
+	}
+	return r.Err()
+}
+
+// Del removes a key, reporting whether it existed.
+func (c *Client) Del(key []byte) (existed bool, err error) {
+	r, err := c.Do([]byte("DEL"), key)
+	if err != nil {
+		return false, err
+	}
+	if r.Kind == ReplyInt {
+		return r.Int > 0, nil
+	}
+	return false, r.Err()
+}
+
+// Ping round-trips the connection.
+func (c *Client) Ping() error {
+	r, err := c.Do([]byte("PING"))
+	if err != nil {
+		return err
+	}
+	return r.Err()
+}
+
+// MGet fetches keys in one wire command; vals[i] is nil with found[i] false
+// for misses, and per-key error replies surface in errs[i].
+func (c *Client) MGet(keys [][]byte) (vals [][]byte, found []bool, errs []error, err error) {
+	args := make([][]byte, 0, len(keys)+1)
+	args = append(args, []byte("MGET"))
+	args = append(args, keys...)
+	r, err := c.Do(args...)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if r.Kind != ReplyArray || len(r.Array) != len(keys) {
+		if e := r.Err(); e != nil {
+			return nil, nil, nil, e
+		}
+		return nil, nil, nil, fmt.Errorf("resp client: unexpected MGET reply kind %d", r.Kind)
+	}
+	vals = make([][]byte, len(keys))
+	found = make([]bool, len(keys))
+	errs = make([]error, len(keys))
+	for i, e := range r.Array {
+		switch e.Kind {
+		case ReplyBulk:
+			vals[i], found[i] = e.Bulk, true
+		case ReplyNil:
+		default:
+			errs[i] = e.Err()
+		}
+	}
+	return vals, found, errs, nil
+}
+
+// Pipeline binds one pooled connection and batches commands until Exec.
+type Pipeline struct {
+	c  *Client
+	cn *Conn
+	n  int
+}
+
+// Pipeline checks a connection out of the pool for explicit pipelining.
+// Call Close when done (after the final Exec) to return it.
+func (c *Client) Pipeline() (*Pipeline, error) {
+	cn, err := c.getConn()
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{c: c, cn: cn}, nil
+}
+
+// Do enqueues an arbitrary command.
+func (p *Pipeline) Do(args ...[]byte) error {
+	if err := p.cn.Send(args...); err != nil {
+		return err
+	}
+	p.n++
+	return nil
+}
+
+// Get enqueues a GET.
+func (p *Pipeline) Get(key []byte) error { return p.Do([]byte("GET"), key) }
+
+// Set enqueues a SET.
+func (p *Pipeline) Set(key, val []byte) error { return p.Do([]byte("SET"), key, val) }
+
+// Del enqueues a DEL.
+func (p *Pipeline) Del(key []byte) error { return p.Do([]byte("DEL"), key) }
+
+// Len reports the number of commands enqueued since the last Exec.
+func (p *Pipeline) Len() int { return p.n }
+
+// Exec flushes the batch and reads one reply per enqueued command, in
+// order. A transport error poisons the connection and aborts; error
+// *replies* come back as Reply values for the caller to inspect.
+func (p *Pipeline) Exec() ([]Reply, error) {
+	if err := p.cn.Flush(); err != nil {
+		return nil, err
+	}
+	replies := make([]Reply, p.n)
+	for i := range replies {
+		r, err := p.cn.Recv()
+		if err != nil {
+			return replies[:i], err
+		}
+		replies[i] = r
+	}
+	p.n = 0
+	return replies, nil
+}
+
+// Close returns the pipeline's connection to the pool (or closes it if
+// poisoned or mid-batch).
+func (p *Pipeline) Close() {
+	if p.n != 0 && p.cn.err == nil {
+		// Unexecuted commands sit in the write buffer; the conn cannot be
+		// reused safely.
+		p.cn.err = errors.New("resp client: pipeline closed with unexecuted commands")
+	}
+	p.c.putConn(p.cn)
+}

@@ -1,0 +1,229 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"hdnh/internal/bigkv"
+	"hdnh/internal/kv"
+	"hdnh/internal/nvm"
+	"hdnh/internal/resp"
+	"hdnh/internal/resp/client"
+	"hdnh/internal/scheme"
+)
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	dev, err := nvm.New(nvm.DefaultConfig(1 << 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := bigkv.Create(dev, bigkv.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := resp.NewServer(resp.StoreBackend{St: st}, resp.Options{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+		st.Close()
+	})
+	return l.Addr().String()
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	addr := startServer(t)
+	c := client.New(addr, client.Options{})
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	key := []byte("bin\x00\r\nkey")
+	val := []byte("value\x00with\r\nbytes")
+	if err := c.Set(key, val); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := c.Get(key)
+	if err != nil || !found || !bytes.Equal(got, val) {
+		t.Fatalf("Get = %q found=%v err=%v, want %q", got, found, err, val)
+	}
+
+	existed, err := c.Del(key)
+	if err != nil || !existed {
+		t.Fatalf("Del = %v, %v, want existed", existed, err)
+	}
+	if _, found, _ := c.Get(key); found {
+		t.Fatal("key survived Del")
+	}
+	if existed, err := c.Del(key); err != nil || existed {
+		t.Fatalf("second Del = %v, %v, want not existed", existed, err)
+	}
+}
+
+func TestClientMGetAndErrorMapping(t *testing.T) {
+	addr := startServer(t)
+	c := client.New(addr, client.Options{})
+	defer c.Close()
+
+	keys := [][]byte{[]byte("m1"), []byte("absent"), []byte("m3")}
+	if err := c.Set(keys[0], []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set(keys[2], []byte("v3")); err != nil {
+		t.Fatal(err)
+	}
+	vals, found, errs, err := c.MGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found[0] || found[1] || !found[2] {
+		t.Fatalf("found = %v", found)
+	}
+	if string(vals[0]) != "v1" || string(vals[2]) != "v3" || errs[0] != nil {
+		t.Fatalf("vals = %q errs = %v", vals, errs)
+	}
+
+	// An oversized key answers with -ERR; the reply must convert to a
+	// plain error, and the typed prefixes to the scheme sentinels.
+	if err := c.Set(bytes.Repeat([]byte("k"), 17), []byte("v")); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+	r := client.Reply{Kind: client.ReplyError, Str: "CONTENDED operation contended, retry"}
+	if !errors.Is(r.Err(), scheme.ErrContended) {
+		t.Fatalf("CONTENDED reply maps to %v", r.Err())
+	}
+	r = client.Reply{Kind: client.ReplyError, Str: "FULL store full"}
+	if !errors.Is(r.Err(), scheme.ErrFull) {
+		t.Fatalf("FULL reply maps to %v", r.Err())
+	}
+}
+
+func TestClientPipeline(t *testing.T) {
+	addr := startServer(t)
+	c := client.New(addr, client.Options{})
+	defer c.Close()
+
+	p, err := c.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := p.Set([]byte(fmt.Sprintf("p%03d", i)), []byte(fmt.Sprintf("v%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replies, err := p.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != n {
+		t.Fatalf("replies = %d, want %d", len(replies), n)
+	}
+	for i, r := range replies {
+		if r.Kind != client.ReplySimple || r.Str != "OK" {
+			t.Fatalf("reply %d = %+v", i, r)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if err := p.Get([]byte(fmt.Sprintf("p%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replies, err = p.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range replies {
+		if r.Kind != client.ReplyBulk || string(r.Bulk) != fmt.Sprintf("v%03d", i) {
+			t.Fatalf("reply %d = %+v", i, r)
+		}
+	}
+	p.Close()
+
+	// The connection must be reusable from the pool after a clean Close.
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemeStoreAdapter(t *testing.T) {
+	addr := startServer(t)
+	st := client.NewSchemeStore(client.New(addr, client.Options{}))
+	defer st.Close()
+
+	sess := st.NewSession()
+	defer sess.Close()
+
+	k, err := kv.MakeKey([]byte("scheme-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := kv.MakeValue([]byte("0123456789abcde"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Insert(k, v); err != nil {
+		t.Fatal(err)
+	}
+	got, found := sess.Get(k)
+	if !found || got != v {
+		t.Fatalf("Get = %v found=%v, want %v", got, found, v)
+	}
+	if err := sess.Delete(k); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Delete(k); !errors.Is(err, scheme.ErrNotFound) {
+		t.Fatalf("second Delete = %v, want ErrNotFound", err)
+	}
+
+	// Batch path: the adapter must implement scheme.BatchSession.
+	bs, ok := sess.(scheme.BatchSession)
+	if !ok {
+		t.Fatal("session does not implement BatchSession")
+	}
+	const n = 32
+	keys := make([]kv.Key, n)
+	vals := make([]kv.Value, n)
+	errs := make([]error, n)
+	for i := range keys {
+		keys[i], _ = kv.MakeKey([]byte(fmt.Sprintf("bk%03d", i)))
+		vals[i], _ = kv.MakeValue([]byte(fmt.Sprintf("bv%013d", i)))
+	}
+	if fails := bs.MultiPut(keys, vals, errs); fails != 0 {
+		t.Fatalf("MultiPut fails = %d errs=%v", fails, errs)
+	}
+	gotVals := make([]kv.Value, n)
+	found2 := make([]bool, n)
+	if hits := bs.MultiGet(keys, gotVals, found2); hits != n {
+		t.Fatalf("MultiGet hits = %d, want %d", hits, n)
+	}
+	for i := range keys {
+		if gotVals[i] != vals[i] {
+			t.Fatalf("MultiGet[%d] = %v, want %v", i, gotVals[i], vals[i])
+		}
+	}
+	if fails := bs.MultiDelete(keys, errs); fails != 0 {
+		t.Fatalf("MultiDelete fails = %d errs=%v", fails, errs)
+	}
+	if fails := bs.MultiDelete(keys, errs); fails != n {
+		t.Fatalf("re-delete fails = %d, want all %d", fails, n)
+	}
+}

@@ -1,0 +1,197 @@
+package client
+
+import (
+	"hdnh/internal/kv"
+	"hdnh/internal/nvm"
+	"hdnh/internal/scheme"
+)
+
+// SchemeStore wraps a pooled Client as a scheme.Store so the YCSB driver
+// (hdnhycsb -resp) runs its workloads over the wire instead of in-process.
+// Each harness worker gets a dedicated connection (scheme sessions are
+// single-goroutine by contract, so no pool churn on the hot path).
+//
+// Semantics differ from the in-process store in two deliberate ways: Insert
+// and Update both map to SET (the wire protocol is upsert-only, so
+// ErrExists/ErrNotFound verdicts for writes vanish), and NVMStats reads
+// zero (device traffic is visible only server-side, via /metrics). Count,
+// Capacity and LoadFactor also read zero for the same reason.
+type SchemeStore struct {
+	c *Client
+}
+
+// NewSchemeStore builds the adapter around an existing client.
+func NewSchemeStore(c *Client) *SchemeStore { return &SchemeStore{c: c} }
+
+// Name implements scheme.Store.
+func (s *SchemeStore) Name() string { return "HDNH/RESP" }
+
+// NewSession dials a dedicated connection per worker. Dial errors surface
+// lazily: the session is born poisoned and every operation reports failure,
+// because the scheme interface has no fallible NewSession.
+func (s *SchemeStore) NewSession() scheme.Session {
+	cn, err := Dial(s.c.addr, s.c.opts.DialTimeout)
+	if err != nil {
+		cn = &Conn{err: err}
+	}
+	return &schemeSession{cn: cn}
+}
+
+// Count implements scheme.Store (not observable over the wire).
+func (s *SchemeStore) Count() int64 { return 0 }
+
+// Capacity implements scheme.Store (not observable over the wire).
+func (s *SchemeStore) Capacity() int64 { return 0 }
+
+// LoadFactor implements scheme.Store (not observable over the wire).
+func (s *SchemeStore) LoadFactor() float64 { return 0 }
+
+// Close implements scheme.Store.
+func (s *SchemeStore) Close() error { return s.c.Close() }
+
+// schemeSession is one worker's wire connection. It implements both
+// scheme.Session and scheme.BatchSession; the batch calls pipeline the
+// whole batch in one flush, which is what hands the server's executor a
+// full run to coalesce.
+type schemeSession struct {
+	cn *Conn
+}
+
+func (ss *schemeSession) Insert(k kv.Key, v kv.Value) error { return ss.set(k, v) }
+func (ss *schemeSession) Update(k kv.Key, v kv.Value) error { return ss.set(k, v) }
+
+func (ss *schemeSession) set(k kv.Key, v kv.Value) error {
+	r, err := ss.cn.Do([]byte("SET"), k[:], v[:])
+	if err != nil {
+		return err
+	}
+	return r.Err()
+}
+
+func (ss *schemeSession) Get(k kv.Key) (kv.Value, bool) {
+	var v kv.Value
+	r, err := ss.cn.Do([]byte("GET"), k[:])
+	if err != nil || r.Kind != ReplyBulk || len(r.Bulk) != len(v) {
+		return v, false
+	}
+	copy(v[:], r.Bulk)
+	return v, true
+}
+
+func (ss *schemeSession) Delete(k kv.Key) error {
+	r, err := ss.cn.Do([]byte("DEL"), k[:])
+	if err != nil {
+		return err
+	}
+	if r.Kind == ReplyInt {
+		if r.Int == 0 {
+			return scheme.ErrNotFound
+		}
+		return nil
+	}
+	return r.Err()
+}
+
+// NVMStats implements scheme.Session; device traffic is server-side only.
+func (ss *schemeSession) NVMStats() nvm.Stats { return nvm.Stats{} }
+
+// Close implements scheme.Session.
+func (ss *schemeSession) Close() error { return ss.cn.Close() }
+
+// MultiGet implements scheme.BatchSession with one MGET command.
+func (ss *schemeSession) MultiGet(keys []kv.Key, vals []kv.Value, found []bool) int {
+	args := make([][]byte, 0, len(keys)+1)
+	args = append(args, []byte("MGET"))
+	for i := range keys {
+		args = append(args, keys[i][:])
+	}
+	r, err := ss.cn.Do(args...)
+	if err != nil || r.Kind != ReplyArray || len(r.Array) != len(keys) {
+		for i := range found {
+			found[i] = false
+		}
+		return 0
+	}
+	hits := 0
+	for i, e := range r.Array {
+		if e.Kind == ReplyBulk && len(e.Bulk) == len(vals[i]) {
+			copy(vals[i][:], e.Bulk)
+			found[i] = true
+			hits++
+		} else {
+			found[i] = false
+		}
+	}
+	return hits
+}
+
+// MultiPut implements scheme.BatchSession with one pipelined SET burst.
+func (ss *schemeSession) MultiPut(keys []kv.Key, vals []kv.Value, errs []error) int {
+	for i := range keys {
+		if err := ss.cn.Send([]byte("SET"), keys[i][:], vals[i][:]); err != nil {
+			return failAll(errs, err)
+		}
+	}
+	if err := ss.cn.Flush(); err != nil {
+		return failAll(errs, err)
+	}
+	fails := 0
+	for i := range keys {
+		r, err := ss.cn.Recv()
+		if err != nil {
+			for j := i; j < len(errs); j++ {
+				errs[j] = err
+				fails++
+			}
+			return fails
+		}
+		errs[i] = r.Err()
+		if errs[i] != nil {
+			fails++
+		}
+	}
+	return fails
+}
+
+// MultiDelete implements scheme.BatchSession with one pipelined DEL burst.
+func (ss *schemeSession) MultiDelete(keys []kv.Key, errs []error) int {
+	for i := range keys {
+		if err := ss.cn.Send([]byte("DEL"), keys[i][:]); err != nil {
+			return failAll(errs, err)
+		}
+	}
+	if err := ss.cn.Flush(); err != nil {
+		return failAll(errs, err)
+	}
+	fails := 0
+	for i := range keys {
+		r, err := ss.cn.Recv()
+		if err != nil {
+			for j := i; j < len(errs); j++ {
+				errs[j] = err
+				fails++
+			}
+			return fails
+		}
+		switch {
+		case r.Kind == ReplyInt && r.Int > 0:
+			errs[i] = nil
+		case r.Kind == ReplyInt:
+			errs[i] = scheme.ErrNotFound
+			fails++
+		default:
+			errs[i] = r.Err()
+			if errs[i] != nil {
+				fails++
+			}
+		}
+	}
+	return fails
+}
+
+func failAll(errs []error, err error) int {
+	for i := range errs {
+		errs[i] = err
+	}
+	return len(errs)
+}

@@ -1,0 +1,195 @@
+// Package resp serves the HDNH store over a length-prefixed binary wire
+// protocol: a RESP2-compatible subset (GET/SET/DEL/MGET/MSET/PING/QUIT)
+// with per-connection pipelining. Because the framing is RESP, existing
+// Redis clients, redis-cli, redis-benchmark and memtier drive the store
+// unmodified; because keys and values travel as binary-safe bulk strings,
+// every byte sequence the store accepts round-trips unchanged — no escaping
+// layer, no path cleaning, none of the /kv/ URL hazards.
+//
+// The point of the protocol is the pipelining contract: a client may write
+// any number of commands before reading replies, and the server coalesces
+// runs of consecutive same-kind commands into the store's batch entry
+// points (MultiGet/MultiPut/MultiDelete via internal/batchrun), writing
+// replies in order through one buffered writer flushed once per drained
+// burst. BENCH_5's conclusion — batching pays at the protocol boundary —
+// is this package.
+//
+// Wire format and reply taxonomy are documented in docs/PROTOCOL.md.
+package resp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Framing limits. Commands are arrays of bulk strings; both bounds exist so
+// a hostile client cannot make the server allocate unboundedly.
+const (
+	// DefaultMaxArgs bounds one command's argument count (an MSET of 4096
+	// pairs plus the command name, mirroring the HTTP /batch op cap).
+	DefaultMaxArgs = 1 + 2*4096
+	// maxLineBytes bounds one protocol line (array/bulk headers, inline
+	// commands).
+	maxLineBytes = 16 << 10
+)
+
+// ProtoError is a framing-level violation: the server answers it with one
+// -ERR reply and closes the connection, because the byte stream can no
+// longer be trusted to be in sync.
+type ProtoError struct{ Msg string }
+
+func (e *ProtoError) Error() string { return "resp: protocol error: " + e.Msg }
+
+func protoErrf(format string, args ...any) error {
+	return &ProtoError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// readLine reads one \r\n-terminated line, rejecting bare \n and oversized
+// lines.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	if err != nil {
+		if err == bufio.ErrBufferFull {
+			return nil, protoErrf("line longer than %d bytes", maxLineBytes)
+		}
+		return nil, err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, protoErrf("line not terminated by CRLF")
+	}
+	return line[:len(line)-2], nil
+}
+
+// parseLen parses a decimal length from a header line.
+func parseLen(b []byte) (int, error) {
+	n, err := strconv.Atoi(string(b))
+	if err != nil {
+		return 0, protoErrf("bad length %q", b)
+	}
+	return n, nil
+}
+
+// ReadCommand reads one client command: a RESP array of bulk strings, or an
+// inline (space-separated plain text) command for telnet-style debugging.
+// It returns the argument list (command name first), nil for an empty
+// inline line (the caller skips it), io.EOF at clean end of stream, or a
+// *ProtoError for framing violations.
+func ReadCommand(br *bufio.Reader, maxArgs, maxBulk int) ([][]byte, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 {
+		return nil, nil
+	}
+	if line[0] != '*' {
+		// Inline command: fields split on spaces, no quoting.
+		var args [][]byte
+		for lo := 0; lo < len(line); {
+			for lo < len(line) && line[lo] == ' ' {
+				lo++
+			}
+			hi := lo
+			for hi < len(line) && line[hi] != ' ' {
+				hi++
+			}
+			if hi > lo {
+				args = append(args, append([]byte(nil), line[lo:hi]...))
+			}
+			lo = hi
+		}
+		if len(args) > maxArgs {
+			return nil, protoErrf("too many arguments (%d > %d)", len(args), maxArgs)
+		}
+		return args, nil
+	}
+	n, err := parseLen(line[1:])
+	if err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, protoErrf("bad array length %d", n)
+	}
+	if n > maxArgs {
+		return nil, protoErrf("too many arguments (%d > %d)", n, maxArgs)
+	}
+	args := make([][]byte, n)
+	for i := range args {
+		hdr, err := readLine(br)
+		if err != nil {
+			if err == io.EOF {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		if len(hdr) == 0 || hdr[0] != '$' {
+			return nil, protoErrf("expected bulk string, got %q", hdr)
+		}
+		ln, err := parseLen(hdr[1:])
+		if err != nil {
+			return nil, err
+		}
+		if ln < 0 || ln > maxBulk {
+			return nil, protoErrf("bad bulk length %d (max %d)", ln, maxBulk)
+		}
+		buf := make([]byte, ln+2)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			if err == io.EOF {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		if buf[ln] != '\r' || buf[ln+1] != '\n' {
+			return nil, protoErrf("bulk string not terminated by CRLF")
+		}
+		args[i] = buf[:ln]
+	}
+	return args, nil
+}
+
+// Reply writers. All write into a buffered writer; the executor flushes
+// once per drained pipeline burst.
+
+// WriteSimple writes a +simple string reply.
+func WriteSimple(bw *bufio.Writer, s string) {
+	bw.WriteByte('+')
+	bw.WriteString(s)
+	bw.WriteString("\r\n")
+}
+
+// WriteError writes an -error reply. msg must not contain CR or LF.
+func WriteError(bw *bufio.Writer, msg string) {
+	bw.WriteByte('-')
+	bw.WriteString(msg)
+	bw.WriteString("\r\n")
+}
+
+// WriteInt writes a :integer reply.
+func WriteInt(bw *bufio.Writer, n int64) {
+	bw.WriteByte(':')
+	bw.WriteString(strconv.FormatInt(n, 10))
+	bw.WriteString("\r\n")
+}
+
+// WriteBulk writes a $bulk string reply carrying b verbatim (binary-safe).
+func WriteBulk(bw *bufio.Writer, b []byte) {
+	bw.WriteByte('$')
+	bw.WriteString(strconv.Itoa(len(b)))
+	bw.WriteString("\r\n")
+	bw.Write(b)
+	bw.WriteString("\r\n")
+}
+
+// WriteNil writes the RESP2 null bulk reply ($-1), the "not found" answer.
+func WriteNil(bw *bufio.Writer) {
+	bw.WriteString("$-1\r\n")
+}
+
+// WriteArrayLen writes a *array header; the caller writes the elements.
+func WriteArrayLen(bw *bufio.Writer, n int) {
+	bw.WriteByte('*')
+	bw.WriteString(strconv.Itoa(n))
+	bw.WriteString("\r\n")
+}

@@ -1,0 +1,723 @@
+package resp
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdnh/internal/batchrun"
+	"hdnh/internal/bigkv"
+	"hdnh/internal/flight"
+	"hdnh/internal/obs"
+	"hdnh/internal/scheme"
+	"hdnh/internal/vlog"
+)
+
+// BackendSession is one connection's handle onto the store: the batch
+// surface plus lifecycle. *bigkv.Session satisfies it directly; tests
+// inject fakes to script mid-pipeline verdicts like ErrContended.
+type BackendSession interface {
+	batchrun.Executor
+	// SyncObs publishes session-local device counters to the shared
+	// recorder; the executor calls it once per drained burst.
+	SyncObs()
+	// Close releases the session (epoch slots, tracer handles).
+	Close() error
+}
+
+// Backend mints one session per accepted connection.
+type Backend interface {
+	NewSession() BackendSession
+}
+
+// StoreBackend adapts *bigkv.Store to the Backend interface (Go does not
+// convert the concrete NewSession return type automatically).
+type StoreBackend struct{ St *bigkv.Store }
+
+// NewSession implements Backend.
+func (b StoreBackend) NewSession() BackendSession { return b.St.NewSession() }
+
+// Options tunes a Server. The zero value is usable.
+type Options struct {
+	// PipelineDepth bounds the per-connection in-flight command queue: how
+	// many parsed-but-unanswered commands the reader goroutine may buffer
+	// ahead of the executor. Deeper queues give the executor longer
+	// same-kind runs to coalesce at the cost of per-connection memory.
+	// Default 128.
+	PipelineDepth int
+	// MaxValueBytes caps one bulk string (values and, transitively, keys).
+	// Default 64 KiB, matching the HTTP layer's cap.
+	MaxValueBytes int
+	// MaxKeyBytes caps key length at the command level (longer keys get a
+	// per-command error reply, not a connection close). Default 16, the
+	// fixed slot key size.
+	MaxKeyBytes int
+	// MaxArgs caps one command's argument count. Default DefaultMaxArgs.
+	MaxArgs int
+	// MaxTracers bounds the pool of flight tracer handles shared by
+	// connections. Recorder.Handle allocates a permanent ring, so handles
+	// must be pooled, not minted per connection; connections beyond the
+	// pool trace into flight.Nop. Default 8.
+	MaxTracers int
+	// Metrics, when non-nil, receives connection/command/run counters.
+	Metrics *obs.RESPMetrics
+	// Flight, when non-nil, receives per-run operation spans.
+	Flight *flight.Recorder
+	// Log, when non-nil, receives connection lifecycle and error lines.
+	Log *slog.Logger
+}
+
+func (o *Options) fill() {
+	if o.PipelineDepth <= 0 {
+		o.PipelineDepth = 128
+	}
+	if o.MaxValueBytes <= 0 {
+		o.MaxValueBytes = 64 << 10
+	}
+	if o.MaxKeyBytes <= 0 {
+		o.MaxKeyBytes = 16
+	}
+	if o.MaxArgs <= 0 {
+		o.MaxArgs = DefaultMaxArgs
+	}
+	if o.MaxTracers <= 0 {
+		o.MaxTracers = 8
+	}
+	if o.Log == nil {
+		o.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+}
+
+// Server accepts RESP connections and serves them against a Backend.
+type Server struct {
+	be   Backend
+	opts Options
+
+	draining atomic.Bool
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+
+	tracerMu    sync.Mutex
+	tracerFree  []flight.Tracer
+	tracersMade int
+}
+
+// NewServer builds a Server; opts fields left zero take their defaults.
+func NewServer(be Backend, opts Options) *Server {
+	opts.fill()
+	return &Server{
+		be:        be,
+		opts:      opts,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+// getTracer leases a flight tracer handle from the bounded pool, or a Nop
+// when the pool is exhausted or tracing is off.
+func (s *Server) getTracer() flight.Tracer {
+	if s.opts.Flight == nil {
+		return flight.Nop{}
+	}
+	s.tracerMu.Lock()
+	defer s.tracerMu.Unlock()
+	if n := len(s.tracerFree); n > 0 {
+		tr := s.tracerFree[n-1]
+		s.tracerFree = s.tracerFree[:n-1]
+		return tr
+	}
+	if s.tracersMade < s.opts.MaxTracers {
+		s.tracersMade++
+		return s.opts.Flight.Handle(fmt.Sprintf("resp-%d", s.tracersMade))
+	}
+	return flight.Nop{}
+}
+
+func (s *Server) putTracer(tr flight.Tracer) {
+	if _, ok := tr.(flight.Nop); ok {
+		return
+	}
+	s.tracerMu.Lock()
+	s.tracerFree = append(s.tracerFree, tr)
+	s.tracerMu.Unlock()
+}
+
+// Serve accepts connections on l until the listener is closed (by Shutdown
+// or Close). It returns nil on orderly shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return errors.New("resp: server closed")
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[nc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(nc)
+	}
+}
+
+// Shutdown stops accepting, lets in-flight pipelines drain, and closes
+// connections. Busy connections finish their current burst and close; idle
+// connections are force-closed when ctx expires (pass an already-expired
+// ctx for immediate teardown).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close tears the server down immediately.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Shutdown(ctx)
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}
+
+// command is one parsed client command in flight between the reader
+// goroutine and the executor.
+type command struct {
+	kind obs.RESPCmd
+	args [][]byte
+	t    time.Time
+	// errMsg, when non-empty, is a command-level error discovered at parse
+	// time (bad arity, oversized key); the executor replies and moves on.
+	errMsg string
+	// proto marks a framing violation: the executor replies errMsg and
+	// closes the connection.
+	proto bool
+}
+
+// serveConn runs one connection: a reader goroutine parses commands into a
+// bounded queue while this goroutine drains it, coalescing runs through
+// batchrun and flushing replies once per drained burst.
+func (s *Server) serveConn(nc net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		nc.Close()
+	}()
+
+	m := s.opts.Metrics
+	m.ConnOpened()
+	defer m.ConnClosed()
+
+	sess := s.be.NewSession()
+	defer sess.Close()
+
+	tr := s.getTracer()
+	defer s.putTracer(tr)
+
+	queue := make(chan command, s.opts.PipelineDepth)
+	readerDone := make(chan struct{})
+	go s.readLoop(nc, queue, readerDone)
+	// The reader owns nc reads and exits on any read error; closing nc
+	// unblocks its Read, and draining the queue unblocks a send stuck on a
+	// full pipeline so the reader can observe the closed conn.
+	defer func() {
+		nc.Close()
+		dropped := 0
+		for c := range queue {
+			if !c.proto {
+				dropped++
+			}
+		}
+		m.Dropped(dropped)
+		<-readerDone
+	}()
+
+	bw := bufio.NewWriterSize(nc, 16<<10)
+	ex := &connExec{s: s, sess: sess, bw: bw, tr: tr}
+	burst := make([]command, 0, s.opts.PipelineDepth)
+	for {
+		c, ok := <-queue
+		if !ok {
+			return
+		}
+		burst = append(burst[:0], c)
+		// Drain whatever else the client pipelined without blocking: the
+		// burst is the coalescing window.
+	drain:
+		for len(burst) < s.opts.PipelineDepth {
+			select {
+			case c, ok := <-queue:
+				if !ok {
+					break drain
+				}
+				burst = append(burst, c)
+			default:
+				break drain
+			}
+		}
+		quit := ex.run(burst)
+		m.Flush()
+		sess.SyncObs()
+		if err := bw.Flush(); err != nil || quit {
+			return
+		}
+		if s.draining.Load() {
+			return
+		}
+	}
+}
+
+// readLoop parses commands off the wire into the queue until the
+// connection errors or closes. Framing violations enqueue one proto
+// sentinel and stop reading.
+func (s *Server) readLoop(nc net.Conn, queue chan<- command, done chan<- struct{}) {
+	defer close(done)
+	defer close(queue)
+	m := s.opts.Metrics
+	br := bufio.NewReaderSize(nc, maxLineBytes)
+	for {
+		args, err := ReadCommand(br, s.opts.MaxArgs, s.opts.MaxValueBytes)
+		if err != nil {
+			var pe *ProtoError
+			if errors.As(err, &pe) {
+				m.ProtoError()
+				queue <- command{proto: true, errMsg: "ERR Protocol error: " + pe.Msg}
+			}
+			return
+		}
+		if args == nil { // empty inline line
+			continue
+		}
+		c := s.classify(args)
+		m.Enqueued()
+		queue <- c
+	}
+}
+
+// classify validates one parsed command and tags it with its kind. Arity
+// and size violations become command-level error replies; the stream stays
+// in sync, so the connection lives on.
+func (s *Server) classify(args [][]byte) command {
+	c := command{args: args, t: time.Now(), kind: obs.RESPOther}
+	name := strings.ToUpper(string(args[0]))
+	switch name {
+	case "GET":
+		c.kind = obs.RESPGet
+		if len(args) != 2 {
+			c.errMsg = "ERR wrong number of arguments for 'get' command"
+		} else {
+			c.errMsg = s.checkKey(args[1])
+		}
+	case "SET":
+		c.kind = obs.RESPSet
+		if len(args) != 3 {
+			c.errMsg = "ERR wrong number of arguments for 'set' command"
+		} else if c.errMsg = s.checkKey(args[1]); c.errMsg == "" && len(args[2]) == 0 {
+			c.errMsg = "ERR empty value"
+		}
+	case "DEL":
+		c.kind = obs.RESPDel
+		if len(args) < 2 {
+			c.errMsg = "ERR wrong number of arguments for 'del' command"
+		} else {
+			for _, k := range args[1:] {
+				if c.errMsg = s.checkKey(k); c.errMsg != "" {
+					break
+				}
+			}
+		}
+	case "MGET":
+		c.kind = obs.RESPMGet
+		if len(args) < 2 {
+			c.errMsg = "ERR wrong number of arguments for 'mget' command"
+		} else {
+			for _, k := range args[1:] {
+				if c.errMsg = s.checkKey(k); c.errMsg != "" {
+					break
+				}
+			}
+		}
+	case "MSET":
+		c.kind = obs.RESPMSet
+		if len(args) < 3 || len(args)%2 != 1 {
+			c.errMsg = "ERR wrong number of arguments for 'mset' command"
+		} else {
+			for i := 1; i < len(args); i += 2 {
+				if c.errMsg = s.checkKey(args[i]); c.errMsg != "" {
+					break
+				}
+				if len(args[i+1]) == 0 {
+					c.errMsg = "ERR empty value"
+					break
+				}
+			}
+		}
+	case "PING":
+		c.kind = obs.RESPPing
+		if len(args) > 2 {
+			c.errMsg = "ERR wrong number of arguments for 'ping' command"
+		}
+	case "QUIT":
+		c.kind = obs.RESPQuit
+	case "COMMAND":
+		// redis-cli issues COMMAND DOCS at startup; an empty array keeps it
+		// happy without implementing introspection.
+	default:
+		c.errMsg = fmt.Sprintf("ERR unknown command '%.32s'", args[0])
+	}
+	return c
+}
+
+func (s *Server) checkKey(k []byte) string {
+	if len(k) == 0 {
+		return "ERR empty key"
+	}
+	if len(k) > s.opts.MaxKeyBytes {
+		return fmt.Sprintf("ERR key longer than %d bytes", s.opts.MaxKeyBytes)
+	}
+	return ""
+}
+
+// connExec executes drained bursts for one connection, coalescing
+// consecutive single-key commands into batchrun runs.
+type connExec struct {
+	s    *Server
+	sess BackendSession
+	bw   *bufio.Writer
+	tr   flight.Tracer
+
+	// pending accumulates coalescible ops across the burst until a
+	// non-coalescible command (MGET, MSET, multi-key DEL, PING, errors)
+	// forces a flush; pendCmds lines replies back up with their commands.
+	pending  []batchrun.Op
+	pendCmds []command
+	results  []batchrun.Result
+}
+
+// run executes one drained burst in order and reports whether the
+// connection should close (QUIT or protocol error).
+func (e *connExec) run(burst []command) (quit bool) {
+	for _, c := range burst {
+		switch {
+		case c.proto:
+			e.flushPending()
+			WriteError(e.bw, c.errMsg)
+			return true
+		case c.errMsg != "":
+			e.flushPending()
+			WriteError(e.bw, c.errMsg)
+			e.s.opts.Metrics.Served(c.kind, true, time.Since(c.t))
+		case c.kind == obs.RESPGet:
+			e.push(c, batchrun.Op{Kind: batchrun.Get, Key: c.args[1]})
+		case c.kind == obs.RESPSet:
+			e.push(c, batchrun.Op{Kind: batchrun.Put, Key: c.args[1], Value: c.args[2]})
+		case c.kind == obs.RESPDel && len(c.args) == 2:
+			e.push(c, batchrun.Op{Kind: batchrun.Delete, Key: c.args[1]})
+		default:
+			e.flushPending()
+			if e.direct(c) {
+				return true
+			}
+		}
+	}
+	e.flushPending()
+	return false
+}
+
+func (e *connExec) push(c command, op batchrun.Op) {
+	e.pending = append(e.pending, op)
+	e.pendCmds = append(e.pendCmds, c)
+}
+
+// flushPending drains the accumulated coalescible ops through batchrun and
+// writes each command's reply in order.
+func (e *connExec) flushPending() {
+	if len(e.pending) == 0 {
+		return
+	}
+	if cap(e.results) < len(e.pending) {
+		e.results = make([]batchrun.Result, len(e.pending))
+	}
+	results := e.results[:len(e.pending)]
+	m := e.s.opts.Metrics
+
+	// Flight spans cover each run; the visitor fires before a run executes,
+	// so the previous run's span closes when the next opens (or when
+	// Execute returns).
+	cursor := 0
+	var openOp obs.Op
+	var openBegin int64
+	openLo, openN := 0, 0
+	closeSpan := func() {
+		if openN == 0 {
+			return
+		}
+		out := obs.OutOK
+		for i := openLo; i < openLo+openN; i++ {
+			if err := results[i].Err; err != nil && !errors.Is(err, scheme.ErrNotFound) {
+				out = outcomeFor(err)
+				break
+			}
+		}
+		e.tr.OpEnd(openOp, out, openBegin)
+		openN = 0
+	}
+	visit := func(kind batchrun.Kind, n int) {
+		closeSpan()
+		m.Run(n)
+		openOp = opFor(kind)
+		openLo, openN = cursor, n
+		cursor += n
+		openBegin = e.tr.OpBegin(openOp)
+	}
+	batchrun.Execute(e.sess, e.pending, results, visit)
+	closeSpan()
+
+	for i, c := range e.pendCmds {
+		res := results[i]
+		isErr := false
+		switch c.kind {
+		case obs.RESPGet:
+			switch {
+			case res.Err != nil && !errors.Is(res.Err, scheme.ErrNotFound):
+				WriteError(e.bw, errReply(res.Err))
+				isErr = true
+			case !res.Found:
+				WriteNil(e.bw)
+			default:
+				WriteBulk(e.bw, res.Value)
+			}
+		case obs.RESPSet:
+			if res.Err != nil {
+				WriteError(e.bw, errReply(res.Err))
+				isErr = true
+			} else {
+				WriteSimple(e.bw, "OK")
+			}
+		case obs.RESPDel:
+			switch {
+			case res.Err == nil:
+				WriteInt(e.bw, 1)
+			case errors.Is(res.Err, scheme.ErrNotFound):
+				WriteInt(e.bw, 0)
+			default:
+				WriteError(e.bw, errReply(res.Err))
+				isErr = true
+			}
+		}
+		m.Served(c.kind, isErr, time.Since(c.t))
+	}
+	e.pending = e.pending[:0]
+	e.pendCmds = e.pendCmds[:0]
+}
+
+// direct executes the commands that bypass coalescing (already-batched or
+// trivial ones) and reports whether the connection should close.
+func (e *connExec) direct(c command) (quit bool) {
+	m := e.s.opts.Metrics
+	isErr := false
+	switch c.kind {
+	case obs.RESPPing:
+		if len(c.args) == 2 {
+			WriteBulk(e.bw, c.args[1])
+		} else {
+			WriteSimple(e.bw, "PONG")
+		}
+	case obs.RESPQuit:
+		WriteSimple(e.bw, "OK")
+		m.Served(c.kind, false, time.Since(c.t))
+		return true
+	case obs.RESPDel:
+		// Multi-key DEL (the single-key form coalesces via flushPending).
+		keys := c.args[1:]
+		m.Run(len(keys))
+		begin := e.tr.OpBegin(obs.OpDelete)
+		errs := e.sess.MultiDelete(keys)
+		out := obs.OutOK
+		deleted := int64(0)
+		var firstErr error
+		for _, err := range errs {
+			switch {
+			case err == nil:
+				deleted++
+			case errors.Is(err, scheme.ErrNotFound):
+			case firstErr == nil:
+				firstErr = err
+				out = outcomeFor(err)
+			}
+		}
+		e.tr.OpEnd(obs.OpDelete, out, begin)
+		if firstErr != nil {
+			WriteError(e.bw, errReply(firstErr))
+			isErr = true
+		} else {
+			WriteInt(e.bw, deleted)
+		}
+	case obs.RESPMGet:
+		keys := c.args[1:]
+		m.Run(len(keys))
+		begin := e.tr.OpBegin(obs.OpGet)
+		vals, found, errs := e.sess.MultiGet(keys)
+		out := obs.OutOK
+		WriteArrayLen(e.bw, len(keys))
+		for i := range keys {
+			switch {
+			case errs[i] != nil && !errors.Is(errs[i], scheme.ErrNotFound):
+				WriteError(e.bw, errReply(errs[i]))
+				isErr = true
+				if out == obs.OutOK {
+					out = outcomeFor(errs[i])
+				}
+			case !found[i]:
+				WriteNil(e.bw)
+			default:
+				WriteBulk(e.bw, vals[i])
+			}
+		}
+		e.tr.OpEnd(obs.OpGet, out, begin)
+	case obs.RESPMSet:
+		n := (len(c.args) - 1) / 2
+		keys := make([][]byte, n)
+		vals := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			keys[i] = c.args[1+2*i]
+			vals[i] = c.args[2+2*i]
+		}
+		m.Run(n)
+		begin := e.tr.OpBegin(obs.OpUpdate)
+		errs := e.sess.MultiPut(keys, vals)
+		out := obs.OutOK
+		var firstErr error
+		for _, err := range errs {
+			if err != nil {
+				firstErr = err
+				out = outcomeFor(err)
+				break
+			}
+		}
+		e.tr.OpEnd(obs.OpUpdate, out, begin)
+		// MSET is atomic in reply shape only: earlier pairs may have landed
+		// when a later pair fails, and the error reply says which error hit
+		// first.
+		if firstErr != nil {
+			WriteError(e.bw, errReply(firstErr))
+			isErr = true
+		} else {
+			WriteSimple(e.bw, "OK")
+		}
+	case obs.RESPOther: // COMMAND
+		WriteArrayLen(e.bw, 0)
+	}
+	m.Served(c.kind, isErr, time.Since(c.t))
+	return false
+}
+
+// errReply maps a store verdict onto the wire error taxonomy. Clients
+// dispatch on the leading word: CONTENDED and FULL are retryable-with-
+// backoff and capacity conditions respectively; ERR is everything else.
+func errReply(err error) string {
+	switch {
+	case errors.Is(err, scheme.ErrContended):
+		return "CONTENDED operation contended, retry"
+	case errors.Is(err, scheme.ErrFull), errors.Is(err, vlog.ErrLogFull):
+		return "FULL store full"
+	default:
+		return "ERR " + strings.Map(func(r rune) rune {
+			if r == '\r' || r == '\n' {
+				return ' '
+			}
+			return r
+		}, err.Error())
+	}
+}
+
+// outcomeFor maps a store verdict onto the flight-span outcome.
+func outcomeFor(err error) obs.Outcome {
+	switch {
+	case err == nil:
+		return obs.OutOK
+	case errors.Is(err, scheme.ErrContended):
+		return obs.OutContended
+	case errors.Is(err, scheme.ErrFull), errors.Is(err, vlog.ErrLogFull):
+		return obs.OutFull
+	case errors.Is(err, scheme.ErrNotFound):
+		return obs.OutNotFound
+	default:
+		return obs.OutError
+	}
+}
+
+// opFor maps a batchrun kind onto the flight-span op label. Puts are
+// upserts, which the store taxonomy calls updates.
+func opFor(k batchrun.Kind) obs.Op {
+	switch k {
+	case batchrun.Get:
+		return obs.OpGet
+	case batchrun.Put:
+		return obs.OpUpdate
+	default:
+		return obs.OpDelete
+	}
+}
