@@ -18,7 +18,11 @@
 //	       listener's counters when -resp is set)
 //	GET    /metrics.json  the same counters as indented JSON
 //	GET    /stats         one-line table and value-log shape summary
-//	GET    /healthz       liveness probe
+//	GET    /healthz       health verdict: 200 ok/degraded (conditions named
+//	       in the body), 503 critical or shutting down; ?format=json
+//	GET    /readyz        load-balancer probe; 503 the moment shutdown begins
+//	GET    /debug/heat    per-shard hot-key sketch (requires -heat)
+//	GET    /debug/history ring of 1s snapshot deltas (last ~10 min)
 //
 // Keys on the /kv/ path are percent-decoded from the escaped request path,
 // so URL-hostile keys ("a/b", "..", "%41") round-trip exactly; keys over
@@ -48,6 +52,7 @@ import (
 
 	"hdnh/internal/bigkv"
 	"hdnh/internal/flight"
+	"hdnh/internal/heat"
 	"hdnh/internal/kv"
 	"hdnh/internal/nvm"
 	"hdnh/internal/obs"
@@ -66,6 +71,11 @@ func main() {
 		logMB    = flag.Int64("logmb", 8, "value-log capacity in MiB (fixed; the GC recycles within it)")
 		shards   = flag.Int("shards", 1, "hash-router shard count (power of two; each shard gets its own table, value log and GC worker)")
 		debug    = flag.Bool("debug", false, "attach a flight recorder and serve /debug/flight and /debug/pprof; log at debug level (per-request access log)")
+		heatOn   = flag.Bool("heat", false, "sample hot keys into a per-shard top-K sketch served at /debug/heat")
+		heatTopK = flag.Int("heat-topk", 0, "hot-key sketch entries per shard (0 takes the default)")
+		heatEvry = flag.Int("heat-sample", 0, "sample one in N operations into the hot-key sketch (0 takes the default)")
+		histPts  = flag.Int("history", 0, "history ring capacity in 1s points served at /debug/history (0 takes the default, ~10 min)")
+		drain    = flag.Duration("drain", 0, "after a termination signal, keep serving with /readyz answering 503 for this long so load balancers stop routing here before the listeners close")
 	)
 	flag.Parse()
 
@@ -84,6 +94,12 @@ func main() {
 	if *pipeline <= 0 {
 		usageErr("-pipeline-depth %d must be positive", *pipeline)
 	}
+	if *heatTopK < 0 || *heatEvry < 0 {
+		usageErr("-heat-topk and -heat-sample must be non-negative")
+	}
+	if *histPts < 0 {
+		usageErr("-history %d must be non-negative", *histPts)
+	}
 
 	level := new(slog.LevelVar)
 	if *debug {
@@ -100,6 +116,11 @@ func main() {
 	if *debug {
 		fr = flight.New(flight.Config{})
 		opts.Table.Flight = fr
+	}
+	var heatMon *heat.Monitor
+	if *heatOn {
+		heatMon = heat.NewMonitor(heat.Config{TopK: *heatTopK, SampleEvery: *heatEvry})
+		opts.Table.Heat = heatMon
 	}
 	opts.SegmentWords = 1 << 14
 	opts.Segments = *logMB << 20 / 8 / opts.SegmentWords
@@ -132,11 +153,14 @@ func main() {
 		respMetrics = obs.NewRESPMetrics()
 	}
 	srv := serve.New(serve.Options{
-		Store:       st,
-		Log:         logger,
-		Flight:      fr,
-		Debug:       *debug,
-		RESPMetrics: respMetrics,
+		Store:         st,
+		Log:           logger,
+		Flight:        fr,
+		Debug:         *debug,
+		RESPMetrics:   respMetrics,
+		Heat:          heatMon,
+		HistoryPoints: *histPts,
+		CollectEvery:  time.Second,
 	})
 
 	// A configured server, not the bare http.ListenAndServe default: without
@@ -168,6 +192,7 @@ func main() {
 			PipelineDepth: *pipeline,
 			MaxValueBytes: serve.MaxValueBytes,
 			MaxKeyBytes:   kv.KeySize,
+			Info:          srv.Info,
 			Metrics:       respMetrics,
 			Flight:        fr,
 			Log:           logger,
@@ -189,6 +214,17 @@ func main() {
 		fatal("%v", err)
 	case <-ctx.Done():
 		logger.Info("signal received, draining connections")
+		// Flip /readyz and /healthz to 503 before anything stops listening:
+		// the load balancer drains this instance while in-flight (and even
+		// new) requests still complete. The -drain window is how long we
+		// keep serving in that state — net/http's Shutdown closes the
+		// listener immediately, so without the window an external probe can
+		// never observe the flip.
+		srv.BeginShutdown()
+		if *drain > 0 {
+			logger.Info("draining", "window", *drain)
+			time.Sleep(*drain)
+		}
 		// Teardown order matters: stop both listeners first (requests and
 		// pipelines finish, their sessions re-park), then drain the HTTP
 		// session pool, then close the store — Close asserts the epoch

@@ -319,6 +319,7 @@ func (st *Store) MetricsSnapshot() obs.Snapshot {
 			s.Gauges.PerShard[i].VLogUsedWords = used
 		}
 	}
+	s.Gauges.EpochSlotsLive = int64(st.EpochSlotsLive())
 	return s
 }
 

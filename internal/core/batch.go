@@ -95,6 +95,10 @@ func (s *Session) MultiGet(keys []kv.Key, vals []kv.Value, found []bool) int {
 		bk.k = keys[i]
 		bk.h1, bk.h2, bk.fp = hashKV(keys[i][:])
 		bk.done, bk.contended = false, false
+		// One heat touch per batch key here; the hot/NVT passes below never
+		// see the same key twice and the rare pass-3 fallback re-touches
+		// only contended keys (noise at sketch granularity).
+		s.heat.Touch(obs.OpGet, bk.k)
 	}
 	ft := s.fl.OpBegin(obs.OpGet)
 	hits := 0

@@ -472,6 +472,7 @@ func (s *Session) Insert(k kv.Key, v kv.Value) error {
 func (s *Session) insertHashed(k kv.Key, v kv.Value, h1, h2 uint64, fp uint8) error {
 	start := s.rec.Start()
 	ft := s.fl.OpBegin(obs.OpInsert)
+	s.heat.Touch(obs.OpInsert, k)
 	contendedRounds := 0
 	for attempt := 0; attempt <= s.t.opts.MaxExpansions; attempt++ {
 		s.helpDrainStep()
@@ -541,6 +542,7 @@ func (s *Session) Get(k kv.Key) (kv.Value, bool) {
 func (s *Session) getHashed(k kv.Key, h1, h2 uint64, fp uint8) (kv.Value, bool) {
 	start := s.rec.Start()
 	ft := s.fl.OpBegin(obs.OpGet)
+	s.heat.Touch(obs.OpGet, k)
 	if s.t.hot != nil {
 		if v, ok := s.t.hot.get(k, h1, fp); ok {
 			s.opDone(obs.OpGet, obs.OutHotHit, start, ft)
@@ -584,6 +586,7 @@ func (s *Session) Lookup(k kv.Key) (kv.Value, error) {
 func (s *Session) lookupHashed(k kv.Key, h1, h2 uint64, fp uint8) (kv.Value, error) {
 	start := s.rec.Start()
 	ft := s.fl.OpBegin(obs.OpGet)
+	s.heat.Touch(obs.OpGet, k)
 	if s.t.hot != nil {
 		if v, ok := s.t.hot.get(k, h1, fp); ok {
 			s.opDone(obs.OpGet, obs.OutHotHit, start, ft)
@@ -655,6 +658,7 @@ func (s *Session) updateWith(k kv.Key, v kv.Value, expect *kv.Value) (kv.Value, 
 func (s *Session) updateHashed(k kv.Key, v kv.Value, expect *kv.Value, h1, h2 uint64, fp uint8) (kv.Value, error) {
 	start := s.rec.Start()
 	ft := s.fl.OpBegin(obs.OpUpdate)
+	s.heat.Touch(obs.OpUpdate, k)
 	transientRetries := 0
 	contendedRounds := 0
 	for attempt := 0; attempt <= s.t.opts.MaxExpansions; attempt++ {
@@ -769,6 +773,7 @@ func (s *Session) deleteWith(k kv.Key) (kv.Value, error) {
 func (s *Session) deleteHashed(k kv.Key, h1, h2 uint64, fp uint8) (kv.Value, error) {
 	start := s.rec.Start()
 	ft := s.fl.OpBegin(obs.OpDelete)
+	s.heat.Touch(obs.OpDelete, k)
 	for round := 0; ; round++ {
 		s.enterCritical()
 		var ps probeStats

@@ -23,6 +23,7 @@ import (
 	"runtime"
 
 	"hdnh/internal/flight"
+	"hdnh/internal/heat"
 	"hdnh/internal/obs"
 )
 
@@ -138,6 +139,15 @@ type Options struct {
 	// per-handle ring buffers (see internal/flight). nil compiles the
 	// tracing down to no-ops.
 	Flight *flight.Recorder
+
+	// Heat, when non-nil, enables sampled hot-key attribution: sessions feed
+	// a per-shard Space-Saving sketch from the operation paths (see
+	// internal/heat). nil compiles the sampling down to no-ops, exactly like
+	// Metrics and Flight.
+	Heat *heat.Monitor
+	// heatShard is which Monitor shard this table's sessions feed; the
+	// router sets it per shard, everyone else leaves it 0.
+	heatShard int
 
 	// Seed makes replacement decisions and any sampling deterministic.
 	Seed uint64

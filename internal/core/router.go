@@ -69,6 +69,7 @@ func perShardOptions(o Options, n, shard int) Options {
 		o.InitBottomSegments = 1
 	}
 	o.Seed ^= uint64(shard+1) * 0x9E3779B97F4A7C15
+	o.heatShard = shard
 	return o
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"hdnh/internal/flight"
+	"hdnh/internal/heat"
 	"hdnh/internal/nvm"
 	"hdnh/internal/obs"
 	"hdnh/internal/rng"
@@ -22,6 +23,7 @@ type Session struct {
 
 	rec     obs.Recorder
 	fl      flight.Tracer
+	heat    heat.Sampler
 	nvmBase nvm.Stats // handle stats already published via SyncObs
 
 	// batch is the MultiGet/MultiPut/MultiDelete scratch, reused across
@@ -41,6 +43,7 @@ func (t *Table) NewSession() *Session {
 		ep:   t.registerEpochSlot(),
 		rec:  t.recorderHandle(),
 		fl:   t.flight.Handle("session"),
+		heat: t.opts.Heat.Handle(t.opts.heatShard),
 	}
 	// Bind the session's device handle so traced ops carry their per-op NVM
 	// deltas as span args.

@@ -1,0 +1,306 @@
+package health
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"hdnh/internal/obs"
+)
+
+func at(sec int) time.Time { return time.Unix(int64(sec), 0) }
+
+func findCond(r Report, name string) (Condition, bool) {
+	for _, c := range r.Conditions {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Condition{}, false
+}
+
+// A quiet snapshot must evaluate to OK with no conditions.
+func TestHealthyIsQuiet(t *testing.T) {
+	e := NewEvaluator(Config{})
+	var s obs.Snapshot
+	s.Gauges.Items = 100
+	s.Gauges.LoadFactor = 0.4
+	s.Gauges.VLogSegments = 16
+	s.Gauges.VLogFreeSegments = 8
+	s.Gauges.VLogUsedWords = 1000
+	s.Gauges.VLogLiveWords = 900
+	r := e.Evaluate(s, at(1))
+	if r.Status != OK || len(r.Conditions) != 0 {
+		t.Fatalf("report = %+v, want quiet OK", r)
+	}
+}
+
+// vlog_free_low: degraded below the free-fraction watermark, critical at
+// the last free segment, attributed to the right shard.
+func TestVLogFreeLow(t *testing.T) {
+	e := NewEvaluator(Config{})
+	var s obs.Snapshot
+	s.Gauges.PerShard = []obs.ShardGauges{
+		{Shard: 0, VLogSegments: 32, VLogFreeSegments: 16},
+		{Shard: 1, VLogSegments: 32, VLogFreeSegments: 3}, // 9.4% < 12.5%
+		{Shard: 2, VLogSegments: 32, VLogFreeSegments: 1}, // last segment
+	}
+	r := e.Evaluate(s, at(1))
+	if r.Status != Critical {
+		t.Fatalf("status = %v, want critical", r.Status)
+	}
+	var deg, crit *Condition
+	for i := range r.Conditions {
+		c := &r.Conditions[i]
+		if c.Name != CondVLogFreeLow {
+			t.Fatalf("unexpected condition %+v", c)
+		}
+		switch c.Severity {
+		case Degraded:
+			deg = c
+		case Critical:
+			crit = c
+		}
+	}
+	if deg == nil || deg.Shard != 1 {
+		t.Fatalf("degraded condition = %+v, want shard 1", deg)
+	}
+	if crit == nil || crit.Shard != 2 || !strings.Contains(crit.Cause, "shard 2") {
+		t.Fatalf("critical condition = %+v, want shard 2 named in cause", crit)
+	}
+}
+
+// gc_backlog: garbage fraction past the thresholds.
+func TestGCBacklog(t *testing.T) {
+	e := NewEvaluator(Config{})
+	var s obs.Snapshot
+	s.Gauges.VLogUsedWords = 1000
+	s.Gauges.VLogLiveWords = 100 // 90% garbage
+	r := e.Evaluate(s, at(1))
+	c, ok := findCond(r, CondGCBacklog)
+	if !ok || c.Severity != Critical {
+		t.Fatalf("gc_backlog = %+v (found %v), want critical", c, ok)
+	}
+	s.Gauges.VLogLiveWords = 400 // 60% garbage
+	r = e.Evaluate(s, at(2))
+	if c, _ := findCond(r, CondGCBacklog); c.Severity != Degraded {
+		t.Fatalf("gc_backlog = %+v, want degraded at 60%%", c)
+	}
+}
+
+// resize_stall needs repeated observations: same remaining-bucket count
+// across the stall window goes critical; progress resets the clock.
+func TestResizeStall(t *testing.T) {
+	e := NewEvaluator(Config{ResizeStallWindow: 10 * time.Second})
+	snap := func(remaining int64) obs.Snapshot {
+		var s obs.Snapshot
+		s.Gauges.PerShard = []obs.ShardGauges{
+			{Shard: 0, Resizing: 1, DrainBucketsRemaining: remaining},
+			{Shard: 1},
+		}
+		return s
+	}
+	if r := e.Evaluate(snap(500), at(0)); r.Status != OK {
+		t.Fatalf("first observation = %+v, want OK", r)
+	}
+	// Progress: clock restarts.
+	if r := e.Evaluate(snap(400), at(4)); r.Status != OK {
+		t.Fatalf("progressing resize = %+v, want OK", r)
+	}
+	// Stuck for 5s (>= window/2): degraded.
+	r := e.Evaluate(snap(400), at(9))
+	c, ok := findCond(r, CondResizeStall)
+	if !ok || c.Severity != Degraded || c.Shard != 0 {
+		t.Fatalf("stall at 5s = %+v (found %v), want degraded shard 0", c, ok)
+	}
+	// Stuck for 11s (>= window): critical, cause names the shard.
+	r = e.Evaluate(snap(400), at(15))
+	c, _ = findCond(r, CondResizeStall)
+	if c.Severity != Critical || !strings.Contains(c.Cause, "shard 0") {
+		t.Fatalf("stall at 11s = %+v, want critical naming shard 0", c)
+	}
+	// Resize finishes: state clears and stays quiet.
+	var done obs.Snapshot
+	done.Gauges.PerShard = []obs.ShardGauges{{Shard: 0}, {Shard: 1}}
+	if r := e.Evaluate(done, at(16)); r.Status != OK {
+		t.Fatalf("after resize completes = %+v, want OK", r)
+	}
+}
+
+// epoch_pressure on the live-slot gauge.
+func TestEpochPressure(t *testing.T) {
+	e := NewEvaluator(Config{})
+	var s obs.Snapshot
+	s.Gauges.EpochSlotsLive = 2000
+	r := e.Evaluate(s, at(1))
+	if c, _ := findCond(r, CondEpochPressure); c.Severity != Degraded {
+		t.Fatalf("2000 slots = %+v, want degraded", c)
+	}
+	s.Gauges.EpochSlotsLive = 10000
+	r = e.Evaluate(s, at(2))
+	c, _ := findCond(r, CondEpochPressure)
+	if c.Severity != Critical || !strings.Contains(c.Cause, "10000") {
+		t.Fatalf("10000 slots = %+v, want critical with count in cause", c)
+	}
+}
+
+// load_factor_high per shard.
+func TestLoadFactorHigh(t *testing.T) {
+	e := NewEvaluator(Config{})
+	var s obs.Snapshot
+	s.Gauges.PerShard = []obs.ShardGauges{
+		{Shard: 0, LoadFactor: 0.5},
+		{Shard: 1, LoadFactor: 0.92},
+		{Shard: 2, LoadFactor: 0.97},
+	}
+	r := e.Evaluate(s, at(1))
+	var sawDeg, sawCrit bool
+	for _, c := range r.Conditions {
+		if c.Name != CondLoadFactorHigh {
+			t.Fatalf("unexpected condition %+v", c)
+		}
+		sawDeg = sawDeg || (c.Severity == Degraded && c.Shard == 1)
+		sawCrit = sawCrit || (c.Severity == Critical && c.Shard == 2)
+	}
+	if !sawDeg || !sawCrit {
+		t.Fatalf("conditions = %+v, want degraded shard 1 + critical shard 2", r.Conditions)
+	}
+}
+
+// shard_imbalance only fires on real stores (min items) and names the
+// overloaded shard.
+func TestShardImbalance(t *testing.T) {
+	e := NewEvaluator(Config{})
+	var s obs.Snapshot
+	s.Gauges.Items = 40000
+	s.Gauges.PerShard = []obs.ShardGauges{
+		{Shard: 0, Items: 25000},
+		{Shard: 1, Items: 5000},
+		{Shard: 2, Items: 5000},
+		{Shard: 3, Items: 5000},
+	}
+	r := e.Evaluate(s, at(1))
+	c, ok := findCond(r, CondShardImbalance)
+	if !ok || c.Severity != Degraded || c.Shard != 0 {
+		t.Fatalf("imbalance = %+v (found %v), want degraded shard 0", c, ok)
+	}
+	// Below the min-items floor the same shape stays quiet.
+	s.Gauges.Items = 400
+	for i := range s.Gauges.PerShard {
+		s.Gauges.PerShard[i].Items /= 100
+	}
+	if r := e.Evaluate(s, at(2)); r.Status != OK {
+		t.Fatalf("tiny store imbalance = %+v, want OK", r)
+	}
+}
+
+// error_rate is a delta rule: the second snapshot's contended/full share of
+// the interval's ops drives severity.
+func TestErrorRate(t *testing.T) {
+	e := NewEvaluator(Config{})
+	var s0 obs.Snapshot
+	e.Evaluate(s0, at(0))
+	var s1 obs.Snapshot
+	s1.Ops[obs.OpGet][obs.OutHotHit] = 800
+	s1.Ops[obs.OpInsert][obs.OutContended] = 150
+	s1.Ops[obs.OpInsert][obs.OutFull] = 50 // 200/1000 = 20% >= critical
+	r := e.Evaluate(s1, at(1))
+	c, ok := findCond(r, CondErrorRate)
+	if !ok || c.Severity != Critical {
+		t.Fatalf("20%% errors = %+v (found %v), want critical", c, ok)
+	}
+	// Next interval is clean: rule quiets down.
+	s2 := s1
+	s2.Ops[obs.OpGet][obs.OutHotHit] += 1000
+	if r := e.Evaluate(s2, at(2)); r.Status != OK {
+		t.Fatalf("clean interval = %+v, want OK", r)
+	}
+}
+
+// resp_in_flight reads the listener gauge when present.
+func TestRESPInFlight(t *testing.T) {
+	e := NewEvaluator(Config{})
+	var s obs.Snapshot
+	s.RESP = &obs.RESPSnapshot{InFlight: 2000}
+	r := e.Evaluate(s, at(1))
+	if c, _ := findCond(r, CondRESPInFlight); c.Severity != Degraded {
+		t.Fatalf("2000 in flight = %+v, want degraded", c)
+	}
+	s.RESP = nil
+	if r := e.Evaluate(s, at(2)); r.Status != OK {
+		t.Fatalf("no RESP listener = %+v, want OK", r)
+	}
+}
+
+// WriteProm emits the status gauge plus one stable series per rule.
+func TestReportProm(t *testing.T) {
+	r := Report{
+		Status: Critical,
+		Conditions: []Condition{
+			{Name: CondVLogFreeLow, Severity: Critical, Shard: 2},
+			{Name: CondVLogFreeLow, Severity: Degraded, Shard: 1},
+			{Name: CondErrorRate, Severity: Degraded, Shard: -1},
+		},
+	}
+	var buf bytes.Buffer
+	r.WriteProm(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"hdnh_health_status 2\n",
+		`hdnh_health_condition{condition="vlog_free_low"} 2`,
+		`hdnh_health_condition{condition="error_rate"} 1`,
+		`hdnh_health_condition{condition="resize_stall"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "hdnh_health_condition{"); got != len(ConditionNames) {
+		t.Fatalf("condition series = %d, want %d (one per rule)", got, len(ConditionNames))
+	}
+}
+
+// WriteText leads with the status and lists each fired condition's cause.
+func TestReportText(t *testing.T) {
+	r := Report{
+		Status: Degraded,
+		Conditions: []Condition{
+			{Name: CondGCBacklog, Severity: Degraded, Shard: -1, Cause: "vlog garbage fraction 60.0%"},
+		},
+	}
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	out := buf.String()
+	if !strings.HasPrefix(out, "degraded\n") || !strings.Contains(out, "gc_backlog") || !strings.Contains(out, "60.0%") {
+		t.Fatalf("text = %q", out)
+	}
+}
+
+// BenchmarkEvaluate prices one full rule-set pass over a realistic sharded
+// snapshot — the per-tick cost the serve layer pays on its ~1s collector.
+func BenchmarkEvaluate(b *testing.B) {
+	e := NewEvaluator(Config{})
+	var s obs.Snapshot
+	s.Gauges.Items = 1 << 20
+	s.Gauges.LoadFactor = 0.62
+	s.Gauges.VLogSegments = 64
+	s.Gauges.VLogFreeSegments = 20
+	s.Gauges.VLogUsedWords = 1 << 22
+	s.Gauges.VLogLiveWords = 3 << 20
+	s.Gauges.EpochSlotsLive = 12
+	for i := int64(0); i < 4; i++ {
+		s.Gauges.PerShard = append(s.Gauges.PerShard, obs.ShardGauges{
+			Shard: i, Items: 1 << 18, LoadFactor: 0.62,
+			VLogSegments: 16, VLogFreeSegments: 5, VLogUsedWords: 1 << 20,
+		})
+	}
+	s.RESP = &obs.RESPSnapshot{InFlight: 40}
+	s.Ops[obs.OpGet][obs.OutHotHit] = 1 << 20
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Ops[obs.OpGet][obs.OutHotHit] += 1000 // keep the interval delta non-degenerate
+		e.Evaluate(s, at(i))
+	}
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func histSnap(gets, writes uint64, items int64) Snapshot {
+	var s Snapshot
+	s.Ops[OpGet][OutHotHit] = gets / 2
+	s.Ops[OpGet][OutNVTHit] = gets - gets/2
+	s.Ops[OpInsert][OutOK] = writes
+	s.NVM.WriteWords = writes * 4
+	s.Gauges.Items = items
+	s.Gauges.LoadFactor = float64(items) / 1000
+	return s
+}
+
+// Two records produce one point carrying the interval's deltas and the
+// closing gauges; the first record only seeds the baseline.
+func TestHistoryDeltas(t *testing.T) {
+	h := NewHistory(8)
+	t0 := time.Unix(1000, 0)
+	h.Record(histSnap(100, 10, 50), t0)
+	if got := h.Points(); len(got) != 0 {
+		t.Fatalf("points after seed = %d, want 0", len(got))
+	}
+	h.Record(histSnap(300, 25, 80), t0.Add(time.Second))
+	pts := h.Points()
+	if len(pts) != 1 {
+		t.Fatalf("points = %d, want 1", len(pts))
+	}
+	p := pts[0]
+	if p.Gets != 200 || p.Inserts != 15 || p.NVMWriteWords != 60 {
+		t.Fatalf("deltas = gets %d inserts %d nvmw %d, want 200/15/60", p.Gets, p.Inserts, p.NVMWriteWords)
+	}
+	if p.Items != 80 || p.IntervalMS != 1000 {
+		t.Fatalf("gauges = items %d interval %d, want 80/1000", p.Items, p.IntervalMS)
+	}
+	if p.HotHits != 150-50 {
+		t.Fatalf("hot hits = %d, want 100", p.HotHits)
+	}
+}
+
+// The ring keeps only the newest capacity points, oldest first.
+func TestHistoryRingBounds(t *testing.T) {
+	h := NewHistory(4)
+	t0 := time.Unix(2000, 0)
+	for i := 0; i <= 10; i++ {
+		h.Record(histSnap(uint64(i)*100, 0, int64(i)), t0.Add(time.Duration(i)*time.Second))
+	}
+	pts := h.Points()
+	if len(pts) != 4 {
+		t.Fatalf("points = %d, want 4 (capacity)", len(pts))
+	}
+	for i, p := range pts {
+		if want := int64(7 + i); p.Items != want {
+			t.Fatalf("point %d items = %d, want %d (chronological tail)", i, p.Items, want)
+		}
+		if p.Gets != 100 {
+			t.Fatalf("point %d gets = %d, want 100 per interval", i, p.Gets)
+		}
+	}
+}
+
+// Per-shard wear proxies are used-word growth, clamped at zero when a
+// recycle shrinks the gauge.
+func TestHistoryShardWear(t *testing.T) {
+	shardSnap := func(used0, used1 int64) Snapshot {
+		var s Snapshot
+		s.Gauges.PerShard = []ShardGauges{
+			{Shard: 0, Items: 1, VLogUsedWords: used0},
+			{Shard: 1, Items: 2, VLogUsedWords: used1},
+		}
+		return s
+	}
+	h := NewHistory(4)
+	t0 := time.Unix(3000, 0)
+	h.Record(shardSnap(1000, 500), t0)
+	h.Record(shardSnap(1400, 200), t0.Add(time.Second)) // shard 1 recycled
+	pts := h.Points()
+	if len(pts) != 1 || len(pts[0].Shards) != 2 {
+		t.Fatalf("points = %+v, want 1 point with 2 shards", pts)
+	}
+	if w := pts[0].Shards[0].WearWords; w != 400 {
+		t.Fatalf("shard 0 wear = %d, want 400", w)
+	}
+	if w := pts[0].Shards[1].WearWords; w != 0 {
+		t.Fatalf("shard 1 wear = %d, want 0 (clamped after recycle)", w)
+	}
+}
+
+// WriteJSON emits valid JSON with capacity and chronological points.
+func TestHistoryJSON(t *testing.T) {
+	h := NewHistory(4)
+	t0 := time.Unix(4000, 0)
+	h.Record(histSnap(0, 0, 1), t0)
+	h.Record(histSnap(50, 5, 2), t0.Add(time.Second))
+	var buf bytes.Buffer
+	if err := h.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var out struct {
+		Capacity int            `json:"capacity"`
+		Points   []HistoryPoint `json:"points"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, buf.String())
+	}
+	if out.Capacity != 4 || len(out.Points) != 1 || out.Points[0].Gets != 50 {
+		t.Fatalf("json = %+v, want capacity 4, 1 point, gets 50", out)
+	}
+}

@@ -16,6 +16,7 @@ const (
 	RESPMGet
 	RESPMSet
 	RESPPing
+	RESPInfo
 	RESPQuit
 	RESPOther
 	NumRESPCmds
@@ -36,6 +37,8 @@ func (c RESPCmd) String() string {
 		return "mset"
 	case RESPPing:
 		return "ping"
+	case RESPInfo:
+		return "info"
 	case RESPQuit:
 		return "quit"
 	default:

@@ -38,6 +38,10 @@ type Gauges struct {
 	VLogFreeSegments int64 `json:"vlog_free_segments"`
 	VLogLiveWords    int64 `json:"vlog_live_words"`
 	VLogUsedWords    int64 `json:"vlog_used_words"`
+	// EpochSlotsLive counts epoch slots owned by sessions not yet closed —
+	// each live slot can pin a resize grace period, so sustained growth
+	// means leaked sessions (bigkv.Store.EpochSlotsLive fills it).
+	EpochSlotsLive int64 `json:"epoch_slots_live"`
 	// Shards is the hash-router shard count (0 for an unsharded table) and
 	// PerShard the per-shard shape breakdown the aggregate fields above sum
 	// over. Counters are shared across shards; only shape is per-shard.

@@ -67,6 +67,13 @@ type Options struct {
 	// must be pooled, not minted per connection; connections beyond the
 	// pool trace into flight.Nop. Default 8.
 	MaxTracers int
+	// Info, when non-nil, renders the INFO command's reply: Redis-style
+	// CRLF key:value lines under # Section headers. ok=false means the
+	// requested section is unknown (the command answers an error reply and
+	// the connection lives on). nil falls back to a minimal built-in
+	// Server section, so INFO never breaks a redis-cli session. The serve
+	// package's Server.Info is the intended provider.
+	Info func(section string) (string, bool)
 	// Metrics, when non-nil, receives connection/command/run counters.
 	Metrics *obs.RESPMetrics
 	// Flight, when non-nil, receives per-run operation spans.
@@ -419,6 +426,11 @@ func (s *Server) classify(args [][]byte) command {
 		if len(args) > 2 {
 			c.errMsg = "ERR wrong number of arguments for 'ping' command"
 		}
+	case "INFO":
+		c.kind = obs.RESPInfo
+		if len(args) > 2 {
+			c.errMsg = "ERR wrong number of arguments for 'info' command"
+		}
 	case "QUIT":
 		c.kind = obs.RESPQuit
 	case "COMMAND":
@@ -667,11 +679,37 @@ func (e *connExec) direct(c command) (quit bool) {
 		} else {
 			WriteSimple(e.bw, "OK")
 		}
+	case obs.RESPInfo:
+		section := ""
+		if len(c.args) == 2 {
+			section = string(c.args[1])
+		}
+		info := e.s.opts.Info
+		if info == nil {
+			info = builtinInfo
+		}
+		if text, ok := info(section); ok {
+			WriteBulk(e.bw, []byte(text))
+		} else {
+			WriteError(e.bw, fmt.Sprintf("ERR unknown INFO section '%.32s'", section))
+			isErr = true
+		}
 	case obs.RESPOther: // COMMAND
 		WriteArrayLen(e.bw, 0)
 	}
 	m.Served(c.kind, isErr, time.Since(c.t))
 	return false
+}
+
+// builtinInfo is the Options.Info fallback: enough of a Server section to
+// keep redis-cli's INFO probe happy when no provider is wired in.
+func builtinInfo(section string) (string, bool) {
+	switch strings.ToLower(section) {
+	case "", "default", "all", "everything", "server":
+		return "# Server\r\nhdnh_version:1\r\n\r\n", true
+	default:
+		return "", false
+	}
 }
 
 // errReply maps a store verdict onto the wire error taxonomy. Clients

@@ -25,13 +25,17 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"net/url"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"hdnh/internal/batchrun"
 	"hdnh/internal/bigkv"
 	"hdnh/internal/flight"
 	"hdnh/internal/hashfn"
+	"hdnh/internal/health"
+	"hdnh/internal/heat"
 	"hdnh/internal/kv"
 	"hdnh/internal/obs"
 	"hdnh/internal/scheme"
@@ -70,6 +74,20 @@ type Options struct {
 	RESPMetrics *obs.RESPMetrics
 	// SessionPoolSize overrides DefaultSessionPoolSize when positive.
 	SessionPoolSize int
+	// Heat, when non-nil, is the hot-key monitor /debug/heat snapshots. It
+	// must be the same Monitor wired into the store's core.Options.Heat.
+	Heat *heat.Monitor
+	// HealthConfig tunes the health rule thresholds; the zero value takes
+	// health.DefaultConfig.
+	HealthConfig health.Config
+	// HistoryPoints sizes the /debug/history ring; 0 means
+	// obs.DefaultHistoryPoints (~10 min at 1s collection).
+	HistoryPoints int
+	// CollectEvery, when positive, starts a background collector goroutine
+	// recording a history point and re-evaluating health at that period.
+	// Zero leaves collection to /healthz and /metrics requests (tests) or
+	// explicit Collect calls.
+	CollectEvery time.Duration
 }
 
 // Server owns the handlers and a bounded free list of per-request store
@@ -84,6 +102,18 @@ type Server struct {
 	respMetrics *obs.RESPMetrics
 	sessions    chan *bigkv.Session
 	handler     http.Handler
+
+	health  *health.Evaluator
+	heat    *heat.Monitor
+	history *obs.History
+	started time.Time
+
+	// shuttingDown flips readiness the moment graceful shutdown begins —
+	// before the listener dies — so load balancers drain first.
+	shuttingDown atomic.Bool
+
+	collectStop chan struct{}
+	collectDone chan struct{}
 }
 
 // New builds a Server and its handler tree.
@@ -102,6 +132,10 @@ func New(opts Options) *Server {
 		flight:      opts.Flight,
 		respMetrics: opts.RESPMetrics,
 		sessions:    make(chan *bigkv.Session, size),
+		health:      health.NewEvaluator(opts.HealthConfig),
+		heat:        opts.Heat,
+		history:     obs.NewHistory(opts.HistoryPoints),
+		started:     time.Now(),
 	}
 
 	mux := http.NewServeMux()
@@ -109,9 +143,10 @@ func New(opts Options) *Server {
 	mux.HandleFunc("/metrics", s.metricsProm)
 	mux.HandleFunc("/metrics.json", s.metricsJSON)
 	mux.HandleFunc("/stats", s.stats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/readyz", s.readyz)
+	mux.HandleFunc("/debug/heat", s.debugHeat)
+	mux.HandleFunc("/debug/history", s.debugHistory)
 	if opts.Debug {
 		mux.HandleFunc("/debug/flight", s.debugFlight)
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -131,16 +166,62 @@ func New(opts Options) *Server {
 		}
 		mux.ServeHTTP(w, r)
 	}))
+	if opts.CollectEvery > 0 {
+		s.startCollector(opts.CollectEvery)
+	}
 	return s
+}
+
+// startCollector launches the periodic history/health collection loop.
+func (s *Server) startCollector(every time.Duration) {
+	s.collectStop = make(chan struct{})
+	s.collectDone = make(chan struct{})
+	go func() {
+		defer close(s.collectDone)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.collectStop:
+				return
+			case now := <-t.C:
+				s.Collect(now)
+			}
+		}
+	}()
+}
+
+// Collect records one history point and re-evaluates health from a fresh
+// snapshot. The collector goroutine calls it on its ticker; tests call it
+// directly to step time deterministically.
+func (s *Server) Collect(now time.Time) health.Report {
+	snap := s.snapshot()
+	s.history.Record(snap, now)
+	return s.health.Evaluate(snap, now)
+}
+
+// BeginShutdown flips /readyz (and /healthz) to 503 without touching the
+// listener: call it the moment a termination signal arrives, keep serving
+// while the load balancer drains, then stop the listener and Close.
+func (s *Server) BeginShutdown() {
+	s.shuttingDown.Store(true)
 }
 
 // Handler returns the root handler (access log, /kv/ dispatch, mux).
 func (s *Server) Handler() http.Handler { return s.handler }
 
 // Close releases the parked sessions, returning their epoch-registry slots
-// before the store goes down. Call it after the HTTP server has drained
-// (in-flight requests re-park sessions until then) and before Store.Close.
+// before the store goes down, and stops the collector goroutine. Call it
+// after the HTTP server has drained (in-flight requests re-park sessions
+// until then) and before Store.Close. Implies BeginShutdown for callers
+// that skipped the graceful-drain phase.
 func (s *Server) Close() error {
+	s.shuttingDown.Store(true)
+	if s.collectStop != nil {
+		close(s.collectStop)
+		<-s.collectDone
+		s.collectStop = nil
+	}
 	for {
 		select {
 		case sess := <-s.sessions:
@@ -467,7 +548,180 @@ func (s *Server) snapshot() obs.Snapshot {
 }
 
 func (s *Server) metricsProm(w http.ResponseWriter, _ *http.Request) {
-	s.writeBuffered(w, "/metrics", "text/plain; version=0.0.4; charset=utf-8", s.snapshot().WriteProm)
+	snap := s.snapshot()
+	report := s.health.Evaluate(snap, time.Now())
+	s.writeBuffered(w, "/metrics", "text/plain; version=0.0.4; charset=utf-8", func(w io.Writer) error {
+		if err := snap.WriteProm(w); err != nil {
+			return err
+		}
+		report.WriteProm(w)
+		return nil
+	})
+}
+
+// healthz evaluates the rules on demand and answers with the verdict: 200
+// while the store is ok or merely degraded (the body names every fired
+// condition and its cause), 503 once critical or shutting down. ?format=json
+// returns the typed health.Report.
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	report := s.health.Evaluate(s.snapshot(), time.Now())
+	code := http.StatusOK
+	if report.Status == health.Critical || s.shuttingDown.Load() {
+		code = http.StatusServiceUnavailable
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "json":
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			health.Report
+			ShuttingDown bool `json:"shutting_down"`
+		}{report, s.shuttingDown.Load()}); err != nil {
+			http.Error(w, "exposition failed", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		w.Write(buf.Bytes())
+	case "", "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(code)
+		if s.shuttingDown.Load() {
+			fmt.Fprintln(w, "shutting down")
+		}
+		report.WriteText(w)
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (text|json)", format), http.StatusBadRequest)
+	}
+}
+
+// readyz is the load-balancer check: 503 the moment shutdown begins or the
+// last evaluation went critical, 200 otherwise. It reads the cached report
+// rather than re-evaluating — readiness probes are frequent and must stay
+// cheap — so run the collector (Options.CollectEvery) in production.
+func (s *Server) readyz(w http.ResponseWriter, _ *http.Request) {
+	if s.shuttingDown.Load() {
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	if report := s.health.Last(); report.Status == health.Critical {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		report.WriteText(w)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// debugHeat serves the hot-key monitor snapshot: per-shard sampled op counts
+// and the top-K keys by estimated touch count.
+func (s *Server) debugHeat(w http.ResponseWriter, _ *http.Request) {
+	if s.heat == nil {
+		http.Error(w, "heat sampling disabled (run with -heat)", http.StatusNotFound)
+		return
+	}
+	s.writeBuffered(w, "/debug/heat", "application/json", func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(s.heat.Snapshot())
+	})
+}
+
+// debugHistory serves the snapshot-delta ring: per-interval op/NVM/GC deltas
+// plus closing gauges, oldest first.
+func (s *Server) debugHistory(w http.ResponseWriter, _ *http.Request) {
+	s.writeBuffered(w, "/debug/history", "application/json", func(w io.Writer) error {
+		return s.history.WriteJSON(w)
+	})
+}
+
+// Info renders a Redis-INFO-style text for the RESP INFO command: CRLF
+// key:value lines under # Section headers. section selects one section
+// (case-insensitive); "" , "default", "all" and "everything" return them
+// all. ok=false means the section name is unknown.
+func (s *Server) Info(section string) (string, bool) {
+	snap := s.snapshot()
+	report := s.health.Evaluate(snap, time.Now())
+
+	var b strings.Builder
+	server := func() {
+		fmt.Fprintf(&b, "# Server\r\n")
+		fmt.Fprintf(&b, "hdnh_version:1\r\n")
+		fmt.Fprintf(&b, "go_version:%s\r\n", runtime.Version())
+		fmt.Fprintf(&b, "process_goroutines:%d\r\n", runtime.NumGoroutine())
+		fmt.Fprintf(&b, "uptime_in_seconds:%d\r\n", int64(time.Since(s.started).Seconds()))
+		fmt.Fprintf(&b, "shards:%d\r\n", s.st.Index().NumShards())
+		fmt.Fprintf(&b, "\r\n")
+	}
+	clients := func() {
+		fmt.Fprintf(&b, "# Clients\r\n")
+		var open, inFlight int64
+		if snap.RESP != nil {
+			open, inFlight = snap.RESP.ConnsOpen, snap.RESP.InFlight
+		}
+		fmt.Fprintf(&b, "connected_clients:%d\r\n", open)
+		fmt.Fprintf(&b, "in_flight_commands:%d\r\n", inFlight)
+		fmt.Fprintf(&b, "\r\n")
+	}
+	stats := func() {
+		fmt.Fprintf(&b, "# Stats\r\n")
+		var conns, cmds uint64
+		if snap.RESP != nil {
+			conns = snap.RESP.ConnsTotal
+			for _, n := range snap.RESP.Commands {
+				cmds += n
+			}
+		}
+		fmt.Fprintf(&b, "total_connections_received:%d\r\n", conns)
+		fmt.Fprintf(&b, "total_commands_processed:%d\r\n", cmds)
+		gets := snap.OpTotal(obs.OpGet)
+		misses := snap.Ops[obs.OpGet][obs.OutMiss]
+		fmt.Fprintf(&b, "keyspace_hits:%d\r\n", gets-misses)
+		fmt.Fprintf(&b, "keyspace_misses:%d\r\n", misses)
+		fmt.Fprintf(&b, "hot_hit_ratio:%.4f\r\n", snap.HitRatio())
+		fmt.Fprintf(&b, "expansions:%d\r\n", snap.Expansions)
+		fmt.Fprintf(&b, "gc_write_amplification:%.3f\r\n", snap.GCWriteAmplification())
+		fmt.Fprintf(&b, "\r\n")
+	}
+	keyspace := func() {
+		fmt.Fprintf(&b, "# Keyspace\r\n")
+		fmt.Fprintf(&b, "db0:keys=%d,expires=0,avg_ttl=0\r\n", snap.Gauges.Items)
+		fmt.Fprintf(&b, "\r\n")
+	}
+	healthSec := func() {
+		fmt.Fprintf(&b, "# Health\r\n")
+		fmt.Fprintf(&b, "health_status:%s\r\n", report.Status)
+		for _, name := range health.ConditionNames {
+			fmt.Fprintf(&b, "health_%s:%s\r\n", name, report.Worst(name))
+		}
+		for _, c := range report.Conditions {
+			fmt.Fprintf(&b, "health_cause:%s\r\n", c.Cause)
+		}
+		fmt.Fprintf(&b, "\r\n")
+	}
+
+	switch strings.ToLower(section) {
+	case "", "default", "all", "everything":
+		server()
+		clients()
+		stats()
+		keyspace()
+		healthSec()
+	case "server":
+		server()
+	case "clients":
+		clients()
+	case "stats":
+		stats()
+	case "keyspace":
+		keyspace()
+	case "health":
+		healthSec()
+	default:
+		return "", false
+	}
+	return b.String(), true
 }
 
 func (s *Server) metricsJSON(w http.ResponseWriter, _ *http.Request) {
