@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "", "figure to regenerate: 11a, 11b, 12, 13, 14, 15, ablation, loadfactor, hybrid, resize, vloggc, flightdemo, batchscale, shardscale, pipescale")
+		fig       = flag.String("fig", "", "figure to regenerate: 11a, 11b, 12, 13, 14, 15, ablation, loadfactor, hybrid, resize, vloggc, flightdemo, batchscale, shardscale, pipescale, putscale")
 		table     = flag.String("table", "", "table to regenerate: 1")
 		all       = flag.Bool("all", false, "run every figure and table")
 		records   = flag.Int64("records", 100_000, "preloaded record count")
@@ -148,8 +148,9 @@ func main() {
 		"batchscale": {"Batched reads: throughput vs MultiGet batch size (extension)", single(harness.FigBatchScale)},
 		"shardscale": {"Shard router: mixed throughput vs shard count (extension)", single(harness.FigShardScale)},
 		"pipescale":  {"Wire protocol: HTTP /kv/ vs RESP pipeline depth (extension)", single(harness.FigPipeScale)},
+		"putscale":   {"Group commit: upsert throughput vs MultiPut batch size (extension)", single(harness.FigPutScale)},
 	}
-	order := []string{"fig11a", "fig11b", "fig12", "fig13", "fig14", "fig15", "table1", "ablation", "loadfactor", "hybrid", "resize", "vloggc", "flightdemo", "batchscale", "shardscale", "pipescale"}
+	order := []string{"fig11a", "fig11b", "fig12", "fig13", "fig14", "fig15", "table1", "ablation", "loadfactor", "hybrid", "resize", "vloggc", "flightdemo", "batchscale", "shardscale", "pipescale", "putscale"}
 
 	var selected []string
 	switch {
@@ -158,7 +159,7 @@ func main() {
 	case *fig != "":
 		name := strings.ToLower(*fig)
 		switch name {
-		case "ablation", "loadfactor", "hybrid", "resize", "vloggc", "flightdemo", "batchscale", "shardscale", "pipescale":
+		case "ablation", "loadfactor", "hybrid", "resize", "vloggc", "flightdemo", "batchscale", "shardscale", "pipescale", "putscale":
 		default:
 			name = "fig" + name
 		}

@@ -215,6 +215,12 @@ func render(client *http.Client, base string, prev *metricsDoc, prevAt time.Time
 		}
 		fmt.Fprintf(&b, "resp    conns %-6d in-flight %-6d cmds/s %s\n",
 			r.ConnsOpen, r.InFlight, rate(curCmds, prevCmds))
+		if r.WriteRuns > 0 {
+			// Write batch shape: the run sizes the group-commit path turns
+			// into one persist barrier each.
+			fmt.Fprintf(&b, "writes  runs %-6d mean %-6.1f p50 %-4d p99 %-4d ops/run\n",
+				r.WriteRuns, r.WriteRunLength.MeanNs, r.WriteRunLength.P50Ns, r.WriteRunLength.P99Ns)
+		}
 	}
 	b.WriteString("\n")
 

@@ -372,6 +372,33 @@ type Session struct {
 	h       *nvm.Handle
 	rec     obs.Recorder
 	nvmBase nvm.Stats
+	ms      multiScratch
+}
+
+// multiScratch is the session-held reusable state for MultiPut/MultiDelete:
+// a steady-state batch caller allocates only the returned errs slice.
+// Sessions are single-goroutine, so the scratch needs no locking.
+type multiScratch struct {
+	kks    []kv.Key
+	svs    []kv.Value
+	ok     []bool
+	shRecs [][]vlog.BatchRecord
+	shIdx  [][]int
+	fk     []kv.Key
+	fv     []kv.Value
+	fi     []int
+	folds  []kv.Value
+	fhad   []bool
+	ferrs  []error
+}
+
+// scratchSlice returns s resized to n, reallocating only past the previous
+// high-water mark. Contents are stale; callers overwrite or zero them.
+func scratchSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // NewSession returns a session.
@@ -613,24 +640,191 @@ func (s *Session) MultiGet(keys [][]byte) (vals [][]byte, found []bool, errs []e
 	return vals, found, errs
 }
 
-// MultiPut upserts every key with Put's semantics (log commit before index
-// write), returning one verdict per key. The log appends are inherently
-// per-record; the batching buys the caller one call across an RPC boundary.
+// MultiPut upserts every key with Put's semantics — every log commit still
+// happens before its index write — but grouped end to end: the batch's
+// oversize values append to each shard's log through AppendBatch (one
+// persist barrier per contiguous segment run instead of two per record),
+// then all the index entries commit through the router's parallel grouped
+// MultiPutExchange, whose displaced values drive the same exactly-once
+// liveness retirement as Put. Returns one verdict per key.
 func (s *Session) MultiPut(keys, values [][]byte) []error {
-	errs := make([]error, len(keys))
-	for i := range keys {
-		errs[i] = s.Put(keys[i], values[i])
+	n := len(keys)
+	errs := make([]error, n)
+	if n == 0 {
+		return errs
 	}
+	ms := &s.ms
+	kks := scratchSlice(ms.kks, n)
+	svs := scratchSlice(ms.svs, n)
+	ok := scratchSlice(ms.ok, n)
+	ms.kks, ms.svs, ms.ok = kks, svs, ok
+	if ms.shRecs == nil {
+		ms.shRecs = make([][]vlog.BatchRecord, len(s.st.logs))
+		ms.shIdx = make([][]int, len(s.st.logs))
+	}
+	shRecs, shIdx := ms.shRecs, ms.shIdx
+	for sh := range shRecs {
+		shRecs[sh] = shRecs[sh][:0]
+		shIdx[sh] = shIdx[sh][:0]
+	}
+	// Pass 1: validate and inline-encode; group oversize values by shard.
+	for i := range keys {
+		ok[i] = false
+		k, err := kv.MakeKey(keys[i])
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		kks[i] = k
+		if len(values[i]) == 0 {
+			errs[i] = errors.New("bigkv: empty value")
+			continue
+		}
+		if len(values[i]) <= maxInline {
+			svs[i] = kv.Value{}
+			svs[i][0] = tagInline
+			svs[i][1] = byte(len(values[i]))
+			copy(svs[i][2:], values[i])
+			ok[i] = true
+			continue
+		}
+		sh := s.st.idx.ShardForKey(k)
+		log := s.st.logs[sh]
+		if w := vlog.RecordWords(len(values[i])); w > log.SegmentWords() {
+			// AppendBatch rejects the whole batch on an oversize record;
+			// fail just this key, like the per-record path would.
+			errs[i] = fmt.Errorf("vlog: value needs %d words, segment holds %d", w, log.SegmentWords())
+			continue
+		}
+		shRecs[sh] = append(shRecs[sh], vlog.BatchRecord{Key: k, Value: values[i]})
+		shIdx[sh] = append(shIdx[sh], i)
+	}
+	// Pass 2: per-shard grouped log commits.
+	totalRuns := 0
+	for sh := range shRecs {
+		recs := shRecs[sh]
+		if len(recs) == 0 {
+			continue
+		}
+		done, runs, err := s.appendBatchShard(sh, recs)
+		totalRuns += runs
+		for j := range recs {
+			i := shIdx[sh][j]
+			if j < done {
+				svs[i] = packPointer(recs[j].Addr, recs[j].Words)
+				ok[i] = true
+			} else {
+				errs[i] = err
+			}
+		}
+	}
+	// Pass 3: one grouped index commit for everything that encoded.
+	m := 0
+	for i := range ok {
+		if ok[i] {
+			m++
+		}
+	}
+	if m > 0 {
+		fk := scratchSlice(ms.fk, m)[:0]
+		fv := scratchSlice(ms.fv, m)[:0]
+		fi := scratchSlice(ms.fi, m)[:0]
+		for i := range ok {
+			if ok[i] {
+				fk = append(fk, kks[i])
+				fv = append(fv, svs[i])
+				fi = append(fi, i)
+			}
+		}
+		folds := scratchSlice(ms.folds, m)
+		fhad := scratchSlice(ms.fhad, m)
+		ferrs := scratchSlice(ms.ferrs, m)
+		ms.fk, ms.fv, ms.fi, ms.folds, ms.fhad, ms.ferrs = fk, fv, fi, folds, fhad, ferrs
+		s.ts.MultiPutExchange(fk, fv, folds, fhad, ferrs)
+		for j, i := range fi {
+			errs[i] = ferrs[j]
+			if ferrs[j] == nil {
+				if fhad[j] {
+					s.retire(kks[i], folds[j])
+				}
+			} else {
+				s.retire(kks[i], fv[j]) // the appended record never got indexed
+			}
+		}
+	}
+	s.rec.WriteGroup(int64(n), int64(totalRuns))
 	return errs
 }
 
-// MultiDelete removes every key with Delete's semantics, returning one
-// verdict per key (scheme.ErrNotFound for absent keys).
-func (s *Session) MultiDelete(keys [][]byte) []error {
-	errs := make([]error, len(keys))
-	for i := range keys {
-		errs[i] = s.Delete(keys[i])
+// appendBatchShard commits recs to shard sh's log, helping the shard's GC
+// through ErrLogFull exactly like appendRecord. It returns how many records
+// committed (always a prefix of recs; survivors carry their Addr/Words),
+// the flush runs the appends took, and the error that cut a batch short.
+func (s *Session) appendBatchShard(sh int, recs []vlog.BatchRecord) (int, int, error) {
+	log := s.st.logs[sh]
+	done, runs := 0, 0
+	for tries := 0; done < len(recs); tries++ {
+		n, r, err := log.AppendBatch(s.h, recs[done:])
+		for j := done; j < done+n; j++ {
+			s.rec.VLogAppend(recs[j].Words)
+		}
+		done += n
+		runs += r
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, vlog.ErrLogFull) || s.st.opts.DisableAutoGC || tries >= 4 {
+			return done, runs, err
+		}
+		progress, gcErr := s.st.gcs[sh].gcOnce()
+		if gcErr != nil {
+			return done, runs, gcErr
+		}
+		if !progress && tries > 0 {
+			return done, runs, err
+		}
 	}
+	s.st.maybeKickGC(sh)
+	return done, runs, nil
+}
+
+// MultiDelete removes every key with Delete's semantics through one grouped
+// index commit (the router's parallel MultiDeleteExchange), retiring each
+// displaced pointer exactly once. Returns one verdict per key
+// (scheme.ErrNotFound for absent keys).
+func (s *Session) MultiDelete(keys [][]byte) []error {
+	n := len(keys)
+	errs := make([]error, n)
+	if n == 0 {
+		return errs
+	}
+	ms := &s.ms
+	kks := scratchSlice(ms.kks, n)[:0]
+	fi := scratchSlice(ms.fi, n)[:0]
+	for i := range keys {
+		k, err := kv.MakeKey(keys[i])
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		kks = append(kks, k)
+		fi = append(fi, i)
+	}
+	ms.kks, ms.fi = kks, fi
+	if len(kks) == 0 {
+		return errs
+	}
+	olds := scratchSlice(ms.folds, len(kks))
+	derrs := scratchSlice(ms.ferrs, len(kks))
+	ms.folds, ms.ferrs = olds, derrs
+	s.ts.MultiDeleteExchange(kks, olds, derrs)
+	for j, i := range fi {
+		errs[i] = derrs[j]
+		if derrs[j] == nil {
+			s.retire(kks[j], olds[j])
+		}
+	}
+	s.rec.WriteGroup(int64(len(kks)), 0) // deletes append no log runs
 	return errs
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"sort"
+	"time"
 
 	"hdnh/internal/kv"
 	"hdnh/internal/obs"
@@ -20,11 +21,16 @@ import (
 //     one bucket-lock acquisition per key: they are collected, grouped by
 //     hot bucket pair, and each group is applied under a single
 //     lockBuckets/unlockBuckets round trip.
-//   - MultiPut and MultiDelete hash up front and run the same per-key commit
-//     protocol as Insert/Update/Delete (the NVM persists dominate writes, so
-//     there is no lock traffic left to amortise); their value is one call
-//     across an RPC boundary (hdnhserve's POST /batch) and the shared
-//     session scratch.
+//   - MultiPut and MultiDelete hash up front, then commit in groups of
+//     Options.WriteGroupChunk keys: each chunk runs in bucket-sorted order
+//     (same-bucket keys touch adjacent NVT lines back-to-back) with hot
+//     mirror capture on, so the chunk's DRAM mirrors coalesce into one
+//     writer-pool request per background writer instead of one
+//     dispatch-and-wait per key. The NVT commits themselves are staged and
+//     group-committed — the chunk's line write-backs drain behind three
+//     flush barriers instead of ~5 fences per key — with the solo
+//     protocol's store ordering preserved phase by phase, so crash
+//     consistency is exactly the single-key story (see groupcommit.go).
 //
 // Results are written into caller-provided slices so a steady-state caller
 // allocates nothing; the session's scratch is reused across calls.
@@ -33,6 +39,7 @@ import (
 type batchKey struct {
 	k         kv.Key
 	h1, h2    uint64
+	bucket    int64 // primary top-level candidate; write-group sort key
 	fp        uint8
 	done      bool // resolved by an earlier pass
 	contended bool // needs the blocking fallback
@@ -63,6 +70,15 @@ type batchScratch struct {
 	// it per batch broke the zero-allocation steady state whenever a batch
 	// raced a promotion.
 	leftover []pendingFill
+
+	// Write-group scratch: idx is the bucket-sorted commit order, mirrors
+	// the chunk's captured hot mutations, byWriter the per-writer split
+	// flushHotMirrors dispatches (see syncwrite.go), pending the staged
+	// group-commit writes awaiting their barriers (see groupcommit.go).
+	idx      []int
+	mirrors  []hotMirror
+	byWriter [][]hotMirror
+	pending  []pendingCommit
 }
 
 func (bs *batchScratch) ensure(n int) {
@@ -72,6 +88,8 @@ func (bs *batchScratch) ensure(n int) {
 	bs.keys = bs.keys[:n]
 	bs.fills = bs.fills[:0]
 	bs.leftover = bs.leftover[:0]
+	bs.mirrors = bs.mirrors[:0]
+	bs.pending = bs.pending[:0]
 }
 
 // MultiGet looks up every key, writing vals[i]/found[i] for each and
@@ -248,6 +266,31 @@ func (s *Session) applyFills() {
 	}
 }
 
+// orderByBucket fills bs.idx with 0..n-1 sorted by each key's primary
+// top-level candidate bucket. The sort is a pure locality hint — a resize
+// swapping the level pair mid-batch merely degrades adjacency, never
+// correctness — and it is stable, so duplicate keys in one batch keep
+// caller order and commit last-write-wins.
+func (s *Session) orderByBucket(n int) {
+	bs := &s.batch
+	pr := s.t.pair()
+	for i := 0; i < n; i++ {
+		bk := &bs.keys[i]
+		bk.bucket = pr.top.candidates(bk.h1, bk.h2)[0]
+	}
+	if cap(bs.idx) < n {
+		bs.idx = make([]int, n)
+	}
+	bs.idx = bs.idx[:n]
+	for i := range bs.idx {
+		bs.idx[i] = i
+	}
+	keys, idx := bs.keys, bs.idx
+	sort.SliceStable(idx, func(a, b int) bool {
+		return keys[idx[a]].bucket < keys[idx[b]].bucket
+	})
+}
+
 // MultiPut upserts every key (update when present, insert when absent),
 // recording a per-key verdict in errs and returning the number of failures.
 // vals and errs must have the same length as keys.
@@ -256,13 +299,89 @@ func (s *Session) MultiPut(keys []kv.Key, vals []kv.Value, errs []error) int {
 	if len(vals) != n || len(errs) != n {
 		panic("core: MultiPut slice lengths must match len(keys)")
 	}
-	fails := 0
+	return s.multiPut(keys, vals, nil, nil, errs)
+}
+
+// MultiPutExchange is MultiPut that also reports each key's displaced
+// value: olds[i]/hadOld[i] carry the previous value when errs[i] is nil,
+// with UpdateExchange's exactly-once guarantee (the read and the
+// replacement are atomic under the slot lock). bigkv hangs its value-log
+// liveness decrements on it. All slices must have the same length as keys.
+func (s *Session) MultiPutExchange(keys []kv.Key, vals, olds []kv.Value, hadOld []bool, errs []error) int {
+	n := len(keys)
+	if len(vals) != n || len(olds) != n || len(hadOld) != n || len(errs) != n {
+		panic("core: MultiPutExchange slice lengths must match len(keys)")
+	}
+	return s.multiPut(keys, vals, olds, hadOld, errs)
+}
+
+// multiPut is the grouped upsert core: hash up front, sort by bucket, then
+// commit WriteGroupChunk keys per group with hot-mirror capture on, ending
+// each group with one coalesced mirror flush per background writer.
+func (s *Session) multiPut(keys []kv.Key, vals, olds []kv.Value, hadOld []bool, errs []error) int {
+	n := len(keys)
+	if n == 0 {
+		return 0
+	}
+	bs := &s.batch
+	bs.ensure(n)
 	for i := range keys {
-		h1, h2, fp := hashKV(keys[i][:])
-		errs[i] = s.putHashed(keys[i], vals[i], h1, h2, fp)
-		if errs[i] != nil {
-			fails++
+		bk := &bs.keys[i]
+		bk.k = keys[i]
+		bk.h1, bk.h2, bk.fp = hashKV(keys[i][:])
+	}
+	s.orderByBucket(n)
+	chunk := s.t.opts.WriteGroupChunk
+	if chunk <= 0 {
+		chunk = DefaultWriteGroupChunk
+	}
+	fails := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
 		}
+		start := time.Now()
+		s.capturing = true
+		s.helpDrainStep()
+		s.enterCritical()
+		for _, i := range bs.idx[lo:hi] {
+			bk := &bs.keys[i]
+			// A duplicate of a staged key must see the staged write: drain
+			// first (a staged insert is invisible to lookups and holds its
+			// slot locked — see pendingHas).
+			if s.pendingHas(bk.k) {
+				s.drainPending()
+			}
+			old, had, staged := s.stagePut(bk.k, vals[i], bk.h1, bk.h2, bk.fp)
+			if staged {
+				errs[i] = nil
+				if olds != nil {
+					olds[i], hadOld[i] = old, had
+				}
+				continue
+			}
+			// Solo fallback (contended probe or full candidate set): drain
+			// the group — the blocking path may wait on or move the staged
+			// slots — and run the key through the per-key upsert, which
+			// opens its own critical sections and may expand the table.
+			s.drainPending()
+			s.exitCritical()
+			old, had, err := s.putExchangeHashed(bk.k, vals[i], bk.h1, bk.h2, bk.fp)
+			errs[i] = err
+			if err != nil {
+				fails++
+			}
+			if olds != nil {
+				olds[i], hadOld[i] = old, had
+			}
+			s.enterCritical()
+		}
+		s.drainPending()
+		s.exitCritical()
+		s.capturing = false
+		groups := s.flushHotMirrors()
+		s.fl.GroupCommit(int64(hi-lo), int64(groups), time.Since(start))
 	}
 	return fails
 }
@@ -270,14 +389,23 @@ func (s *Session) MultiPut(keys []kv.Key, vals []kv.Value, errs []error) int {
 // putHashed is the upsert: update-else-insert, retrying the (rare) window
 // where a concurrent writer flips the key's existence between the two.
 func (s *Session) putHashed(k kv.Key, v kv.Value, h1, h2 uint64, fp uint8) error {
+	_, _, err := s.putExchangeHashed(k, v, h1, h2, fp)
+	return err
+}
+
+// putExchangeHashed is putHashed reporting the displaced value: hadOld is
+// true when the upsert replaced an existing record, false when it inserted
+// fresh.
+func (s *Session) putExchangeHashed(k kv.Key, v kv.Value, h1, h2 uint64, fp uint8) (kv.Value, bool, error) {
 	for {
-		_, err := s.updateHashed(k, v, nil, h1, h2, fp)
+		old, err := s.updateHashed(k, v, nil, h1, h2, fp)
 		if !errors.Is(err, scheme.ErrNotFound) {
-			return err
+			return old, err == nil, err
 		}
 		err = s.insertHashed(k, v, h1, h2, fp)
 		if !errors.Is(err, scheme.ErrExists) {
-			return err
+			var zero kv.Value
+			return zero, false, err
 		}
 	}
 }
@@ -290,14 +418,85 @@ func (s *Session) MultiDelete(keys []kv.Key, errs []error) int {
 	if len(errs) != n {
 		panic("core: MultiDelete slice lengths must match len(keys)")
 	}
-	fails := 0
+	return s.multiDelete(keys, nil, errs)
+}
+
+// MultiDeleteExchange is MultiDelete that also reports each deleted key's
+// displaced value (olds[i] is meaningful when errs[i] is nil), with
+// DeleteExchange's exactly-once guarantee. olds and errs must have the
+// same length as keys.
+func (s *Session) MultiDeleteExchange(keys []kv.Key, olds []kv.Value, errs []error) int {
+	n := len(keys)
+	if len(olds) != n || len(errs) != n {
+		panic("core: MultiDeleteExchange slice lengths must match len(keys)")
+	}
+	return s.multiDelete(keys, olds, errs)
+}
+
+// multiDelete is the grouped delete core; see multiPut for the shape.
+func (s *Session) multiDelete(keys []kv.Key, olds []kv.Value, errs []error) int {
+	n := len(keys)
+	if n == 0 {
+		return 0
+	}
+	bs := &s.batch
+	bs.ensure(n)
 	for i := range keys {
-		h1, h2, fp := hashKV(keys[i][:])
-		_, err := s.deleteHashed(keys[i], h1, h2, fp)
-		errs[i] = err
-		if err != nil {
-			fails++
+		bk := &bs.keys[i]
+		bk.k = keys[i]
+		bk.h1, bk.h2, bk.fp = hashKV(keys[i][:])
+	}
+	s.orderByBucket(n)
+	chunk := s.t.opts.WriteGroupChunk
+	if chunk <= 0 {
+		chunk = DefaultWriteGroupChunk
+	}
+	fails := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
 		}
+		start := time.Now()
+		s.capturing = true
+		s.helpDrainStep()
+		s.enterCritical()
+		for _, i := range bs.idx[lo:hi] {
+			bk := &bs.keys[i]
+			if s.pendingHas(bk.k) {
+				s.drainPending()
+			}
+			old, err, staged := s.stageDelete(bk.k, bk.h1, bk.h2, bk.fp)
+			if staged {
+				errs[i] = nil
+				if olds != nil {
+					olds[i] = old
+				}
+				continue
+			}
+			if err != nil { // conclusive miss, resolved at stage time
+				errs[i] = err
+				fails++
+				continue
+			}
+			// Contended probe: drain and take the blocking solo delete.
+			s.drainPending()
+			s.exitCritical()
+			old, err = s.deleteHashed(bk.k, bk.h1, bk.h2, bk.fp)
+			errs[i] = err
+			if err != nil {
+				fails++
+			}
+			if olds != nil {
+				olds[i] = old
+			}
+			s.enterCritical()
+		}
+		s.drainPending()
+		s.exitCritical()
+		s.capturing = false
+		groups := s.flushHotMirrors()
+		s.fl.GroupCommit(int64(hi-lo), int64(groups), time.Since(start))
 	}
 	return fails
 }

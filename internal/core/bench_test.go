@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"hdnh/internal/kv"
 	"hdnh/internal/nvm"
 )
 
@@ -30,12 +31,32 @@ func benchTable(b *testing.B, mutate func(*Options)) *Table {
 	return tbl
 }
 
+// benchKeys/benchVals pregenerate inputs so the timed loops measure the
+// operation paths, not fmt.Sprintf — the key() helper was the lingering
+// 1 alloc/op every hot-path benchmark used to report.
+func benchKeys(n int) []kv.Key {
+	ks := make([]kv.Key, n)
+	for i := range ks {
+		ks[i] = key(i)
+	}
+	return ks
+}
+
+func benchVals(n int) []kv.Value {
+	vs := make([]kv.Value, n)
+	for i := range vs {
+		vs[i] = value(i)
+	}
+	return vs
+}
+
 func BenchmarkInsert(b *testing.B) {
 	tbl := benchTable(b, nil)
 	s := tbl.NewSession()
+	ks, vs := benchKeys(b.N), benchVals(b.N)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := s.Insert(key(i), value(i)); err != nil {
+		if err := s.Insert(ks[i], vs[i]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -44,15 +65,39 @@ func BenchmarkInsert(b *testing.B) {
 func BenchmarkGetHot(b *testing.B) {
 	tbl := benchTable(b, nil)
 	s := tbl.NewSession()
-	if err := s.Insert(key(1), value(1)); err != nil {
+	k := key(1)
+	if err := s.Insert(k, value(1)); err != nil {
 		b.Fatal(err)
 	}
-	s.Get(key(1)) // warm the cache entry
+	s.Get(k) // warm the cache entry
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, ok := s.Get(key(1)); !ok {
+		if _, ok := s.Get(k); !ok {
 			b.Fatal("miss")
 		}
+	}
+}
+
+// TestGetHotZeroAllocs pins the steady-state read path at zero heap
+// allocations per op. The last holdout was the benchmarks' own key()
+// formatting; with inputs hoisted, any future allocation on the warm path
+// (an accidental interface box, a fmt call on a hot branch) fails here
+// instead of quietly inflating every benchmark.
+func TestGetHotZeroAllocs(t *testing.T) {
+	tbl := newTable(t, nil)
+	s := tbl.NewSession()
+	k := key(1)
+	if err := s.Insert(k, value(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Get(k) // warm the cache entry
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := s.Get(k); !ok {
+			t.Fatal("miss")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm hot-path Get allocates %.1f per op, want 0", allocs)
 	}
 }
 
@@ -61,14 +106,15 @@ func BenchmarkGetNVT(b *testing.B) {
 	tbl := benchTable(b, func(o *Options) { o.HotSlotsPerBucket = 0 })
 	s := tbl.NewSession()
 	const n = 10000
+	ks, vs := benchKeys(n), benchVals(n)
 	for i := 0; i < n; i++ {
-		if err := s.Insert(key(i), value(i)); err != nil {
+		if err := s.Insert(ks[i], vs[i]); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, ok := s.Get(key(i % n)); !ok {
+		if _, ok := s.Get(ks[i%n]); !ok {
 			b.Fatal("miss")
 		}
 	}
@@ -77,14 +123,20 @@ func BenchmarkGetNVT(b *testing.B) {
 func BenchmarkGetNegative(b *testing.B) {
 	tbl := benchTable(b, func(o *Options) { o.HotSlotsPerBucket = 0 })
 	s := tbl.NewSession()
-	for i := 0; i < 10000; i++ {
-		if err := s.Insert(key(i), value(i)); err != nil {
+	const n = 10000
+	ks, vs := benchKeys(n), benchVals(n)
+	for i := 0; i < n; i++ {
+		if err := s.Insert(ks[i], vs[i]); err != nil {
 			b.Fatal(err)
 		}
 	}
+	miss := make([]kv.Key, n)
+	for i := range miss {
+		miss[i] = key(1000000 + i)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, ok := s.Get(key(1000000 + i)); ok {
+		if _, ok := s.Get(miss[i%n]); ok {
 			b.Fatal("phantom")
 		}
 	}
@@ -94,14 +146,15 @@ func BenchmarkUpdate(b *testing.B) {
 	tbl := benchTable(b, nil)
 	s := tbl.NewSession()
 	const n = 10000
+	ks, vs := benchKeys(n), benchVals(n)
 	for i := 0; i < n; i++ {
-		if err := s.Insert(key(i), value(i)); err != nil {
+		if err := s.Insert(ks[i], vs[i]); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := s.Update(key(i%n), value(i)); err != nil {
+		if err := s.Update(ks[i%n], vs[(i+1)%n]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -110,15 +163,17 @@ func BenchmarkUpdate(b *testing.B) {
 func BenchmarkDeleteInsertCycle(b *testing.B) {
 	tbl := benchTable(b, nil)
 	s := tbl.NewSession()
-	if err := s.Insert(key(1), value(1)); err != nil {
+	k := key(1)
+	vs := benchVals(2)
+	if err := s.Insert(k, vs[0]); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := s.Delete(key(1)); err != nil {
+		if err := s.Delete(k); err != nil {
 			b.Fatal(err)
 		}
-		if err := s.Insert(key(1), value(i)); err != nil {
+		if err := s.Insert(k, vs[i%2]); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -346,13 +346,14 @@ func TestFlightOverheadGuard(t *testing.T) {
 func BenchmarkGetHotFlight(b *testing.B) {
 	tbl := benchTable(b, func(o *Options) { o.Flight = flight.New(flight.Config{SampleEvery: 8}) })
 	s := tbl.NewSession()
-	if err := s.Insert(key(1), value(1)); err != nil {
+	k := key(1)
+	if err := s.Insert(k, value(1)); err != nil {
 		b.Fatal(err)
 	}
-	s.Get(key(1)) // warm the cache entry
+	s.Get(k) // warm the cache entry
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, ok := s.Get(key(1)); !ok {
+		if _, ok := s.Get(k); !ok {
 			b.Fatal("miss")
 		}
 	}

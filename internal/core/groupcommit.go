@@ -1,0 +1,251 @@
+package core
+
+import (
+	"time"
+
+	"hdnh/internal/kv"
+	"hdnh/internal/obs"
+	"hdnh/internal/scheme"
+)
+
+// Group commit: the staged NVT write protocol behind MultiPut/MultiDelete.
+//
+// The solo write paths pay the full persist protocol per key — flush the
+// key/value words, fence, atomically persist the commit word, and for
+// updates a second persist to retire the old slot. The grouped path runs
+// the same stores in the same order but batches the waits: each key's line
+// write-backs are staged (StageFlush) and the whole chunk drains behind
+// three barriers instead of ~5 fences per key:
+//
+//	phase A (stagePut/stageDelete, per key)
+//	        lock the slots, store key+value words, stage their lines
+//	phase B  one FlushBarrier+Fence — every staged key/value word durable
+//	phase C  store every commit word (valid bit for inserts/updates,
+//	         cleared bit for deletes), stage, one FlushBarrier+Fence
+//	phase D  publish the new slots in the OCF, stage the update old-slot
+//	         clears, one FlushBarrier+Fence, then retire old slots,
+//	         mirror into the hot table, and close the op spans
+//
+// Crash ordering is the solo protocol's, phase-shifted: a commit word is
+// stored only after its key/value words are fence-durable (B precedes C),
+// a record becomes visible only after its commit word is durable (C's
+// barrier precedes D's publishes), an update's old slot is cleared only
+// after the new copy is durable (C precedes D) and retired from the OCF
+// only after the clear is durable (D's barrier precedes the releases), and
+// a delete's absence is visible only after its clear is durable. A crash
+// between C and D's barrier leaves an update's both copies durable —
+// exactly the solo crash window — and recovery keeps the newer stamp.
+//
+// Locking: every staged slot (the old record's and the new one's) stays
+// locked from phase A until phase D, so the exchange guarantee holds — the
+// displaced value read in phase A is the one this write replaces. The
+// stage functions probe with wait=false lookups, so colliding with any
+// locked slot (including our own staged ones) falls back instead of
+// spinning; the batch loop then drains the pending group and runs that key
+// through the blocking solo path. The pending group never crosses an
+// exitCritical: level pointers referenced by staged slots stay pinned.
+
+// pendKind discriminates a staged write awaiting its group barriers.
+type pendKind uint8
+
+const (
+	pendInsert pendKind = iota
+	pendUpdate
+	pendDelete
+)
+
+// pendingCommit is one staged write: the slots it holds locked, the commit
+// word to store in phase C, and the op bookkeeping to close in phase D.
+type pendingCommit struct {
+	kind   pendKind
+	k      kv.Key
+	v      kv.Value // new value; zero for deletes
+	newRef slotRef  // staged slot (inserts/updates)
+	newC   uint32   // its pre-lock control word
+	w3     uint64   // commit word for the staged slot
+	oldRef slotRef  // displaced slot (updates/deletes)
+	oldC   uint32
+	oldW3  uint64
+	h1     uint64
+	fp     uint8
+	start  time.Time
+	ft     int64
+}
+
+// pendingHas reports whether the key already has a staged write in the
+// pending group. Duplicate keys in one chunk must drain the group first:
+// a staged insert is invisible to lookups (its slot is locked, fingerprint
+// unpublished), so staging the duplicate would plant a second live copy.
+func (s *Session) pendingHas(k kv.Key) bool {
+	for i := range s.batch.pending {
+		if s.batch.pending[i].k == k {
+			return true
+		}
+	}
+	return false
+}
+
+// stagePut stages one upsert into the pending group. On success the
+// displaced value is returned with the exchange guarantee (read under the
+// old slot's lock, which the group holds until phase D). staged=false
+// means the key needs the blocking solo fallback — a locked slot in its
+// probe path or a full candidate set — with nothing held and nothing
+// recorded. Caller must be inside an epoch critical section and must have
+// checked pendingHas.
+func (s *Session) stagePut(k kv.Key, v kv.Value, h1, h2 uint64, fp uint8) (old kv.Value, hadOld, staged bool) {
+	start := s.rec.Start()
+	var ps probeStats
+	oldHit, res := s.t.findAndLockWith(s.h, k, h1, h2, fp, &ps, false)
+	ps.report(s.rec, s.fl)
+	switch res {
+	case lookupFound:
+		// Prefer the old record's own bucket only while it lives in the
+		// current structure (see updateHashed).
+		pr := s.t.pair()
+		prefer := &oldHit.ref
+		if oldHit.ref.lvl != pr.top && oldHit.ref.lvl != pr.bottom {
+			prefer = nil
+		}
+		ref, c, ok := s.t.lockEmptySlot(h1, h2, prefer)
+		if !ok {
+			// Put the old slot back untouched; the solo path retries with
+			// displacement and expansion available.
+			oldHit.ref.lvl.ocfRelease(oldHit.ref.b, oldHit.ref.s, true, fp, ocfVer(oldHit.ctrl))
+			return kv.Value{}, false, false
+		}
+		ft := s.fl.OpBegin(obs.OpUpdate)
+		s.heat.Touch(obs.OpUpdate, k)
+		stamp := metaStamp(kv.MetaOf(oldHit.w3)) + 1
+		w3 := s.t.writeSlotStage(s.h, ref, k, v, stamp)
+		s.batch.pending = append(s.batch.pending, pendingCommit{
+			kind: pendUpdate, k: k, v: v,
+			newRef: ref, newC: c, w3: w3,
+			oldRef: oldHit.ref, oldC: oldHit.ctrl, oldW3: oldHit.w3,
+			h1: h1, fp: fp, start: start, ft: ft,
+		})
+		return oldHit.val, true, true
+	case lookupMissing:
+		// Conclusive miss: findAndLockWith completed a full quiescent pass,
+		// which is the same duplicate check insertHashed runs.
+		ref, c, ok := s.t.lockEmptySlot(h1, h2, nil)
+		if !ok {
+			return kv.Value{}, false, false
+		}
+		ft := s.fl.OpBegin(obs.OpInsert)
+		s.heat.Touch(obs.OpInsert, k)
+		w3 := s.t.writeSlotStage(s.h, ref, k, v, 1)
+		s.batch.pending = append(s.batch.pending, pendingCommit{
+			kind: pendInsert, k: k, v: v,
+			newRef: ref, newC: c, w3: w3,
+			h1: h1, fp: fp, start: start, ft: ft,
+		})
+		return kv.Value{}, false, true
+	default:
+		return kv.Value{}, false, false
+	}
+}
+
+// stageDelete stages one delete into the pending group. A conclusive miss
+// is resolved immediately (err=scheme.ErrNotFound, staged=false); a
+// contended probe returns staged=false with a nil err, sending the key to
+// the solo fallback. Caller contract matches stagePut.
+func (s *Session) stageDelete(k kv.Key, h1, h2 uint64, fp uint8) (old kv.Value, err error, staged bool) {
+	start := s.rec.Start()
+	var ps probeStats
+	oldHit, res := s.t.findAndLockWith(s.h, k, h1, h2, fp, &ps, false)
+	ps.report(s.rec, s.fl)
+	switch res {
+	case lookupFound:
+		ft := s.fl.OpBegin(obs.OpDelete)
+		s.heat.Touch(obs.OpDelete, k)
+		s.batch.pending = append(s.batch.pending, pendingCommit{
+			kind: pendDelete, k: k,
+			oldRef: oldHit.ref, oldC: oldHit.ctrl, oldW3: oldHit.w3,
+			h1: h1, fp: fp, start: start, ft: ft,
+		})
+		return oldHit.val, nil, true
+	case lookupMissing:
+		ft := s.fl.OpBegin(obs.OpDelete)
+		s.heat.Touch(obs.OpDelete, k)
+		s.opDone(obs.OpDelete, obs.OutNotFound, start, ft)
+		return kv.Value{}, scheme.ErrNotFound, false
+	default:
+		return kv.Value{}, nil, false
+	}
+}
+
+// drainPending runs phases B-D over the staged group: two barrier+fence
+// pairs commit every staged write, a third covers the update old-slot
+// clears, and the final pass retires old slots, feeds the hot mirrors
+// (captured — the batch loop flushes them per chunk), and closes each op.
+// Must run inside the same critical section the stages ran in.
+func (s *Session) drainPending() {
+	bs := &s.batch
+	if len(bs.pending) == 0 {
+		return
+	}
+	h := s.h
+
+	// Phase B: every staged key/value word becomes durable at once.
+	h.FlushBarrier()
+	h.Fence()
+
+	// Phase C: store and stage every commit word, then one barrier. Commit
+	// words only land after B's fence, so no slot can be durable-valid with
+	// non-durable contents.
+	for i := range bs.pending {
+		p := &bs.pending[i]
+		switch p.kind {
+		case pendInsert, pendUpdate:
+			off := p.newRef.wordOff() + 3
+			h.Store(off, p.w3)
+			h.WriteAccess(off, 1)
+			h.StageFlush(off, 1)
+		case pendDelete:
+			s.t.stageClear(h, p.oldRef, p.oldW3)
+		}
+	}
+	h.FlushBarrier()
+	h.Fence()
+
+	// Phase D: publish. New slots enter the OCF only now (their commit
+	// words are durable); each update publishes its new copy and signals
+	// the move before its old-slot clear is staged, exactly the solo
+	// publish-before-retire order.
+	for i := range bs.pending {
+		p := &bs.pending[i]
+		switch p.kind {
+		case pendInsert:
+			p.newRef.lvl.ocfRelease(p.newRef.b, p.newRef.s, true, p.fp, ocfVer(p.newC))
+			s.t.count.Add(1)
+		case pendUpdate:
+			p.newRef.lvl.ocfRelease(p.newRef.b, p.newRef.s, true, p.fp, ocfVer(p.newC))
+			s.t.moveShard(p.h1).Add(1)
+			s.t.stageClear(h, p.oldRef, p.oldW3)
+		}
+	}
+	h.FlushBarrier()
+	h.Fence()
+
+	for i := range bs.pending {
+		p := &bs.pending[i]
+		switch p.kind {
+		case pendInsert:
+			owed := s.beginHotWrite(hotOpPut, p.k, p.v, p.h1, p.fp)
+			s.waitHotWrite(owed)
+			s.opDone(obs.OpInsert, obs.OutOK, p.start, p.ft)
+		case pendUpdate:
+			p.oldRef.lvl.ocfRelease(p.oldRef.b, p.oldRef.s, false, 0, ocfVer(p.oldC))
+			owed := s.beginHotWrite(hotOpPut, p.k, p.v, p.h1, p.fp)
+			s.waitHotWrite(owed)
+			s.opDone(obs.OpUpdate, obs.OutOK, p.start, p.ft)
+		case pendDelete:
+			p.oldRef.lvl.ocfRelease(p.oldRef.b, p.oldRef.s, false, 0, ocfVer(p.oldC))
+			s.t.count.Add(-1)
+			owed := s.beginHotWrite(hotOpDel, p.k, kv.Value{}, p.h1, p.fp)
+			s.waitHotWrite(owed)
+			s.opDone(obs.OpDelete, obs.OutOK, p.start, p.ft)
+		}
+	}
+	bs.pending = bs.pending[:0]
+}

@@ -86,20 +86,29 @@ func (l *level) ocfTryLock(b int64, s int, old uint32) bool {
 // ocfRelease publishes the slot's new state: op cleared, version bumped.
 // A plain store is safe because only the lock holder may write the word
 // while op is set (readers only ever CAS hot bits in the hot table, not
-// here). The SWAR fingerprint byte is maintained alongside, with the
-// ordering that makes the pre-filter free of false negatives: the byte is
-// written BEFORE a valid word is published (a probe that can see the valid
-// OCF entry can see the byte) and cleared only AFTER an invalid word is
-// published (a probe that skips on the cleared byte would have found the
-// slot invalid anyway).
+// here). The SWAR fingerprint byte is maintained alongside, on BOTH paths
+// strictly before the word store. For a valid release that is the
+// no-false-negative rule: a probe that can see the valid OCF entry can see
+// the byte. For an invalid release the early clear can make a probe skip a
+// slot the OCF still shows valid — but a releaser only gets here once the
+// retirement is durable and any replacement copy is already published (the
+// publish-before-retire order of §4, with the movement counter bumped in
+// between), so a skipping probe observes the committed post-retire state.
+// The order is also what makes slot reuse safe: the word store is the
+// handoff, and nothing may follow it — a trailing fpwSet would race the
+// next locker of the slot, whose own release could be clobbered by our
+// late clear (a valid slot with a zero byte is invisible to the SWAR
+// pre-filter: a lost key). Sequential consistency of the atomics makes the
+// argument: a new locker's CAS observes our store, so its fpwSet is
+// ordered after ours.
 func (l *level) ocfRelease(b int64, s int, valid bool, fp uint8, prevVer uint32) {
 	if valid {
 		l.fpwSet(b, s, fp)
 		atomic.StoreUint32(&l.ocf[b*SlotsPerBucket+int64(s)], ocfWord(true, fp, prevVer+1))
 		return
 	}
-	atomic.StoreUint32(&l.ocf[b*SlotsPerBucket+int64(s)], ocfWord(false, 0, prevVer+1))
 	l.fpwSet(b, s, 0)
+	atomic.StoreUint32(&l.ocf[b*SlotsPerBucket+int64(s)], ocfWord(false, 0, prevVer+1))
 }
 
 // ocfSet writes a control word directly; recovery-only (single-writer).

@@ -17,13 +17,14 @@ import (
 func BenchmarkGetHotMetrics(b *testing.B) {
 	tbl := benchTable(b, func(o *Options) { o.Metrics = obs.New(obs.Config{}) })
 	s := tbl.NewSession()
-	if err := s.Insert(key(1), value(1)); err != nil {
+	k := key(1)
+	if err := s.Insert(k, value(1)); err != nil {
 		b.Fatal(err)
 	}
-	s.Get(key(1)) // warm the cache entry
+	s.Get(k) // warm the cache entry
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, ok := s.Get(key(1)); !ok {
+		if _, ok := s.Get(k); !ok {
 			b.Fatal("miss")
 		}
 	}
@@ -36,14 +37,15 @@ func BenchmarkGetNVTMetrics(b *testing.B) {
 	})
 	s := tbl.NewSession()
 	const n = 10000
+	ks, vs := benchKeys(n), benchVals(n)
 	for i := 0; i < n; i++ {
-		if err := s.Insert(key(i), value(i)); err != nil {
+		if err := s.Insert(ks[i], vs[i]); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, ok := s.Get(key(i % n)); !ok {
+		if _, ok := s.Get(ks[i%n]); !ok {
 			b.Fatal("miss")
 		}
 	}
@@ -52,9 +54,10 @@ func BenchmarkGetNVTMetrics(b *testing.B) {
 func BenchmarkInsertMetrics(b *testing.B) {
 	tbl := benchTable(b, func(o *Options) { o.Metrics = obs.New(obs.Config{}) })
 	s := tbl.NewSession()
+	ks, vs := benchKeys(b.N), benchVals(b.N)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := s.Insert(key(i), value(i)); err != nil {
+		if err := s.Insert(ks[i], vs[i]); err != nil {
 			b.Fatal(err)
 		}
 	}

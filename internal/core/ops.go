@@ -174,6 +174,15 @@ type hit struct {
 // lookupContended, never lookupMissing. Caller must be inside an epoch
 // critical section (enterCritical).
 func (t *Table) lookup(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8, ps *probeStats) (hit, lookupResult) {
+	return t.lookupWith(h, k, h1, h2, fp, ps, true)
+}
+
+// lookupWith is lookup with the blocking policy explicit: wait=false turns
+// every would-block point (a locked slot) into an immediate lookupContended
+// instead of parking in waitUnlocked. The group-commit path runs with
+// wait=false while it holds its own staged slot locks, so a fingerprint
+// collision against one of them can never self-deadlock.
+func (t *Table) lookupWith(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8, ps *probeStats, wait bool) (hit, lookupResult) {
 	kw0, kw1 := k.Pack()
 	for pass := 0; pass < t.opts.LookupRetryBudget; pass++ {
 		ps.passes++
@@ -199,6 +208,9 @@ func (t *Table) lookup(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8, ps *pro
 						continue // SWAR false positive, or the slot changed since the word load
 					}
 					if ocfIsLocked(c) {
+						if !wait {
+							return hit{}, lookupContended
+						}
 						c = waitUnlocked(lvl, b, s, ps)
 						if ocfFP(c) != fp || !ocfIsValid(c) {
 							mayHaveMoved = true
@@ -240,6 +252,14 @@ func (t *Table) lookup(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8, ps *pro
 // Like lookup, budget exhaustion is reported as lookupContended, not as a
 // miss.
 func (t *Table) findAndLock(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8, ps *probeStats) (hit, lookupResult) {
+	return t.findAndLockWith(h, k, h1, h2, fp, ps, true)
+}
+
+// findAndLockWith is findAndLock with the blocking policy explicit (see
+// lookupWith): wait=false reports any locked or racing slot as
+// lookupContended immediately rather than spinning, letting the
+// group-commit path drain its staged locks and fall back to the solo path.
+func (t *Table) findAndLockWith(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8, ps *probeStats, wait bool) (hit, lookupResult) {
 	kw0, kw1 := k.Pack()
 	for attempt := 0; attempt < t.opts.LookupRetryBudget; attempt++ {
 		ps.passes++
@@ -259,6 +279,9 @@ func (t *Table) findAndLock(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8, ps
 						continue
 					}
 					if ocfIsLocked(c) {
+						if !wait {
+							return hit{}, lookupContended
+						}
 						c = waitUnlocked(lvl, b, s, ps)
 						if ocfFP(c) != fp || !ocfIsValid(c) {
 							// The record may have moved behind this scan
@@ -285,6 +308,9 @@ func (t *Table) findAndLock(h *nvm.Handle, k kv.Key, h1, h2 uint64, fp uint8, ps
 						continue
 					}
 					if !lvl.ocfTryLock(b, s, c) {
+						if !wait {
+							return hit{}, lookupContended
+						}
 						found = true // racing writer; rescan
 						continue
 					}
@@ -359,6 +385,33 @@ func (t *Table) writeSlotCommit(h *nvm.Handle, ref slotRef, k kv.Key, v kv.Value
 	h.Flush(off, 3)
 	h.Fence()
 	h.StorePersist(off+3, w[3])
+}
+
+// writeSlotStage is writeSlotCommit with the persistence staged: key and
+// value words are stored and their lines queued behind the session's next
+// FlushBarrier, and the final word — value tail, valid bit and stamp — is
+// returned for the caller to commit after that barrier's fence (see
+// drainPending). The slot stays locked and unpublished throughout.
+func (t *Table) writeSlotStage(h *nvm.Handle, ref slotRef, k kv.Key, v kv.Value, stamp uint8) uint64 {
+	off := ref.wordOff()
+	var w [slotWords]uint64
+	kv.PackRecord(w[:], k, v, packMeta(true, stamp))
+	h.Store(off, w[0])
+	h.Store(off+1, w[1])
+	h.Store(off+2, w[2])
+	h.WriteAccess(off, 3)
+	h.StageFlush(off, 3)
+	return w[3]
+}
+
+// stageClear stages the clear of a committed slot's valid bit behind the
+// next FlushBarrier — the staged form of clearSlotCommit.
+func (t *Table) stageClear(h *nvm.Handle, ref slotRef, w3 uint64) {
+	cleared := kv.WithMeta(w3, packMeta(false, metaStamp(kv.MetaOf(w3))))
+	off := ref.wordOff() + 3
+	h.Store(off, cleared)
+	h.WriteAccess(off, 1)
+	h.StageFlush(off, 1)
 }
 
 // clearSlotCommit durably clears the valid bit of a committed slot.

@@ -129,6 +129,14 @@ type Options struct {
 	// work. 0 picks the default (DefaultBatchEpochChunk).
 	BatchEpochChunk int
 
+	// WriteGroupChunk bounds how many keys of one MultiPut/MultiDelete
+	// commit as a single group: the chunk's NVT writes run back-to-back in
+	// bucket-sorted order and its hot-table mirrors coalesce into one
+	// writer-pool request per background writer. Larger chunks amortise
+	// the mirror handoff further but hold captured mirrors (and their
+	// value references) longer. 0 picks the default (DefaultWriteGroupChunk).
+	WriteGroupChunk int
+
 	// Metrics, when non-nil, enables observability: sessions and background
 	// writers record into it (see internal/obs). nil compiles the accounting
 	// down to no-ops.
@@ -169,6 +177,11 @@ const DefaultDrainChunkBuckets = 64
 // grace period for long.
 const DefaultBatchEpochChunk = 64
 
+// DefaultWriteGroupChunk is the group size a zero WriteGroupChunk means:
+// matches DefaultBatchEpochChunk so one group is also one epoch chunk, and
+// is past the knee where the per-writer mirror handoff is fully amortised.
+const DefaultWriteGroupChunk = 64
+
 // DefaultLookupRetryBudget is the rescan cap a zero LookupRetryBudget means.
 // A conclusive pass needs no rescans at all unless a record the walk raced
 // actually moved, so real workloads spend the budget only under pathological
@@ -196,6 +209,7 @@ func DefaultOptions() Options {
 		RecoveryWorkers:    4,
 		LookupRetryBudget:  DefaultLookupRetryBudget,
 		BatchEpochChunk:    DefaultBatchEpochChunk,
+		WriteGroupChunk:    DefaultWriteGroupChunk,
 		Seed:               1,
 	}
 }
@@ -217,6 +231,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BatchEpochChunk == 0 {
 		o.BatchEpochChunk = DefaultBatchEpochChunk
+	}
+	if o.WriteGroupChunk == 0 {
+		o.WriteGroupChunk = DefaultWriteGroupChunk
 	}
 	return o
 }
@@ -255,6 +272,9 @@ func (o Options) Validate() error {
 	}
 	if o.BatchEpochChunk < 0 {
 		return fmt.Errorf("core: BatchEpochChunk %d must not be negative", o.BatchEpochChunk)
+	}
+	if o.WriteGroupChunk < 0 {
+		return fmt.Errorf("core: WriteGroupChunk %d must not be negative", o.WriteGroupChunk)
 	}
 	if o.Shards < 0 || o.Shards > MaxShards {
 		return fmt.Errorf("core: Shards %d outside [0,%d]", o.Shards, MaxShards)

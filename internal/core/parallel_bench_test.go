@@ -36,14 +36,15 @@ func BenchmarkGetParallel(b *testing.B) {
 			tbl := benchTable(b, cfg.mutate)
 			load := tbl.NewSession()
 			const n = 10000
+			ks, vs := benchKeys(n), benchVals(n)
 			for i := 0; i < n; i++ {
-				if err := load.Insert(key(i), value(i)); err != nil {
+				if err := load.Insert(ks[i], vs[i]); err != nil {
 					b.Fatal(err)
 				}
 			}
 			if cfg.warm {
 				for i := 0; i < n; i++ {
-					load.Get(key(i))
+					load.Get(ks[i])
 				}
 			}
 			b.ResetTimer()
@@ -53,7 +54,7 @@ func BenchmarkGetParallel(b *testing.B) {
 				s := tbl.NewSession()
 				i := 0
 				for pb.Next() {
-					if _, ok := s.Get(key(i % n)); !ok {
+					if _, ok := s.Get(ks[i%n]); !ok {
 						b.Fatal("miss")
 					}
 					i++

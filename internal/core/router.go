@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"hdnh/internal/flight"
 	"hdnh/internal/kv"
@@ -393,7 +394,7 @@ type RouterSession struct {
 	sc routerScratch
 }
 
-// routerScratch holds the MultiGet scatter/gather state, per shard, reused
+// routerScratch holds the batch scatter/gather state, per shard, reused
 // across batches so the steady state allocates nothing (slices keep their
 // high-water-mark capacity).
 type routerScratch struct {
@@ -401,6 +402,14 @@ type routerScratch struct {
 	idx   [][]int32
 	vals  [][]kv.Value
 	found [][]bool
+
+	// Write fan-out state: per-shard verdicts, displaced values, and each
+	// shard goroutine's failure count (indexed by shard, so the parallel
+	// writers never share an element).
+	errs   [][]error
+	olds   [][]kv.Value
+	hadOld [][]bool
+	fails  []int
 }
 
 // NewSession returns a fresh session on every shard.
@@ -519,42 +528,141 @@ func (s *RouterSession) MultiGet(keys []kv.Key, vals []kv.Value, found []bool) i
 	return hits
 }
 
-// MultiPut upserts every key into its shard, one putHashed per key (the NVM
-// persists dominate; there is no cross-key work to amortise beyond the
-// single hash). Per-key verdicts land in errs; returns the failure count.
+// fanOutWrite partitions the batch by shard (scattering vals alongside when
+// non-nil) and runs fn once per populated shard, in parallel — one goroutine
+// per shard, each driving that shard's own inner Session, so the fan-out
+// never shares a session across goroutines. fn returns the shard group's
+// failure count and scatters its own results back into the caller's slices;
+// that is race-free because every input index belongs to exactly one shard.
+func (s *RouterSession) fanOutWrite(keys []kv.Key, vals []kv.Value, fn func(sh int) int) int {
+	sc := &s.sc
+	sc.reset(len(s.ss))
+	for i := range keys {
+		h1, _, _ := hashKV(keys[i][:])
+		sh := int(h1 >> s.r.shift)
+		sc.keys[sh] = append(sc.keys[sh], keys[i])
+		if vals != nil {
+			sc.vals[sh] = append(sc.vals[sh], vals[i])
+		}
+		sc.idx[sh] = append(sc.idx[sh], int32(i))
+	}
+	var wg sync.WaitGroup
+	for sh := range s.ss {
+		if len(sc.keys[sh]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			sc.fails[sh] = fn(sh)
+		}(sh)
+	}
+	wg.Wait()
+	fails := 0
+	for _, f := range sc.fails {
+		fails += f
+	}
+	return fails
+}
+
+// MultiPut partitions the batch by shard and fans the groups out in
+// parallel, each shard running its grouped MultiPut (bucket-sorted group
+// commits, coalesced hot mirrors) on its own session. Per-key verdicts land
+// in errs; returns the failure count. Unsharded routers delegate straight
+// through.
 func (s *RouterSession) MultiPut(keys []kv.Key, vals []kv.Value, errs []error) int {
 	n := len(keys)
 	if len(vals) != n || len(errs) != n {
 		panic("core: MultiPut slice lengths must match len(keys)")
 	}
-	fails := 0
-	for i := range keys {
-		h1, h2, fp := hashKV(keys[i][:])
-		errs[i] = s.shard(h1).putHashed(keys[i], vals[i], h1, h2, fp)
-		if errs[i] != nil {
-			fails++
-		}
+	if len(s.ss) == 1 {
+		return s.ss[0].MultiPut(keys, vals, errs)
 	}
-	return fails
+	sc := &s.sc
+	return s.fanOutWrite(keys, vals, func(sh int) int {
+		ks := sc.keys[sh]
+		es := sizeErrs(sc.errs[sh], len(ks))
+		sc.errs[sh] = es
+		fails := s.ss[sh].MultiPut(ks, sc.vals[sh], es)
+		for j, oi := range sc.idx[sh] {
+			errs[oi] = es[j]
+		}
+		return fails
+	})
 }
 
-// MultiDelete deletes every key from its shard, recording per-key verdicts
-// in errs and returning the failure count.
+// MultiPutExchange is MultiPut that also gathers each key's displaced value
+// (see Session.MultiPutExchange); bigkv retires superseded log records with
+// it. All slices must have the same length as keys.
+func (s *RouterSession) MultiPutExchange(keys []kv.Key, vals, olds []kv.Value, hadOld []bool, errs []error) int {
+	n := len(keys)
+	if len(vals) != n || len(olds) != n || len(hadOld) != n || len(errs) != n {
+		panic("core: MultiPutExchange slice lengths must match len(keys)")
+	}
+	if len(s.ss) == 1 {
+		return s.ss[0].MultiPutExchange(keys, vals, olds, hadOld, errs)
+	}
+	sc := &s.sc
+	return s.fanOutWrite(keys, vals, func(sh int) int {
+		ks := sc.keys[sh]
+		es := sizeErrs(sc.errs[sh], len(ks))
+		ov := sizeVals(sc.olds[sh], len(ks))
+		ho := sizeFound(sc.hadOld[sh], len(ks))
+		sc.errs[sh], sc.olds[sh], sc.hadOld[sh] = es, ov, ho
+		fails := s.ss[sh].MultiPutExchange(ks, sc.vals[sh], ov, ho, es)
+		for j, oi := range sc.idx[sh] {
+			olds[oi], hadOld[oi], errs[oi] = ov[j], ho[j], es[j]
+		}
+		return fails
+	})
+}
+
+// MultiDelete partitions the batch by shard and fans the groups out in
+// parallel, recording per-key verdicts in errs and returning the failure
+// count.
 func (s *RouterSession) MultiDelete(keys []kv.Key, errs []error) int {
 	n := len(keys)
 	if len(errs) != n {
 		panic("core: MultiDelete slice lengths must match len(keys)")
 	}
-	fails := 0
-	for i := range keys {
-		h1, h2, fp := hashKV(keys[i][:])
-		_, err := s.shard(h1).deleteHashed(keys[i], h1, h2, fp)
-		errs[i] = err
-		if err != nil {
-			fails++
-		}
+	if len(s.ss) == 1 {
+		return s.ss[0].MultiDelete(keys, errs)
 	}
-	return fails
+	sc := &s.sc
+	return s.fanOutWrite(keys, nil, func(sh int) int {
+		ks := sc.keys[sh]
+		es := sizeErrs(sc.errs[sh], len(ks))
+		sc.errs[sh] = es
+		fails := s.ss[sh].MultiDelete(ks, es)
+		for j, oi := range sc.idx[sh] {
+			errs[oi] = es[j]
+		}
+		return fails
+	})
+}
+
+// MultiDeleteExchange is MultiDelete that also gathers each deleted key's
+// displaced value (see Session.MultiDeleteExchange).
+func (s *RouterSession) MultiDeleteExchange(keys []kv.Key, olds []kv.Value, errs []error) int {
+	n := len(keys)
+	if len(olds) != n || len(errs) != n {
+		panic("core: MultiDeleteExchange slice lengths must match len(keys)")
+	}
+	if len(s.ss) == 1 {
+		return s.ss[0].MultiDeleteExchange(keys, olds, errs)
+	}
+	sc := &s.sc
+	return s.fanOutWrite(keys, nil, func(sh int) int {
+		ks := sc.keys[sh]
+		es := sizeErrs(sc.errs[sh], len(ks))
+		ov := sizeVals(sc.olds[sh], len(ks))
+		sc.errs[sh], sc.olds[sh] = es, ov
+		fails := s.ss[sh].MultiDeleteExchange(ks, ov, es)
+		for j, oi := range sc.idx[sh] {
+			olds[oi], errs[oi] = ov[j], es[j]
+		}
+		return fails
+	})
 }
 
 // Scan visits every committed record across all shards (shard-major order,
@@ -608,11 +716,24 @@ func (sc *routerScratch) reset(n int) {
 		sc.idx = make([][]int32, n)
 		sc.vals = make([][]kv.Value, n)
 		sc.found = make([][]bool, n)
+		sc.errs = make([][]error, n)
+		sc.olds = make([][]kv.Value, n)
+		sc.hadOld = make([][]bool, n)
+		sc.fails = make([]int, n)
 	}
 	for i := range sc.keys {
 		sc.keys[i] = sc.keys[i][:0]
 		sc.idx[i] = sc.idx[i][:0]
+		sc.vals[i] = sc.vals[i][:0]
+		sc.fails[i] = 0
 	}
+}
+
+func sizeErrs(s []error, n int) []error {
+	if cap(s) < n {
+		return make([]error, n)
+	}
+	return s[:n]
 }
 
 func sizeVals(s []kv.Value, n int) []kv.Value {

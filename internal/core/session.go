@@ -30,6 +30,11 @@ type Session struct {
 	// calls so batches allocate only when they outgrow the previous high
 	// water mark (see batch.go).
 	batch batchScratch
+
+	// capturing redirects beginHotWrite into batch.mirrors while a grouped
+	// write chunk commits; flushHotMirrors ships the captured mirrors as
+	// one coalesced request per background writer (see syncwrite.go).
+	capturing bool
 }
 
 // NewSession returns a fresh session on the table.

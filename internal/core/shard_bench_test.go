@@ -46,13 +46,14 @@ func BenchmarkPutParallel(b *testing.B) {
 	for _, shards := range []int{1, 4} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			r := benchRouter(b, shards)
+			ks, vs := benchKeys(n), benchVals(n)
 			var ctr atomic.Int64
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				s := r.NewSession()
 				for pb.Next() {
 					i := int(ctr.Add(1)) % n
-					if err := s.Put(key(i), value(i)); err != nil {
+					if err := s.Put(ks[i], vs[i]); err != nil {
 						b.Fatal(err)
 					}
 				}

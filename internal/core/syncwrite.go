@@ -46,6 +46,23 @@ type hotRequest struct {
 	srcBucket int64
 	srcSlot   int
 	srcCtrl   uint32
+
+	// group, when non-nil, carries a grouped write's coalesced mirrors for
+	// this writer; the scalar fields above are ignored and the writer
+	// applies the members in order before signalling done once.
+	group []hotMirror
+}
+
+// hotMirror is one captured hot-table mutation of a grouped write. A chunk
+// of MultiPut/MultiDelete records its mirrors instead of dispatching them
+// one by one; flushHotMirrors then ships each writer its members as a
+// single hotRequest, replacing N channel round-trips with one per writer.
+type hotMirror struct {
+	op  uint8
+	fp  uint8
+	key kv.Key
+	val kv.Value
+	h1  uint64
 }
 
 // writerPool runs the background writer goroutines.
@@ -78,8 +95,15 @@ func (p *writerPool) run(i int) {
 	r := rng.New(p.t.opts.Seed ^ uint64(0xb06e<<16) ^ uint64(i))
 	rec := p.t.recorderHandle() // each writer owns a shard-bound recorder
 	for req := range p.chans[i] {
-		p.apply(req, r)
-		rec.BGApply()
+		if req.group != nil {
+			for _, m := range req.group {
+				p.apply(hotRequest{op: m.op, fp: m.fp, key: m.key, val: m.val, h1: m.h1}, r)
+				rec.BGApply()
+			}
+		} else {
+			p.apply(req, r)
+			rec.BGApply()
+		}
 		if req.done != nil {
 			req.done <- struct{}{}
 		}
@@ -113,6 +137,25 @@ func (p *writerPool) dispatch(req hotRequest) bool {
 	return true
 }
 
+// writerFor returns the writer index a key's mutations route to. Grouped
+// writes bucket mirrors with it so a coalesced request lands on the same
+// writer the per-key path would have used, preserving same-key FIFO order.
+func (p *writerPool) writerFor(h1 uint64) int {
+	return int(h1 >> 16 % uint64(len(p.chans)))
+}
+
+// dispatchTo hands a pre-routed request to writer w under the same
+// stop/dispatch protocol as dispatch.
+func (p *writerPool) dispatchTo(w int, req hotRequest) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.stopped {
+		return false
+	}
+	p.chans[w] <- req
+	return true
+}
+
 // stop drains and joins the writers. Safe against concurrent dispatchers:
 // they either complete their send before the close or see stopped.
 func (p *writerPool) stop() {
@@ -137,6 +180,13 @@ func (s *Session) beginHotWrite(op uint8, k kv.Key, v kv.Value, h1 uint64, fp ui
 	if t.hot == nil {
 		return false
 	}
+	if s.capturing {
+		// A grouped write is in flight: record the mirror instead of
+		// dispatching it. flushHotMirrors ships the whole chunk later, so
+		// no wait is owed here.
+		s.batch.mirrors = append(s.batch.mirrors, hotMirror{op: op, fp: fp, key: k, val: v, h1: h1})
+		return false
+	}
 	if t.pool != nil && t.pool.dispatch(hotRequest{op: op, fp: fp, key: k, val: v, h1: h1, done: s.done}) {
 		return true
 	}
@@ -155,6 +205,69 @@ func (s *Session) beginHotWrite(op uint8, k kv.Key, v kv.Value, h1 uint64, fp ui
 func (s *Session) waitHotWrite(owed bool) {
 	if owed {
 		<-s.done
+	}
+}
+
+// flushHotMirrors drains the mirrors a grouped chunk captured: one
+// coalesced request per background writer, then one wait per dispatched
+// request. Routing by writerFor keeps every key on the writer the per-key
+// path would use, and per-writer slices preserve capture order, so
+// duplicate keys within a batch still apply last-write-wins. Returns how
+// many writer requests the flush dispatched (0 when everything applied
+// inline), which the callers surface as the group's coalescing factor.
+func (s *Session) flushHotMirrors() int {
+	bs := &s.batch
+	if len(bs.mirrors) == 0 {
+		return 0
+	}
+	t := s.t
+	pool := t.pool
+	if pool == nil {
+		for i := range bs.mirrors {
+			s.applyMirrorInline(&bs.mirrors[i])
+		}
+		bs.mirrors = bs.mirrors[:0]
+		return 0
+	}
+	nw := len(pool.chans)
+	if len(bs.byWriter) != nw {
+		bs.byWriter = make([][]hotMirror, nw)
+	}
+	for w := range bs.byWriter {
+		bs.byWriter[w] = bs.byWriter[w][:0]
+	}
+	for i := range bs.mirrors {
+		w := pool.writerFor(bs.mirrors[i].h1)
+		bs.byWriter[w] = append(bs.byWriter[w], bs.mirrors[i])
+	}
+	owed := 0
+	for w := range bs.byWriter {
+		if len(bs.byWriter[w]) == 0 {
+			continue
+		}
+		if pool.dispatchTo(w, hotRequest{group: bs.byWriter[w], done: s.done}) {
+			owed++
+		} else {
+			// Pool stopped under us (an op racing Close): apply inline.
+			for i := range bs.byWriter[w] {
+				s.applyMirrorInline(&bs.byWriter[w][i])
+			}
+		}
+	}
+	dispatched := owed
+	for ; owed > 0; owed-- {
+		<-s.done
+	}
+	bs.mirrors = bs.mirrors[:0]
+	return dispatched
+}
+
+func (s *Session) applyMirrorInline(m *hotMirror) {
+	switch m.op {
+	case hotOpPut:
+		s.t.hot.put(m.key, m.val, m.h1, m.fp, s.rng)
+	case hotOpDel:
+		s.t.hot.del(m.key, m.h1, m.fp)
 	}
 }
 

@@ -135,6 +135,11 @@ func chromeFromEvent(ev Event) (chromeEvent, bool) {
 		return span(ev, "recovery-"+RecoveryStep(ev.A).String(), ev.Args[0], map[string]any{
 			"count": ev.Args[1],
 		}), true
+	case KindGroupCommit:
+		return span(ev, "group-commit", ev.Args[0], map[string]any{
+			"keys": ev.Args[1],
+			"runs": ev.Args[2],
+		}), true
 	default:
 		return chromeEvent{}, false
 	}
@@ -220,6 +225,9 @@ func writeEventLine(w io.Writer, labels map[uint32]string, ev Event) {
 	case KindRecoveryStep:
 		fmt.Fprintf(w, "%-14v %-12s recovery %s: count=%d in %v\n",
 			ts, ring, RecoveryStep(ev.A), ev.Args[1], time.Duration(ev.Args[0]))
+	case KindGroupCommit:
+		fmt.Fprintf(w, "%-14v %-12s group commit: %d keys in %d runs, %v\n",
+			ts, ring, ev.Args[1], ev.Args[2], time.Duration(ev.Args[0]))
 	default:
 		fmt.Fprintf(w, "%-14v %-12s event kind=%d\n", ts, ring, ev.Kind)
 	}

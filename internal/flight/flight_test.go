@@ -30,6 +30,7 @@ func TestRingRecordAndSnapshot(t *testing.T) {
 	tr.GCPhase(GCRewrite, 9, 2*time.Microsecond, 11)
 	tr.VLogSeg(2, 5)
 	tr.RecoveryStep(RecOCF, 3*time.Microsecond, 1000)
+	tr.GroupCommit(64, 2, 4*time.Microsecond)
 
 	d := r.Snapshot()
 	if len(d.Rings) != 1 || d.Rings[0].Label != "session" {
@@ -39,6 +40,7 @@ func TestRingRecordAndSnapshot(t *testing.T) {
 		KindOpBegin, KindProbe, KindRescan, KindLockSpin, KindOpEnd,
 		KindHotFill, KindHotEvict, KindDrainChunk, KindResizeSwap,
 		KindResizeDone, KindGCPhase, KindVLogSeg, KindRecoveryStep,
+		KindGroupCommit,
 	}
 	if len(d.Events) != len(want) {
 		t.Fatalf("got %d events, want %d: %+v", len(d.Events), len(want), d.Events)
@@ -58,6 +60,10 @@ func TestRingRecordAndSnapshot(t *testing.T) {
 	gc := d.Events[10]
 	if GCPhase(gc.A) != GCRewrite || gc.Args[1] != 9 || gc.Args[2] != 11 {
 		t.Fatalf("gc-phase decoded as %+v", gc)
+	}
+	grp := d.Events[13]
+	if grp.Args[1] != 64 || grp.Args[2] != 2 || grp.Args[0] == 0 {
+		t.Fatalf("group-commit decoded as %+v", grp)
 	}
 }
 

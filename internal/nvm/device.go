@@ -292,6 +292,17 @@ func (d *Device) DirtyLines() int {
 // TotalFlushes reports the number of Flush calls across all handles.
 func (d *Device) TotalFlushes() int64 { return d.totalFlushes.Load() }
 
+// PersistCalls returns how many strict-mode line write-back calls the
+// device has absorbed — the granularity SetCrashAfterFlushes counts in.
+// Unlike TotalFlushes it advances once per Flush or StageFlush call, not
+// once per drained barrier, so crash sweeps built on it land between
+// individual staged write-backs inside a group commit.
+func (d *Device) PersistCalls() int64 {
+	d.strictMu.Lock()
+	defer d.strictMu.Unlock()
+	return d.flushCount
+}
+
 const imageMagic = uint64(0x48444e48494d4721) // "HDNHIMG!"
 
 // SaveImage writes the persisted image to w in a simple framed format.

@@ -18,18 +18,27 @@ type Handle struct {
 	readLatency  time.Duration
 	writeLatency time.Duration
 	fenceLatency time.Duration
-	_            [24]byte // keep handles from sharing cache lines in slices
+
+	// Staged-flush state (see StageFlush/FlushBarrier): lines awaiting the
+	// next barrier and the per-line bandwidth drain cost.
+	stagedLines int64
+	drainPerLn  time.Duration
+	_           [8]byte // keep handles from sharing cache lines in slices
 }
 
 // NewHandle returns a fresh handle on the device.
 func (d *Device) NewHandle() *Handle {
-	return &Handle{
+	h := &Handle{
 		dev:          d,
 		emulate:      d.cfg.Mode == ModeEmulate,
 		readLatency:  d.cfg.ReadLatency,
 		writeLatency: d.cfg.WriteLatency,
 		fenceLatency: d.cfg.FenceLatency,
 	}
+	if d.cfg.WriteBandwidth > 0 {
+		h.drainPerLn = time.Duration(float64(time.Second) * CachelineBytes / float64(d.cfg.WriteBandwidth))
+	}
+	return h
 }
 
 // Device returns the underlying device.
@@ -103,6 +112,45 @@ func (h *Handle) Flush(w, n int64) {
 			h.dev.writeBW.consume(lines * CachelineBytes)
 		}
 		spinWait(d)
+	}
+}
+
+// StageFlush queues the cache lines covering words [w, w+n) behind the next
+// FlushBarrier: the CLWBs are issued (in strict mode the lines land in the
+// persisted image immediately, exactly as Flush), but the latency cost is
+// deferred. CLWB is non-blocking — a burst of line write-backs overlaps in
+// the memory subsystem and is only waited on at the ordering point — so a
+// group of staged lines costs one write latency plus the bandwidth drain at
+// the barrier, not one serialized latency per line. Wear, line counters, and
+// crash-point accounting are identical to Flush.
+func (h *Handle) StageFlush(w, n int64) {
+	lines := linesSpanned(w, n)
+	h.s.Flushes += uint64(lines)
+	h.dev.recordWear(w, n)
+	h.stagedLines += lines
+	if h.dev.cfg.Mode == ModeStrict {
+		h.dev.persistLines(w, n)
+	}
+}
+
+// FlushBarrier drains every line staged since the previous barrier: one
+// write latency (the first CLWB's completion the subsequent fence waits on)
+// plus the bandwidth cost of the whole burst. A no-op when nothing is
+// staged. A Fence is still required for ordering, as after Flush.
+func (h *Handle) FlushBarrier() {
+	lines := h.stagedLines
+	if lines == 0 {
+		return
+	}
+	h.stagedLines = 0
+	h.dev.totalFlushes.Add(1)
+	d := h.writeLatency + time.Duration(lines)*h.drainPerLn
+	h.s.ModeledNanos += uint64(d.Nanoseconds())
+	if h.emulate {
+		if h.dev.writeBW != nil {
+			h.dev.writeBW.consume(lines * CachelineBytes)
+		}
+		spinWait(h.writeLatency)
 	}
 }
 

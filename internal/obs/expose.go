@@ -98,6 +98,18 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 		p("hdnh_drain_chunk_nanoseconds_count %d\n", l.Sampled)
 	}
 
+	counter("hdnh_write_groups_total", "Grouped write commits (batched puts/deletes committed as one group).", s.WriteGroups)
+	counter("hdnh_write_group_keys_total", "Keys committed through grouped writes.", s.WriteGroupKeys)
+	counter("hdnh_write_group_flushes_total", "Value-log flush runs grouped writes took (near groups_total means batches rarely straddle segments).", s.WriteGroupFlushes)
+	if l := s.WriteGroupSize; l.Sampled > 0 {
+		p("# HELP hdnh_write_group_size Keys per grouped write commit (a count, not a duration).\n")
+		p("# TYPE hdnh_write_group_size summary\n")
+		p("hdnh_write_group_size{quantile=\"0.5\"} %d\n", l.P50Ns)
+		p("hdnh_write_group_size{quantile=\"0.99\"} %d\n", l.P99Ns)
+		p("hdnh_write_group_size_sum %.0f\n", l.MeanNs*float64(l.Sampled))
+		p("hdnh_write_group_size_count %d\n", l.Sampled)
+	}
+
 	counter("hdnh_vlog_appends_total", "User value-log record appends.", s.VLogAppends)
 	counter("hdnh_vlog_append_words_total", "Words appended to the value log by users.", s.VLogAppendWords)
 	counter("hdnh_gc_relocations_total", "Live records copied out of GC victim segments.", s.GCRelocations)
@@ -201,6 +213,16 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 			p("hdnh_resp_run_length_sum %.0f\n", l.MeanNs*float64(l.Sampled))
 			p("hdnh_resp_run_length_count %d\n", l.Sampled)
 		}
+		counter("hdnh_resp_write_runs_total", "Coalesced write runs (MSET fan-in, multi-key DEL, grouped SET bursts).", r.WriteRuns)
+		counter("hdnh_resp_write_run_ops_total", "Write commands drained through coalesced write runs.", r.WriteRunOps)
+		if l := r.WriteRunLength; l.Sampled > 0 {
+			p("# HELP hdnh_resp_write_run_length Write commands per coalesced write run (a length, not a duration).\n")
+			p("# TYPE hdnh_resp_write_run_length summary\n")
+			p("hdnh_resp_write_run_length{quantile=\"0.5\"} %d\n", l.P50Ns)
+			p("hdnh_resp_write_run_length{quantile=\"0.99\"} %d\n", l.P99Ns)
+			p("hdnh_resp_write_run_length_sum %.0f\n", l.MeanNs*float64(l.Sampled))
+			p("hdnh_resp_write_run_length_count %d\n", l.Sampled)
+		}
 	}
 	return err
 }
@@ -232,6 +254,11 @@ type jsonForm struct {
 	DrainRecordsMoved  uint64      `json:"drain_records_moved"`
 	DrainHelps         uint64      `json:"drain_helps"`
 	DrainChunkLatency  LatencyStat `json:"drain_chunk_latency_ns"`
+
+	WriteGroups       uint64      `json:"write_groups"`
+	WriteGroupKeys    uint64      `json:"write_group_keys"`
+	WriteGroupFlushes uint64      `json:"write_group_flushes"`
+	WriteGroupSize    LatencyStat `json:"write_group_size"`
 
 	VLogAppends      uint64  `json:"vlog_appends"`
 	VLogAppendWords  uint64  `json:"vlog_append_words"`
@@ -282,6 +309,10 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 		DrainRecordsMoved:  s.DrainRecordsMoved,
 		DrainHelps:         s.DrainHelps,
 		DrainChunkLatency:  s.DrainChunkLatency,
+		WriteGroups:        s.WriteGroups,
+		WriteGroupKeys:     s.WriteGroupKeys,
+		WriteGroupFlushes:  s.WriteGroupFlushes,
+		WriteGroupSize:     s.WriteGroupSize,
 		VLogAppends:        s.VLogAppends,
 		VLogAppendWords:    s.VLogAppendWords,
 		GCRelocations:      s.GCRelocations,

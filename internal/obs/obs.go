@@ -144,6 +144,10 @@ type Recorder interface {
 	// record words (GC relocation copies go to GCRelocate instead, so
 	// write amplification is their ratio).
 	VLogAppend(words int64)
+	// WriteGroup records one grouped write commit: how many keys committed
+	// together and how many flush runs they took (1 when the whole group
+	// fit one contiguous segment run).
+	WriteGroup(keys, runs int64)
 	// GCRelocate records one live record the value-log GC copied out of a
 	// victim segment, with its total record words.
 	GCRelocate(words int64)
@@ -174,6 +178,7 @@ func (Nop) ExpansionSwap(time.Duration)            {}
 func (Nop) DrainChunk(int64, int64, time.Duration) {}
 func (Nop) DrainHelp()                             {}
 func (Nop) VLogAppend(int64)                       {}
+func (Nop) WriteGroup(int64, int64)                {}
 func (Nop) GCRelocate(int64)                       {}
 func (Nop) GCRaced()                               {}
 func (Nop) GCRecycle()                             {}
@@ -219,6 +224,10 @@ type shard struct {
 	drainMoved         atomic.Uint64
 	drainHelps         atomic.Uint64
 
+	writeGroups     atomic.Uint64
+	writeGroupKeys  atomic.Uint64
+	writeGroupFlush atomic.Uint64
+
 	vlogAppends      atomic.Uint64
 	vlogAppendWords  atomic.Uint64
 	gcRelocations    atomic.Uint64
@@ -254,6 +263,9 @@ type Metrics struct {
 	// drainLat is the per-chunk stall histogram: how long each drain chunk
 	// held the shared resize lock.
 	drainLat AtomicHist
+	// groupSize is the keys-per-group histogram for grouped write commits
+	// (unit-agnostic, like the RESP run-length histogram).
+	groupSize AtomicHist
 }
 
 // New builds a Metrics registry.
@@ -338,6 +350,13 @@ func (h *Handle) DrainChunk(buckets, moved int64, d time.Duration) {
 }
 
 func (h *Handle) DrainHelp() { h.sh.drainHelps.Add(1) }
+
+func (h *Handle) WriteGroup(keys, runs int64) {
+	h.sh.writeGroups.Add(1)
+	h.sh.writeGroupKeys.Add(uint64(keys))
+	h.sh.writeGroupFlush.Add(uint64(runs))
+	h.m.groupSize.Record(keys)
+}
 
 func (h *Handle) VLogAppend(words int64) {
 	h.sh.vlogAppends.Add(1)

@@ -115,8 +115,13 @@ func TestWritePromFormat(t *testing.T) {
 	start := h.Start()
 	h.Op(OpGet, OutNVTHit, start)
 	h.HotFill(true)
+	h.WriteGroup(64, 2)
+	rm := NewRESPMetrics()
+	rm.Run(8)
+	rm.WriteRun(8)
 	snap := m.Snapshot()
 	snap.Gauges = Gauges{Items: 5, Capacity: 100, LoadFactor: 0.05}
+	snap.RESP = rm.Snapshot()
 	var b bytes.Buffer
 	if err := snap.WriteProm(&b); err != nil {
 		t.Fatal(err)
@@ -129,6 +134,14 @@ func TestWritePromFormat(t *testing.T) {
 		`hdnh_items 5`,
 		"# TYPE hdnh_ops_total counter",
 		"# TYPE hdnh_op_latency_nanoseconds summary",
+		`hdnh_write_groups_total 1`,
+		`hdnh_write_group_keys_total 64`,
+		`hdnh_write_group_flushes_total 2`,
+		"# TYPE hdnh_write_group_size summary",
+		`hdnh_write_group_size_count 1`,
+		`hdnh_resp_write_runs_total 1`,
+		`hdnh_resp_write_run_ops_total 8`,
+		"# TYPE hdnh_resp_write_run_length summary",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("prom output missing %q:\n%s", want, out)

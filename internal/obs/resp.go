@@ -68,6 +68,13 @@ type RESPMetrics struct {
 	runOps  atomic.Uint64
 	flushes atomic.Uint64
 	runLen  AtomicHist // run length in ops (the histogram is unit-agnostic)
+
+	// Write runs get their own shape series: a coalesced MSET burst's size
+	// is what the group-commit path turns into one persist barrier, so
+	// hdnhtop can show write batch shape separately from reads.
+	writeRuns   atomic.Uint64
+	writeRunOps atomic.Uint64
+	writeRunLen AtomicHist
 }
 
 // NewRESPMetrics returns a fresh registry for one listener.
@@ -132,6 +139,18 @@ func (m *RESPMetrics) Run(n int) {
 	m.runLen.Record(int64(n))
 }
 
+// WriteRun records one coalesced run of n write commands (MSET fan-in,
+// multi-key DEL, or a pipelined SET/DEL burst the executor grouped). Call
+// it alongside Run for write-kind runs.
+func (m *RESPMetrics) WriteRun(n int) {
+	if m == nil {
+		return
+	}
+	m.writeRuns.Add(1)
+	m.writeRunOps.Add(uint64(n))
+	m.writeRunLen.Record(int64(n))
+}
+
 // Flush records one buffered-writer flush (at most one syscall per drained
 // pipeline burst is the whole point; flushes/runs tells you if that holds).
 func (m *RESPMetrics) Flush() {
@@ -165,6 +184,10 @@ type RESPSnapshot struct {
 	Flushes   uint64      `json:"flushes"`
 	RunLength LatencyStat `json:"run_length"` // ops per run, not nanoseconds
 
+	WriteRuns      uint64      `json:"write_runs"`
+	WriteRunOps    uint64      `json:"write_run_ops"`
+	WriteRunLength LatencyStat `json:"write_run_length"` // ops per write run
+
 	// internal positional copies the Prometheus writer iterates.
 	cmds    [NumRESPCmds]uint64
 	cmdErrs [NumRESPCmds]uint64
@@ -186,6 +209,8 @@ func (m *RESPMetrics) Snapshot() *RESPSnapshot {
 		Runs:        m.runs.Load(),
 		RunOps:      m.runOps.Load(),
 		Flushes:     m.flushes.Load(),
+		WriteRuns:   m.writeRuns.Load(),
+		WriteRunOps: m.writeRunOps.Load(),
 	}
 	for c := RESPCmd(0); c < NumRESPCmds; c++ {
 		s.cmds[c] = m.cmds[c].Load()
@@ -215,6 +240,16 @@ func (m *RESPMetrics) Snapshot() *RESPSnapshot {
 	}
 	if h := m.runLen.Snapshot(); h.Count() > 0 {
 		s.RunLength = LatencyStat{
+			Sampled: h.Count(),
+			MeanNs:  h.Mean(),
+			P50Ns:   h.Percentile(50),
+			P99Ns:   h.Percentile(99),
+			P999Ns:  h.Percentile(99.9),
+			MaxNs:   h.Max(),
+		}
+	}
+	if h := m.writeRunLen.Snapshot(); h.Count() > 0 {
+		s.WriteRunLength = LatencyStat{
 			Sampled: h.Count(),
 			MeanNs:  h.Mean(),
 			P50Ns:   h.Percentile(50),

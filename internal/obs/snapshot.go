@@ -112,6 +112,14 @@ type Snapshot struct {
 	// resize lock (every chunk is recorded, not sampled).
 	DrainChunkLatency LatencyStat
 
+	// Grouped write commits: how many groups, how many keys they carried,
+	// how many flush runs they took (runs/groups near 1 means batches
+	// rarely straddle segment boundaries), and the keys-per-group shape.
+	WriteGroups       uint64
+	WriteGroupKeys    uint64
+	WriteGroupFlushes uint64
+	WriteGroupSize    LatencyStat
+
 	// Value-log traffic: user appends vs GC relocation copies (their word
 	// ratio is the GC write amplification), rewrites the GC lost to racing
 	// user writes, and segments recycled.
@@ -163,6 +171,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.DrainBuckets += sh.drainBuckets.Load()
 		s.DrainRecordsMoved += sh.drainMoved.Load()
 		s.DrainHelps += sh.drainHelps.Load()
+		s.WriteGroups += sh.writeGroups.Load()
+		s.WriteGroupKeys += sh.writeGroupKeys.Load()
+		s.WriteGroupFlushes += sh.writeGroupFlush.Load()
 		s.VLogAppends += sh.vlogAppends.Load()
 		s.VLogAppendWords += sh.vlogAppendWords.Load()
 		s.GCRelocations += sh.gcRelocations.Load()
@@ -206,6 +217,16 @@ func (m *Metrics) Snapshot() Snapshot {
 			MaxNs:   h.Max(),
 		}
 	}
+	if h := m.groupSize.Snapshot(); h.Count() > 0 {
+		s.WriteGroupSize = LatencyStat{
+			Sampled: h.Count(),
+			MeanNs:  h.Mean(),
+			P50Ns:   h.Percentile(50),
+			P99Ns:   h.Percentile(99),
+			P999Ns:  h.Percentile(99.9),
+			MaxNs:   h.Max(),
+		}
+	}
 	return s
 }
 
@@ -236,6 +257,9 @@ func (s Snapshot) Sub(base Snapshot) Snapshot {
 	d.DrainBuckets -= base.DrainBuckets
 	d.DrainRecordsMoved -= base.DrainRecordsMoved
 	d.DrainHelps -= base.DrainHelps
+	d.WriteGroups -= base.WriteGroups
+	d.WriteGroupKeys -= base.WriteGroupKeys
+	d.WriteGroupFlushes -= base.WriteGroupFlushes
 	d.VLogAppends -= base.VLogAppends
 	d.VLogAppendWords -= base.VLogAppendWords
 	d.GCRelocations -= base.GCRelocations

@@ -539,6 +539,9 @@ func (e *connExec) flushPending() {
 	visit := func(kind batchrun.Kind, n int) {
 		closeSpan()
 		m.Run(n)
+		if kind != batchrun.Get {
+			m.WriteRun(n) // write batch shape: what group commit turns into one barrier run
+		}
 		openOp = opFor(kind)
 		openLo, openN = cursor, n
 		cursor += n
@@ -605,6 +608,7 @@ func (e *connExec) direct(c command) (quit bool) {
 		// Multi-key DEL (the single-key form coalesces via flushPending).
 		keys := c.args[1:]
 		m.Run(len(keys))
+		m.WriteRun(len(keys))
 		begin := e.tr.OpBegin(obs.OpDelete)
 		errs := e.sess.MultiDelete(keys)
 		out := obs.OutOK
@@ -658,6 +662,7 @@ func (e *connExec) direct(c command) (quit bool) {
 			vals[i] = c.args[2+2*i]
 		}
 		m.Run(n)
+		m.WriteRun(n)
 		begin := e.tr.OpBegin(obs.OpUpdate)
 		errs := e.sess.MultiPut(keys, vals)
 		out := obs.OutOK

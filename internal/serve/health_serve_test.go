@@ -309,6 +309,15 @@ func TestPromExpositionLint(t *testing.T) {
 	w := httptest.NewRecorder()
 	h.ServeHTTP(w, httptest.NewRequest(http.MethodDelete, "/kv/lint-7", nil))
 
+	// One grouped write through /batch, so the write-group counter family
+	// and size summary are present in the linted body, not just parseable.
+	batch := `{"ops":[{"op":"put","key":"lint-b0","value":"dg=="},{"op":"put","key":"lint-b1","value":"dg=="},{"op":"put","key":"lint-b2","value":"dg=="}]}`
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/batch", strings.NewReader(batch)))
+	if w.Code != http.StatusOK {
+		t.Fatalf("POST /batch = %d: %s", w.Code, w.Body.String())
+	}
+
 	w = httptest.NewRecorder()
 	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
 	if w.Code != http.StatusOK {
@@ -387,12 +396,16 @@ func TestPromExpositionLint(t *testing.T) {
 		series[key] = true
 		sampled[base] = true
 	}
-	// The health gauges must ride the same scrape, every rule present.
+	// The health gauges must ride the same scrape, every rule present —
+	// and after the /batch drive above, the write-group families too.
 	for _, want := range []string{
 		"hdnh_health_status",
 		fmt.Sprintf("hdnh_health_condition{condition=%q}", health.CondVLogFreeLow),
 		"hdnh_epoch_slots_live",
 		"hdnh_resp_connections_open",
+		"hdnh_write_groups_total",
+		"hdnh_write_group_keys_total",
+		"hdnh_write_group_size",
 	} {
 		found := false
 		for key := range series {

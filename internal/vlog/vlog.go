@@ -434,6 +434,135 @@ func (l *Log) append(h *nvm.Handle, key kv.Key, value []byte, reserve int) (int6
 	return addr, words, nil
 }
 
+// BatchRecord is one record of an AppendBatch call. Key and Value are
+// inputs; Addr and Words are outputs, valid for the records AppendBatch
+// reports committed.
+type BatchRecord struct {
+	Key   kv.Key
+	Value []byte
+	Addr  int64
+	Words int64
+}
+
+// AppendBatch durably stores the records as one or more contiguous runs of
+// the active segment, one payload flush barrier per run instead of one per
+// record. Records are committed strictly in order; n is how many committed
+// and runs how many flush runs they took. A partial batch (n < len(recs))
+// only happens with a non-nil error (ErrLogFull once the free-list reserve
+// is reached); the committed prefix is durable and usable.
+//
+// Crash ordering within a run: every record's key and payload words are
+// stored, then one staged barrier+fence covers the whole run, then the
+// committing headers are staged (one line write-back per header line) and
+// drained behind a second barrier+fence. A crash during the header burst
+// can leave any subset of the headers durable, not just a prefix — but the
+// whole batch acknowledges together only after AppendBatch returns, so
+// Open's forward scan stopping at the first zero header can only drop
+// records that were never acknowledged, and it never misreads one: a line
+// persists atomically and anything past the first gap is unreachable.
+// Liveness and durable-head accounting match per-record Append exactly.
+func (l *Log) AppendBatch(h *nvm.Handle, recs []BatchRecord) (n, runs int, err error) {
+	for i := range recs {
+		if len(recs[i].Value) == 0 {
+			return 0, 0, errors.New("vlog: empty value")
+		}
+		w := recordHeaderWords + payloadWords(int64(len(recs[i].Value)))
+		if w > l.segWords {
+			return 0, 0, fmt.Errorf("vlog: value needs %d words, segment holds %d", w, l.segWords)
+		}
+		recs[i].Words = w
+	}
+
+	// The mutex spans the whole batch for the same reason append holds it:
+	// committed records must form a contiguous prefix of the active segment.
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for n < len(recs) {
+		if l.active < 0 || l.head+recs[n].Words > l.segWords {
+			if rerr := l.roll(h, 1); rerr != nil {
+				return n, runs, rerr
+			}
+		}
+		// Greedily extend the run over every record that still fits in the
+		// active segment; the next iteration rolls and starts a new run.
+		end, fit := n, l.head
+		for end < len(recs) && fit+recs[end].Words <= l.segWords {
+			fit += recs[end].Words
+			end++
+		}
+		l.appendRun(h, recs[n:end])
+		n = end
+		runs++
+	}
+	return n, runs, nil
+}
+
+// appendRun commits records into the active segment as one flush run.
+// Called with the mutex held; every record is known to fit.
+func (l *Log) appendRun(h *nvm.Handle, run []BatchRecord) {
+	seg := l.active
+	runStart := l.head
+	inSeg := runStart
+	for i := range run {
+		rec := &run[i]
+		rec.Addr = seg*l.segWords + inSeg
+		off := l.dataOff(rec.Addr)
+		length := int64(len(rec.Value))
+		l.dev.Store(off+1, wordOf(rec.Key[0:8]))
+		l.dev.Store(off+2, wordOf(rec.Key[8:16]))
+		for w := int64(0); w < payloadWords(length); w++ {
+			var word uint64
+			for b := 0; b < 8; b++ {
+				if idx := w*8 + int64(b); idx < length {
+					word |= uint64(rec.Value[idx]) << (8 * b)
+				}
+			}
+			l.dev.Store(off+recordHeaderWords+w, word)
+		}
+		h.WriteAccess(off+1, rec.Words-1)
+		inSeg += rec.Words
+	}
+	// One barrier makes every key and payload word of the run durable. The
+	// range spans the (still zero) header words too, which is harmless: the
+	// persisted image already holds zeroes there.
+	runOff := l.dataOff(seg*l.segWords + runStart)
+	h.StageFlush(runOff, inSeg-runStart)
+	h.FlushBarrier()
+	h.Fence()
+
+	// Commit headers as one staged burst: store all of them, write back each
+	// header line once (lines sharing headers coalesce), and drain behind a
+	// single barrier+fence. Durability of any subset of headers is safe —
+	// see AppendBatch: the batch acknowledges as a whole, so a scan stopping
+	// at the first zero header only loses unacknowledged records.
+	for i := 0; i < len(run); {
+		line := l.dataOff(run[i].Addr) / nvm.CachelineWords
+		j := i
+		for j < len(run) && l.dataOff(run[j].Addr)/nvm.CachelineWords == line {
+			rec := &run[j]
+			off := l.dataOff(rec.Addr)
+			l.dev.Store(off, uint64(len(rec.Value))<<32|uint64(Checksum(rec.Key, rec.Value)))
+			h.WriteAccess(off, 1)
+			j++
+		}
+		h.StageFlush(l.dataOff(run[i].Addr), 1)
+		i = j
+	}
+	h.FlushBarrier()
+	h.Fence()
+
+	words := inSeg - runStart
+	l.head = inSeg
+	l.used[seg] = l.head
+	l.live[seg].Add(words)
+	l.appended.Add(words)
+	l.sinceSync += words
+	if l.sinceSync >= headSyncInterval {
+		l.sinceSync = 0
+		h.StorePersist(l.segHeadOff(seg), uint64(l.head))
+	}
+}
+
 // roll seals the active segment (if any) and activates a free one. Called
 // with the mutex held. The free-list check comes first so a failed roll
 // leaves the active segment intact for smaller records.

@@ -423,6 +423,232 @@ func TestConcurrentAppends(t *testing.T) {
 	}
 }
 
+func TestAppendBatchRoundTrip(t *testing.T) {
+	dev, h, l := logFixture(t, 1024, 8)
+	recs := make([]BatchRecord, 32)
+	for i := range recs {
+		recs[i] = BatchRecord{Key: testKey(i), Value: []byte(fmt.Sprintf("batch-value-%02d-padded-out", i))}
+	}
+	f0 := dev.TotalFlushes()
+	n, runs, err := l.AppendBatch(h, recs)
+	batchFlushes := dev.TotalFlushes() - f0
+	if err != nil || n != len(recs) {
+		t.Fatalf("AppendBatch: n=%d runs=%d err=%v", n, runs, err)
+	}
+	if runs < 1 {
+		t.Fatalf("runs = %d, want >= 1", runs)
+	}
+	var prevEnd int64 = -1
+	for i := range recs {
+		if want := RecordWords(len(recs[i].Value)); recs[i].Words != want {
+			t.Fatalf("record %d: %d words, want %d", i, recs[i].Words, want)
+		}
+		if prevEnd >= 0 && recs[i].Addr != prevEnd {
+			t.Fatalf("record %d at %d, want contiguous at %d", i, recs[i].Addr, prevEnd)
+		}
+		prevEnd = recs[i].Addr + recs[i].Words
+		key, got, err := l.Read(h, recs[i].Addr)
+		if err != nil || key != testKey(i) || !bytes.Equal(got, recs[i].Value) {
+			t.Fatalf("record %d mangled: %q %v", i, got, err)
+		}
+	}
+	// The whole point: far fewer barriers than 2 flushes per record.
+	f1 := dev.TotalFlushes()
+	for i := range recs {
+		if _, _, err := l.Append(h, testKey(100+i), recs[i].Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loopFlushes := dev.TotalFlushes() - f1
+	if batchFlushes*2 > loopFlushes {
+		t.Fatalf("batch took %d flushes vs %d looped: want >= 2x reduction", batchFlushes, loopFlushes)
+	}
+	// Accounting parity with per-record appends.
+	var want int64
+	for i := range recs {
+		want += recs[i].Words
+	}
+	if live := l.SegLive(recs[0].Addr / l.SegmentWords()); live < want {
+		t.Fatalf("live words %d, want >= %d", live, want)
+	}
+}
+
+func TestAppendBatchSpansSegments(t *testing.T) {
+	_, h, l := logFixture(t, 64, 8)
+	// 29-word records: two fit per 64-word segment, so 8 records need 4
+	// segments and at least 4 flush runs.
+	val := make([]byte, 208)
+	recs := make([]BatchRecord, 8)
+	for i := range recs {
+		recs[i] = BatchRecord{Key: testKey(i), Value: val}
+	}
+	n, runs, err := l.AppendBatch(h, recs)
+	if err != nil || n != len(recs) {
+		t.Fatalf("AppendBatch: n=%d err=%v", n, err)
+	}
+	if runs != 4 {
+		t.Fatalf("runs = %d, want 4 (two records per segment)", runs)
+	}
+	for i := range recs {
+		key, got, err := l.Read(h, recs[i].Addr)
+		if err != nil || key != testKey(i) || !bytes.Equal(got, val) {
+			t.Fatalf("record %d mangled across segment boundary: %v", i, err)
+		}
+	}
+}
+
+func TestAppendBatchPartialOnFull(t *testing.T) {
+	_, h, l := logFixture(t, 64, 4)
+	// 3 non-reserve segments x 2 records each = 6 records fit; ask for 10.
+	val := make([]byte, 208)
+	recs := make([]BatchRecord, 10)
+	for i := range recs {
+		recs[i] = BatchRecord{Key: testKey(i), Value: val}
+	}
+	n, _, err := l.AppendBatch(h, recs)
+	if !errors.Is(err, ErrLogFull) {
+		t.Fatalf("overfull batch: err=%v, want ErrLogFull", err)
+	}
+	if n != 6 {
+		t.Fatalf("committed %d records, want 6", n)
+	}
+	// The committed prefix is durable and readable.
+	for i := 0; i < n; i++ {
+		key, got, err := l.Read(h, recs[i].Addr)
+		if err != nil || key != testKey(i) || !bytes.Equal(got, val) {
+			t.Fatalf("committed record %d mangled: %v", i, err)
+		}
+	}
+	if free := l.FreeSegments(); free != 1 {
+		t.Fatalf("ErrLogFull with %d free segments, want the 1 GC reserve", free)
+	}
+	// Rejections validate before touching the device.
+	if _, _, err := l.AppendBatch(h, []BatchRecord{{Key: testKey(0)}}); err == nil {
+		t.Fatal("empty value accepted")
+	}
+	if _, _, err := l.AppendBatch(h, []BatchRecord{{Key: testKey(0), Value: make([]byte, 1<<20)}}); err == nil || errors.Is(err, ErrLogFull) {
+		t.Fatalf("oversized batch record: %v", err)
+	}
+	if n, runs, err := l.AppendBatch(h, nil); n != 0 || runs != 0 || err != nil {
+		t.Fatalf("empty batch: n=%d runs=%d err=%v", n, runs, err)
+	}
+}
+
+// TestAppendBatchTornGroupRecovery sweeps a crash over every flush boundary
+// inside one AppendBatch and proves recovery always sees a clean prefix of
+// the group: no lost committed records before the tear, no resurrected
+// records after it, and the post-recovery log keeps working.
+func TestAppendBatchTornGroupRecovery(t *testing.T) {
+	const batch = 12
+	build := func() (*nvm.Device, *nvm.Handle, *Log) {
+		cfg := nvm.StrictConfig(1 << 16)
+		cfg.EvictProb = 0
+		cfg.Seed = 7
+		dev, err := nvm.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := dev.NewHandle()
+		l, err := Create(dev, h, 256, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A committed pre-record so recovery always has a prefix to keep.
+		if _, _, err := l.Append(h, testKey(1000), []byte("pre-batch record")); err != nil {
+			t.Fatal(err)
+		}
+		return dev, h, l
+	}
+	payload := func(i int) []byte { return []byte(fmt.Sprintf("torn-group-record-%02d", i)) }
+	mkRecs := func() []BatchRecord {
+		recs := make([]BatchRecord, batch)
+		for i := range recs {
+			recs[i] = BatchRecord{Key: testKey(i), Value: payload(i)}
+		}
+		return recs
+	}
+
+	// Reference run: find the flush window of the batch append.
+	refDev, refH, refL := build()
+	f0 := refDev.TotalFlushes()
+	refRecs := mkRecs()
+	if n, _, err := refL.AppendBatch(refH, refRecs); err != nil || n != batch {
+		t.Fatalf("reference batch: n=%d err=%v", n, err)
+	}
+	f1 := refDev.TotalFlushes()
+
+	for f := int64(1); f <= f1-f0; f++ {
+		dev, h, l := build()
+		if err := dev.SetCrashAfterFlushes(f); err != nil {
+			t.Fatal(err)
+		}
+		recs := mkRecs()
+		if n, _, err := l.AppendBatch(h, recs); err != nil || n != batch {
+			t.Fatalf("crash-point %d: batch n=%d err=%v", f, n, err)
+		}
+		img := dev.CrashImage()
+		if img == nil {
+			t.Fatalf("crash-point %d: no image armed", f)
+		}
+		cfg := nvm.StrictConfig(1 << 16)
+		cfg.EvictProb = 0
+		crashed, err := nvm.FromImage(cfg, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := crashed.NewHandle()
+		l2, err := Open(crashed, ch, l.Base())
+		if err != nil {
+			t.Fatalf("crash-point %d: Open: %v", f, err)
+		}
+		// Recovery must surface a strict prefix of the batch: record i is
+		// readable only if every earlier record is.
+		survived := 0
+		for i := 0; i < batch; i++ {
+			key, got, err := l2.Read(ch, recs[i].Addr)
+			if err != nil {
+				break
+			}
+			if key != testKey(i) || !bytes.Equal(got, payload(i)) {
+				t.Fatalf("crash-point %d: record %d corrupted: %q", f, i, got)
+			}
+			survived++
+		}
+		for i := survived; i < batch; i++ {
+			if _, _, err := l2.Read(ch, recs[i].Addr); err == nil {
+				t.Fatalf("crash-point %d: record %d readable after gap at %d (resurrection hazard)", f, i, survived)
+			}
+		}
+		// The recovered head must sit exactly at the end of the surviving
+		// prefix so new appends cannot strand or overwrite anything.
+		var wantUsed int64 = RecordWords(len("pre-batch record"))
+		for i := 0; i < survived; i++ {
+			wantUsed += recs[i].Words
+		}
+		if l2.UsedWords() != wantUsed {
+			t.Fatalf("crash-point %d: recovered %d used words, want %d (survived %d)", f, l2.UsedWords(), wantUsed, survived)
+		}
+		// Post-recovery appends land after the prefix and scans stay clean.
+		addr, _, err := l2.Append(ch, testKey(2000), []byte("post-recovery append"))
+		if err != nil {
+			t.Fatalf("crash-point %d: post-recovery append: %v", f, err)
+		}
+		seen := map[int64]bool{}
+		l2.ScanAll(ch, func(a, _ int64, _ kv.Key, _ []byte) bool {
+			seen[a] = true
+			return true
+		})
+		if !seen[addr] {
+			t.Fatalf("crash-point %d: post-recovery append invisible to scan", f)
+		}
+		for i := survived; i < batch; i++ {
+			if recs[i].Addr != addr && seen[recs[i].Addr] {
+				t.Fatalf("crash-point %d: scan resurrected torn record %d", f, i)
+			}
+		}
+	}
+}
+
 func TestSyncAdvancesDurableHead(t *testing.T) {
 	dev, h, l := logFixture(t, 512, 4)
 	addr, words, err := l.Append(h, testKey(0), []byte("abc"))
